@@ -1,0 +1,35 @@
+// Figure 11: RAM footprint of the in-memory systems, 8 dataset sizes.
+//
+// Reproduces: as data grows, SuccinctEdge's succinct layouts pull ahead of
+// the index-heavy in-memory stores (dictionaries and datasets cannot be
+// separated for the baselines, so totals are compared — as in the paper).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace sedge;
+  std::printf("=== Figure 11: RAM footprint (KiB, deep size) ===\n");
+  bench::PrintRow("dataset",
+                  {"SuccinctEdge", "RDF4J-like", "JenaInMem-like"});
+  for (const bench::Dataset& ds : bench::PaperDatasets()) {
+    std::vector<std::string> cells;
+    {
+      Database db;
+      db.LoadOntology(ds.onto);
+      SEDGE_CHECK(db.LoadData(ds.graph).ok());
+      cells.push_back(bench::FormatKb(db.store().SizeInBytes()));
+    }
+    {
+      baselines::Rdf4jLikeStore store;
+      SEDGE_CHECK(store.Build(ds.graph).ok());
+      cells.push_back(bench::FormatKb(store.MemoryFootprintBytes()));
+    }
+    {
+      baselines::JenaInMemLikeStore store;
+      SEDGE_CHECK(store.Build(ds.graph).ok());
+      cells.push_back(bench::FormatKb(store.MemoryFootprintBytes()));
+    }
+    bench::PrintRow(ds.label, cells);
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark micro-benchmarks for the SDS primitives the query
+// engine is built from: bitmap access/rank/select and wavelet-tree
+// access/rank/select/rangeSearch (the paper's Section 3.3 operations).
+
+#include <benchmark/benchmark.h>
+
+#include "sds/succinct_bit_vector.h"
+#include "sds/wavelet_tree.h"
+#include "util/rng.h"
+
+namespace {
+
+using sedge::Rng;
+using sedge::sds::BitVector;
+using sedge::sds::SuccinctBitVector;
+using sedge::sds::WaveletTree;
+
+const SuccinctBitVector& SharedBitmap() {
+  static const SuccinctBitVector bv = [] {
+    Rng rng(1);
+    BitVector bits(1 << 22);
+    for (uint64_t i = 0; i < bits.size(); ++i) bits.Set(i, rng.Bernoulli(0.3));
+    return SuccinctBitVector(bits);
+  }();
+  return bv;
+}
+
+const WaveletTree& SharedWt(uint64_t sigma) {
+  static std::map<uint64_t, WaveletTree> cache;
+  auto it = cache.find(sigma);
+  if (it == cache.end()) {
+    Rng rng(sigma);
+    std::vector<uint64_t> values(1 << 20);
+    for (auto& v : values) v = rng.Uniform(sigma);
+    it = cache.emplace(sigma, WaveletTree(values)).first;
+  }
+  return it->second;
+}
+
+void BM_BitmapAccess(benchmark::State& state) {
+  const auto& bv = SharedBitmap();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bv.Access(rng.Uniform(bv.size())));
+  }
+}
+BENCHMARK(BM_BitmapAccess);
+
+void BM_BitmapRank(benchmark::State& state) {
+  const auto& bv = SharedBitmap();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bv.Rank1(rng.Uniform(bv.size() + 1)));
+  }
+}
+BENCHMARK(BM_BitmapRank);
+
+void BM_BitmapSelect(benchmark::State& state) {
+  const auto& bv = SharedBitmap();
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bv.Select1(rng.Uniform(bv.ones()) + 1));
+  }
+}
+BENCHMARK(BM_BitmapSelect);
+
+void BM_WtAccess(benchmark::State& state) {
+  const auto& wt = SharedWt(static_cast<uint64_t>(state.range(0)));
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wt.Access(rng.Uniform(wt.size())));
+  }
+}
+BENCHMARK(BM_WtAccess)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_WtRank(benchmark::State& state) {
+  const auto& wt = SharedWt(static_cast<uint64_t>(state.range(0)));
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wt.Rank(rng.Uniform(wt.size() + 1),
+                rng.Uniform(static_cast<uint64_t>(state.range(0)))));
+  }
+}
+BENCHMARK(BM_WtRank)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_WtSelect(benchmark::State& state) {
+  const auto& wt = SharedWt(static_cast<uint64_t>(state.range(0)));
+  Rng rng(7);
+  const uint64_t sigma = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const uint64_t c = rng.Uniform(sigma);
+    const uint64_t occurrences = wt.Rank(wt.size(), c);
+    if (occurrences == 0) continue;
+    benchmark::DoNotOptimize(wt.Select(rng.Uniform(occurrences) + 1, c));
+  }
+}
+BENCHMARK(BM_WtSelect)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_WtRangeSearchSortedVsGeneric(benchmark::State& state) {
+  // Sorted-run equal-range (the paper's rangeSearch fast path) on a
+  // block-sorted sequence like WT_s.
+  static const WaveletTree wt = [] {
+    Rng rng(8);
+    std::vector<uint64_t> values;
+    for (int block = 0; block < 1024; ++block) {
+      std::vector<uint64_t> run(1024);
+      for (auto& v : run) v = rng.Uniform(100000);
+      std::sort(run.begin(), run.end());
+      values.insert(values.end(), run.begin(), run.end());
+    }
+    return WaveletTree(values);
+  }();
+  Rng rng(9);
+  const bool sorted_path = state.range(0) == 1;
+  for (auto _ : state) {
+    const uint64_t block = rng.Uniform(1024);
+    const uint64_t a = block * 1024;
+    const uint64_t c = rng.Uniform(100000);
+    if (sorted_path) {
+      benchmark::DoNotOptimize(wt.EqualRangeSorted(a, a + 1024, c));
+    } else {
+      benchmark::DoNotOptimize(wt.RangeSearch(a, a + 1024, c));
+    }
+  }
+}
+BENCHMARK(BM_WtRangeSearchSortedVsGeneric)
+    ->Arg(1)   // binary search on the sorted run
+    ->Arg(0);  // generic rank/select rangeSearch
+
+}  // namespace
+
+BENCHMARK_MAIN();

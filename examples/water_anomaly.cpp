@@ -1,0 +1,70 @@
+// Water-distribution anomaly detection — the paper's motivating example
+// (Section 2).
+//
+// A flow of SOSA/QUDT observation graphs arrives from two heterogeneous
+// station profiles (Bar vs hectoPascal pressure units, different QUDT
+// class annotations). One high-level SPARQL query, written against
+// qudt:PressureUnit and relying on RDFS reasoning plus a unit-conversion
+// BIND, detects out-of-band pressure readings across all stations — no
+// per-sensor query variants needed.
+//
+//   $ ./build/examples/water_anomaly [num_graph_instances]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/database.h"
+#include "util/timer.h"
+#include "workloads/sensor_generator.h"
+
+int main(int argc, char** argv) {
+  const int instances = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  sedge::Database db;
+  db.LoadOntology(sedge::workloads::SensorGraphGenerator::BuildOntology());
+  const std::string query =
+      sedge::workloads::SensorGraphGenerator::PressureAnomalyQuery();
+
+  std::printf("monitoring %d graph instances (2 stations, heterogeneous "
+              "units)...\n\n",
+              instances);
+  int total_alerts = 0;
+  double total_ms = 0.0;
+  for (int i = 0; i < instances; ++i) {
+    // Each arriving graph instance is encoded and queried once (the
+    // paper's deployment model).
+    sedge::workloads::SensorConfig config;
+    config.seed = 1000 + static_cast<uint64_t>(i);
+    config.observations_per_sensor = 12;
+    config.anomaly_rate = 0.08;
+    const sedge::rdf::Graph graph =
+        sedge::workloads::SensorGraphGenerator::Generate(config);
+
+    sedge::WallTimer timer;
+    const sedge::Status load = db.LoadData(graph);
+    if (!load.ok()) {
+      std::fprintf(stderr, "load: %s\n", load.ToString().c_str());
+      return 1;
+    }
+    const auto result = db.Query(query);
+    const double ms = timer.ElapsedMillis();
+    total_ms += ms;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("instance %2d: %3zu triples, %zu alert(s), %.2f ms\n", i,
+                graph.size(), result.value().size(), ms);
+    for (const auto& row : result.value().rows) {
+      std::printf("    ALERT %s reads %s at %s\n",
+                  row[0] ? row[0]->lexical().c_str() : "?",
+                  row[3] ? row[3]->lexical().c_str() : "?",
+                  row[2] ? row[2]->lexical().c_str() : "?");
+    }
+    total_alerts += static_cast<int>(result.value().size());
+  }
+  std::printf("\n%d alerts over %d instances; avg %.2f ms per instance "
+              "(build + query)\n",
+              total_alerts, instances, total_ms / instances);
+  return 0;
+}

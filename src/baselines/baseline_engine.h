@@ -1,0 +1,64 @@
+// Generic SPARQL engine over a BaselineStore.
+//
+// Shares the parser, AST, expression evaluator and join-order optimizer
+// with SuccinctEdge, but evaluates triple patterns through the baseline's
+// own index permutations and single term-id space — i.e. each baseline
+// behaves like the self-contained system it models. No reasoning: the
+// Figure 14 benches feed these engines UNION-rewritten queries
+// (sparql/union_rewriter.h), exactly as the paper did for Jena and RDF4J.
+
+#ifndef SEDGE_BASELINES_BASELINE_ENGINE_H_
+#define SEDGE_BASELINES_BASELINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "baselines/store_interface.h"
+#include "sparql/ast.h"
+#include "sparql/expression.h"
+#include "sparql/result_table.h"
+#include "util/status.h"
+
+namespace sedge::baselines {
+
+/// \brief SPARQL executor for one baseline store.
+class BaselineEngine {
+ public:
+  explicit BaselineEngine(const BaselineStore* store);
+  ~BaselineEngine();
+
+  /// Parses and executes a SELECT query.
+  Result<sparql::QueryResult> Execute(std::string_view text);
+  Result<sparql::QueryResult> Execute(const sparql::Query& query);
+  /// Solution count only.
+  Result<uint64_t> ExecuteCount(const sparql::Query& query);
+
+ private:
+  class Decoder;
+  class Estimator;
+
+  Result<sparql::BindingTable> EvaluateGroup(const sparql::GroupPattern& g);
+  Result<sparql::BindingTable> EvaluateBgp(
+      const std::vector<sparql::TriplePattern>& triples);
+  void ExtendWithTp(const sparql::TriplePattern& tp,
+                    sparql::BindingTable* table);
+  void ApplyBind(const sparql::Bind& bind, sparql::BindingTable* table);
+  void ApplyFilter(const sparql::Expr& filter, sparql::BindingTable* table);
+  sparql::BindingTable JoinTables(sparql::BindingTable left,
+                                  sparql::BindingTable right) const;
+  Result<sparql::BindingTable> Project(const sparql::Query& query,
+                                       sparql::BindingTable table);
+  std::string CanonicalKey(const store::EncodedTerm& v) const;
+
+  const BaselineStore* store_;
+  std::unique_ptr<Decoder> decoder_;
+  std::unique_ptr<sparql::ExpressionEvaluator> evaluator_;
+  std::vector<rdf::Term> computed_pool_;
+  std::vector<std::optional<double>> computed_numeric_;
+};
+
+}  // namespace sedge::baselines
+
+#endif  // SEDGE_BASELINES_BASELINE_ENGINE_H_

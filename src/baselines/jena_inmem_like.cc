@@ -1,0 +1,106 @@
+#include "baselines/jena_inmem_like.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sedge::baselines {
+
+Status JenaInMemLikeStore::Build(const rdf::Graph& graph) {
+  triples_.clear();
+  by_subject_.clear();
+  by_predicate_.clear();
+  by_object_.clear();
+  dict_ = TermDictionary();
+
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> seen;
+  for (const rdf::Triple& t : graph.triples()) {
+    const uint32_t s = dict_.IdOrAssign(t.subject);
+    const uint32_t p = dict_.IdOrAssign(t.predicate);
+    const uint32_t o = dict_.IdOrAssign(t.object);
+    if (!seen.insert({s, p, o}).second) continue;
+    const uint32_t pos = static_cast<uint32_t>(triples_.size());
+    triples_.push_back({s, p, o});
+    by_subject_[s].push_back(pos);
+    by_predicate_[p].push_back(pos);
+    by_object_[o].push_back(pos);
+  }
+  return Status::OK();
+}
+
+void JenaInMemLikeStore::Scan(OptId s, OptId p, OptId o,
+                              const TripleSink& sink) const {
+  // Pick the narrowest bucket among the bound components.
+  const std::vector<uint32_t>* bucket = nullptr;
+  if (s) {
+    const auto it = by_subject_.find(*s);
+    if (it == by_subject_.end()) return;
+    bucket = &it->second;
+  }
+  if (p) {
+    const auto it = by_predicate_.find(*p);
+    if (it == by_predicate_.end()) return;
+    if (bucket == nullptr || it->second.size() < bucket->size()) {
+      bucket = &it->second;
+    }
+  }
+  if (o) {
+    const auto it = by_object_.find(*o);
+    if (it == by_object_.end()) return;
+    if (bucket == nullptr || it->second.size() < bucket->size()) {
+      bucket = &it->second;
+    }
+  }
+  const auto matches = [&](const IdTriple& t) {
+    return (!s || t.a == *s) && (!p || t.b == *p) && (!o || t.c == *o);
+  };
+  if (bucket == nullptr) {
+    for (const IdTriple& t : triples_) {
+      if (!sink(t.a, t.b, t.c)) return;
+    }
+    return;
+  }
+  for (const uint32_t pos : *bucket) {
+    const IdTriple& t = triples_[pos];
+    if (matches(t) && !sink(t.a, t.b, t.c)) return;
+  }
+}
+
+uint64_t JenaInMemLikeStore::EstimateCardinality(OptId s, OptId p,
+                                                 OptId o) const {
+  uint64_t best = triples_.size();
+  if (s) {
+    const auto it = by_subject_.find(*s);
+    best = std::min<uint64_t>(best, it == by_subject_.end() ? 0
+                                                            : it->second.size());
+  }
+  if (p) {
+    const auto it = by_predicate_.find(*p);
+    best = std::min<uint64_t>(
+        best, it == by_predicate_.end() ? 0 : it->second.size());
+  }
+  if (o) {
+    const auto it = by_object_.find(*o);
+    best = std::min<uint64_t>(best,
+                              it == by_object_.end() ? 0 : it->second.size());
+  }
+  return best;
+}
+
+uint64_t JenaInMemLikeStore::StorageSizeInBytes() const {
+  uint64_t total = sizeof(*this) + triples_.size() * sizeof(IdTriple);
+  // Hash maps: node + bucket-vector overhead per entry.
+  const auto map_bytes = [](const std::unordered_map<uint32_t,
+                                                     std::vector<uint32_t>>& m) {
+    uint64_t bytes = 0;
+    for (const auto& [key, positions] : m) {
+      (void)key;
+      bytes += 64 + positions.size() * sizeof(uint32_t);
+    }
+    return bytes;
+  };
+  total += map_bytes(by_subject_) + map_bytes(by_predicate_) +
+           map_bytes(by_object_);
+  return total;
+}
+
+}  // namespace sedge::baselines

@@ -1,0 +1,105 @@
+#include "baselines/rdf4j_like.h"
+
+#include <algorithm>
+
+namespace sedge::baselines {
+namespace {
+
+// [first, last) range of `index` whose leading components match k1 (and k2).
+std::pair<size_t, size_t> EqualRange(const std::vector<IdTriple>& index,
+                                     OptId k1, OptId k2) {
+  if (!k1) return {0, index.size()};
+  const uint32_t lo2 = k2 ? *k2 : 0;
+  const uint32_t hi2 = k2 ? *k2 : ~0u;
+  const IdTriple lo{*k1, lo2, 0};
+  const IdTriple hi{*k1, hi2, ~0u};
+  const auto first = std::lower_bound(index.begin(), index.end(), lo);
+  const auto last = std::upper_bound(index.begin(), index.end(), hi);
+  return {static_cast<size_t>(first - index.begin()),
+          static_cast<size_t>(last - index.begin())};
+}
+
+}  // namespace
+
+Status Rdf4jLikeStore::Build(const rdf::Graph& graph) {
+  spo_.clear();
+  pos_.clear();
+  osp_.clear();
+  dict_ = TermDictionary();
+  spo_.reserve(graph.size());
+  for (const rdf::Triple& t : graph.triples()) {
+    const uint32_t s = dict_.IdOrAssign(t.subject);
+    const uint32_t p = dict_.IdOrAssign(t.predicate);
+    const uint32_t o = dict_.IdOrAssign(t.object);
+    spo_.push_back({s, p, o});
+  }
+  std::sort(spo_.begin(), spo_.end());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_.reserve(spo_.size());
+  osp_.reserve(spo_.size());
+  for (const IdTriple& t : spo_) {
+    pos_.push_back({t.b, t.c, t.a});  // (p, o, s)
+    osp_.push_back({t.c, t.a, t.b});  // (o, s, p)
+  }
+  std::sort(pos_.begin(), pos_.end());
+  std::sort(osp_.begin(), osp_.end());
+  return Status::OK();
+}
+
+void Rdf4jLikeStore::Scan(OptId s, OptId p, OptId o,
+                          const TripleSink& sink) const {
+  if (s) {
+    if (o && !p) {  // (s, ?, o): OSP serves the (o, s) prefix
+      const auto [b, e] = EqualRange(osp_, o, s);
+      for (size_t i = b; i < e; ++i) {
+        if (!sink(osp_[i].b, osp_[i].c, osp_[i].a)) return;
+      }
+      return;
+    }
+    const auto [b, e] = EqualRange(spo_, s, p);
+    for (size_t i = b; i < e; ++i) {
+      if (o && spo_[i].c != *o) continue;
+      if (!sink(spo_[i].a, spo_[i].b, spo_[i].c)) return;
+    }
+    return;
+  }
+  if (p) {  // (?, p, o?) via POS
+    const auto [b, e] = EqualRange(pos_, p, o);
+    for (size_t i = b; i < e; ++i) {
+      if (!sink(pos_[i].c, pos_[i].a, pos_[i].b)) return;
+    }
+    return;
+  }
+  if (o) {  // (?, ?, o) via OSP
+    const auto [b, e] = EqualRange(osp_, o, std::nullopt);
+    for (size_t i = b; i < e; ++i) {
+      if (!sink(osp_[i].b, osp_[i].c, osp_[i].a)) return;
+    }
+    return;
+  }
+  for (const IdTriple& t : spo_) {
+    if (!sink(t.a, t.b, t.c)) return;
+  }
+}
+
+uint64_t Rdf4jLikeStore::EstimateCardinality(OptId s, OptId p, OptId o) const {
+  if (s && o && !p) {
+    const auto [b, e] = EqualRange(osp_, o, s);
+    return e - b;
+  }
+  if (s) {
+    const auto [b, e] = EqualRange(spo_, s, p);
+    return o ? std::min<uint64_t>(e - b, 1) : e - b;
+  }
+  if (p) {
+    const auto [b, e] = EqualRange(pos_, p, o);
+    return e - b;
+  }
+  if (o) {
+    const auto [b, e] = EqualRange(osp_, o, std::nullopt);
+    return e - b;
+  }
+  return spo_.size();
+}
+
+}  // namespace sedge::baselines

@@ -1,0 +1,177 @@
+#include "baselines/rdf4led_like.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+namespace sedge::baselines {
+namespace {
+
+constexpr uint64_t kTriplesPerBlock = io::kBlockSize / sizeof(IdTriple);
+
+IdTriple Lo(OptId a, OptId b) {
+  return {a.value_or(0), a ? b.value_or(0) : 0, 0};
+}
+IdTriple Hi(OptId a, OptId b) {
+  if (!a) return {~0u, ~0u, ~0u};
+  if (!b) return {*a, ~0u, ~0u};
+  return {*a, *b, ~0u};
+}
+
+}  // namespace
+
+Rdf4LedLikeStore::Rdf4LedLikeStore(double read_latency_us,
+                                   double write_latency_us)
+    : read_latency_us_(read_latency_us),
+      write_latency_us_(write_latency_us) {}
+
+Rdf4LedLikeStore::Run Rdf4LedLikeStore::WriteRun(
+    const std::vector<IdTriple>& sorted) {
+  Run run;
+  run.num_triples = sorted.size();
+  run.first_block = device_->num_blocks();
+  std::vector<uint8_t> block(io::kBlockSize, 0);
+  for (size_t off = 0; off < sorted.size(); off += kTriplesPerBlock) {
+    const size_t n = std::min<size_t>(kTriplesPerBlock, sorted.size() - off);
+    std::memset(block.data(), 0xFF, io::kBlockSize);  // 0xFF pads past end
+    std::memcpy(block.data(), sorted.data() + off, n * sizeof(IdTriple));
+    const uint64_t id = device_->AllocateBlock();
+    device_->WriteBlock(id, block.data());
+    run.fences.push_back(sorted[off]);
+    ++run.num_blocks;
+  }
+  return run;
+}
+
+Status Rdf4LedLikeStore::Build(const rdf::Graph& graph) {
+  dict_ = TermDictionary();
+  device_ = std::make_unique<io::SimulatedBlockDevice>(read_latency_us_,
+                                                       write_latency_us_);
+  std::vector<IdTriple> spo;
+  spo.reserve(graph.size());
+  for (const rdf::Triple& t : graph.triples()) {
+    const uint32_t s = dict_.IdOrAssign(t.subject);
+    const uint32_t p = dict_.IdOrAssign(t.predicate);
+    const uint32_t o = dict_.IdOrAssign(t.object);
+    spo.push_back({s, p, o});
+  }
+  std::sort(spo.begin(), spo.end());
+  spo.erase(std::unique(spo.begin(), spo.end()), spo.end());
+  num_triples_ = spo.size();
+  std::vector<IdTriple> pos;
+  std::vector<IdTriple> osp;
+  pos.reserve(spo.size());
+  osp.reserve(spo.size());
+  for (const IdTriple& t : spo) {
+    pos.push_back({t.b, t.c, t.a});
+    osp.push_back({t.c, t.a, t.b});
+  }
+  std::sort(pos.begin(), pos.end());
+  std::sort(osp.begin(), osp.end());
+  spo_ = WriteRun(spo);
+  pos_ = WriteRun(pos);
+  osp_ = WriteRun(osp);
+
+  // The dictionary also lives on flash in RDF4Led.
+  std::ostringstream dict_dump;
+  dict_.Serialize(dict_dump);
+  const std::string bytes = dict_dump.str();
+  dict_device_bytes_ = bytes.size();
+  std::vector<uint8_t> block(io::kBlockSize, 0);
+  for (size_t off = 0; off < bytes.size(); off += io::kBlockSize) {
+    const size_t n = std::min<size_t>(io::kBlockSize, bytes.size() - off);
+    std::memset(block.data(), 0, io::kBlockSize);
+    std::memcpy(block.data(), bytes.data() + off, n);
+    const uint64_t id = device_->AllocateBlock();
+    device_->WriteBlock(id, block.data());
+  }
+  return Status::OK();
+}
+
+bool Rdf4LedLikeStore::ScanRun(
+    const Run& run, const IdTriple& lo, const IdTriple& hi,
+    const std::function<bool(const IdTriple&)>& visit) const {
+  if (run.num_blocks == 0) return true;
+  // Fence search: first block whose first key could reach `lo`.
+  const auto it =
+      std::upper_bound(run.fences.begin(), run.fences.end(), lo);
+  uint64_t block_index =
+      it == run.fences.begin()
+          ? 0
+          : static_cast<uint64_t>(it - run.fences.begin()) - 1;
+  std::vector<uint8_t> buffer(io::kBlockSize);
+  for (; block_index < run.num_blocks; ++block_index) {
+    if (run.fences[block_index].a == ~0u) break;
+    if (hi < run.fences[block_index]) break;
+    device_->ReadBlock(run.first_block + block_index, buffer.data());
+    const auto* triples = reinterpret_cast<const IdTriple*>(buffer.data());
+    const uint64_t in_block =
+        std::min(kTriplesPerBlock,
+                 run.num_triples - block_index * kTriplesPerBlock);
+    for (uint64_t i = 0; i < in_block; ++i) {
+      const IdTriple& t = triples[i];
+      if (t < lo) continue;
+      if (!(t < hi)) return true;
+      if (!visit(t)) return false;
+    }
+  }
+  return true;
+}
+
+void Rdf4LedLikeStore::Scan(OptId s, OptId p, OptId o,
+                            const TripleSink& sink) const {
+  if (s) {
+    if (o && !p) {
+      ScanRun(osp_, Lo(o, s), Hi(o, s), [&](const IdTriple& k) {
+        return sink(k.b, k.c, k.a);
+      });
+      return;
+    }
+    ScanRun(spo_, Lo(s, p), Hi(s, p), [&](const IdTriple& k) {
+      if (o && k.c != *o) return true;
+      return sink(k.a, k.b, k.c);
+    });
+    return;
+  }
+  if (p) {
+    ScanRun(pos_, Lo(p, o), Hi(p, o), [&](const IdTriple& k) {
+      return sink(k.c, k.a, k.b);
+    });
+    return;
+  }
+  if (o) {
+    ScanRun(osp_, Lo(o, std::nullopt), Hi(o, std::nullopt),
+            [&](const IdTriple& k) { return sink(k.b, k.c, k.a); });
+    return;
+  }
+  ScanRun(spo_, IdTriple{0, 0, 0}, IdTriple{~0u, ~0u, ~0u},
+          [&](const IdTriple& k) { return sink(k.a, k.b, k.c); });
+}
+
+uint64_t Rdf4LedLikeStore::EstimateCardinality(OptId s, OptId p,
+                                               OptId o) const {
+  const int bound = (s ? 1 : 0) + (p ? 1 : 0) + (o ? 1 : 0);
+  switch (bound) {
+    case 3: return 1;
+    case 2: return std::max<uint64_t>(1, num_triples_ / 1000);
+    case 1: return std::max<uint64_t>(1, num_triples_ / 50);
+    default: return num_triples_;
+  }
+}
+
+uint64_t Rdf4LedLikeStore::StorageSizeInBytes() const {
+  return (spo_.num_blocks + pos_.num_blocks + osp_.num_blocks) *
+         io::kBlockSize;
+}
+
+uint64_t Rdf4LedLikeStore::DictionarySizeInBytes() const {
+  return dict_device_bytes_;
+}
+
+uint64_t Rdf4LedLikeStore::MemoryFootprintBytes() const {
+  return (spo_.fences.size() + pos_.fences.size() + osp_.fences.size()) *
+             sizeof(IdTriple) +
+         dict_.SizeInBytes();
+}
+
+}  // namespace sedge::baselines

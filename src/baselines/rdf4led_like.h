@@ -1,0 +1,68 @@
+// RDF4Led-like baseline: flash-friendly sorted runs on the SD device.
+//
+// RDF4Led targets lightweight edge devices with flash storage: data sits in
+// sorted blocks on the SD card, a small RAM layer keeps "fence" pointers
+// (the first key of each physical block) per index permutation, and reads
+// fetch whole blocks. We reproduce that design point: three permutations
+// as sequential 4 KiB runs of packed id triples on the SimulatedBlockDevice
+// with in-RAM fences; every block access pays the configured latency.
+// Like the real system (paper Section 7.3.5), it does not support UNION.
+
+#ifndef SEDGE_BASELINES_RDF4LED_LIKE_H_
+#define SEDGE_BASELINES_RDF4LED_LIKE_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/rdf4j_like.h"
+#include "baselines/store_interface.h"
+#include "io/block_device.h"
+
+namespace sedge::baselines {
+
+/// \brief Static flash-layout multi-index store.
+class Rdf4LedLikeStore : public BaselineStore {
+ public:
+  explicit Rdf4LedLikeStore(double read_latency_us = 0.0,
+                            double write_latency_us = 0.0);
+
+  std::string name() const override { return "RDF4Led-like"; }
+  Status Build(const rdf::Graph& graph) override;
+  void Scan(OptId s, OptId p, OptId o, const TripleSink& sink) const override;
+  uint64_t EstimateCardinality(OptId s, OptId p, OptId o) const override;
+  uint64_t num_triples() const override { return num_triples_; }
+  uint64_t StorageSizeInBytes() const override;
+  uint64_t DictionarySizeInBytes() const override;
+  /// RAM holds only the fence pointers and the dictionary.
+  uint64_t MemoryFootprintBytes() const override;
+  bool SupportsUnion() const override { return false; }
+
+  const io::DeviceStats& device_stats() const { return device_->stats(); }
+
+ private:
+  // One permutation: device blocks + RAM fences (first key per block).
+  struct Run {
+    uint64_t first_block = 0;
+    uint64_t num_blocks = 0;
+    uint64_t num_triples = 0;
+    std::vector<IdTriple> fences;
+  };
+
+  Run WriteRun(const std::vector<IdTriple>& sorted);
+  // Visits run entries with lo <= key < hi; returns false if aborted.
+  bool ScanRun(const Run& run, const IdTriple& lo, const IdTriple& hi,
+               const std::function<bool(const IdTriple&)>& visit) const;
+
+  double read_latency_us_;
+  double write_latency_us_;
+  std::unique_ptr<io::SimulatedBlockDevice> device_;
+  Run spo_;
+  Run pos_;
+  Run osp_;
+  uint64_t num_triples_ = 0;
+  uint64_t dict_device_bytes_ = 0;
+};
+
+}  // namespace sedge::baselines
+
+#endif  // SEDGE_BASELINES_RDF4LED_LIKE_H_

@@ -1,0 +1,69 @@
+// Common interface of the baseline RDF stores.
+//
+// Each baseline reproduces the design point of one comparison system of the
+// paper's evaluation (Section 7.1); see DESIGN.md's substitution table.
+// They all encode terms through a TermDictionary and answer triple-pattern
+// scans over (optional) bound ids; the shared BaselineEngine does SPARQL on
+// top.
+
+#ifndef SEDGE_BASELINES_STORE_INTERFACE_H_
+#define SEDGE_BASELINES_STORE_INTERFACE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "baselines/term_dictionary.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::baselines {
+
+using OptId = std::optional<uint32_t>;
+
+/// Sink receiving one matching (s, p, o) id triple; return false to stop.
+using TripleSink = std::function<bool(uint32_t s, uint32_t p, uint32_t o)>;
+
+/// \brief Abstract baseline RDF store.
+class BaselineStore {
+ public:
+  virtual ~BaselineStore() = default;
+
+  /// Human-readable system name used in bench output ("Jena_TDB-like").
+  virtual std::string name() const = 0;
+
+  /// Encodes and indexes `graph` (replacing any previous content).
+  virtual Status Build(const rdf::Graph& graph) = 0;
+
+  /// Scans all triples matching the pattern (nullopt = wildcard), using the
+  /// best available index permutation.
+  virtual void Scan(OptId s, OptId p, OptId o,
+                    const TripleSink& sink) const = 0;
+
+  /// Rough matching-triple count for join ordering.
+  virtual uint64_t EstimateCardinality(OptId s, OptId p, OptId o) const = 0;
+
+  virtual uint64_t num_triples() const = 0;
+
+  const TermDictionary& dict() const { return dict_; }
+  TermDictionary& mutable_dict() { return dict_; }
+
+  /// Index/triple storage bytes, dictionary excluded (Figure 10).
+  virtual uint64_t StorageSizeInBytes() const = 0;
+  /// Dictionary bytes (Figure 9).
+  virtual uint64_t DictionarySizeInBytes() const { return dict_.SizeInBytes(); }
+  /// Total RAM-resident bytes (Figure 11; disk stores report their caches).
+  virtual uint64_t MemoryFootprintBytes() const {
+    return StorageSizeInBytes() + DictionarySizeInBytes();
+  }
+
+  /// RDF4Led rejects UNION queries (paper Section 7.3.5).
+  virtual bool SupportsUnion() const { return true; }
+
+ protected:
+  TermDictionary dict_;
+};
+
+}  // namespace sedge::baselines
+
+#endif  // SEDGE_BASELINES_STORE_INTERFACE_H_

@@ -1,0 +1,50 @@
+#include "baselines/term_dictionary.h"
+
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace sedge::baselines {
+
+uint32_t TermDictionary::IdOrAssign(const rdf::Term& term) {
+  const auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(terms_.size());
+  ids_.emplace(term, id);
+  terms_.push_back(term);
+  return id;
+}
+
+std::optional<uint32_t> TermDictionary::IdOf(const rdf::Term& term) const {
+  const auto it = ids_.find(term);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const rdf::Term& TermDictionary::TermOf(uint32_t id) const {
+  SEDGE_CHECK(id < terms_.size()) << "bad term id " << id;
+  return terms_[id];
+}
+
+uint64_t TermDictionary::SizeInBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const rdf::Term& t : terms_) {
+    const uint64_t payload = t.lexical().size() + t.datatype().size() +
+                             t.lang().size() + sizeof(rdf::Term);
+    total += 2 * payload + 2 * sizeof(uint32_t) + 32;  // both directions
+  }
+  return total;
+}
+
+void TermDictionary::Serialize(std::ostream& os) const {
+  const uint64_t n = terms_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const rdf::Term& t : terms_) {
+    const std::string s = t.ToNTriples();
+    const uint32_t len = static_cast<uint32_t>(s.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(s.data(), len);
+  }
+}
+
+}  // namespace sedge::baselines

@@ -1,0 +1,40 @@
+// Node table for the baseline stores.
+//
+// Jena, RDF4J and RDF4Led keep a single dictionary over *all* terms —
+// including literals (unlike SuccinctEdge's flat literal pool). This is
+// what Figure 9 compares: the disk baselines persist a larger dictionary.
+
+#ifndef SEDGE_BASELINES_TERM_DICTIONARY_H_
+#define SEDGE_BASELINES_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sedge::baselines {
+
+/// \brief Bidirectional term <-> dense-id dictionary over every term kind.
+class TermDictionary {
+ public:
+  uint32_t IdOrAssign(const rdf::Term& term);
+  std::optional<uint32_t> IdOf(const rdf::Term& term) const;
+  const rdf::Term& TermOf(uint32_t id) const;
+  uint32_t size() const { return static_cast<uint32_t>(terms_.size()); }
+
+  /// In-memory footprint (hash map + term payloads, both directions).
+  uint64_t SizeInBytes() const;
+  /// Length-prefixed dump (what the disk systems persist).
+  void Serialize(std::ostream& os) const;
+
+ private:
+  std::unordered_map<rdf::Term, uint32_t, rdf::TermHash> ids_;
+  std::vector<rdf::Term> terms_;
+};
+
+}  // namespace sedge::baselines
+
+#endif  // SEDGE_BASELINES_TERM_DICTIONARY_H_

@@ -1,0 +1,250 @@
+#include "btree/b_plus_tree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sedge::btree {
+namespace {
+
+constexpr uint32_t kLeafType = 0;
+constexpr uint32_t kInternalType = 1;
+constexpr uint64_t kNoLeaf = ~0ULL;
+
+// Page layouts. Both fit exactly in io::kBlockSize and contain only
+// trivially copyable members, so reinterpret_cast on the 4 KiB frame is
+// well-defined for our purposes (frames are 8-byte aligned heap buffers).
+constexpr uint32_t kLeafCapacity = 340;
+constexpr uint32_t kInternalCapacity = 204;
+
+struct LeafPage {
+  uint32_t type;
+  uint32_t count;
+  uint64_t next_leaf;
+  TripleKey keys[kLeafCapacity];
+};
+static_assert(sizeof(LeafPage) <= io::kBlockSize);
+
+struct InternalPage {
+  uint32_t type;
+  uint32_t count;  // number of keys; children = count + 1
+  uint64_t children[kInternalCapacity + 1];
+  TripleKey keys[kInternalCapacity];
+};
+static_assert(sizeof(InternalPage) <= io::kBlockSize);
+
+uint32_t PageType(const uint8_t* frame) {
+  uint32_t type;
+  std::memcpy(&type, frame, sizeof(type));
+  return type;
+}
+
+// Index of the first key >= `key` among `keys[0..count)`.
+uint32_t LowerBoundIndex(const TripleKey* keys, uint32_t count,
+                         const TripleKey& key) {
+  return static_cast<uint32_t>(
+      std::lower_bound(keys, keys + count, key) - keys);
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(io::Pager* pager) : pager_(pager) {
+  // The insert path holds up to two frames at once per level and re-fetches
+  // after every allocation; a handful of frames guarantees residency.
+  SEDGE_CHECK(pager != nullptr);
+  root_page_ = NewLeafPage();
+}
+
+uint64_t BPlusTree::NewLeafPage() {
+  const uint64_t id = pager_->AllocateBlock();
+  ++num_pages_;
+  auto* page = reinterpret_cast<LeafPage*>(pager_->Fetch(id, /*will_write=*/true));
+  page->type = kLeafType;
+  page->count = 0;
+  page->next_leaf = kNoLeaf;
+  return id;
+}
+
+uint64_t BPlusTree::NewInternalPage() {
+  const uint64_t id = pager_->AllocateBlock();
+  ++num_pages_;
+  auto* page =
+      reinterpret_cast<InternalPage*>(pager_->Fetch(id, /*will_write=*/true));
+  page->type = kInternalType;
+  page->count = 0;
+  return id;
+}
+
+bool BPlusTree::Insert(const TripleKey& key) {
+  bool added = false;
+  SplitResult split = InsertInto(root_page_, key, &added);
+  if (split.split) {
+    // Grow the tree: new root with two children.
+    const uint64_t old_root = root_page_;
+    const uint64_t new_root = NewInternalPage();
+    auto* page = reinterpret_cast<InternalPage*>(
+        pager_->Fetch(new_root, /*will_write=*/true));
+    page->count = 1;
+    page->keys[0] = split.separator;
+    page->children[0] = old_root;
+    page->children[1] = split.right_page;
+    root_page_ = new_root;
+  }
+  if (added) ++size_;
+  return added;
+}
+
+BPlusTree::SplitResult BPlusTree::InsertInto(uint64_t page_id,
+                                             const TripleKey& key,
+                                             bool* added) {
+  uint8_t* frame = pager_->Fetch(page_id);
+  if (PageType(frame) == kLeafType) {
+    auto* leaf = reinterpret_cast<LeafPage*>(
+        pager_->Fetch(page_id, /*will_write=*/true));
+    const uint32_t pos = LowerBoundIndex(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) {
+      *added = false;
+      return {};
+    }
+    *added = true;
+    if (leaf->count < kLeafCapacity) {
+      std::memmove(&leaf->keys[pos + 1], &leaf->keys[pos],
+                   (leaf->count - pos) * sizeof(TripleKey));
+      leaf->keys[pos] = key;
+      ++leaf->count;
+      return {};
+    }
+    // Split the full leaf, then insert into the proper half.
+    const uint64_t right_id = NewLeafPage();
+    auto* right = reinterpret_cast<LeafPage*>(
+        pager_->Fetch(right_id, /*will_write=*/true));
+    leaf = reinterpret_cast<LeafPage*>(
+        pager_->Fetch(page_id, /*will_write=*/true));  // re-fetch after alloc
+    const uint32_t half = kLeafCapacity / 2;
+    right->count = leaf->count - half;
+    std::memcpy(right->keys, &leaf->keys[half],
+                right->count * sizeof(TripleKey));
+    leaf->count = half;
+    right->next_leaf = leaf->next_leaf;
+    leaf->next_leaf = right_id;
+    if (key < right->keys[0]) {
+      const uint32_t p = LowerBoundIndex(leaf->keys, leaf->count, key);
+      std::memmove(&leaf->keys[p + 1], &leaf->keys[p],
+                   (leaf->count - p) * sizeof(TripleKey));
+      leaf->keys[p] = key;
+      ++leaf->count;
+    } else {
+      const uint32_t p = LowerBoundIndex(right->keys, right->count, key);
+      std::memmove(&right->keys[p + 1], &right->keys[p],
+                   (right->count - p) * sizeof(TripleKey));
+      right->keys[p] = key;
+      ++right->count;
+    }
+    return {true, right->keys[0], right_id};
+  }
+
+  // Internal node: find the child, recurse, then apply any child split.
+  auto* node = reinterpret_cast<InternalPage*>(frame);
+  uint32_t idx = LowerBoundIndex(node->keys, node->count, key);
+  if (idx < node->count && node->keys[idx] == key) ++idx;
+  const uint64_t child_id = node->children[idx];
+
+  SplitResult child_split = InsertInto(child_id, key, added);
+  if (!child_split.split) return {};
+
+  // The recursion may have evicted this frame; re-fetch before mutating.
+  node = reinterpret_cast<InternalPage*>(
+      pager_->Fetch(page_id, /*will_write=*/true));
+  if (node->count < kInternalCapacity) {
+    std::memmove(&node->keys[idx + 1], &node->keys[idx],
+                 (node->count - idx) * sizeof(TripleKey));
+    std::memmove(&node->children[idx + 2], &node->children[idx + 1],
+                 (node->count - idx) * sizeof(uint64_t));
+    node->keys[idx] = child_split.separator;
+    node->children[idx + 1] = child_split.right_page;
+    ++node->count;
+    return {};
+  }
+
+  // Split the full internal node around its median key.
+  const uint64_t right_id = NewInternalPage();
+  auto* right = reinterpret_cast<InternalPage*>(
+      pager_->Fetch(right_id, /*will_write=*/true));
+  node = reinterpret_cast<InternalPage*>(
+      pager_->Fetch(page_id, /*will_write=*/true));
+  const uint32_t mid = kInternalCapacity / 2;
+  const TripleKey up_key = node->keys[mid];
+  right->count = node->count - mid - 1;
+  std::memcpy(right->keys, &node->keys[mid + 1],
+              right->count * sizeof(TripleKey));
+  std::memcpy(right->children, &node->children[mid + 1],
+              (right->count + 1) * sizeof(uint64_t));
+  node->count = mid;
+
+  // Insert the pending separator into the correct half.
+  if (child_split.separator < up_key) {
+    const uint32_t p =
+        LowerBoundIndex(node->keys, node->count, child_split.separator);
+    std::memmove(&node->keys[p + 1], &node->keys[p],
+                 (node->count - p) * sizeof(TripleKey));
+    std::memmove(&node->children[p + 2], &node->children[p + 1],
+                 (node->count - p) * sizeof(uint64_t));
+    node->keys[p] = child_split.separator;
+    node->children[p + 1] = child_split.right_page;
+    ++node->count;
+  } else {
+    const uint32_t p =
+        LowerBoundIndex(right->keys, right->count, child_split.separator);
+    std::memmove(&right->keys[p + 1], &right->keys[p],
+                 (right->count - p) * sizeof(TripleKey));
+    std::memmove(&right->children[p + 2], &right->children[p + 1],
+                 (right->count - p) * sizeof(uint64_t));
+    right->keys[p] = child_split.separator;
+    right->children[p + 1] = child_split.right_page;
+    ++right->count;
+  }
+  return {true, up_key, right_id};
+}
+
+bool BPlusTree::Contains(const TripleKey& key) {
+  uint64_t page_id = root_page_;
+  for (;;) {
+    uint8_t* frame = pager_->Fetch(page_id);
+    if (PageType(frame) == kLeafType) {
+      const auto* leaf = reinterpret_cast<const LeafPage*>(frame);
+      const uint32_t pos = LowerBoundIndex(leaf->keys, leaf->count, key);
+      return pos < leaf->count && leaf->keys[pos] == key;
+    }
+    const auto* node = reinterpret_cast<const InternalPage*>(frame);
+    uint32_t idx = LowerBoundIndex(node->keys, node->count, key);
+    if (idx < node->count && node->keys[idx] == key) ++idx;
+    page_id = node->children[idx];
+  }
+}
+
+void BPlusTree::RangeScan(const TripleKey& lo, const TripleKey& hi,
+                          const std::function<bool(const TripleKey&)>& visit) {
+  // Descend to the leaf that could contain `lo`.
+  uint64_t page_id = root_page_;
+  for (;;) {
+    uint8_t* frame = pager_->Fetch(page_id);
+    if (PageType(frame) == kLeafType) break;
+    const auto* node = reinterpret_cast<const InternalPage*>(frame);
+    uint32_t idx = LowerBoundIndex(node->keys, node->count, lo);
+    if (idx < node->count && node->keys[idx] == lo) ++idx;
+    page_id = node->children[idx];
+  }
+  // Walk the leaf chain.
+  while (page_id != kNoLeaf) {
+    const auto* leaf =
+        reinterpret_cast<const LeafPage*>(pager_->Fetch(page_id));
+    uint32_t pos = LowerBoundIndex(leaf->keys, leaf->count, lo);
+    for (; pos < leaf->count; ++pos) {
+      const TripleKey key = leaf->keys[pos];
+      if (!(key < hi)) return;
+      if (!visit(key)) return;
+    }
+    page_id = leaf->next_leaf;
+  }
+}
+
+}  // namespace sedge::btree

@@ -1,0 +1,79 @@
+// Disk-paged B+tree over 96-bit triple keys.
+//
+// Substrate for the Jena-TDB-like baseline: Jena TDB keeps each triple
+// permutation (SPO/POS/OSP) in a disk B+tree. This implementation stores
+// fixed-width (uint32, uint32, uint32) keys in 4 KiB pages on a
+// SimulatedBlockDevice behind a small Pager, supporting insertion,
+// point lookup and ordered range scans with prefix bounds.
+
+#ifndef SEDGE_BTREE_B_PLUS_TREE_H_
+#define SEDGE_BTREE_B_PLUS_TREE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "io/block_device.h"
+
+namespace sedge::btree {
+
+/// \brief A 3-component lexicographically ordered key (one triple
+/// permutation entry).
+struct TripleKey {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+
+  friend bool operator<(const TripleKey& x, const TripleKey& y) {
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    return x.c < y.c;
+  }
+  friend bool operator==(const TripleKey& x, const TripleKey& y) {
+    return x.a == y.a && x.b == y.b && x.c == y.c;
+  }
+};
+
+/// \brief Key-only B+tree of TripleKeys on a paged block device.
+class BPlusTree {
+ public:
+  /// The tree allocates its pages from `pager`'s device. `pager` must
+  /// outlive the tree.
+  explicit BPlusTree(io::Pager* pager);
+
+  /// Inserts `key` (duplicates are ignored). Returns true if newly added.
+  bool Insert(const TripleKey& key);
+
+  bool Contains(const TripleKey& key);
+
+  /// Visits all keys with lo <= key < hi in order; stops early if `visit`
+  /// returns false.
+  void RangeScan(const TripleKey& lo, const TripleKey& hi,
+                 const std::function<bool(const TripleKey&)>& visit);
+
+  uint64_t size() const { return size_; }
+  /// Device blocks owned by this tree (payload pages only).
+  uint64_t num_pages() const { return num_pages_; }
+  uint64_t SizeInBytesOnDevice() const { return num_pages_ * io::kBlockSize; }
+
+ private:
+  struct SplitResult {
+    bool split = false;
+    TripleKey separator;      // first key of the new right sibling
+    uint64_t right_page = 0;  // its page id
+  };
+
+  // Recursive insert; reports a child split to the caller.
+  SplitResult InsertInto(uint64_t page_id, const TripleKey& key, bool* added);
+
+  uint64_t NewLeafPage();
+  uint64_t NewInternalPage();
+
+  io::Pager* pager_;
+  uint64_t root_page_;
+  uint64_t size_ = 0;
+  uint64_t num_pages_ = 0;
+};
+
+}  // namespace sedge::btree
+
+#endif  // SEDGE_BTREE_B_PLUS_TREE_H_

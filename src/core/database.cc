@@ -1,0 +1,46 @@
+#include "core/database.h"
+
+#include "rdf/rdf_parser.h"
+#include "sparql/sparql_parser.h"
+
+namespace sedge {
+
+Status Database::LoadOntologyTurtle(std::string_view text) {
+  SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
+  SEDGE_ASSIGN_OR_RETURN(onto_, ontology::Ontology::FromGraph(graph));
+  return Status::OK();
+}
+
+Status Database::LoadDataTurtle(std::string_view text) {
+  SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
+  return LoadData(graph);
+}
+
+Status Database::LoadData(const rdf::Graph& graph) {
+  SEDGE_ASSIGN_OR_RETURN(store::TripleStore store,
+                         store::TripleStore::Build(onto_, graph));
+  store_ = std::make_unique<store::TripleStore>(std::move(store));
+  return Status::OK();
+}
+
+Result<sparql::QueryResult> Database::Query(std::string_view text) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no data loaded");
+  }
+  SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  sparql::Executor executor(store_.get(), options_);
+  return executor.Execute(query);
+}
+
+Result<uint64_t> Database::QueryCount(std::string_view text) const {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("no data loaded");
+  }
+  SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  sparql::Executor executor(store_.get(), options_);
+  SEDGE_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                         executor.ExecuteEncoded(query));
+  return static_cast<uint64_t>(table.rows.size());
+}
+
+}  // namespace sedge

@@ -1,0 +1,77 @@
+// sedge::Database — the public entry point of SuccinctEdge.
+//
+// Usage (see examples/quickstart.cpp):
+//
+//   sedge::Database db;
+//   db.LoadOntologyTurtle(ontology_ttl);   // once, "broadcast" to the edge
+//   db.LoadDataTurtle(graph_ttl);          // per graph instance
+//   auto result = db.Query("SELECT ?s WHERE { ?s a ex:Sensor }");
+//
+// The database is rebuilt per loaded graph (the paper's deployment runs a
+// fixed query set once per incoming graph instance); reasoning, merge-join
+// and optimizer toggles map to the ablation switches of the executor.
+
+#ifndef SEDGE_CORE_DATABASE_H_
+#define SEDGE_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "ontology/ontology.h"
+#include "rdf/triple.h"
+#include "sparql/executor.h"
+#include "sparql/result_table.h"
+#include "store/triple_store.h"
+#include "util/status.h"
+
+namespace sedge {
+
+/// \brief In-memory, self-indexed, reasoning-enabled RDF store.
+class Database {
+ public:
+  Database() = default;
+
+  // -- Setup ----------------------------------------------------------------
+
+  /// Parses and installs the ontology (Turtle / N-Triples).
+  Status LoadOntologyTurtle(std::string_view text);
+  /// Installs an already-built ontology.
+  void LoadOntology(ontology::Ontology onto) { onto_ = std::move(onto); }
+
+  /// Parses `text` and (re)builds the store for that graph.
+  Status LoadDataTurtle(std::string_view text);
+  /// (Re)builds the store from `graph`.
+  Status LoadData(const rdf::Graph& graph);
+
+  // -- Execution switches (defaults match the paper's system) ---------------
+
+  void set_reasoning(bool on) { options_.reasoning = on; }
+  void set_merge_join(bool on) { options_.merge_join = on; }
+  void set_optimizer(bool on) { options_.use_optimizer = on; }
+  const sparql::Executor::Options& options() const { return options_; }
+
+  // -- Querying --------------------------------------------------------------
+
+  /// Parses, optimizes and executes a SPARQL SELECT query.
+  Result<sparql::QueryResult> Query(std::string_view sparql) const;
+
+  /// Number of solutions only (skips decode; benches use this).
+  Result<uint64_t> QueryCount(std::string_view sparql) const;
+
+  // -- Introspection ----------------------------------------------------------
+
+  bool has_data() const { return store_ != nullptr; }
+  const store::TripleStore& store() const { return *store_; }
+  const ontology::Ontology& ontology() const { return onto_; }
+  uint64_t num_triples() const { return store_ ? store_->num_triples() : 0; }
+
+ private:
+  ontology::Ontology onto_;
+  std::unique_ptr<store::TripleStore> store_;
+  sparql::Executor::Options options_;
+};
+
+}  // namespace sedge
+
+#endif  // SEDGE_CORE_DATABASE_H_

@@ -1,0 +1,67 @@
+#include "io/block_device.h"
+
+#include <chrono>
+
+namespace sedge::io {
+
+void SimulatedBlockDevice::SpinFor(double micros) {
+  if (micros <= 0.0) return;
+  // Busy-wait: sleep granularity on a non-RT kernel is far coarser than the
+  // tens-of-microseconds SD-card latencies we model.
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration_cast<
+                                    std::chrono::steady_clock::duration>(
+                                    std::chrono::duration<double, std::micro>(
+                                        micros));
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+uint8_t* Pager::Fetch(uint64_t block_id, bool will_write) {
+  ++clock_;
+  if (Frame* f = FindFrame(block_id)) {
+    ++hits_;
+    f->last_used = clock_;
+    f->dirty = f->dirty || will_write;
+    return f->data.get();
+  }
+  ++misses_;
+  if (frames_.size() >= capacity_) Evict();
+  Frame frame;
+  frame.block_id = block_id;
+  frame.dirty = will_write;
+  frame.last_used = clock_;
+  frame.data.reset(new uint8_t[kBlockSize]);
+  device_->ReadBlock(block_id, frame.data.get());
+  frames_.push_back(std::move(frame));
+  return frames_.back().data.get();
+}
+
+void Pager::FlushAll() {
+  for (Frame& f : frames_) {
+    if (f.dirty) {
+      device_->WriteBlock(f.block_id, f.data.get());
+      f.dirty = false;
+    }
+  }
+}
+
+Pager::Frame* Pager::FindFrame(uint64_t block_id) {
+  for (Frame& f : frames_) {
+    if (f.block_id == block_id) return &f;
+  }
+  return nullptr;
+}
+
+void Pager::Evict() {
+  size_t victim = 0;
+  for (size_t i = 1; i < frames_.size(); ++i) {
+    if (frames_[i].last_used < frames_[victim].last_used) victim = i;
+  }
+  if (frames_[victim].dirty) {
+    device_->WriteBlock(frames_[victim].block_id, frames_[victim].data.get());
+  }
+  frames_.erase(frames_.begin() + static_cast<ptrdiff_t>(victim));
+}
+
+}  // namespace sedge::io

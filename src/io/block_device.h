@@ -1,0 +1,131 @@
+// Simulated block storage device.
+//
+// The paper evaluates on a Raspberry Pi 3B+ with an 8 GB SD card; the
+// disk-based baselines (Jena TDB, RDF4Led) pay SD-card access latencies.
+// We substitute a RAM-backed block device with a configurable per-access
+// busy-wait latency and I/O counters, so the disk-resident baselines
+// exhibit the same qualitative penalty on this machine (see DESIGN.md,
+// substitutions table). Latency 0 turns the simulation off for unit tests.
+
+#ifndef SEDGE_IO_BLOCK_DEVICE_H_
+#define SEDGE_IO_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sedge::io {
+
+inline constexpr uint64_t kBlockSize = 4096;
+
+/// \brief Per-device I/O statistics.
+struct DeviceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocated_blocks = 0;
+};
+
+/// \brief RAM-backed block device with simulated access latency.
+class SimulatedBlockDevice {
+ public:
+  /// `read_latency_us`/`write_latency_us` are busy-waited on each block
+  /// access to model SD-card behaviour (reads ~40 us, writes ~55 us by
+  /// default in the benches; 0 in unit tests).
+  explicit SimulatedBlockDevice(double read_latency_us = 0.0,
+                                double write_latency_us = 0.0)
+      : read_latency_us_(read_latency_us),
+        write_latency_us_(write_latency_us) {}
+
+  /// Appends a zeroed block and returns its id.
+  uint64_t AllocateBlock() {
+    blocks_.emplace_back(new uint8_t[kBlockSize]());
+    ++stats_.allocated_blocks;
+    return blocks_.size() - 1;
+  }
+
+  uint64_t num_blocks() const { return blocks_.size(); }
+
+  void ReadBlock(uint64_t id, uint8_t* out) {
+    SEDGE_CHECK(id < blocks_.size()) << "read past device end";
+    SpinFor(read_latency_us_);
+    std::memcpy(out, blocks_[id].get(), kBlockSize);
+    ++stats_.reads;
+  }
+
+  void WriteBlock(uint64_t id, const uint8_t* data) {
+    SEDGE_CHECK(id < blocks_.size()) << "write past device end";
+    SpinFor(write_latency_us_);
+    std::memcpy(blocks_[id].get(), data, kBlockSize);
+    ++stats_.writes;
+  }
+
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+
+  /// Bytes occupied on the device (what "storage size" means for the
+  /// disk-based baselines in Figures 9/10).
+  uint64_t SizeInBytes() const { return blocks_.size() * kBlockSize; }
+
+ private:
+  static void SpinFor(double micros);
+
+  double read_latency_us_;
+  double write_latency_us_;
+  std::vector<std::unique_ptr<uint8_t[]>> blocks_;
+  DeviceStats stats_;
+};
+
+/// \brief Fixed-capacity LRU page cache in front of a SimulatedBlockDevice.
+///
+/// Disk-based stores go through this pager; only cache misses pay device
+/// latency, mirroring how a small buffer pool behaves on an edge device.
+class Pager {
+ public:
+  Pager(SimulatedBlockDevice* device, uint64_t capacity_pages)
+      : device_(device), capacity_(capacity_pages) {
+    SEDGE_CHECK(capacity_ >= 1);
+  }
+
+  ~Pager() { FlushAll(); }
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Returns a cached frame for `block_id`, loading it on miss. The pointer
+  /// stays valid until the next Fetch/Flush call.
+  uint8_t* Fetch(uint64_t block_id, bool will_write = false);
+
+  /// Allocates a new device block and returns its cached, zeroed frame.
+  uint64_t AllocateBlock() { return device_->AllocateBlock(); }
+
+  /// Writes back all dirty frames.
+  void FlushAll();
+
+  uint64_t cache_hits() const { return hits_; }
+  uint64_t cache_misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    uint64_t block_id;
+    bool dirty;
+    uint64_t last_used;
+    std::unique_ptr<uint8_t[]> data;
+  };
+
+  Frame* FindFrame(uint64_t block_id);
+  void Evict();
+
+  SimulatedBlockDevice* device_;
+  uint64_t capacity_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<Frame> frames_;
+};
+
+}  // namespace sedge::io
+
+#endif  // SEDGE_IO_BLOCK_DEVICE_H_

@@ -1,0 +1,204 @@
+#include "litemat/dictionary.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "rdf/vocabulary.h"
+#include "util/logging.h"
+
+namespace sedge::litemat {
+namespace {
+
+// Writes one length-prefixed string.
+void WriteString(std::ostream& os, const std::string& s) {
+  const uint32_t n = static_cast<uint32_t>(s.size());
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(s.data(), n);
+}
+
+void SerializeHierarchy(std::ostream& os, const LiteMatHierarchy& h) {
+  const uint64_t n = h.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const std::string& name : h.NamesByIdOrder()) {
+    const auto entry = h.EntryOf(name);
+    WriteString(os, name);
+    os.write(reinterpret_cast<const char*>(&entry->id), sizeof(entry->id));
+    os.write(reinterpret_cast<const char*>(&entry->used_bits),
+             sizeof(entry->used_bits));
+  }
+}
+
+}  // namespace
+
+Result<Dictionary> Dictionary::Build(const ontology::Ontology& onto,
+                                     const rdf::Graph& data) {
+  Dictionary dict;
+
+  // Collect entities from the ontology, preserving its declaration order
+  // for concepts (std::set iteration is deterministic).
+  std::vector<std::string> classes(onto.classes().begin(),
+                                   onto.classes().end());
+  std::vector<std::string> object_props;
+  std::vector<std::string> datatype_props;
+  for (const std::string& p : onto.Properties()) {
+    (onto.KindOf(p) == ontology::PropertyKind::kObject ? object_props
+                                                       : datatype_props)
+        .push_back(p);
+  }
+  std::set<std::string> known_classes(classes.begin(), classes.end());
+  std::set<std::string> known_object(object_props.begin(),
+                                     object_props.end());
+  std::set<std::string> known_datatype(datatype_props.begin(),
+                                       datatype_props.end());
+
+  // Extend with entities that only appear in the data: concepts used in
+  // rdf:type objects, and undeclared properties classified by usage. A
+  // property used with both literal and resource objects enters both id
+  // spaces — each store indexes the triples routed to it.
+  for (const rdf::Triple& t : data.triples()) {
+    if (!t.predicate.is_iri()) continue;
+    const std::string& p = t.predicate.lexical();
+    if (p == rdf::kRdfType) {
+      if (t.object.is_iri() && known_classes.insert(t.object.lexical()).second) {
+        classes.push_back(t.object.lexical());
+      }
+      continue;
+    }
+    if (t.object.is_literal()) {
+      if (known_datatype.insert(p).second) datatype_props.push_back(p);
+    } else {
+      if (known_object.insert(p).second) object_props.push_back(p);
+    }
+  }
+
+  // Primary-parent maps drive the prefix codes.
+  std::map<std::string, std::string> class_parent;
+  for (const std::string& c : classes) {
+    const std::string parent = onto.PrimaryParentClass(c);
+    if (!parent.empty()) class_parent[c] = parent;
+  }
+  // Classes referenced as parents must be encoded too.
+  for (const auto& [child, parent] : class_parent) {
+    (void)child;
+    if (known_classes.insert(parent).second) classes.push_back(parent);
+  }
+  std::map<std::string, std::string> obj_parent;
+  std::map<std::string, std::string> dt_parent;
+  std::set<std::string> object_set(object_props.begin(), object_props.end());
+  for (const std::string& p : object_props) {
+    const std::string parent = onto.PrimaryParentProperty(p);
+    if (!parent.empty() && object_set.count(parent) > 0) obj_parent[p] = parent;
+  }
+  std::set<std::string> datatype_set(datatype_props.begin(),
+                                     datatype_props.end());
+  for (const std::string& p : datatype_props) {
+    const std::string parent = onto.PrimaryParentProperty(p);
+    if (!parent.empty() && datatype_set.count(parent) > 0) {
+      dt_parent[p] = parent;
+    }
+  }
+
+  SEDGE_ASSIGN_OR_RETURN(
+      dict.concepts_,
+      LiteMatHierarchy::Encode(rdf::kOwlThing, classes, class_parent));
+  SEDGE_ASSIGN_OR_RETURN(dict.object_props_,
+                         LiteMatHierarchy::Encode(rdf::kOwlTopObjectProperty,
+                                                  object_props, obj_parent));
+  SEDGE_ASSIGN_OR_RETURN(dict.datatype_props_,
+                         LiteMatHierarchy::Encode(rdf::kOwlTopDataProperty,
+                                                  datatype_props, dt_parent));
+  return dict;
+}
+
+uint32_t Dictionary::InstanceIdOrAssign(const rdf::Term& term) {
+  const auto it = instance_ids_.find(term);
+  if (it != instance_ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(instance_terms_.size());
+  instance_ids_.emplace(term, id);
+  instance_terms_.push_back(term);
+  instance_counts_.push_back(0);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::InstanceId(const rdf::Term& term) const {
+  const auto it = instance_ids_.find(term);
+  if (it == instance_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const rdf::Term& Dictionary::InstanceTerm(uint32_t id) const {
+  SEDGE_CHECK(id < instance_terms_.size()) << "bad instance id " << id;
+  return instance_terms_[id];
+}
+
+void Dictionary::RecordInstanceOccurrence(uint32_t id) {
+  SEDGE_CHECK(id < instance_counts_.size());
+  ++instance_counts_[id];
+}
+
+uint64_t Dictionary::SumRange(const std::map<uint64_t, uint64_t>& counts,
+                              uint64_t lo, uint64_t hi) {
+  uint64_t total = 0;
+  for (auto it = counts.lower_bound(lo); it != counts.end() && it->first < hi;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+uint64_t Dictionary::ConceptCountAggregated(const std::string& iri) const {
+  const auto interval = concepts_.Interval(iri);
+  if (!interval) return 0;
+  return SumRange(concept_counts_, interval->first, interval->second);
+}
+
+uint64_t Dictionary::PropertyCountAggregated(const std::string& iri) const {
+  if (const auto interval = object_props_.Interval(iri)) {
+    return SumRange(object_prop_counts_, interval->first, interval->second);
+  }
+  if (const auto interval = datatype_props_.Interval(iri)) {
+    return SumRange(datatype_prop_counts_, interval->first, interval->second);
+  }
+  return 0;
+}
+
+uint64_t Dictionary::SizeInBytes() const {
+  uint64_t total = sizeof(*this);
+  total += concepts_.SizeInBytes() + object_props_.SizeInBytes() +
+           datatype_props_.SizeInBytes();
+  for (const rdf::Term& t : instance_terms_) {
+    // Forward and reverse entries (paper: bidirectional retrieval).
+    total += 2 * (t.lexical().size() + sizeof(uint32_t) + 16);
+  }
+  total += instance_counts_.size() * sizeof(uint32_t);
+  total += (concept_counts_.size() + object_prop_counts_.size() +
+            datatype_prop_counts_.size()) *
+           (sizeof(uint64_t) * 2 + 48);
+  return total;
+}
+
+void Dictionary::Serialize(std::ostream& os) const {
+  SerializeHierarchy(os, concepts_);
+  SerializeHierarchy(os, object_props_);
+  SerializeHierarchy(os, datatype_props_);
+  const uint64_t n = instance_terms_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (uint32_t i = 0; i < instance_terms_.size(); ++i) {
+    WriteString(os, instance_terms_[i].ToNTriples());
+    os.write(reinterpret_cast<const char*>(&instance_counts_[i]),
+             sizeof(uint32_t));
+  }
+  // Statistics for concepts/properties.
+  for (const auto* counts :
+       {&concept_counts_, &object_prop_counts_, &datatype_prop_counts_}) {
+    const uint64_t m = counts->size();
+    os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+    for (const auto& [id, count] : *counts) {
+      os.write(reinterpret_cast<const char*>(&id), sizeof(id));
+      os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    }
+  }
+}
+
+}  // namespace sedge::litemat

@@ -1,0 +1,145 @@
+// LiteMat-encoded dictionaries: concepts, properties, instances.
+//
+// Architecture (paper Section 4): all triples are encoded against
+// dictionaries providing string-to-id ("locate") and id-to-string
+// ("extract"). Concepts and properties carry LiteMat hierarchical ids so
+// reasoning becomes interval arithmetic; instances get arbitrary dense
+// integers; literals never enter a dictionary — they live in the flat
+// literal pool of the datatype-triple store.
+//
+// Object and datatype properties form two independent id spaces (they feed
+// two physically separate stores), rooted at owl:topObjectProperty and
+// owl:topDataProperty respectively. rdf:type is routed to the RDFType
+// store and deliberately has no property id.
+//
+// The dictionaries also persist the occurrence statistics the optimizer
+// uses (paper Section 5.1), with hierarchy positions taken into account:
+// the count of an entity aggregates its whole LiteMat interval.
+
+#ifndef SEDGE_LITEMAT_DICTIONARY_H_
+#define SEDGE_LITEMAT_DICTIONARY_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "litemat/hierarchy_encoding.h"
+#include "ontology/ontology.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::litemat {
+
+/// \brief Bidirectional, statistics-bearing dictionary set for one store.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds the three LiteMat hierarchies from `onto`, extended with the
+  /// classes/properties that appear only in `data` (they attach directly
+  /// below the respective roots). Does not assign instance ids — those are
+  /// assigned by the store build as triples are encoded.
+  static Result<Dictionary> Build(const ontology::Ontology& onto,
+                                  const rdf::Graph& data);
+
+  // -- Concepts -------------------------------------------------------------
+  const LiteMatHierarchy& concepts() const { return concepts_; }
+  std::optional<uint64_t> ConceptId(const std::string& iri) const {
+    return concepts_.IdOf(iri);
+  }
+  std::optional<std::string> ConceptIri(uint64_t id) const {
+    return concepts_.NameOf(id);
+  }
+  /// LiteMat interval of all (reflexive-transitive) sub-concepts.
+  std::optional<std::pair<uint64_t, uint64_t>> ConceptInterval(
+      const std::string& iri) const {
+    return concepts_.Interval(iri);
+  }
+
+  // -- Properties -----------------------------------------------------------
+  const LiteMatHierarchy& object_properties() const { return object_props_; }
+  const LiteMatHierarchy& datatype_properties() const {
+    return datatype_props_;
+  }
+  bool IsDatatypeProperty(const std::string& iri) const {
+    return datatype_props_.IdOf(iri).has_value();
+  }
+  bool IsObjectProperty(const std::string& iri) const {
+    return object_props_.IdOf(iri).has_value();
+  }
+  std::optional<uint64_t> ObjectPropertyId(const std::string& iri) const {
+    return object_props_.IdOf(iri);
+  }
+  std::optional<uint64_t> DatatypePropertyId(const std::string& iri) const {
+    return datatype_props_.IdOf(iri);
+  }
+  std::optional<std::string> ObjectPropertyIri(uint64_t id) const {
+    return object_props_.NameOf(id);
+  }
+  std::optional<std::string> DatatypePropertyIri(uint64_t id) const {
+    return datatype_props_.NameOf(id);
+  }
+  std::optional<std::pair<uint64_t, uint64_t>> ObjectPropertyInterval(
+      const std::string& iri) const {
+    return object_props_.Interval(iri);
+  }
+  std::optional<std::pair<uint64_t, uint64_t>> DatatypePropertyInterval(
+      const std::string& iri) const {
+    return datatype_props_.Interval(iri);
+  }
+
+  // -- Instances (IRIs and blank nodes; never literals) ----------------------
+  uint32_t InstanceIdOrAssign(const rdf::Term& term);
+  std::optional<uint32_t> InstanceId(const rdf::Term& term) const;
+  const rdf::Term& InstanceTerm(uint32_t id) const;
+  uint32_t num_instances() const {
+    return static_cast<uint32_t>(instance_terms_.size());
+  }
+
+  // -- Statistics -------------------------------------------------------------
+  void RecordConceptOccurrence(uint64_t id) { ++concept_counts_[id]; }
+  void RecordObjectPropertyOccurrence(uint64_t id) {
+    ++object_prop_counts_[id];
+  }
+  void RecordDatatypePropertyOccurrence(uint64_t id) {
+    ++datatype_prop_counts_[id];
+  }
+  void RecordInstanceOccurrence(uint32_t id);
+
+  /// Triples typed with `iri` or any of its sub-concepts.
+  uint64_t ConceptCountAggregated(const std::string& iri) const;
+  /// Triples using `iri` or any of its sub-properties (either space).
+  uint64_t PropertyCountAggregated(const std::string& iri) const;
+  uint64_t InstanceOccurrences(uint32_t id) const {
+    return id < instance_counts_.size() ? instance_counts_[id] : 0;
+  }
+
+  /// Serialized size (the Figure 9 payload: all four dictionaries plus
+  /// statistics).
+  uint64_t SizeInBytes() const;
+  void Serialize(std::ostream& os) const;
+
+ private:
+  static uint64_t SumRange(const std::map<uint64_t, uint64_t>& counts,
+                           uint64_t lo, uint64_t hi);
+
+  LiteMatHierarchy concepts_;
+  LiteMatHierarchy object_props_;
+  LiteMatHierarchy datatype_props_;
+
+  std::unordered_map<rdf::Term, uint32_t, rdf::TermHash> instance_ids_;
+  std::vector<rdf::Term> instance_terms_;
+  std::vector<uint32_t> instance_counts_;
+
+  std::map<uint64_t, uint64_t> concept_counts_;
+  std::map<uint64_t, uint64_t> object_prop_counts_;
+  std::map<uint64_t, uint64_t> datatype_prop_counts_;
+};
+
+}  // namespace sedge::litemat
+
+#endif  // SEDGE_LITEMAT_DICTIONARY_H_

@@ -1,0 +1,150 @@
+#include "litemat/hierarchy_encoding.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sedge::litemat {
+namespace {
+
+// Bits needed to represent local ids 1..n.
+uint8_t LocalBits(size_t n) {
+  uint8_t bits = 1;
+  while ((1ULL << bits) - 1 < n) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+Result<LiteMatHierarchy> LiteMatHierarchy::Encode(
+    const std::string& root, const std::vector<std::string>& entities,
+    const std::map<std::string, std::string>& parent_of) {
+  LiteMatHierarchy h;
+  h.root_ = root;
+
+  // Children lists, in the (deterministic) order entities were supplied.
+  std::map<std::string, std::vector<std::string>> children;
+  std::vector<std::string> all = {root};
+  for (const std::string& e : entities) {
+    if (e == root) continue;
+    all.push_back(e);
+    const auto it = parent_of.find(e);
+    std::string parent =
+        (it != parent_of.end() && it->second != e) ? it->second : root;
+    children[parent].push_back(e);
+  }
+  // Parents that are not themselves declared entities hang below the root.
+  std::vector<std::string> known = all;
+  std::sort(known.begin(), known.end());
+  for (auto& [parent, kids] : children) {
+    (void)kids;
+    if (!std::binary_search(known.begin(), known.end(), parent)) {
+      return Status::InvalidArgument("undeclared parent entity: " + parent);
+    }
+  }
+
+  // Top-down (BFS) code assignment, Figure 2 steps (1)-(3).
+  struct Code {
+    uint64_t code;
+    uint8_t used;
+  };
+  std::map<std::string, Code> codes;
+  codes[root] = {1, 1};  // the root's code is the single bit '1'
+  uint8_t max_used = 1;
+  std::vector<std::string> frontier = {root};
+  size_t processed = 0;
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& node : frontier) {
+      ++processed;
+      const auto cit = children.find(node);
+      if (cit == children.end()) continue;
+      const auto& kids = cit->second;
+      const uint8_t bits = LocalBits(kids.size());
+      const Code parent_code = codes.at(node);
+      if (parent_code.used + bits > 63) {
+        return Status::InvalidArgument(
+            "LiteMat encoding exceeds 63 bits below " + node);
+      }
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (codes.count(kids[i]) != 0) {
+          return Status::InvalidArgument("hierarchy cycle at " + kids[i]);
+        }
+        codes[kids[i]] = {
+            (parent_code.code << bits) | (static_cast<uint64_t>(i) + 1),
+            static_cast<uint8_t>(parent_code.used + bits)};
+        max_used = std::max<uint8_t>(max_used,
+                                     static_cast<uint8_t>(parent_code.used +
+                                                          bits));
+        next.push_back(kids[i]);
+      }
+    }
+    frontier.swap(next);
+  }
+  if (processed != all.size()) {
+    return Status::InvalidArgument("hierarchy contains unreachable cycle");
+  }
+
+  // Normalization, Figure 2 step (4): pad to the common length.
+  h.total_bits_ = max_used;
+  for (const auto& [name, code] : codes) {
+    const EncodedEntity entry{code.code << (max_used - code.used), code.used};
+    h.by_name_[name] = entry;
+    h.by_id_[entry.id] = name;
+  }
+  return h;
+}
+
+std::optional<uint64_t> LiteMatHierarchy::IdOf(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second.id;
+}
+
+std::optional<EncodedEntity> LiteMatHierarchy::EntryOf(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> LiteMatHierarchy::NameOf(uint64_t id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>> LiteMatHierarchy::Interval(
+    const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  const uint64_t span = 1ULL << (total_bits_ - it->second.used_bits);
+  return std::make_pair(it->second.id, it->second.id + span);
+}
+
+bool LiteMatHierarchy::SubsumedBy(uint64_t id, const std::string& name) const {
+  const auto interval = Interval(name);
+  if (!interval) return false;
+  return id >= interval->first && id < interval->second;
+}
+
+std::vector<std::string> LiteMatHierarchy::NamesByIdOrder() const {
+  std::vector<std::string> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, name] : by_id_) out.push_back(name);
+  return out;
+}
+
+uint64_t LiteMatHierarchy::SizeInBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const auto& [name, entry] : by_name_) {
+    (void)entry;
+    // Entries appear in both directions; count the string payloads twice
+    // plus the map node overhead (paper: "two dictionaries ... to support a
+    // bidirectional retrieval").
+    total += 2 * (name.size() + sizeof(EncodedEntity) + 48);
+  }
+  return total;
+}
+
+}  // namespace sedge::litemat

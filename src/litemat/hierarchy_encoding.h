@@ -1,0 +1,83 @@
+// LiteMat hierarchical prefix encoding (paper Section 3.2, Figure 2).
+//
+// Every entity in a hierarchy receives an integer id whose binary form is
+// prefixed by its direct parent's (pre-normalization) code; after assigning
+// all levels top-down, codes are normalized to a common bit length L by
+// appending zero bits. Local ids start at 1, so a parent's own normalized
+// id never collides with a descendant's and the set of all (direct and
+// indirect) sub-entities of X is exactly the interval
+//     [ id(X), id(X) + 2^(L - used(X)) )
+// computable with two bit shifts and an addition — this is what replaces
+// the n+1 UNION sub-queries of a naive reformulation.
+
+#ifndef SEDGE_LITEMAT_HIERARCHY_ENCODING_H_
+#define SEDGE_LITEMAT_HIERARCHY_ENCODING_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sedge::litemat {
+
+/// \brief Per-entity LiteMat metadata (the dictionary stores this alongside
+/// the id, mirroring Figure 2(b)).
+struct EncodedEntity {
+  uint64_t id = 0;        // normalized id (code << (total_bits - used_bits))
+  uint8_t used_bits = 0;  // significant prefix length ("local length")
+};
+
+/// \brief The LiteMat encoding of one hierarchy (concepts, object
+/// properties, or datatype properties).
+class LiteMatHierarchy {
+ public:
+  LiteMatHierarchy() = default;
+
+  /// Encodes entities under a synthetic `root` (e.g. owl:Thing). `parent_of`
+  /// maps each non-root entity to its primary parent; entities whose parent
+  /// is absent from the map hang directly below the root. Fails if the
+  /// hierarchy needs more than 63 bits or contains a parent cycle.
+  static Result<LiteMatHierarchy> Encode(
+      const std::string& root,
+      const std::vector<std::string>& entities,
+      const std::map<std::string, std::string>& parent_of);
+
+  const std::string& root() const { return root_; }
+  uint8_t total_bits() const { return total_bits_; }
+  uint64_t size() const { return by_name_.size(); }
+
+  /// Id of `name`, or nullopt if unknown. The root always has id
+  /// 1 << (total_bits - 1).
+  std::optional<uint64_t> IdOf(const std::string& name) const;
+  std::optional<EncodedEntity> EntryOf(const std::string& name) const;
+
+  /// Name owning exactly `id`, or nullopt (ids between codes decode to
+  /// nothing; only assigned ids are reverse-mapped).
+  std::optional<std::string> NameOf(uint64_t id) const;
+
+  /// [lower, upper): ids of all direct and indirect sub-entities of `name`,
+  /// itself included — two shifts and an addition, per the paper.
+  std::optional<std::pair<uint64_t, uint64_t>> Interval(
+      const std::string& name) const;
+
+  /// True if the entity with id `id` is (reflexively) subsumed by `name`.
+  bool SubsumedBy(uint64_t id, const std::string& name) const;
+
+  /// All entity names, ordered by id (used by serialization and tests).
+  std::vector<std::string> NamesByIdOrder() const;
+
+  uint64_t SizeInBytes() const;
+
+ private:
+  std::string root_;
+  uint8_t total_bits_ = 1;
+  std::map<std::string, EncodedEntity> by_name_;
+  std::map<uint64_t, std::string> by_id_;
+};
+
+}  // namespace sedge::litemat
+
+#endif  // SEDGE_LITEMAT_HIERARCHY_ENCODING_H_

@@ -1,0 +1,216 @@
+#include "ontology/ontology.h"
+
+#include <algorithm>
+
+#include "rdf/vocabulary.h"
+#include "util/string_util.h"
+
+namespace sedge::ontology {
+namespace {
+
+const std::vector<std::string> kNoParents;
+
+void AddEdge(std::map<std::string, std::vector<std::string>>* parents,
+             std::map<std::string, std::vector<std::string>>* children,
+             const std::string& sub, const std::string& super) {
+  auto& plist = (*parents)[sub];
+  if (std::find(plist.begin(), plist.end(), super) == plist.end()) {
+    plist.push_back(super);
+  }
+  auto& clist = (*children)[super];
+  if (std::find(clist.begin(), clist.end(), sub) == clist.end()) {
+    clist.push_back(sub);
+  }
+}
+
+bool IsXsdDatatype(const std::string& iri) {
+  return StartsWith(iri, "http://www.w3.org/2001/XMLSchema#");
+}
+
+}  // namespace
+
+Result<Ontology> Ontology::FromGraph(const rdf::Graph& graph) {
+  Ontology onto;
+  // First pass: explicit declarations.
+  for (const rdf::Triple& t : graph.triples()) {
+    if (!t.subject.is_iri() || !t.predicate.is_iri()) continue;
+    const std::string& p = t.predicate.lexical();
+    if (p == rdf::kRdfType && t.object.is_iri()) {
+      const std::string& o = t.object.lexical();
+      if (o == rdf::kOwlClass) {
+        onto.AddClass(t.subject.lexical());
+      } else if (o == rdf::kOwlObjectProperty) {
+        onto.AddProperty(t.subject.lexical(), PropertyKind::kObject);
+      } else if (o == rdf::kOwlDatatypeProperty) {
+        onto.AddProperty(t.subject.lexical(), PropertyKind::kDatatype);
+      }
+    }
+  }
+  // Second pass: hierarchy edges and domain/range.
+  for (const rdf::Triple& t : graph.triples()) {
+    if (!t.subject.is_iri() || !t.predicate.is_iri() || !t.object.is_iri()) {
+      continue;
+    }
+    const std::string& p = t.predicate.lexical();
+    const std::string& s = t.subject.lexical();
+    const std::string& o = t.object.lexical();
+    if (p == rdf::kRdfsSubClassOf) {
+      onto.AddSubClassOf(s, o);
+    } else if (p == rdf::kRdfsSubPropertyOf) {
+      const PropertyKind kind =
+          onto.IsProperty(s) ? onto.KindOf(s) : PropertyKind::kObject;
+      onto.AddSubPropertyOf(s, o, kind);
+    } else if (p == rdf::kRdfsDomain) {
+      if (!onto.IsProperty(s)) onto.AddProperty(s, PropertyKind::kObject);
+      onto.SetDomain(s, o);
+      onto.AddClass(o);
+    } else if (p == rdf::kRdfsRange) {
+      if (IsXsdDatatype(o)) {
+        onto.AddProperty(s, PropertyKind::kDatatype);
+      } else {
+        if (!onto.IsProperty(s)) onto.AddProperty(s, PropertyKind::kObject);
+        onto.AddClass(o);
+      }
+      onto.SetRange(s, o);
+    }
+  }
+  return onto;
+}
+
+void Ontology::AddSubClassOf(const std::string& sub, const std::string& super) {
+  AddClass(sub);
+  AddClass(super);
+  AddEdge(&class_parents_, &class_children_, sub, super);
+}
+
+void Ontology::AddProperty(const std::string& iri, PropertyKind kind) {
+  const auto it = property_kind_.find(iri);
+  if (it == property_kind_.end()) {
+    property_kind_[iri] = kind;
+  } else if (kind == PropertyKind::kDatatype) {
+    // A datatype declaration wins over an earlier object default.
+    it->second = kind;
+  }
+}
+
+void Ontology::AddSubPropertyOf(const std::string& sub,
+                                const std::string& super, PropertyKind kind) {
+  AddProperty(sub, kind);
+  AddProperty(super, kind);
+  AddEdge(&property_parents_, &property_children_, sub, super);
+}
+
+std::vector<std::string> Ontology::Properties() const {
+  std::vector<std::string> out;
+  out.reserve(property_kind_.size());
+  for (const auto& [iri, kind] : property_kind_) out.push_back(iri);
+  return out;
+}
+
+const std::vector<std::string>& Ontology::SuperClasses(
+    const std::string& iri) const {
+  const auto it = class_parents_.find(iri);
+  return it != class_parents_.end() ? it->second : kNoParents;
+}
+
+const std::vector<std::string>& Ontology::SuperProperties(
+    const std::string& iri) const {
+  const auto it = property_parents_.find(iri);
+  return it != property_parents_.end() ? it->second : kNoParents;
+}
+
+std::string Ontology::PrimaryParentClass(const std::string& iri) const {
+  const auto& parents = SuperClasses(iri);
+  return parents.empty() ? std::string() : parents.front();
+}
+
+std::string Ontology::PrimaryParentProperty(const std::string& iri) const {
+  const auto& parents = SuperProperties(iri);
+  return parents.empty() ? std::string() : parents.front();
+}
+
+std::vector<std::string> Ontology::CollectTransitive(
+    const std::map<std::string, std::vector<std::string>>& children,
+    const std::string& root) const {
+  std::set<std::string> seen = {root};
+  std::vector<std::string> frontier = {root};
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    const auto it = children.find(node);
+    if (it == children.end()) continue;
+    for (const std::string& child : it->second) {
+      if (seen.insert(child).second) frontier.push_back(child);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+std::vector<std::string> Ontology::SubClassesTransitive(
+    const std::string& iri) const {
+  return CollectTransitive(class_children_, iri);
+}
+
+std::vector<std::string> Ontology::SubPropertiesTransitive(
+    const std::string& iri) const {
+  return CollectTransitive(property_children_, iri);
+}
+
+bool Ontology::IsSubClassOf(const std::string& sub,
+                            const std::string& super) const {
+  const auto subs = SubClassesTransitive(super);
+  return std::find(subs.begin(), subs.end(), sub) != subs.end();
+}
+
+bool Ontology::IsSubPropertyOf(const std::string& sub,
+                               const std::string& super) const {
+  const auto subs = SubPropertiesTransitive(super);
+  return std::find(subs.begin(), subs.end(), sub) != subs.end();
+}
+
+const std::string* Ontology::DomainOf(const std::string& property) const {
+  const auto it = domain_.find(property);
+  return it != domain_.end() ? &it->second : nullptr;
+}
+
+const std::string* Ontology::RangeOf(const std::string& property) const {
+  const auto it = range_.find(property);
+  return it != range_.end() ? &it->second : nullptr;
+}
+
+rdf::Graph Ontology::ToGraph() const {
+  rdf::Graph g;
+  for (const std::string& c : classes_) {
+    g.Add(rdf::Term::Iri(c), rdf::Term::Iri(rdf::kRdfType),
+          rdf::Term::Iri(rdf::kOwlClass));
+  }
+  for (const auto& [sub, parents] : class_parents_) {
+    for (const std::string& super : parents) {
+      g.Add(rdf::Term::Iri(sub), rdf::Term::Iri(rdf::kRdfsSubClassOf),
+            rdf::Term::Iri(super));
+    }
+  }
+  for (const auto& [iri, kind] : property_kind_) {
+    g.Add(rdf::Term::Iri(iri), rdf::Term::Iri(rdf::kRdfType),
+          rdf::Term::Iri(kind == PropertyKind::kObject
+                             ? rdf::kOwlObjectProperty
+                             : rdf::kOwlDatatypeProperty));
+  }
+  for (const auto& [sub, parents] : property_parents_) {
+    for (const std::string& super : parents) {
+      g.Add(rdf::Term::Iri(sub), rdf::Term::Iri(rdf::kRdfsSubPropertyOf),
+            rdf::Term::Iri(super));
+    }
+  }
+  for (const auto& [p, c] : domain_) {
+    g.Add(rdf::Term::Iri(p), rdf::Term::Iri(rdf::kRdfsDomain),
+          rdf::Term::Iri(c));
+  }
+  for (const auto& [p, c] : range_) {
+    g.Add(rdf::Term::Iri(p), rdf::Term::Iri(rdf::kRdfsRange),
+          rdf::Term::Iri(c));
+  }
+  return g;
+}
+
+}  // namespace sedge::ontology

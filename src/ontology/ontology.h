@@ -1,0 +1,112 @@
+// ρdf ontology model: class/property hierarchies, domains and ranges.
+//
+// The paper's reasoning scope is the ρdf subset of RDFS (Section 3.2):
+// rdfs:subClassOf, rdfs:subPropertyOf, rdfs:domain, rdfs:range. This module
+// extracts that structure from an ontology RDF graph (or builds it
+// programmatically, as the workload generators do) and provides the
+// transitive-closure queries both the LiteMat encoder and the baseline
+// UNION rewriter consume.
+
+#ifndef SEDGE_ONTOLOGY_ONTOLOGY_H_
+#define SEDGE_ONTOLOGY_ONTOLOGY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::ontology {
+
+enum class PropertyKind : uint8_t { kObject, kDatatype };
+
+/// \brief Parsed ontology: concept and property hierarchies plus
+/// domain/range assertions.
+class Ontology {
+ public:
+  Ontology() = default;
+
+  /// Extracts the ρdf structure from `graph` (rdfs:subClassOf,
+  /// rdfs:subPropertyOf, rdfs:domain, rdfs:range, owl:ObjectProperty /
+  /// owl:DatatypeProperty typings, owl:Class typings).
+  static Result<Ontology> FromGraph(const rdf::Graph& graph);
+
+  // -- Programmatic construction (used by the workload generators). --------
+
+  void AddClass(const std::string& iri) { classes_.insert(iri); }
+  /// Declares `sub` ⊑ `super`; both become known classes.
+  void AddSubClassOf(const std::string& sub, const std::string& super);
+  void AddProperty(const std::string& iri, PropertyKind kind);
+  /// Declares `sub` ⊑ `super`; both become known properties of `kind`.
+  void AddSubPropertyOf(const std::string& sub, const std::string& super,
+                        PropertyKind kind);
+  void SetDomain(const std::string& property, const std::string& klass) {
+    domain_[property] = klass;
+  }
+  void SetRange(const std::string& property, const std::string& klass) {
+    range_[property] = klass;
+  }
+
+  // -- Introspection. -------------------------------------------------------
+
+  const std::set<std::string>& classes() const { return classes_; }
+  bool IsClass(const std::string& iri) const { return classes_.count(iri) > 0; }
+
+  bool IsProperty(const std::string& iri) const {
+    return property_kind_.count(iri) > 0;
+  }
+  /// Declared kind, defaulting to object for unknown properties.
+  PropertyKind KindOf(const std::string& property) const {
+    const auto it = property_kind_.find(property);
+    return it != property_kind_.end() ? it->second : PropertyKind::kObject;
+  }
+  std::vector<std::string> Properties() const;
+
+  /// Direct superclasses of `iri` (usually 0 or 1; DAGs are tolerated).
+  const std::vector<std::string>& SuperClasses(const std::string& iri) const;
+  const std::vector<std::string>& SuperProperties(const std::string& iri) const;
+
+  /// Primary (first-declared) parent, or empty if none — this is the edge
+  /// the LiteMat prefix code follows on a DAG (see DESIGN.md Section 5).
+  std::string PrimaryParentClass(const std::string& iri) const;
+  std::string PrimaryParentProperty(const std::string& iri) const;
+
+  /// All direct and indirect subclasses, including `iri` itself, following
+  /// every subClassOf edge (DAG-safe). Deterministic (sorted) order.
+  std::vector<std::string> SubClassesTransitive(const std::string& iri) const;
+  std::vector<std::string> SubPropertiesTransitive(
+      const std::string& iri) const;
+
+  /// True if `sub` ⊑ `super` in the reflexive-transitive closure.
+  bool IsSubClassOf(const std::string& sub, const std::string& super) const;
+  bool IsSubPropertyOf(const std::string& sub, const std::string& super) const;
+
+  const std::string* DomainOf(const std::string& property) const;
+  const std::string* RangeOf(const std::string& property) const;
+
+  /// Serializes back to an RDF graph (the form broadcast to edge instances
+  /// in the paper's deployment story).
+  rdf::Graph ToGraph() const;
+
+ private:
+  std::vector<std::string> CollectTransitive(
+      const std::map<std::string, std::vector<std::string>>& children,
+      const std::string& root) const;
+
+  std::set<std::string> classes_;
+  std::map<std::string, PropertyKind> property_kind_;
+  // Child -> parents (declaration order; first entry is the primary parent).
+  std::map<std::string, std::vector<std::string>> class_parents_;
+  std::map<std::string, std::vector<std::string>> property_parents_;
+  // Parent -> children, for closure queries.
+  std::map<std::string, std::vector<std::string>> class_children_;
+  std::map<std::string, std::vector<std::string>> property_children_;
+  std::map<std::string, std::string> domain_;
+  std::map<std::string, std::string> range_;
+};
+
+}  // namespace sedge::ontology
+
+#endif  // SEDGE_ONTOLOGY_ONTOLOGY_H_

@@ -1,0 +1,275 @@
+// From-scratch red-black tree.
+//
+// The paper stores rdf:type triples "in a red-black tree in order to
+// maintain the search complexity to O(log(n)) while being fast when we
+// insert rdf:type triples during database construction" (Section 4). This
+// is that structure: a classic CLRS red-black tree with ordered iteration
+// and lower-bound search, which the RDFType store uses for both the
+// subject → concepts and concept → subjects directions (the latter with
+// LiteMat interval range scans).
+
+#ifndef SEDGE_RBTREE_RB_TREE_H_
+#define SEDGE_RBTREE_RB_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sedge::rbtree {
+
+/// \brief Ordered map from Key to Value backed by a red-black tree.
+///
+/// Supports Insert (upsert semantics via the returned value reference),
+/// Find, LowerBound, in-order traversal, and size/validation introspection.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class RbTree {
+ public:
+  RbTree() = default;
+  ~RbTree() { Clear(); }
+
+  RbTree(const RbTree&) = delete;
+  RbTree& operator=(const RbTree&) = delete;
+  RbTree(RbTree&& other) noexcept { *this = std::move(other); }
+  RbTree& operator=(RbTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = other.root_;
+      size_ = other.size_;
+      other.root_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the value slot for `key`, inserting a default-constructed
+  /// Value first if absent (std::map::operator[] semantics).
+  Value& GetOrInsert(const Key& key) {
+    Node* parent = nullptr;
+    Node** link = &root_;
+    while (*link != nullptr) {
+      parent = *link;
+      if (comp_(key, parent->key)) {
+        link = &parent->left;
+      } else if (comp_(parent->key, key)) {
+        link = &parent->right;
+      } else {
+        return parent->value;
+      }
+    }
+    Node* node = new Node{key, Value{}, parent, nullptr, nullptr, kRed};
+    *link = node;
+    ++size_;
+    RebalanceAfterInsert(node);
+    return node->value;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  Value* Find(const Key& key) {
+    Node* n = FindNode(key);
+    return n != nullptr ? &n->value : nullptr;
+  }
+  const Value* Find(const Key& key) const {
+    return const_cast<RbTree*>(this)->Find(key);
+  }
+
+  bool Contains(const Key& key) const {
+    return const_cast<RbTree*>(this)->FindNode(key) != nullptr;
+  }
+
+  /// Visits (key, value) pairs in ascending key order.
+  void ForEach(const std::function<void(const Key&, const Value&)>& visit) const {
+    VisitInOrder(root_, visit);
+  }
+
+  /// Visits entries with lo <= key < hi in ascending key order. This is the
+  /// range scan serving LiteMat concept intervals in the RDFType store.
+  void ForEachInRange(
+      const Key& lo, const Key& hi,
+      const std::function<void(const Key&, const Value&)>& visit) const {
+    VisitRange(root_, lo, hi, visit);
+  }
+
+  /// Smallest key >= `key`, or nullptr if none.
+  const Key* LowerBound(const Key& key) const {
+    Node* best = nullptr;
+    Node* n = root_;
+    while (n != nullptr) {
+      if (!comp_(n->key, key)) {  // n->key >= key
+        best = n;
+        n = n->left;
+      } else {
+        n = n->right;
+      }
+    }
+    return best != nullptr ? &best->key : nullptr;
+  }
+
+  void Clear() {
+    DeleteSubtree(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  /// Verifies the red-black invariants; used by the tests. Returns the black
+  /// height, or -1 on violation.
+  int ValidateInvariants() const {
+    if (root_ != nullptr && root_->color == kRed) return -1;
+    return BlackHeight(root_);
+  }
+
+  /// Approximate heap footprint (nodes only), for the RAM benches.
+  uint64_t SizeInBytes() const { return sizeof(*this) + size_ * sizeof(Node); }
+
+ private:
+  enum Color : uint8_t { kRed, kBlack };
+
+  struct Node {
+    Key key;
+    Value value;
+    Node* parent;
+    Node* left;
+    Node* right;
+    Color color;
+  };
+
+  Node* FindNode(const Key& key) {
+    Node* n = root_;
+    while (n != nullptr) {
+      if (comp_(key, n->key)) {
+        n = n->left;
+      } else if (comp_(n->key, key)) {
+        n = n->right;
+      } else {
+        return n;
+      }
+    }
+    return nullptr;
+  }
+
+  void RotateLeft(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    if (y->left != nullptr) y->left->parent = x;
+    y->parent = x->parent;
+    ReplaceChild(x, y);
+    y->left = x;
+    x->parent = y;
+  }
+
+  void RotateRight(Node* x) {
+    Node* y = x->left;
+    x->left = y->right;
+    if (y->right != nullptr) y->right->parent = x;
+    y->parent = x->parent;
+    ReplaceChild(x, y);
+    y->right = x;
+    x->parent = y;
+  }
+
+  void ReplaceChild(Node* x, Node* y) {
+    if (x->parent == nullptr) {
+      root_ = y;
+    } else if (x == x->parent->left) {
+      x->parent->left = y;
+    } else {
+      x->parent->right = y;
+    }
+  }
+
+  void RebalanceAfterInsert(Node* z) {
+    while (z->parent != nullptr && z->parent->color == kRed) {
+      Node* parent = z->parent;
+      Node* grandparent = parent->parent;
+      SEDGE_DCHECK(grandparent != nullptr);
+      if (parent == grandparent->left) {
+        Node* uncle = grandparent->right;
+        if (uncle != nullptr && uncle->color == kRed) {
+          parent->color = kBlack;
+          uncle->color = kBlack;
+          grandparent->color = kRed;
+          z = grandparent;
+        } else {
+          if (z == parent->right) {
+            z = parent;
+            RotateLeft(z);
+            parent = z->parent;
+          }
+          parent->color = kBlack;
+          grandparent->color = kRed;
+          RotateRight(grandparent);
+        }
+      } else {
+        Node* uncle = grandparent->left;
+        if (uncle != nullptr && uncle->color == kRed) {
+          parent->color = kBlack;
+          uncle->color = kBlack;
+          grandparent->color = kRed;
+          z = grandparent;
+        } else {
+          if (z == parent->left) {
+            z = parent;
+            RotateRight(z);
+            parent = z->parent;
+          }
+          parent->color = kBlack;
+          grandparent->color = kRed;
+          RotateLeft(grandparent);
+        }
+      }
+    }
+    root_->color = kBlack;
+  }
+
+  void VisitInOrder(
+      const Node* n,
+      const std::function<void(const Key&, const Value&)>& visit) const {
+    if (n == nullptr) return;
+    VisitInOrder(n->left, visit);
+    visit(n->key, n->value);
+    VisitInOrder(n->right, visit);
+  }
+
+  void VisitRange(
+      const Node* n, const Key& lo, const Key& hi,
+      const std::function<void(const Key&, const Value&)>& visit) const {
+    if (n == nullptr) return;
+    const bool ge_lo = !comp_(n->key, lo);   // key >= lo
+    const bool lt_hi = comp_(n->key, hi);    // key < hi
+    if (ge_lo) VisitRange(n->left, lo, hi, visit);
+    if (ge_lo && lt_hi) visit(n->key, n->value);
+    if (lt_hi) VisitRange(n->right, lo, hi, visit);
+  }
+
+  void DeleteSubtree(Node* n) {
+    if (n == nullptr) return;
+    DeleteSubtree(n->left);
+    DeleteSubtree(n->right);
+    delete n;
+  }
+
+  int BlackHeight(const Node* n) const {
+    if (n == nullptr) return 1;
+    if (n->color == kRed &&
+        ((n->left != nullptr && n->left->color == kRed) ||
+         (n->right != nullptr && n->right->color == kRed))) {
+      return -1;  // red node with red child
+    }
+    const int left = BlackHeight(n->left);
+    const int right = BlackHeight(n->right);
+    if (left == -1 || right == -1 || left != right) return -1;
+    return left + (n->color == kBlack ? 1 : 0);
+  }
+
+  Node* root_ = nullptr;
+  uint64_t size_ = 0;
+  Compare comp_;
+};
+
+}  // namespace sedge::rbtree
+
+#endif  // SEDGE_RBTREE_RB_TREE_H_

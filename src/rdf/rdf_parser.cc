@@ -1,0 +1,329 @@
+#include "rdf/rdf_parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "rdf/vocabulary.h"
+
+namespace sedge::rdf {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Graph> Run() {
+    Graph graph;
+    SkipWhitespace();
+    while (!AtEnd()) {
+      if (Peek() == '@') {
+        SEDGE_RETURN_NOT_OK(ParsePrefixDirective());
+      } else {
+        SEDGE_RETURN_NOT_OK(ParseStatement(&graph));
+      }
+      SkipWhitespace();
+    }
+    return graph;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t offset) const {
+    return pos_ + offset < text_.size() ? text_[pos_ + offset] : '\0';
+  }
+
+  void Advance() {
+    if (text_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " + what);
+  }
+
+  Status Expect(char c) {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParsePrefixDirective() {
+    // '@prefix' PNAME_NS IRIREF '.'
+    static constexpr std::string_view kPrefix = "@prefix";
+    if (text_.substr(pos_, kPrefix.size()) != kPrefix) {
+      return Error("unknown directive (only @prefix is supported)");
+    }
+    pos_ += kPrefix.size();
+    SkipWhitespace();
+    std::string name;
+    while (!AtEnd() && Peek() != ':') {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        return Error("bad prefix name");
+      }
+      name += Peek();
+      Advance();
+    }
+    SEDGE_RETURN_NOT_OK(Expect(':'));
+    SkipWhitespace();
+    SEDGE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+    prefixes_[name] = iri;
+    return Expect('.');
+  }
+
+  Status ParseStatement(Graph* graph) {
+    SEDGE_ASSIGN_OR_RETURN(Term subject, ParseSubject());
+    for (;;) {
+      SEDGE_ASSIGN_OR_RETURN(Term predicate, ParseVerb());
+      for (;;) {
+        SEDGE_ASSIGN_OR_RETURN(Term object, ParseObject());
+        graph->Add(subject, predicate, object);
+        SkipWhitespace();
+        if (!AtEnd() && Peek() == ',') {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == ';') {
+        Advance();
+        SkipWhitespace();
+        // Turtle allows a trailing ';' before '.'.
+        if (!AtEnd() && Peek() == '.') break;
+        continue;
+      }
+      break;
+    }
+    return Expect('.');
+  }
+
+  Result<Term> ParseSubject() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input in subject");
+    if (Peek() == '<') {
+      SEDGE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    if (Peek() == '_' && PeekAt(1) == ':') return ParseBlank();
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseVerb() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input in predicate");
+    // 'a' abbreviation: must be followed by a delimiter.
+    if (Peek() == 'a' &&
+        (std::isspace(static_cast<unsigned char>(PeekAt(1))) ||
+         PeekAt(1) == '<')) {
+      Advance();
+      return Term::Iri(kRdfType);
+    }
+    if (Peek() == '<') {
+      SEDGE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<Term> ParseObject() {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unexpected end of input in object");
+    const char c = Peek();
+    if (c == '<') {
+      SEDGE_ASSIGN_OR_RETURN(std::string iri, ParseIriRef());
+      return Term::Iri(std::move(iri));
+    }
+    if (c == '_' && PeekAt(1) == ':') return ParseBlank();
+    if (c == '"') return ParseStringLiteral();
+    if (c == '+' || c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumericLiteral();
+    }
+    if (text_.substr(pos_, 4) == "true" && !IsNameChar(PeekAt(4))) {
+      pos_ += 4;
+      return Term::Literal("true", kXsdBoolean);
+    }
+    if (text_.substr(pos_, 5) == "false" && !IsNameChar(PeekAt(5))) {
+      pos_ += 5;
+      return Term::Literal("false", kXsdBoolean);
+    }
+    return ParsePrefixedName();
+  }
+
+  Result<std::string> ParseIriRef() {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    std::string iri;
+    while (!AtEnd() && Peek() != '>') {
+      if (Peek() == '\n') return Error("newline inside IRI");
+      iri += Peek();
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated IRI");
+    Advance();  // '>'
+    return iri;
+  }
+
+  Result<Term> ParseBlank() {
+    Advance();  // '_'
+    Advance();  // ':'
+    std::string label;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      label += Peek();
+      Advance();
+    }
+    if (label.empty()) return Error("empty blank node label");
+    return Term::Blank(std::move(label));
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  Result<Term> ParsePrefixedName() {
+    std::string prefix;
+    while (!AtEnd() && Peek() != ':') {
+      if (!IsNameChar(Peek())) {
+        return Error(std::string("unexpected character '") + Peek() + "'");
+      }
+      prefix += Peek();
+      Advance();
+    }
+    if (AtEnd()) return Error("expected ':' in prefixed name");
+    Advance();  // ':'
+    std::string local;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      local += Peek();
+      Advance();
+    }
+    // Turtle local names may not end with '.': that dot terminates the
+    // statement instead.
+    while (!local.empty() && local.back() == '.') {
+      local.pop_back();
+      --pos_;
+    }
+    const auto it = prefixes_.find(prefix);
+    if (it == prefixes_.end()) {
+      return Error("unknown prefix '" + prefix + ":'");
+    }
+    return Term::Iri(it->second + local);
+  }
+
+  Result<Term> ParseStringLiteral() {
+    Advance();  // opening '"'
+    std::string lexical;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Peek();
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Error("unterminated escape");
+        switch (Peek()) {
+          case 't': c = '\t'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default:
+            return Error("unsupported escape sequence");
+        }
+      }
+      lexical += c;
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing '"'
+    // Optional datatype or language tag.
+    if (!AtEnd() && Peek() == '^' && PeekAt(1) == '^') {
+      Advance();
+      Advance();
+      SkipWhitespace();
+      if (!AtEnd() && Peek() == '<') {
+        SEDGE_ASSIGN_OR_RETURN(std::string dt, ParseIriRef());
+        return Term::Literal(std::move(lexical), std::move(dt));
+      }
+      SEDGE_ASSIGN_OR_RETURN(Term dt_term, ParsePrefixedName());
+      return Term::Literal(std::move(lexical), dt_term.lexical());
+    }
+    if (!AtEnd() && Peek() == '@') {
+      Advance();
+      std::string lang;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        lang += Peek();
+        Advance();
+      }
+      if (lang.empty()) return Error("empty language tag");
+      return Term::Literal(std::move(lexical), "", std::move(lang));
+    }
+    return Term::Literal(std::move(lexical));
+  }
+
+  Result<Term> ParseNumericLiteral() {
+    std::string lexical;
+    bool has_dot = false;
+    bool has_exp = false;
+    if (Peek() == '+' || Peek() == '-') {
+      lexical += Peek();
+      Advance();
+    }
+    while (!AtEnd()) {
+      const char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        lexical += c;
+        Advance();
+      } else if (c == '.' && !has_dot && !has_exp &&
+                 std::isdigit(static_cast<unsigned char>(PeekAt(1)))) {
+        // A '.' not followed by a digit ends the statement instead.
+        has_dot = true;
+        lexical += c;
+        Advance();
+      } else if ((c == 'e' || c == 'E') && !has_exp) {
+        has_exp = true;
+        lexical += c;
+        Advance();
+        if (!AtEnd() && (Peek() == '+' || Peek() == '-')) {
+          lexical += Peek();
+          Advance();
+        }
+      } else {
+        break;
+      }
+    }
+    if (lexical.empty() || !std::isdigit(static_cast<unsigned char>(
+                               lexical.back()))) {
+      return Error("malformed numeric literal");
+    }
+    const char* dt = has_exp ? kXsdDouble : (has_dot ? kXsdDecimal : kXsdInteger);
+    return Term::Literal(std::move(lexical), dt);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::map<std::string, std::string> prefixes_;
+};
+
+}  // namespace
+
+Result<Graph> ParseTurtle(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace sedge::rdf

@@ -1,0 +1,29 @@
+// Parser for N-Triples and a Turtle subset.
+//
+// Supported Turtle features: @prefix directives, prefixed names, 'a' as
+// rdf:type, object lists (','), predicate-object lists (';'), string
+// literals with escapes plus ^^datatype / @lang, numeric and boolean
+// abbreviations, '#' comments. This covers the ontologies and datasets the
+// evaluation uses; N-Triples documents are a syntactic subset.
+
+#ifndef SEDGE_RDF_RDF_PARSER_H_
+#define SEDGE_RDF_RDF_PARSER_H_
+
+#include <string_view>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::rdf {
+
+/// Parses a Turtle / N-Triples document into a Graph.
+Result<Graph> ParseTurtle(std::string_view text);
+
+/// Alias making call sites explicit about line-oriented N-Triples input.
+inline Result<Graph> ParseNTriples(std::string_view text) {
+  return ParseTurtle(text);
+}
+
+}  // namespace sedge::rdf
+
+#endif  // SEDGE_RDF_RDF_PARSER_H_

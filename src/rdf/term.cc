@@ -1,0 +1,78 @@
+#include "rdf/term.h"
+
+#include <cstdlib>
+
+#include "rdf/vocabulary.h"
+
+namespace sedge::rdf {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::string EscapeLiteral(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Term Term::Literal(std::string lexical, std::string datatype,
+                   std::string lang) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.lexical_ = std::move(lexical);
+  if (datatype != kXsdString) t.datatype_ = std::move(datatype);
+  t.lang_ = std::move(lang);
+  return t;
+}
+
+bool Term::IsNumericLiteral() const {
+  if (!is_literal()) return false;
+  if (datatype_ == kXsdInteger || datatype_ == kXsdDecimal ||
+      datatype_ == kXsdDouble) {
+    return true;
+  }
+  return datatype_.empty() && lang_.empty() && LooksNumeric(lexical_);
+}
+
+double Term::AsDouble() const {
+  if (!is_literal()) return 0.0;
+  return std::strtod(lexical_.c_str(), nullptr);
+}
+
+std::string Term::ToNTriples() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + lexical_ + ">";
+    case TermKind::kBlank:
+      return "_:" + lexical_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeLiteral(lexical_) + "\"";
+      if (!lang_.empty()) {
+        out += "@" + lang_;
+      } else if (!datatype_.empty() && datatype_ != kXsdString) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace sedge::rdf

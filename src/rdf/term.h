@@ -1,0 +1,90 @@
+// RDF term model: IRIs, blank nodes, and literals.
+
+#ifndef SEDGE_RDF_TERM_H_
+#define SEDGE_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace sedge::rdf {
+
+enum class TermKind : uint8_t { kIri, kBlank, kLiteral };
+
+/// \brief One RDF term. Literals carry an optional datatype IRI and an
+/// optional language tag (mutually exclusive per the RDF spec; we keep
+/// whichever the source provided).
+class Term {
+ public:
+  Term() = default;
+
+  static Term Iri(std::string iri) {
+    Term t;
+    t.kind_ = TermKind::kIri;
+    t.lexical_ = std::move(iri);
+    return t;
+  }
+  static Term Blank(std::string label) {
+    Term t;
+    t.kind_ = TermKind::kBlank;
+    t.lexical_ = std::move(label);
+    return t;
+  }
+  /// Creates a literal. An explicit xsd:string datatype is canonicalized to
+  /// the plain form (RDF 1.1: simple literals and xsd:string coincide), so
+  /// equality and round-trips behave as the spec intends.
+  static Term Literal(std::string lexical, std::string datatype = "",
+                      std::string lang = "");
+
+  TermKind kind() const { return kind_; }
+  bool is_iri() const { return kind_ == TermKind::kIri; }
+  bool is_blank() const { return kind_ == TermKind::kBlank; }
+  bool is_literal() const { return kind_ == TermKind::kLiteral; }
+
+  /// IRI string, blank-node label, or literal lexical form.
+  const std::string& lexical() const { return lexical_; }
+  const std::string& datatype() const { return datatype_; }
+  const std::string& lang() const { return lang_; }
+
+  /// True for literals whose datatype is an XSD numeric type, or plain
+  /// literals whose lexical form parses as a number.
+  bool IsNumericLiteral() const;
+  /// Numeric value of a numeric literal (0.0 otherwise).
+  double AsDouble() const;
+
+  /// N-Triples serialization: <iri>, _:label, "lex"^^<dt> / "lex"@lang.
+  std::string ToNTriples() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.lexical_ == b.lexical_ &&
+           a.datatype_ == b.datatype_ && a.lang_ == b.lang_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+    if (a.lexical_ != b.lexical_) return a.lexical_ < b.lexical_;
+    if (a.datatype_ != b.datatype_) return a.datatype_ < b.datatype_;
+    return a.lang_ < b.lang_;
+  }
+
+ private:
+  TermKind kind_ = TermKind::kIri;
+  std::string lexical_;
+  std::string datatype_;
+  std::string lang_;
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    const std::hash<std::string> h;
+    size_t seed = static_cast<size_t>(t.kind());
+    seed ^= h(t.lexical()) + 0x9e3779b9 + (seed << 6) + (seed >> 2);
+    seed ^= h(t.datatype()) + 0x9e3779b9 + (seed << 6) + (seed >> 2);
+    return seed;
+  }
+};
+
+}  // namespace sedge::rdf
+
+#endif  // SEDGE_RDF_TERM_H_

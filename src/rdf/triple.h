@@ -1,0 +1,77 @@
+// RDF triple and the Graph container.
+
+#ifndef SEDGE_RDF_TRIPLE_H_
+#define SEDGE_RDF_TRIPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sedge::rdf {
+
+/// \brief One (subject, predicate, object) statement.
+struct Triple {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (!(a.subject == b.subject)) return a.subject < b.subject;
+    if (!(a.predicate == b.predicate)) return a.predicate < b.predicate;
+    return a.object < b.object;
+  }
+
+  std::string ToNTriples() const {
+    return subject.ToNTriples() + " " + predicate.ToNTriples() + " " +
+           object.ToNTriples() + " .";
+  }
+};
+
+/// \brief In-memory RDF graph: an ordered multiset of triples with
+/// serialization helpers. Deduplication happens at store-build time.
+class Graph {
+ public:
+  Graph() = default;
+
+  void Add(Triple triple) { triples_.push_back(std::move(triple)); }
+  void Add(Term s, Term p, Term o) {
+    triples_.push_back({std::move(s), std::move(p), std::move(o)});
+  }
+
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Appends all triples of `other`.
+  void Merge(const Graph& other) {
+    triples_.insert(triples_.end(), other.triples_.begin(),
+                    other.triples_.end());
+  }
+
+  /// Keeps only the first `n` triples (used to carve the paper's 1K..50K
+  /// LUBM subsets out of the full dataset).
+  void Truncate(size_t n) {
+    if (n < triples_.size()) triples_.resize(n);
+  }
+
+  std::string ToNTriples() const {
+    std::string out;
+    for (const Triple& t : triples_) {
+      out += t.ToNTriples();
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Triple> triples_;
+};
+
+}  // namespace sedge::rdf
+
+#endif  // SEDGE_RDF_TRIPLE_H_

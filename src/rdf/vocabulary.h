@@ -1,0 +1,44 @@
+// Well-known vocabulary IRIs used across the system.
+
+#ifndef SEDGE_RDF_VOCABULARY_H_
+#define SEDGE_RDF_VOCABULARY_H_
+
+namespace sedge::rdf {
+
+// RDF / RDFS / OWL core.
+inline constexpr char kRdfType[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kRdfsSubClassOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr char kRdfsSubPropertyOf[] =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr char kRdfsDomain[] =
+    "http://www.w3.org/2000/01/rdf-schema#domain";
+inline constexpr char kRdfsRange[] =
+    "http://www.w3.org/2000/01/rdf-schema#range";
+inline constexpr char kOwlThing[] = "http://www.w3.org/2002/07/owl#Thing";
+inline constexpr char kOwlClass[] = "http://www.w3.org/2002/07/owl#Class";
+inline constexpr char kOwlObjectProperty[] =
+    "http://www.w3.org/2002/07/owl#ObjectProperty";
+inline constexpr char kOwlDatatypeProperty[] =
+    "http://www.w3.org/2002/07/owl#DatatypeProperty";
+inline constexpr char kOwlTopObjectProperty[] =
+    "http://www.w3.org/2002/07/owl#topObjectProperty";
+inline constexpr char kOwlTopDataProperty[] =
+    "http://www.w3.org/2002/07/owl#topDataProperty";
+
+// XSD datatypes.
+inline constexpr char kXsdString[] = "http://www.w3.org/2001/XMLSchema#string";
+inline constexpr char kXsdInteger[] =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr char kXsdDecimal[] =
+    "http://www.w3.org/2001/XMLSchema#decimal";
+inline constexpr char kXsdDouble[] = "http://www.w3.org/2001/XMLSchema#double";
+inline constexpr char kXsdBoolean[] =
+    "http://www.w3.org/2001/XMLSchema#boolean";
+inline constexpr char kXsdDateTime[] =
+    "http://www.w3.org/2001/XMLSchema#dateTime";
+
+}  // namespace sedge::rdf
+
+#endif  // SEDGE_RDF_VOCABULARY_H_

@@ -1,0 +1,79 @@
+// Mutable bit vector builder.
+//
+// `BitVector` is the append/set-friendly representation used while building
+// structures; `SuccinctBitVector` (succinct_bit_vector.h) freezes one and
+// adds O(1) rank and near-O(1) select directories.
+
+#ifndef SEDGE_SDS_BIT_VECTOR_H_
+#define SEDGE_SDS_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sedge::sds {
+
+/// \brief Growable sequence of bits backed by 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `n` bits, all set to `value`.
+  explicit BitVector(uint64_t n, bool value = false)
+      : size_(n), words_((n + 63) / 64, value ? ~0ULL : 0ULL) {
+    TrimLastWord();
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Get(uint64_t i) const {
+    SEDGE_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  bool operator[](uint64_t i) const { return Get(i); }
+
+  void Set(uint64_t i, bool value) {
+    SEDGE_DCHECK(i < size_);
+    const uint64_t mask = 1ULL << (i & 63);
+    if (value) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void PushBack(bool bit) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (bit) words_.back() |= 1ULL << (size_ & 63);
+    ++size_;
+  }
+
+  /// Number of set bits (linear scan; use SuccinctBitVector for queries).
+  uint64_t CountOnes() const {
+    uint64_t n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  uint64_t SizeInBytes() const {
+    return sizeof(size_) + words_.size() * sizeof(uint64_t);
+  }
+
+ private:
+  // Keeps bits past `size_` zero so CountOnes and rank directories are exact.
+  void TrimLastWord() {
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (size_ & 63)) - 1;
+    }
+  }
+
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_BIT_VECTOR_H_

@@ -1,0 +1,59 @@
+#include "sds/elias_fano.h"
+
+#include <ostream>
+
+namespace sedge::sds {
+
+EliasFano::EliasFano(const std::vector<uint64_t>& values)
+    : size_(values.size()) {
+  if (size_ == 0) {
+    high_ = SuccinctBitVector(BitVector(1));
+    return;
+  }
+  const uint64_t universe = values.back() + 1;
+  // Optimal split: low part gets floor(log2(u / n)) bits.
+  low_bits_ = 0;
+  while ((universe >> low_bits_) > size_ && low_bits_ < 63) ++low_bits_;
+
+  if (low_bits_ > 0) {
+    low_ = IntVector(size_, low_bits_);
+    const uint64_t mask = (1ULL << low_bits_) - 1;
+    for (uint64_t i = 0; i < size_; ++i) low_.Set(i, values[i] & mask);
+  }
+  const uint64_t high_universe = values.back() >> low_bits_;
+  BitVector high(size_ + high_universe + 1);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < size_; ++i) {
+    SEDGE_CHECK(values[i] >= prev) << "EliasFano input not monotone at " << i;
+    prev = values[i];
+    high.Set((values[i] >> low_bits_) + i, true);
+  }
+  high_ = SuccinctBitVector(high);
+}
+
+uint64_t EliasFano::NextGeq(uint64_t x) const {
+  uint64_t lo = 0;
+  uint64_t hi = size_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Access(mid) < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint64_t EliasFano::SizeInBytes() const {
+  return sizeof(*this) + low_.SizeInBytes() + high_.SizeInBytes();
+}
+
+void EliasFano::Serialize(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&size_), sizeof(size_));
+  os.write(reinterpret_cast<const char*>(&low_bits_), sizeof(low_bits_));
+  low_.Serialize(os);
+  high_.Serialize(os);
+}
+
+}  // namespace sedge::sds

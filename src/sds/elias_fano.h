@@ -1,0 +1,56 @@
+// Elias-Fano encoding of monotone integer sequences.
+//
+// Stores a non-decreasing sequence of n values over universe [0, u) in
+// n*(2 + log2(u/n)) bits with O(1) Access. SuccinctEdge uses it for the
+// offset arrays of the flat literal pool in the datatype-triple store.
+
+#ifndef SEDGE_SDS_ELIAS_FANO_H_
+#define SEDGE_SDS_ELIAS_FANO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sds/int_vector.h"
+#include "sds/succinct_bit_vector.h"
+
+namespace sedge::sds {
+
+/// \brief Immutable Elias-Fano sequence with O(1) random access.
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Builds from a non-decreasing `values` sequence. The universe is
+  /// inferred as values.back() + 1 (0 for an empty sequence).
+  explicit EliasFano(const std::vector<uint64_t>& values);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// The i-th value, i in [0, size).
+  uint64_t Access(uint64_t i) const {
+    SEDGE_DCHECK(i < size_);
+    const uint64_t high = high_.Select1(i + 1) - i;
+    if (low_bits_ == 0) return high;
+    return (high << low_bits_) | low_.Get(i);
+  }
+  uint64_t operator[](uint64_t i) const { return Access(i); }
+
+  /// Index of the first element >= x, or size() if none (binary search on
+  /// the high bits; O(log n)).
+  uint64_t NextGeq(uint64_t x) const;
+
+  uint64_t SizeInBytes() const;
+  void Serialize(std::ostream& os) const;
+
+ private:
+  uint64_t size_ = 0;
+  uint8_t low_bits_ = 0;
+  IntVector low_;
+  SuccinctBitVector high_;
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_ELIAS_FANO_H_

@@ -1,0 +1,14 @@
+#include "sds/int_vector.h"
+
+#include <ostream>
+
+namespace sedge::sds {
+
+void IntVector::Serialize(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&size_), sizeof(size_));
+  os.write(reinterpret_cast<const char*>(&width_), sizeof(width_));
+  os.write(reinterpret_cast<const char*>(words_.data()),
+           static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
+}
+
+}  // namespace sedge::sds

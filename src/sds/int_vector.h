@@ -1,0 +1,90 @@
+// Fixed-width packed integer vector.
+//
+// Stores n integers of `width` bits each, contiguous in 64-bit words. This
+// is the sequence representation handed to WaveletTree::Build and the
+// low-bits store of EliasFano.
+
+#ifndef SEDGE_SDS_INT_VECTOR_H_
+#define SEDGE_SDS_INT_VECTOR_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sedge::sds {
+
+/// \brief Packed vector of fixed-width unsigned integers (width 1..64).
+class IntVector {
+ public:
+  IntVector() = default;
+  IntVector(uint64_t n, uint8_t width)
+      : size_(n), width_(width), words_((n * width + 63) / 64, 0) {
+    SEDGE_CHECK(width >= 1 && width <= 64) << "bad width " << int{width};
+  }
+
+  /// Smallest width able to represent `max_value`.
+  static uint8_t WidthFor(uint64_t max_value) {
+    uint8_t w = 1;
+    while (w < 64 && (max_value >> w) != 0) ++w;
+    return w;
+  }
+
+  /// Builds a packed vector sized for the largest element of `values`.
+  static IntVector FromValues(const std::vector<uint64_t>& values) {
+    uint64_t max_value = 0;
+    for (uint64_t v : values) max_value = v > max_value ? v : max_value;
+    IntVector iv(values.size(), WidthFor(max_value));
+    for (uint64_t i = 0; i < values.size(); ++i) iv.Set(i, values[i]);
+    return iv;
+  }
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t width() const { return width_; }
+
+  uint64_t Get(uint64_t i) const {
+    SEDGE_DCHECK(i < size_);
+    const uint64_t bit = i * width_;
+    const uint64_t word = bit >> 6;
+    const uint64_t offset = bit & 63;
+    const uint64_t mask = (width_ == 64) ? ~0ULL : ((1ULL << width_) - 1);
+    uint64_t value = words_[word] >> offset;
+    if (offset + width_ > 64) {
+      value |= words_[word + 1] << (64 - offset);
+    }
+    return value & mask;
+  }
+  uint64_t operator[](uint64_t i) const { return Get(i); }
+
+  void Set(uint64_t i, uint64_t value) {
+    SEDGE_DCHECK(i < size_);
+    const uint64_t mask = (width_ == 64) ? ~0ULL : ((1ULL << width_) - 1);
+    SEDGE_DCHECK((value & ~mask) == 0);
+    const uint64_t bit = i * width_;
+    const uint64_t word = bit >> 6;
+    const uint64_t offset = bit & 63;
+    words_[word] = (words_[word] & ~(mask << offset)) | (value << offset);
+    if (offset + width_ > 64) {
+      const uint64_t spill = 64 - offset;
+      words_[word + 1] =
+          (words_[word + 1] & ~(mask >> spill)) | (value >> spill);
+    }
+  }
+
+  uint64_t SizeInBytes() const {
+    return sizeof(*this) + words_.size() * sizeof(uint64_t);
+  }
+
+  void Serialize(std::ostream& os) const;
+
+ private:
+  uint64_t size_ = 0;
+  uint8_t width_ = 1;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_INT_VECTOR_H_

@@ -1,0 +1,183 @@
+#include "sds/rrr_bit_vector.h"
+
+#include <array>
+
+namespace sedge::sds {
+namespace {
+
+constexpr uint64_t kBlockBits = 15;
+
+// Pascal's triangle C[n][k] for n,k <= 15, and per-class offset widths.
+struct CombinatoricsTable {
+  std::array<std::array<uint32_t, kBlockBits + 1>, kBlockBits + 1> choose{};
+  std::array<uint8_t, kBlockBits + 1> offset_width{};
+
+  constexpr CombinatoricsTable() {
+    for (uint64_t n = 0; n <= kBlockBits; ++n) {
+      choose[n][0] = 1;
+      for (uint64_t k = 1; k <= n; ++k) {
+        choose[n][k] = choose[n - 1][k - 1] +
+                       (k <= n - 1 ? choose[n - 1][k] : 0);
+      }
+    }
+    for (uint64_t k = 0; k <= kBlockBits; ++k) {
+      const uint32_t count = choose[kBlockBits][k];
+      uint8_t w = 0;
+      while ((1U << w) < count) ++w;
+      offset_width[k] = w;  // 0 for classes 0 and 15
+    }
+  }
+};
+
+constexpr CombinatoricsTable kTable{};
+
+// Offset of `block` (15 significant bits, popcount k) in the canonical
+// enumeration of its class: combinadic over descending bit positions.
+uint32_t EncodeOffset(uint16_t block, uint32_t k) {
+  uint32_t offset = 0;
+  uint32_t remaining = k;
+  for (int pos = static_cast<int>(kBlockBits) - 1; pos >= 0 && remaining > 0;
+       --pos) {
+    if ((block >> pos) & 1U) {
+      // All class-k blocks whose highest-ranked one is below `pos` come first.
+      offset += kTable.choose[pos][remaining];
+      --remaining;
+    }
+  }
+  return offset;
+}
+
+// Inverse of EncodeOffset.
+uint16_t DecodeOffset(uint32_t offset, uint32_t k) {
+  uint16_t block = 0;
+  uint32_t remaining = k;
+  for (int pos = static_cast<int>(kBlockBits) - 1; pos >= 0 && remaining > 0;
+       --pos) {
+    const uint32_t below = kTable.choose[pos][remaining];
+    if (offset >= below) {
+      block |= static_cast<uint16_t>(1U << pos);
+      offset -= below;
+      --remaining;
+    }
+  }
+  return block;
+}
+
+}  // namespace
+
+RrrBitVector::RrrBitVector(const BitVector& bits) : size_(bits.size()) {
+  const uint64_t num_blocks = (size_ + kBlockBits - 1) / kBlockBits;
+  classes_ = IntVector(num_blocks > 0 ? num_blocks : 1, 4);
+
+  BitVector offsets;  // appended variable-width, LSB first
+  uint64_t rank = 0;
+  for (uint64_t blk = 0; blk < num_blocks; ++blk) {
+    uint16_t word = 0;
+    const uint64_t base = blk * kBlockBits;
+    const uint64_t limit = std::min<uint64_t>(kBlockBits, size_ - base);
+    for (uint64_t b = 0; b < limit; ++b) {
+      if (bits.Get(base + b)) word |= static_cast<uint16_t>(1U << b);
+    }
+    const uint32_t k = static_cast<uint32_t>(__builtin_popcount(word));
+    classes_.Set(blk, k);
+    const uint8_t width = kTable.offset_width[k];
+    const uint32_t offset = EncodeOffset(word, k);
+    for (uint8_t b = 0; b < width; ++b) {
+      offsets.PushBack((offset >> b) & 1U);
+    }
+    if (blk % kBlocksPerSuper == 0) {
+      super_rank_.push_back(rank);
+      super_offset_.push_back(offsets.size() - width);
+    }
+    rank += k;
+  }
+  ones_ = rank;
+  super_rank_.push_back(rank);  // sentinel
+  offset_words_ = offsets.words();
+}
+
+uint64_t RrrBitVector::ReadOffsetBits(uint64_t pos, uint8_t width) const {
+  if (width == 0) return 0;
+  const uint64_t word = pos >> 6;
+  const uint64_t shift = pos & 63;
+  uint64_t value = offset_words_[word] >> shift;
+  if (shift + width > 64 && word + 1 < offset_words_.size()) {
+    value |= offset_words_[word + 1] << (64 - shift);
+  }
+  return value & ((1ULL << width) - 1);
+}
+
+uint16_t RrrBitVector::DecodeBlock(uint64_t block, uint64_t offset_pos) const {
+  const uint32_t k = static_cast<uint32_t>(classes_.Get(block));
+  const uint8_t width = kTable.offset_width[k];
+  const uint32_t offset =
+      static_cast<uint32_t>(ReadOffsetBits(offset_pos, width));
+  return DecodeOffset(offset, k);
+}
+
+uint64_t RrrBitVector::Rank1(uint64_t i) const {
+  SEDGE_DCHECK(i <= size_);
+  if (i == 0) return 0;
+  const uint64_t block = (i - 1) / kBlockBits;  // block containing bit i-1
+  const uint64_t super = block / kBlocksPerSuper;
+  uint64_t rank = super_rank_[super];
+  uint64_t offset_pos = super_offset_[super];
+  for (uint64_t b = super * kBlocksPerSuper; b < block; ++b) {
+    const uint32_t k = static_cast<uint32_t>(classes_.Get(b));
+    rank += k;
+    offset_pos += kTable.offset_width[k];
+  }
+  const uint16_t word = DecodeBlock(block, offset_pos);
+  const uint64_t in_block = i - block * kBlockBits;  // 1..15
+  rank += __builtin_popcount(word & ((1U << in_block) - 1));
+  return rank;
+}
+
+bool RrrBitVector::Access(uint64_t i) const {
+  SEDGE_DCHECK(i < size_);
+  return Rank1(i + 1) > Rank1(i);
+}
+
+uint64_t RrrBitVector::Select1(uint64_t k) const {
+  SEDGE_DCHECK(k >= 1 && k <= ones_ + 1);
+  if (k == ones_ + 1) return size_;
+  // Binary search superblocks on cumulative rank.
+  uint64_t lo = 0;
+  uint64_t hi = super_rank_.size() - 1;  // super_rank_ has sentinel at end
+  while (lo + 1 < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (super_rank_[mid] < k) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  uint64_t rank = super_rank_[lo];
+  uint64_t offset_pos = super_offset_[lo];
+  const uint64_t num_blocks = classes_.size();
+  for (uint64_t b = lo * kBlocksPerSuper; b < num_blocks; ++b) {
+    const uint32_t cls = static_cast<uint32_t>(classes_.Get(b));
+    if (rank + cls >= k) {
+      uint16_t word = DecodeBlock(b, offset_pos);
+      uint64_t need = k - rank;
+      for (uint64_t bit = 0; bit < kBlockBits; ++bit) {
+        if ((word >> bit) & 1U) {
+          if (--need == 0) return b * kBlockBits + bit;
+        }
+      }
+    }
+    rank += cls;
+    offset_pos += kTable.offset_width[cls];
+  }
+  SEDGE_CHECK(false) << "RRR select out of range";
+  return size_;
+}
+
+uint64_t RrrBitVector::SizeInBytes() const {
+  return sizeof(*this) + classes_.SizeInBytes() +
+         offset_words_.size() * sizeof(uint64_t) +
+         super_rank_.size() * sizeof(uint64_t) +
+         super_offset_.size() * sizeof(uint64_t);
+}
+
+}  // namespace sedge::sds

@@ -1,0 +1,66 @@
+// RRR-style compressed bit vector (Raman, Raman, Rao).
+//
+// Bits are grouped into 15-bit blocks; each block is stored as a 4-bit
+// class (its popcount) plus a variable-width offset identifying the block
+// among all 15-bit words of that class (combinatorial number system). Dense
+// and sparse regions both compress towards the zeroth-order entropy while
+// rank stays O(1) via superblock sampling.
+//
+// SuccinctEdge itself keeps plain bitmaps for its layer-linking BMs (they
+// are query-critical); this structure backs the compression ablation bench
+// (bench_ablation_bitmap) that quantifies that design choice.
+
+#ifndef SEDGE_SDS_RRR_BIT_VECTOR_H_
+#define SEDGE_SDS_RRR_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sds/bit_vector.h"
+#include "sds/int_vector.h"
+
+namespace sedge::sds {
+
+/// \brief Entropy-compressed immutable bitmap with O(1) rank and
+/// O(log n) select.
+class RrrBitVector {
+ public:
+  RrrBitVector() = default;
+  explicit RrrBitVector(const BitVector& bits);
+
+  uint64_t size() const { return size_; }
+  uint64_t ones() const { return ones_; }
+
+  bool Access(uint64_t i) const;
+  bool operator[](uint64_t i) const { return Access(i); }
+
+  /// Number of ones in [0, i), i <= size.
+  uint64_t Rank1(uint64_t i) const;
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th one (k in [1, ones]); Select1(ones+1) == size.
+  uint64_t Select1(uint64_t k) const;
+
+  uint64_t SizeInBytes() const;
+
+ private:
+  static constexpr uint64_t kBlockBits = 15;
+  static constexpr uint64_t kBlocksPerSuper = 64;
+
+  // Decodes the block at index `block`, given the bit offset of its offset
+  // field within offset_bits_.
+  uint16_t DecodeBlock(uint64_t block, uint64_t offset_pos) const;
+  // Reads `width` bits at position `pos` from offset_bits_.
+  uint64_t ReadOffsetBits(uint64_t pos, uint8_t width) const;
+
+  uint64_t size_ = 0;
+  uint64_t ones_ = 0;
+  IntVector classes_;                     // 4-bit class per block
+  std::vector<uint64_t> offset_words_;    // packed variable-width offsets
+  std::vector<uint64_t> super_rank_;      // cumulative ones per superblock
+  std::vector<uint64_t> super_offset_;    // offset-bit pointer per superblock
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_RRR_BIT_VECTOR_H_

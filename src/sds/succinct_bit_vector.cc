@@ -1,0 +1,163 @@
+#include "sds/succinct_bit_vector.h"
+
+#include <ostream>
+
+namespace sedge::sds {
+
+namespace {
+
+// Position (0-based) of the k-th set bit inside `word`, k in [1, popcount].
+inline uint64_t SelectInWord(uint64_t word, uint64_t k) {
+  for (uint64_t i = 1; i < k; ++i) word &= word - 1;  // clear k-1 lowest ones
+  return __builtin_ctzll(word);
+}
+
+}  // namespace
+
+SuccinctBitVector::SuccinctBitVector(const BitVector& bits)
+    : size_(bits.size()), words_(bits.words()) {
+  const uint64_t num_words = words_.size();
+  const uint64_t words_per_block = kBlockBits / 64;
+  const uint64_t words_per_super = kSuperblockBits / 64;
+  const uint64_t num_blocks = (num_words + words_per_block - 1) / words_per_block;
+  const uint64_t num_supers = (num_words + words_per_super - 1) / words_per_super;
+  superblock_ranks_.reserve(num_supers + 1);
+  block_ranks_.reserve(num_blocks);
+
+  uint64_t total = 0;
+  uint64_t super_base = 0;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    if (w % words_per_super == 0) {
+      superblock_ranks_.push_back(total);
+      super_base = total;
+    }
+    if (w % words_per_block == 0) {
+      block_ranks_.push_back(static_cast<uint16_t>(total - super_base));
+    }
+    total += WordPopcount(w);
+  }
+  superblock_ranks_.push_back(total);  // sentinel: total ones
+  ones_ = total;
+
+  // Select samples: record the position of every kSelectSample-th bit of
+  // each kind, starting with the first.
+  uint64_t seen1 = 0;
+  uint64_t seen0 = 0;
+  for (uint64_t w = 0; w < num_words; ++w) {
+    uint64_t word = words_[w];
+    const uint64_t limit = (w == num_words - 1 && (size_ & 63) != 0)
+                               ? (size_ & 63)
+                               : 64;
+    for (uint64_t b = 0; b < limit; ++b) {
+      const bool bit = (word >> b) & 1ULL;
+      if (bit) {
+        if (seen1 % kSelectSample == 0) select1_samples_.push_back(w * 64 + b);
+        ++seen1;
+      } else {
+        if (seen0 % kSelectSample == 0) select0_samples_.push_back(w * 64 + b);
+        ++seen0;
+      }
+    }
+  }
+}
+
+uint64_t SuccinctBitVector::Rank1(uint64_t i) const {
+  SEDGE_DCHECK(i <= size_);
+  if (i == 0) return 0;
+  const uint64_t word = i >> 6;
+  const uint64_t words_per_block = kBlockBits / 64;
+  const uint64_t words_per_super = kSuperblockBits / 64;
+  uint64_t rank = 0;
+  if (word < words_.size()) {
+    rank = superblock_ranks_[word / words_per_super] +
+           block_ranks_[word / words_per_block];
+    for (uint64_t w = (word / words_per_block) * words_per_block; w < word; ++w) {
+      rank += WordPopcount(w);
+    }
+    const uint64_t offset = i & 63;
+    if (offset != 0) {
+      rank += __builtin_popcountll(words_[word] & ((1ULL << offset) - 1));
+    }
+  } else {
+    rank = ones_;
+  }
+  return rank;
+}
+
+template <bool kOnes>
+uint64_t SuccinctBitVector::SelectImpl(uint64_t k) const {
+  const uint64_t total = kOnes ? ones_ : zeros();
+  SEDGE_DCHECK(k >= 1);
+  SEDGE_DCHECK(k <= total + 1);
+  if (k == total + 1) return size_;  // sentinel (see header)
+
+  const auto& samples = kOnes ? select1_samples_ : select0_samples_;
+  const uint64_t sample_index = (k - 1) / kSelectSample;
+  uint64_t pos = samples[sample_index];
+  uint64_t found = sample_index * kSelectSample;  // bits of this kind before pos
+
+  // Scan words from the sampled position. The sample guarantees at most
+  // kSelectSample bits of this kind between pos and the answer.
+  uint64_t w = pos >> 6;
+  // Bits of this kind in words_[w] before the in-word offset of pos.
+  {
+    const uint64_t offset = pos & 63;
+    uint64_t word = kOnes ? words_[w] : ~words_[w];
+    word &= ~((offset == 0) ? 0ULL : ((1ULL << offset) - 1));
+    uint64_t count = __builtin_popcountll(word);
+    // Mask out the bits beyond size_ in the final word for zeros.
+    if (!kOnes && w == words_.size() - 1 && (size_ & 63) != 0) {
+      word &= (1ULL << (size_ & 63)) - 1;
+      count = __builtin_popcountll(word);
+    }
+    if (found + count >= k) {
+      return w * 64 + SelectInWord(word, k - found);
+    }
+    found += count;
+    ++w;
+  }
+  for (; w < words_.size(); ++w) {
+    uint64_t word = kOnes ? words_[w] : ~words_[w];
+    if (!kOnes && w == words_.size() - 1 && (size_ & 63) != 0) {
+      word &= (1ULL << (size_ & 63)) - 1;
+    }
+    const uint64_t count = __builtin_popcountll(word);
+    if (found + count >= k) {
+      return w * 64 + SelectInWord(word, k - found);
+    }
+    found += count;
+  }
+  SEDGE_CHECK(false) << "select out of range: k=" << k;
+  return size_;
+}
+
+uint64_t SuccinctBitVector::Select1(uint64_t k) const {
+  return SelectImpl<true>(k);
+}
+
+uint64_t SuccinctBitVector::Select0(uint64_t k) const {
+  return SelectImpl<false>(k);
+}
+
+uint64_t SuccinctBitVector::SizeInBytes() const {
+  return sizeof(*this) + words_.size() * sizeof(uint64_t) +
+         superblock_ranks_.size() * sizeof(uint64_t) +
+         block_ranks_.size() * sizeof(uint16_t) +
+         select1_samples_.size() * sizeof(uint64_t) +
+         select0_samples_.size() * sizeof(uint64_t);
+}
+
+void SuccinctBitVector::Serialize(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&size_), sizeof(size_));
+  os.write(reinterpret_cast<const char*>(&ones_), sizeof(ones_));
+  os.write(reinterpret_cast<const char*>(words_.data()),
+           static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
+  os.write(reinterpret_cast<const char*>(superblock_ranks_.data()),
+           static_cast<std::streamsize>(superblock_ranks_.size() *
+                                        sizeof(uint64_t)));
+  os.write(reinterpret_cast<const char*>(block_ranks_.data()),
+           static_cast<std::streamsize>(block_ranks_.size() *
+                                        sizeof(uint16_t)));
+}
+
+}  // namespace sedge::sds

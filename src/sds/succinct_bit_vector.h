@@ -1,0 +1,84 @@
+// Immutable bit vector with O(1) rank and sampled select.
+//
+// This is the BM structure of the paper (Section 3.3): SuccinctEdge links
+// wavelet-tree layers with these bitmaps, and every wavelet-tree node is one.
+//
+// Rank directory: two levels — cumulative 64-bit counts per 2048-bit
+// superblock plus 16-bit relative counts per 256-bit block (~9.4% overhead).
+// Select: positions of every 4096th one (and zero) are sampled; queries
+// binary-search the rank directory between samples, then scan words.
+
+#ifndef SEDGE_SDS_SUCCINCT_BIT_VECTOR_H_
+#define SEDGE_SDS_SUCCINCT_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sds/bit_vector.h"
+
+namespace sedge::sds {
+
+/// \brief Frozen bit sequence supporting Access, Rank and Select — the three
+/// SDS operations of the paper — in O(1) / O(1) / O(log) time.
+class SuccinctBitVector {
+ public:
+  SuccinctBitVector() = default;
+  /// Freezes `bits` and builds the rank/select directories.
+  explicit SuccinctBitVector(const BitVector& bits);
+
+  uint64_t size() const { return size_; }
+  uint64_t ones() const { return ones_; }
+  uint64_t zeros() const { return size_ - ones_; }
+
+  /// S.Access(i): the bit at 0-based position i.
+  bool Access(uint64_t i) const {
+    SEDGE_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  bool operator[](uint64_t i) const { return Access(i); }
+
+  /// S.Rank(i, 1): number of ones in positions [0, i). Defined for i <= size.
+  uint64_t Rank1(uint64_t i) const;
+  /// S.Rank(i, 0): number of zeros in positions [0, i).
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// S.Select(k, 1): 0-based position of the k-th one, k in [1, ones].
+  /// As a sentinel, Select1(ones + 1) returns size() — this closes the final
+  /// block range in the paper's Algorithms 2-4 (see DESIGN.md Section 5).
+  uint64_t Select1(uint64_t k) const;
+  /// S.Select(k, 0): 0-based position of the k-th zero, k in [1, zeros],
+  /// with the same sentinel Select0(zeros + 1) == size().
+  uint64_t Select0(uint64_t k) const;
+
+  /// Heap footprint of the payload plus directories.
+  uint64_t SizeInBytes() const;
+
+  /// Writes the payload and directories; used by the storage-size benches.
+  void Serialize(std::ostream& os) const;
+
+ private:
+  static constexpr uint64_t kBlockBits = 256;        // 4 words
+  static constexpr uint64_t kSuperblockBits = 2048;  // 8 blocks
+  static constexpr uint64_t kSelectSample = 4096;
+
+  uint64_t WordPopcount(uint64_t word_index) const {
+    return __builtin_popcountll(words_[word_index]);
+  }
+
+  // Shared select implementation; Bit selects ones when true.
+  template <bool kOnes>
+  uint64_t SelectImpl(uint64_t k) const;
+
+  uint64_t size_ = 0;
+  uint64_t ones_ = 0;
+  std::vector<uint64_t> words_;
+  std::vector<uint64_t> superblock_ranks_;  // cumulative ones before superblock
+  std::vector<uint16_t> block_ranks_;       // ones before block, within superblock
+  std::vector<uint64_t> select1_samples_;   // position of the (i*kSelectSample+1)-th one
+  std::vector<uint64_t> select0_samples_;   // position of the (i*kSelectSample+1)-th zero
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_SUCCINCT_BIT_VECTOR_H_

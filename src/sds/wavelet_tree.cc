@@ -1,0 +1,245 @@
+#include "sds/wavelet_tree.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace sedge::sds {
+
+WaveletTree::WaveletTree(const std::vector<uint64_t>& values)
+    : size_(values.size()) {
+  max_value_ = 0;
+  for (uint64_t v : values) max_value_ = std::max(max_value_, v);
+  height_ = IntVector::WidthFor(max_value_);
+  levels_.reserve(height_);
+
+  // `cur` holds the sequence stably partitioned by the top-l bits;
+  // `bounds` are the node boundaries at the current level.
+  std::vector<uint64_t> cur = values;
+  std::vector<uint64_t> bounds = {0, size_};
+  for (uint8_t l = 0; l < height_; ++l) {
+    const int shift = height_ - 1 - l;
+    BitVector bv(size_);
+    for (uint64_t i = 0; i < size_; ++i) {
+      bv.Set(i, (cur[i] >> shift) & 1ULL);
+    }
+    levels_.emplace_back(bv);
+
+    if (l + 1 < height_) {
+      std::vector<uint64_t> next(size_);
+      std::vector<uint64_t> next_bounds;
+      next_bounds.reserve(bounds.size() * 2);
+      for (size_t node = 0; node + 1 < bounds.size(); ++node) {
+        const uint64_t b = bounds[node];
+        const uint64_t e = bounds[node + 1];
+        uint64_t out = b;
+        for (uint64_t i = b; i < e; ++i) {
+          if (((cur[i] >> shift) & 1ULL) == 0) next[out++] = cur[i];
+        }
+        next_bounds.push_back(b);
+        next_bounds.push_back(out);
+        for (uint64_t i = b; i < e; ++i) {
+          if (((cur[i] >> shift) & 1ULL) != 0) next[out++] = cur[i];
+        }
+      }
+      next_bounds.push_back(size_);
+      // Deduplicate adjacent equal boundaries to keep the vector tight.
+      next_bounds.erase(std::unique(next_bounds.begin(), next_bounds.end()),
+                        next_bounds.end());
+      cur.swap(next);
+      bounds.swap(next_bounds);
+    }
+  }
+}
+
+uint64_t WaveletTree::Access(uint64_t i) const {
+  SEDGE_DCHECK(i < size_);
+  uint64_t b = 0;
+  uint64_t e = size_;
+  uint64_t value = 0;
+  for (uint8_t l = 0; l < height_; ++l) {
+    const SuccinctBitVector& bv = levels_[l];
+    const uint64_t rank0_b = bv.Rank0(b);
+    const uint64_t z = bv.Rank0(e) - rank0_b;
+    if (!bv.Access(i)) {
+      i = b + (bv.Rank0(i) - rank0_b);
+      e = b + z;
+    } else {
+      value |= 1ULL << (height_ - 1 - l);
+      i = b + z + (bv.Rank1(i) - bv.Rank1(b));
+      b = b + z;
+    }
+  }
+  return value;
+}
+
+uint64_t WaveletTree::Rank(uint64_t i, uint64_t c) const {
+  SEDGE_DCHECK(i <= size_);
+  if (c > max_value_ || size_ == 0) return 0;
+  uint64_t b = 0;
+  uint64_t e = size_;
+  for (uint8_t l = 0; l < height_; ++l) {
+    const SuccinctBitVector& bv = levels_[l];
+    const uint64_t rank0_b = bv.Rank0(b);
+    const uint64_t z = bv.Rank0(e) - rank0_b;
+    if (((c >> (height_ - 1 - l)) & 1ULL) == 0) {
+      i = b + (bv.Rank0(i) - rank0_b);
+      e = b + z;
+    } else {
+      i = b + z + (bv.Rank1(i) - bv.Rank1(b));
+      b = b + z;
+    }
+    if (b == e) return 0;  // symbol absent below this node
+  }
+  return i - b;
+}
+
+uint64_t WaveletTree::Select(uint64_t k, uint64_t c) const {
+  SEDGE_DCHECK(k >= 1);
+  // Walk down recording the node start and the branch taken per level.
+  struct Frame {
+    uint64_t b;
+    uint64_t z_start;  // start of right child (b + zeros in node)
+    bool bit;
+  };
+  Frame path[64];  // height_ <= 64; stack storage keeps Select allocation-free
+  uint64_t b = 0;
+  uint64_t e = size_;
+  for (uint8_t l = 0; l < height_; ++l) {
+    const SuccinctBitVector& bv = levels_[l];
+    const uint64_t rank0_b = bv.Rank0(b);
+    const uint64_t z = bv.Rank0(e) - rank0_b;
+    const bool bit = ((c >> (height_ - 1 - l)) & 1ULL) != 0;
+    path[l] = {b, b + z, bit};
+    if (!bit) {
+      e = b + z;
+    } else {
+      b = b + z;
+    }
+  }
+  SEDGE_CHECK(k <= e - b) << "select(k=" << k << ", c=" << c
+                          << ") beyond occurrences";
+  // Leaf-level position, then map back up through each level.
+  uint64_t pos = b + k - 1;
+  for (int l = height_ - 1; l >= 0; --l) {
+    const SuccinctBitVector& bv = levels_[l];
+    const Frame& f = path[l];
+    if (!f.bit) {
+      const uint64_t offset = pos - f.b;  // rank0 within node
+      pos = bv.Select0(bv.Rank0(f.b) + offset + 1);
+    } else {
+      const uint64_t offset = pos - f.z_start;  // rank1 within node
+      pos = bv.Select1(bv.Rank1(f.b) + offset + 1);
+    }
+  }
+  return pos;
+}
+
+std::vector<uint64_t> WaveletTree::RangeSearch(uint64_t a, uint64_t b,
+                                               uint64_t c) const {
+  std::vector<uint64_t> out;
+  if (a >= b || c > max_value_) return out;
+  const uint64_t r1 = Rank(a, c);
+  const uint64_t r2 = Rank(b, c);
+  out.reserve(r2 - r1);
+  for (uint64_t k = r1 + 1; k <= r2; ++k) out.push_back(Select(k, c));
+  return out;
+}
+
+std::pair<uint64_t, uint64_t> WaveletTree::EqualRangeSorted(uint64_t a,
+                                                            uint64_t b,
+                                                            uint64_t c) const {
+  // lower_bound
+  uint64_t lo = a;
+  uint64_t hi = b;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Access(mid) < c) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const uint64_t first = lo;
+  // upper_bound
+  hi = b;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (Access(mid) <= c) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return {first, lo};
+}
+
+uint64_t WaveletTree::RangeCount(uint64_t a, uint64_t b, uint64_t lo,
+                                 uint64_t hi) const {
+  if (a >= b || lo >= hi) return 0;
+  uint64_t count = 0;
+  RangeDistinct(a, b, lo, hi,
+                [&count](uint64_t, uint64_t n) { count += n; });
+  return count;
+}
+
+struct WaveletTree::DistinctFrame {
+  uint8_t level;
+  uint64_t node_b, node_e;   // node interval at this level
+  uint64_t a, b;             // query positions mapped into the node
+  uint64_t value_prefix;     // value bits accumulated above this node
+};
+
+void WaveletTree::RangeDistinct(
+    uint64_t a, uint64_t b, uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, uint64_t)>& visit) const {
+  if (a >= b || lo >= hi || size_ == 0) return;
+  b = std::min(b, size_);
+  // Depth-first traversal, left child first, so values are emitted in
+  // ascending order.
+  std::vector<DistinctFrame> stack;
+  stack.push_back({0, 0, size_, a, b, 0});
+  while (!stack.empty()) {
+    const DistinctFrame f = stack.back();
+    stack.pop_back();
+    if (f.a >= f.b) continue;
+    const int shift = height_ - f.level;
+    // Value interval covered by this node: [prefix, prefix + 2^shift).
+    const uint64_t node_lo = f.value_prefix;
+    const uint64_t node_hi =
+        (shift >= 64) ? ~0ULL : f.value_prefix + (1ULL << shift);
+    if (node_hi <= lo || node_lo >= hi) continue;
+    if (f.level == height_) {
+      visit(node_lo, f.b - f.a);
+      continue;
+    }
+    const SuccinctBitVector& bv = levels_[f.level];
+    const uint64_t rank0_nb = bv.Rank0(f.node_b);
+    const uint64_t z = bv.Rank0(f.node_e) - rank0_nb;
+    const uint64_t a0 = f.node_b + (bv.Rank0(f.a) - rank0_nb);
+    const uint64_t b0 = f.node_b + (bv.Rank0(f.b) - rank0_nb);
+    const uint64_t a1 = f.node_b + z + (bv.Rank1(f.a) - bv.Rank1(f.node_b));
+    const uint64_t b1 = f.node_b + z + (bv.Rank1(f.b) - bv.Rank1(f.node_b));
+    const uint64_t mid_value =
+        f.value_prefix | (1ULL << (height_ - 1 - f.level));
+    // Push right child first so the left child is processed first.
+    stack.push_back({static_cast<uint8_t>(f.level + 1), f.node_b + z,
+                     f.node_e, a1, b1, mid_value});
+    stack.push_back({static_cast<uint8_t>(f.level + 1), f.node_b,
+                     f.node_b + z, a0, b0, f.value_prefix});
+  }
+}
+
+uint64_t WaveletTree::SizeInBytes() const {
+  uint64_t total = sizeof(*this);
+  for (const auto& level : levels_) total += level.SizeInBytes();
+  return total;
+}
+
+void WaveletTree::Serialize(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&size_), sizeof(size_));
+  os.write(reinterpret_cast<const char*>(&max_value_), sizeof(max_value_));
+  os.write(reinterpret_cast<const char*>(&height_), sizeof(height_));
+  for (const auto& level : levels_) level.Serialize(os);
+}
+
+}  // namespace sedge::sds

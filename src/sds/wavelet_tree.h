@@ -1,0 +1,90 @@
+// Balanced, pointer-free (levelwise) wavelet tree.
+//
+// The WT of the paper (Section 3.3, Figure 3): a sequence over an integer
+// alphabet is decomposed level by level on the bits of the values, most
+// significant first. Values are kept stably partitioned by their top-l bits
+// at level l, so the children of the node [b, e) are exactly [b, b+z) and
+// [b+z, e) at the next level (z = zeros inside the node) — no pointers or
+// per-node offsets are required, only rank/select on one bitmap per level.
+//
+// Supported operations (all decompression-free):
+//   Access(i), Rank(i, c), Select(k, c)          — the three SDS primitives
+//   RangeSearch(a, b, c)                         — paper Section 5.2
+//   EqualRangeSorted(a, b, c)                    — binary search inside a
+//                                                  sorted block (the paper's
+//                                                  rangeSearch fast path)
+//   RangeCount / RangeDistinct over a symbol interval — what makes LiteMat
+//                                                  intervals cheap
+// Complexities are O(log sigma) per primitive, with sigma the alphabet size.
+
+#ifndef SEDGE_SDS_WAVELET_TREE_H_
+#define SEDGE_SDS_WAVELET_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "sds/int_vector.h"
+#include "sds/succinct_bit_vector.h"
+
+namespace sedge::sds {
+
+/// \brief Immutable wavelet tree over a sequence of unsigned integers.
+class WaveletTree {
+ public:
+  WaveletTree() = default;
+
+  /// Builds from `values`. The alphabet is [0, max(values)+1).
+  explicit WaveletTree(const std::vector<uint64_t>& values);
+
+  uint64_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of bit levels (= ceil(log2(alphabet size)), at least 1).
+  uint8_t height() const { return height_; }
+  uint64_t max_value() const { return max_value_; }
+
+  /// S.Access(i): the value at position i.
+  uint64_t Access(uint64_t i) const;
+  uint64_t operator[](uint64_t i) const { return Access(i); }
+
+  /// S.Rank(i, c): occurrences of value c in positions [0, i).
+  uint64_t Rank(uint64_t i, uint64_t c) const;
+
+  /// S.Select(k, c): 0-based position of the k-th occurrence of c, k >= 1.
+  /// Requires k <= Rank(size, c).
+  uint64_t Select(uint64_t k, uint64_t c) const;
+
+  /// All positions of value c in [a, b), ascending (paper's rangeSearch).
+  std::vector<uint64_t> RangeSearch(uint64_t a, uint64_t b, uint64_t c) const;
+
+  /// Positions [first, last) of value c inside [a, b) assuming the values in
+  /// [a, b) are sorted ascending — binary search on Access, O(log(b-a) *
+  /// log sigma). This is the fast path the paper exploits on the ordered
+  /// portions of WT_s / WT_o.
+  std::pair<uint64_t, uint64_t> EqualRangeSorted(uint64_t a, uint64_t b,
+                                                 uint64_t c) const;
+
+  /// Number of positions in [a, b) whose value lies in [lo, hi).
+  uint64_t RangeCount(uint64_t a, uint64_t b, uint64_t lo, uint64_t hi) const;
+
+  /// Calls visit(value, count) for every distinct value in [lo, hi) that
+  /// occurs in positions [a, b), in ascending value order.
+  void RangeDistinct(uint64_t a, uint64_t b, uint64_t lo, uint64_t hi,
+                     const std::function<void(uint64_t, uint64_t)>& visit) const;
+
+  uint64_t SizeInBytes() const;
+  void Serialize(std::ostream& os) const;
+
+ private:
+  struct DistinctFrame;  // declared in .cc
+
+  uint64_t size_ = 0;
+  uint64_t max_value_ = 0;
+  uint8_t height_ = 1;
+  std::vector<SuccinctBitVector> levels_;
+};
+
+}  // namespace sedge::sds
+
+#endif  // SEDGE_SDS_WAVELET_TREE_H_

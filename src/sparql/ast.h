@@ -1,0 +1,132 @@
+// SPARQL abstract syntax tree.
+//
+// Covers the subset the paper evaluates: SELECT (DISTINCT) queries over one
+// group graph pattern with triple patterns (including ';' ',' and 'a'
+// abbreviations), FILTER expressions, BIND assignments, UNION blocks, and
+// LIMIT/OFFSET modifiers.
+
+#ifndef SEDGE_SPARQL_AST_H_
+#define SEDGE_SPARQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace sedge::sparql {
+
+/// \brief A SPARQL variable (?x / $x), identified by name without the sigil.
+struct Variable {
+  std::string name;
+  friend bool operator==(const Variable& a, const Variable& b) {
+    return a.name == b.name;
+  }
+  friend bool operator<(const Variable& a, const Variable& b) {
+    return a.name < b.name;
+  }
+};
+
+/// One slot of a triple pattern: a constant term or a variable.
+using TermOrVar = std::variant<rdf::Term, Variable>;
+
+inline bool IsVar(const TermOrVar& tv) {
+  return std::holds_alternative<Variable>(tv);
+}
+inline const Variable& AsVar(const TermOrVar& tv) {
+  return std::get<Variable>(tv);
+}
+inline const rdf::Term& AsTerm(const TermOrVar& tv) {
+  return std::get<rdf::Term>(tv);
+}
+
+/// \brief One triple pattern of a basic graph pattern.
+struct TriplePattern {
+  TermOrVar subject;
+  TermOrVar predicate;
+  TermOrVar object;
+};
+
+// ------------------------------------------------------------- Expressions
+
+enum class ExprKind : uint8_t {
+  kTerm,      // literal / IRI constant
+  kVariable,  // ?x
+  kOr,        // a || b
+  kAnd,       // a && b
+  kNot,       // !a
+  kCompare,   // = != < <= > >=
+  kArith,     // + - * /
+  kNegate,    // unary minus
+  kFunction,  // regex(...), str(...), if(...), bound(...), abs(...)
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// \brief Expression tree node (FILTER and BIND bodies).
+struct Expr {
+  ExprKind kind = ExprKind::kTerm;
+  rdf::Term term;                            // kTerm
+  Variable variable;                         // kVariable
+  CompareOp compare_op = CompareOp::kEq;     // kCompare
+  ArithOp arith_op = ArithOp::kAdd;          // kArith
+  std::string function;                      // kFunction, lower-cased name
+  std::vector<std::unique_ptr<Expr>> args;   // children
+
+  static std::unique_ptr<Expr> MakeTerm(rdf::Term t) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kTerm;
+    e->term = std::move(t);
+    return e;
+  }
+  static std::unique_ptr<Expr> MakeVar(std::string name) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kVariable;
+    e->variable = Variable{std::move(name)};
+    return e;
+  }
+};
+
+/// \brief BIND(expr AS ?var).
+struct Bind {
+  std::unique_ptr<Expr> expr;
+  Variable var;
+};
+
+// ------------------------------------------------------------------ Groups
+
+struct GroupPattern;
+
+/// \brief A UNION block: two or more alternative group patterns.
+struct UnionBlock {
+  std::vector<GroupPattern> alternatives;
+};
+
+/// \brief One group graph pattern: triple patterns plus filters, binds and
+/// nested UNION blocks. FILTERs apply to the whole group (SPARQL semantics),
+/// BINDs extend rows in declaration order.
+struct GroupPattern {
+  std::vector<TriplePattern> triples;
+  std::vector<std::unique_ptr<Expr>> filters;
+  std::vector<Bind> binds;
+  std::vector<UnionBlock> unions;
+};
+
+/// \brief A parsed SELECT query.
+struct Query {
+  bool distinct = false;
+  std::vector<Variable> select;  // empty means SELECT *
+  GroupPattern where;
+  std::optional<uint64_t> limit;
+  std::optional<uint64_t> offset;
+
+  /// All variables mentioned in triple patterns, in first-seen order.
+  std::vector<Variable> MentionedVariables() const;
+};
+
+}  // namespace sedge::sparql
+
+#endif  // SEDGE_SPARQL_AST_H_

@@ -1,0 +1,285 @@
+#include "sparql/expression.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sedge::sparql {
+namespace {
+
+std::optional<double> TermToNumber(const rdf::Term& t) {
+  if (!t.is_literal() || !t.IsNumericLiteral()) return std::nullopt;
+  return t.AsDouble();
+}
+
+}  // namespace
+
+EvalValue ExpressionEvaluator::Evaluate(const Expr& expr,
+                                        const VarLookup& lookup) {
+  switch (expr.kind) {
+    case ExprKind::kTerm:
+      return EvalValue::TermValue(expr.term);
+    case ExprKind::kVariable: {
+      const auto bound = lookup(expr.variable);
+      if (!bound) return EvalValue::Error();
+      return EvalValue::Encoded(*bound);
+    }
+    case ExprKind::kOr: {
+      // SPARQL three-valued OR: true if either side is true.
+      const bool a = EffectiveBool(*expr.args[0], lookup);
+      if (a) return EvalValue::Bool(true);
+      return EvalValue::Bool(EffectiveBool(*expr.args[1], lookup));
+    }
+    case ExprKind::kAnd: {
+      const bool a = EffectiveBool(*expr.args[0], lookup);
+      if (!a) return EvalValue::Bool(false);
+      return EvalValue::Bool(EffectiveBool(*expr.args[1], lookup));
+    }
+    case ExprKind::kNot:
+      return EvalValue::Bool(!EffectiveBool(*expr.args[0], lookup));
+    case ExprKind::kCompare: {
+      const EvalValue a = Evaluate(*expr.args[0], lookup);
+      const EvalValue b = Evaluate(*expr.args[1], lookup);
+      return Compare(expr.compare_op, a, b);
+    }
+    case ExprKind::kArith: {
+      const auto a = ToNumber(Evaluate(*expr.args[0], lookup));
+      const auto b = ToNumber(Evaluate(*expr.args[1], lookup));
+      if (!a || !b) return EvalValue::Error();
+      switch (expr.arith_op) {
+        case ArithOp::kAdd: return EvalValue::Number(*a + *b);
+        case ArithOp::kSub: return EvalValue::Number(*a - *b);
+        case ArithOp::kMul: return EvalValue::Number(*a * *b);
+        case ArithOp::kDiv:
+          if (*b == 0.0) return EvalValue::Error();
+          return EvalValue::Number(*a / *b);
+      }
+      return EvalValue::Error();
+    }
+    case ExprKind::kNegate: {
+      const auto a = ToNumber(Evaluate(*expr.args[0], lookup));
+      if (!a) return EvalValue::Error();
+      return EvalValue::Number(-*a);
+    }
+    case ExprKind::kFunction:
+      return EvaluateFunction(expr, lookup);
+  }
+  return EvalValue::Error();
+}
+
+bool ExpressionEvaluator::EffectiveBool(const Expr& expr,
+                                        const VarLookup& lookup) {
+  const EvalValue v = Evaluate(expr, lookup);
+  switch (v.kind) {
+    case EvalValue::Kind::kBool:
+      return v.boolean;
+    case EvalValue::Kind::kNumber:
+      return v.number != 0.0 && !std::isnan(v.number);
+    case EvalValue::Kind::kString:
+      return !v.string.empty();
+    case EvalValue::Kind::kTerm:
+      if (v.term.is_literal()) {
+        if (v.term.datatype() == "http://www.w3.org/2001/XMLSchema#boolean") {
+          return v.term.lexical() == "true" || v.term.lexical() == "1";
+        }
+        if (const auto n = TermToNumber(v.term)) return *n != 0.0;
+        return !v.term.lexical().empty();
+      }
+      return true;
+    case EvalValue::Kind::kEncoded: {
+      if (const auto n = decoder_->Numeric(v.encoded)) return *n != 0.0;
+      return !decoder_->Str(v.encoded).empty();
+    }
+    case EvalValue::Kind::kError:
+      return false;
+  }
+  return false;
+}
+
+std::optional<double> ExpressionEvaluator::ToNumber(const EvalValue& v) {
+  switch (v.kind) {
+    case EvalValue::Kind::kNumber:
+      return v.number;
+    case EvalValue::Kind::kBool:
+      return v.boolean ? 1.0 : 0.0;
+    case EvalValue::Kind::kTerm:
+      return TermToNumber(v.term);
+    case EvalValue::Kind::kEncoded:
+      return decoder_->Numeric(v.encoded);
+    case EvalValue::Kind::kString:
+    case EvalValue::Kind::kError:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ExpressionEvaluator::ToStr(const EvalValue& v) {
+  switch (v.kind) {
+    case EvalValue::Kind::kString:
+      return v.string;
+    case EvalValue::Kind::kBool:
+      return std::string(v.boolean ? "true" : "false");
+    case EvalValue::Kind::kNumber: {
+      // Integral doubles print without a decimal point, as xsd integers do.
+      if (v.number == std::floor(v.number) && std::abs(v.number) < 1e15) {
+        return std::to_string(static_cast<long long>(v.number));
+      }
+      return std::to_string(v.number);
+    }
+    case EvalValue::Kind::kTerm:
+      return v.term.lexical();
+    case EvalValue::Kind::kEncoded:
+      return decoder_->Str(v.encoded);
+    case EvalValue::Kind::kError:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+const std::regex* ExpressionEvaluator::CompiledRegex(
+    const std::string& pattern) {
+  auto it = regex_cache_.find(pattern);
+  if (it == regex_cache_.end()) {
+    it = regex_cache_.emplace(pattern, std::regex(pattern)).first;
+  }
+  return &it->second;
+}
+
+EvalValue ExpressionEvaluator::EvaluateFunction(const Expr& expr,
+                                                const VarLookup& lookup) {
+  const std::string& fn = expr.function;
+  if (fn == "bound") {
+    if (expr.args.size() != 1 ||
+        expr.args[0]->kind != ExprKind::kVariable) {
+      return EvalValue::Error();
+    }
+    return EvalValue::Bool(lookup(expr.args[0]->variable).has_value());
+  }
+  if (fn == "str") {
+    if (expr.args.size() != 1) return EvalValue::Error();
+    const auto s = ToStr(Evaluate(*expr.args[0], lookup));
+    if (!s) return EvalValue::Error();
+    return EvalValue::String(*s);
+  }
+  if (fn == "regex") {
+    if (expr.args.size() < 2) return EvalValue::Error();
+    const auto text = ToStr(Evaluate(*expr.args[0], lookup));
+    const auto pattern = ToStr(Evaluate(*expr.args[1], lookup));
+    if (!text || !pattern) return EvalValue::Error();
+    return EvalValue::Bool(std::regex_search(*text, *CompiledRegex(*pattern)));
+  }
+  if (fn == "if") {
+    if (expr.args.size() != 3) return EvalValue::Error();
+    return EffectiveBool(*expr.args[0], lookup)
+               ? Evaluate(*expr.args[1], lookup)
+               : Evaluate(*expr.args[2], lookup);
+  }
+  if (fn == "abs" || fn == "ceil" || fn == "floor" || fn == "round") {
+    if (expr.args.size() != 1) return EvalValue::Error();
+    const auto n = ToNumber(Evaluate(*expr.args[0], lookup));
+    if (!n) return EvalValue::Error();
+    if (fn == "abs") return EvalValue::Number(std::abs(*n));
+    if (fn == "ceil") return EvalValue::Number(std::ceil(*n));
+    if (fn == "floor") return EvalValue::Number(std::floor(*n));
+    return EvalValue::Number(std::round(*n));
+  }
+  if (fn == "contains" || fn == "strstarts" || fn == "strends") {
+    if (expr.args.size() != 2) return EvalValue::Error();
+    const auto a = ToStr(Evaluate(*expr.args[0], lookup));
+    const auto b = ToStr(Evaluate(*expr.args[1], lookup));
+    if (!a || !b) return EvalValue::Error();
+    if (fn == "contains") {
+      return EvalValue::Bool(a->find(*b) != std::string::npos);
+    }
+    if (fn == "strstarts") {
+      return EvalValue::Bool(a->rfind(*b, 0) == 0);
+    }
+    return EvalValue::Bool(a->size() >= b->size() &&
+                           a->compare(a->size() - b->size(), b->size(), *b) ==
+                               0);
+  }
+  if (fn == "lang") {
+    if (expr.args.size() != 1) return EvalValue::Error();
+    const EvalValue v = Evaluate(*expr.args[0], lookup);
+    rdf::Term t;
+    if (v.kind == EvalValue::Kind::kTerm) {
+      t = v.term;
+    } else if (v.kind == EvalValue::Kind::kEncoded) {
+      t = decoder_->Decode(v.encoded);
+    } else {
+      return EvalValue::Error();
+    }
+    return EvalValue::String(t.lang());
+  }
+  if (fn == "datatype") {
+    if (expr.args.size() != 1) return EvalValue::Error();
+    const EvalValue v = Evaluate(*expr.args[0], lookup);
+    rdf::Term t;
+    if (v.kind == EvalValue::Kind::kTerm) {
+      t = v.term;
+    } else if (v.kind == EvalValue::Kind::kEncoded) {
+      t = decoder_->Decode(v.encoded);
+    } else {
+      return EvalValue::Error();
+    }
+    if (!t.is_literal()) return EvalValue::Error();
+    return EvalValue::String(
+        t.datatype().empty() ? "http://www.w3.org/2001/XMLSchema#string"
+                             : t.datatype());
+  }
+  if (fn == "isiri" || fn == "isuri" || fn == "isliteral" || fn == "isblank") {
+    if (expr.args.size() != 1) return EvalValue::Error();
+    const EvalValue v = Evaluate(*expr.args[0], lookup);
+    rdf::Term t;
+    if (v.kind == EvalValue::Kind::kTerm) {
+      t = v.term;
+    } else if (v.kind == EvalValue::Kind::kEncoded) {
+      t = decoder_->Decode(v.encoded);
+    } else if (v.kind == EvalValue::Kind::kString ||
+               v.kind == EvalValue::Kind::kNumber ||
+               v.kind == EvalValue::Kind::kBool) {
+      t = rdf::Term::Literal("x");
+    } else {
+      return EvalValue::Error();
+    }
+    if (fn == "isliteral") return EvalValue::Bool(t.is_literal());
+    if (fn == "isblank") return EvalValue::Bool(t.is_blank());
+    return EvalValue::Bool(t.is_iri());
+  }
+  return EvalValue::Error();  // unknown function
+}
+
+EvalValue ExpressionEvaluator::Compare(CompareOp op, const EvalValue& a,
+                                       const EvalValue& b) {
+  // Numeric comparison when both sides coerce to numbers.
+  const auto na = ToNumber(a);
+  const auto nb = ToNumber(b);
+  int cmp;
+  if (na && nb) {
+    cmp = (*na < *nb) ? -1 : (*na > *nb ? 1 : 0);
+  } else {
+    // Equality of two encoded terms in the same space is id equality.
+    if (a.kind == EvalValue::Kind::kEncoded &&
+        b.kind == EvalValue::Kind::kEncoded &&
+        (op == CompareOp::kEq || op == CompareOp::kNe)) {
+      const bool eq = a.encoded == b.encoded;
+      return EvalValue::Bool(op == CompareOp::kEq ? eq : !eq);
+    }
+    const auto sa = ToStr(a);
+    const auto sb = ToStr(b);
+    if (!sa || !sb) return EvalValue::Error();
+    cmp = sa->compare(*sb);
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq: return EvalValue::Bool(cmp == 0);
+    case CompareOp::kNe: return EvalValue::Bool(cmp != 0);
+    case CompareOp::kLt: return EvalValue::Bool(cmp < 0);
+    case CompareOp::kLe: return EvalValue::Bool(cmp <= 0);
+    case CompareOp::kGt: return EvalValue::Bool(cmp > 0);
+    case CompareOp::kGe: return EvalValue::Bool(cmp >= 0);
+  }
+  return EvalValue::Error();
+}
+
+}  // namespace sedge::sparql

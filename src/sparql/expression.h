@@ -1,0 +1,110 @@
+// FILTER / BIND expression evaluation.
+//
+// Expressions run over encoded bindings; a ValueDecoder supplied by the
+// engine (SuccinctEdge store or a baseline) materializes encoded terms into
+// lexical forms and numbers on demand, so the common numeric path never
+// allocates strings (the datatype store's parsed-double cache serves it
+// directly).
+
+#ifndef SEDGE_SPARQL_EXPRESSION_H_
+#define SEDGE_SPARQL_EXPRESSION_H_
+
+#include <map>
+#include <optional>
+#include <regex>
+#include <string>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+#include "store/encoded.h"
+#include "util/status.h"
+
+namespace sedge::sparql {
+
+/// \brief Engine-supplied decoder from EncodedTerm to concrete values.
+class ValueDecoder {
+ public:
+  virtual ~ValueDecoder() = default;
+  /// Full term materialization ("extract").
+  virtual rdf::Term Decode(const store::EncodedTerm& value) const = 0;
+  /// Numeric fast path; nullopt for non-numeric values.
+  virtual std::optional<double> Numeric(const store::EncodedTerm& value) const = 0;
+  /// SPARQL str(): IRI string or literal lexical form.
+  virtual std::string Str(const store::EncodedTerm& value) const = 0;
+};
+
+/// \brief Value produced while evaluating an expression.
+struct EvalValue {
+  enum class Kind : uint8_t { kError, kBool, kNumber, kString, kEncoded, kTerm };
+  Kind kind = Kind::kError;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  store::EncodedTerm encoded;
+  rdf::Term term;
+
+  static EvalValue Error() { return {}; }
+  static EvalValue Bool(bool b) {
+    EvalValue v;
+    v.kind = Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+  static EvalValue Number(double d) {
+    EvalValue v;
+    v.kind = Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+  static EvalValue String(std::string s) {
+    EvalValue v;
+    v.kind = Kind::kString;
+    v.string = std::move(s);
+    return v;
+  }
+  static EvalValue Encoded(store::EncodedTerm e) {
+    EvalValue v;
+    v.kind = Kind::kEncoded;
+    v.encoded = e;
+    return v;
+  }
+  static EvalValue TermValue(rdf::Term t) {
+    EvalValue v;
+    v.kind = Kind::kTerm;
+    v.term = std::move(t);
+    return v;
+  }
+};
+
+/// \brief Evaluator for one query execution: resolves variables through a
+/// caller-provided lookup and caches compiled regexes across rows.
+class ExpressionEvaluator {
+ public:
+  /// `lookup(var)` returns the row's binding or nullopt if unbound.
+  using VarLookup =
+      std::function<std::optional<store::EncodedTerm>(const Variable&)>;
+
+  explicit ExpressionEvaluator(const ValueDecoder* decoder)
+      : decoder_(decoder) {}
+
+  /// Evaluates `expr` under `lookup`. Errors map to EvalValue::Error()
+  /// (SPARQL: a filter whose expression errors eliminates the row).
+  EvalValue Evaluate(const Expr& expr, const VarLookup& lookup);
+
+  /// Effective boolean value; errors yield false (row elimination).
+  bool EffectiveBool(const Expr& expr, const VarLookup& lookup);
+
+ private:
+  std::optional<double> ToNumber(const EvalValue& v);
+  std::optional<std::string> ToStr(const EvalValue& v);
+  EvalValue EvaluateFunction(const Expr& expr, const VarLookup& lookup);
+  EvalValue Compare(CompareOp op, const EvalValue& a, const EvalValue& b);
+  const std::regex* CompiledRegex(const std::string& pattern);
+
+  const ValueDecoder* decoder_;
+  std::map<std::string, std::regex> regex_cache_;
+};
+
+}  // namespace sedge::sparql
+
+#endif  // SEDGE_SPARQL_EXPRESSION_H_

@@ -1,0 +1,48 @@
+// Join-order optimizer: the paper's Algorithm 1.
+//
+// Produces a left-deep execution order over the BGP's triple patterns by
+// combining two static heuristics with dictionary statistics:
+//
+//   Heuristic 1 (adapted from Tsialiamanis et al., re-ordered for the PSO
+//   access paths):  (s,t,o) > (s,t,?o) > (?s,t,o) > (s,p,o) > (s,p,?o) >
+//                   (?s,p,o) > (?s,p,?o) > var-predicate > (?s,t,?o)
+//   Heuristic 2: SS joins are preferred over SO/OS, then OO, then joins
+//   through the predicate position.
+//
+// The first pattern is the most selective rdf:type pattern that reaches
+// another pattern through an SS join; failing that, the most selective
+// non-type pattern (Algorithm 1 lines 2-3). Each following pattern is the
+// best candidate connected to the patterns already ordered; statistics
+// (hierarchy-aware occurrence counts) break ties.
+
+#ifndef SEDGE_SPARQL_OPTIMIZER_H_
+#define SEDGE_SPARQL_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sparql/ast.h"
+#include "sparql/query_graph.h"
+
+namespace sedge::sparql {
+
+/// \brief Engine-supplied per-pattern cardinality estimate (the
+/// dictionary statistics of Section 5.1).
+class CardinalityEstimator {
+ public:
+  virtual ~CardinalityEstimator() = default;
+  virtual uint64_t Estimate(const TriplePattern& tp) const = 0;
+};
+
+/// Heuristic-1 rank of a pattern; lower executes earlier. Exposed for the
+/// optimizer tests.
+int HeuristicClass(const TriplePattern& tp);
+
+/// Algorithm 1: returns the execution order as indices into `triples`.
+std::vector<size_t> OrderTriplePatterns(
+    const std::vector<TriplePattern>& triples,
+    const CardinalityEstimator& estimator);
+
+}  // namespace sedge::sparql
+
+#endif  // SEDGE_SPARQL_OPTIMIZER_H_

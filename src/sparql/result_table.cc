@@ -1,0 +1,27 @@
+#include "sparql/result_table.h"
+
+namespace sedge::sparql {
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < var_names.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += '?';
+    out += var_names[i];
+  }
+  out += '\n';
+  const size_t shown = rows.size() < max_rows ? rows.size() : max_rows;
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) out += '\t';
+      out += rows[r][c] ? rows[r][c]->ToNTriples() : "UNDEF";
+    }
+    out += '\n';
+  }
+  if (shown < rows.size()) {
+    out += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace sedge::sparql

@@ -1,0 +1,62 @@
+// Intermediate and final binding tables.
+
+#ifndef SEDGE_SPARQL_RESULT_TABLE_H_
+#define SEDGE_SPARQL_RESULT_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/term.h"
+#include "sparql/ast.h"
+#include "store/encoded.h"
+
+namespace sedge::sparql {
+
+/// \brief Encoded binding table: one column per variable, one row per
+/// solution. Unbound cells carry ValueSpace::kUnbound.
+struct BindingTable {
+  std::vector<Variable> vars;
+  std::vector<std::vector<store::EncodedTerm>> rows;
+
+  /// Column of `v`, or -1.
+  int IndexOf(const Variable& v) const {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (vars[i] == v) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Adds a column for `v` (unbound in existing rows); returns its index.
+  int AddVar(const Variable& v) {
+    const int existing = IndexOf(v);
+    if (existing >= 0) return existing;
+    vars.push_back(v);
+    for (auto& row : rows) {
+      row.push_back({store::ValueSpace::kUnbound, 0});
+    }
+    return static_cast<int>(vars.size()) - 1;
+  }
+
+  /// The neutral table: no columns, a single empty row (join identity).
+  static BindingTable Unit() {
+    BindingTable t;
+    t.rows.push_back({});
+    return t;
+  }
+};
+
+/// \brief Decoded query result handed to applications.
+struct QueryResult {
+  std::vector<std::string> var_names;
+  std::vector<std::vector<std::optional<rdf::Term>>> rows;  // nullopt=unbound
+
+  size_t size() const { return rows.size(); }
+
+  /// Tab-separated textual rendering (debugging, examples).
+  std::string ToString(size_t max_rows = 25) const;
+};
+
+}  // namespace sedge::sparql
+
+#endif  // SEDGE_SPARQL_RESULT_TABLE_H_

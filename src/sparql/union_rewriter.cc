@@ -1,0 +1,121 @@
+#include "sparql/union_rewriter.h"
+
+#include "rdf/vocabulary.h"
+
+namespace sedge::sparql {
+namespace {
+
+// Alternatives for one pattern slot under ρdf entailment.
+std::vector<std::string> Alternatives(const TriplePattern& tp,
+                                      const ontology::Ontology& onto,
+                                      bool* is_type) {
+  if (IsVar(tp.predicate) || !AsTerm(tp.predicate).is_iri()) return {};
+  const std::string& p = AsTerm(tp.predicate).lexical();
+  if (p == rdf::kRdfType) {
+    *is_type = true;
+    if (IsVar(tp.object) || !AsTerm(tp.object).is_iri()) return {};
+    return onto.SubClassesTransitive(AsTerm(tp.object).lexical());
+  }
+  *is_type = false;
+  return onto.SubPropertiesTransitive(p);
+}
+
+}  // namespace
+
+std::unique_ptr<Expr> CloneExpr(const Expr& expr) {
+  auto clone = std::make_unique<Expr>();
+  clone->kind = expr.kind;
+  clone->term = expr.term;
+  clone->variable = expr.variable;
+  clone->compare_op = expr.compare_op;
+  clone->arith_op = expr.arith_op;
+  clone->function = expr.function;
+  clone->args.reserve(expr.args.size());
+  for (const auto& arg : expr.args) clone->args.push_back(CloneExpr(*arg));
+  return clone;
+}
+
+Result<Query> RewriteWithUnions(const Query& query,
+                                const ontology::Ontology& onto,
+                                size_t max_branches) {
+  // Per-pattern alternative lists (size 1 = no expansion needed).
+  const auto& triples = query.where.triples;
+  std::vector<std::vector<TriplePattern>> expanded(triples.size());
+  size_t total_branches = 1;
+  for (size_t i = 0; i < triples.size(); ++i) {
+    bool is_type = false;
+    const std::vector<std::string> alts =
+        Alternatives(triples[i], onto, &is_type);
+    if (alts.size() <= 1) {
+      expanded[i] = {triples[i]};
+    } else {
+      for (const std::string& alt : alts) {
+        TriplePattern tp = triples[i];
+        if (is_type) {
+          tp.object = rdf::Term::Iri(alt);
+        } else {
+          tp.predicate = rdf::Term::Iri(alt);
+        }
+        expanded[i].push_back(std::move(tp));
+      }
+    }
+    total_branches *= expanded[i].size();
+    if (total_branches > max_branches) {
+      return Status::InvalidArgument(
+          "UNION rewriting explodes beyond " +
+          std::to_string(max_branches) + " branches");
+    }
+  }
+
+  Query out;
+  out.distinct = query.distinct;
+  out.select = query.select;
+  out.limit = query.limit;
+  out.offset = query.offset;
+  for (const auto& filter : query.where.filters) {
+    out.where.filters.push_back(CloneExpr(*filter));
+  }
+  for (const auto& bind : query.where.binds) {
+    out.where.binds.push_back(Bind{CloneExpr(*bind.expr), bind.var});
+  }
+  // Nested UNION blocks of the source query are preserved untouched (the
+  // evaluation queries only need BGP-level rewriting).
+  for (const UnionBlock& block : query.where.unions) {
+    UnionBlock copy;
+    for (const GroupPattern& alt : block.alternatives) {
+      GroupPattern g;
+      g.triples = alt.triples;
+      for (const auto& f : alt.filters) g.filters.push_back(CloneExpr(*f));
+      copy.alternatives.push_back(std::move(g));
+    }
+    out.where.unions.push_back(std::move(copy));
+  }
+
+  if (total_branches == 1) {
+    out.where.triples = triples;
+    return out;
+  }
+
+  // Cross product of alternatives -> one UNION block.
+  UnionBlock block;
+  std::vector<size_t> choice(triples.size(), 0);
+  for (;;) {
+    GroupPattern branch;
+    for (size_t i = 0; i < triples.size(); ++i) {
+      branch.triples.push_back(expanded[i][choice[i]]);
+    }
+    block.alternatives.push_back(std::move(branch));
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < choice.size()) {
+      if (++choice[pos] < expanded[pos].size()) break;
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == choice.size()) break;
+  }
+  out.where.unions.push_back(std::move(block));
+  return out;
+}
+
+}  // namespace sedge::sparql

@@ -1,0 +1,34 @@
+// Reasoning-by-rewriting for systems without native inference.
+//
+// The paper hands Jena and RDF4J manually rewritten queries: each
+// reasoning-sensitive triple pattern (a concept with sub-concepts, a
+// property with sub-properties) is expanded and the query becomes the
+// UNION of all concrete combinations (Section 7.3.5). This module
+// automates that rewriting from the ontology, so the Figure 14 benches run
+// exactly the experiment the paper describes — including its cost: the
+// number of UNION branches is the product of the per-pattern alternative
+// counts.
+
+#ifndef SEDGE_SPARQL_UNION_REWRITER_H_
+#define SEDGE_SPARQL_UNION_REWRITER_H_
+
+#include "ontology/ontology.h"
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sedge::sparql {
+
+/// Deep copy of an expression tree (the AST holds unique_ptrs).
+std::unique_ptr<Expr> CloneExpr(const Expr& expr);
+
+/// Rewrites `query` into an inference-free equivalent: the top-level BGP
+/// becomes one UNION block whose alternatives enumerate every combination
+/// of sub-concepts / sub-properties. Fails with kInvalidArgument if the
+/// expansion would exceed `max_branches`.
+Result<Query> RewriteWithUnions(const Query& query,
+                                const ontology::Ontology& onto,
+                                size_t max_branches = 65536);
+
+}  // namespace sedge::sparql
+
+#endif  // SEDGE_SPARQL_UNION_REWRITER_H_

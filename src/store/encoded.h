@@ -1,0 +1,47 @@
+// Encoded-term representation shared by the store layers and the SPARQL
+// executor.
+//
+// SuccinctEdge keeps several disjoint id spaces (paper Section 4): instance
+// ids for individuals, LiteMat ids for concepts and for the two property
+// hierarchies, and positions into the flat literal pool for datatype
+// objects. A binding value is therefore a (space, id) pair.
+
+#ifndef SEDGE_STORE_ENCODED_H_
+#define SEDGE_STORE_ENCODED_H_
+
+#include <cstdint>
+
+namespace sedge::store {
+
+enum class ValueSpace : uint8_t {
+  kInstance = 0,        // individuals (IRIs / blank nodes)
+  kConcept = 1,         // LiteMat concept ids
+  kObjectProperty = 2,  // LiteMat object-property ids
+  kDatatypeProperty = 3,
+  kLiteral = 4,  // positions into the datatype store's literal pool
+  // Runtime-only spaces (never persisted):
+  kRdfType = 5,   // the rdf:type predicate bound to a variable
+  kComputed = 6,  // BIND-computed values, indexed into the executor's pool
+  kUnbound = 7,   // absent binding (UNION alignment, OPTIONAL-style holes)
+};
+
+/// \brief One encoded RDF term: which id space, and the id within it.
+struct EncodedTerm {
+  ValueSpace space = ValueSpace::kInstance;
+  uint64_t id = 0;
+
+  friend bool operator==(const EncodedTerm& a, const EncodedTerm& b) {
+    return a.space == b.space && a.id == b.id;
+  }
+  friend bool operator!=(const EncodedTerm& a, const EncodedTerm& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const EncodedTerm& a, const EncodedTerm& b) {
+    if (a.space != b.space) return a.space < b.space;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace sedge::store
+
+#endif  // SEDGE_STORE_ENCODED_H_

@@ -1,0 +1,102 @@
+#include "store/rdftype_store.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace sedge::store {
+
+void RdfTypeStore::Add(uint64_t subject, uint64_t concept_id) {
+  by_subject_.GetOrInsert(subject).push_back(concept_id);
+  by_concept_.GetOrInsert(concept_id).push_back(subject);
+  finalized_ = false;
+}
+
+void RdfTypeStore::Finalize() {
+  uint64_t total = 0;
+  const auto normalize = [](std::vector<uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  // RbTree::ForEach yields const refs; normalization happens through the
+  // mutable Find path.
+  std::vector<uint64_t> keys;
+  by_subject_.ForEach(
+      [&keys](const uint64_t& k, const std::vector<uint64_t>&) {
+        keys.push_back(k);
+      });
+  for (const uint64_t k : keys) normalize(*by_subject_.Find(k));
+  keys.clear();
+  by_concept_.ForEach(
+      [&keys](const uint64_t& k, const std::vector<uint64_t>&) {
+        keys.push_back(k);
+      });
+  for (const uint64_t k : keys) {
+    std::vector<uint64_t>& v = *by_concept_.Find(k);
+    normalize(v);
+    total += v.size();
+  }
+  num_triples_ = total;
+  finalized_ = true;
+}
+
+const std::vector<uint64_t>* RdfTypeStore::ConceptsOf(uint64_t subject) const {
+  SEDGE_DCHECK(finalized_);
+  return by_subject_.Find(subject);
+}
+
+const std::vector<uint64_t>* RdfTypeStore::SubjectsOf(
+    uint64_t concept_id) const {
+  SEDGE_DCHECK(finalized_);
+  return by_concept_.Find(concept_id);
+}
+
+bool RdfTypeStore::Contains(uint64_t subject, uint64_t concept_id) const {
+  const std::vector<uint64_t>* concepts = ConceptsOf(subject);
+  if (concepts == nullptr) return false;
+  return std::binary_search(concepts->begin(), concepts->end(), concept_id);
+}
+
+void RdfTypeStore::ForEachSubjectTypedIn(
+    uint64_t lo, uint64_t hi,
+    const std::function<void(uint64_t, uint64_t)>& visit) const {
+  SEDGE_DCHECK(finalized_);
+  by_concept_.ForEachInRange(
+      lo, hi, [&visit](const uint64_t& c, const std::vector<uint64_t>& subs) {
+        for (const uint64_t s : subs) visit(s, c);
+      });
+}
+
+uint64_t RdfTypeStore::CountTypedIn(uint64_t lo, uint64_t hi) const {
+  uint64_t count = 0;
+  by_concept_.ForEachInRange(
+      lo, hi, [&count](const uint64_t&, const std::vector<uint64_t>& subs) {
+        count += subs.size();
+      });
+  return count;
+}
+
+void RdfTypeStore::ForEach(
+    const std::function<void(uint64_t, uint64_t)>& visit) const {
+  by_concept_.ForEach(
+      [&visit](const uint64_t& c, const std::vector<uint64_t>& subs) {
+        for (const uint64_t s : subs) visit(s, c);
+      });
+}
+
+uint64_t RdfTypeStore::SizeInBytes() const {
+  // Tree nodes plus vector payloads (each typing appears in both trees).
+  return sizeof(*this) + by_subject_.SizeInBytes() + by_concept_.SizeInBytes() +
+         2 * num_triples_ * sizeof(uint64_t);
+}
+
+void RdfTypeStore::Serialize(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&num_triples_), sizeof(num_triples_));
+  ForEach([&os](uint64_t s, uint64_t c) {
+    os.write(reinterpret_cast<const char*>(&s), sizeof(s));
+    os.write(reinterpret_cast<const char*>(&c), sizeof(c));
+  });
+}
+
+}  // namespace sedge::store

@@ -1,0 +1,104 @@
+#include "store/triple_store.h"
+
+#include <ostream>
+
+#include "rdf/vocabulary.h"
+#include "util/logging.h"
+
+namespace sedge::store {
+
+Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
+                                       const rdf::Graph& data) {
+  TripleStore store;
+  SEDGE_ASSIGN_OR_RETURN(store.dict_,
+                         litemat::Dictionary::Build(onto, data));
+  litemat::Dictionary& dict = store.dict_;
+
+  std::vector<PsoIndex::Triple> object_triples;
+  std::vector<DatatypeStore::Triple> datatype_triples;
+
+  for (const rdf::Triple& t : data.triples()) {
+    if (!t.predicate.is_iri() || t.subject.is_literal()) {
+      ++store.skipped_;
+      continue;
+    }
+    const std::string& p = t.predicate.lexical();
+    if (p == rdf::kRdfType) {
+      if (!t.object.is_iri()) {
+        ++store.skipped_;
+        continue;
+      }
+      const auto cid = dict.ConceptId(t.object.lexical());
+      SEDGE_CHECK(cid.has_value()) << "concept missing from dictionary: "
+                                   << t.object.lexical();
+      const uint32_t sid = dict.InstanceIdOrAssign(t.subject);
+      store.type_store_.Add(sid, *cid);
+      dict.RecordConceptOccurrence(*cid);
+      dict.RecordInstanceOccurrence(sid);
+      continue;
+    }
+    if (t.object.is_literal()) {
+      const auto pid = dict.DatatypePropertyId(p);
+      SEDGE_CHECK(pid.has_value()) << "datatype property missing: " << p;
+      const uint32_t sid = dict.InstanceIdOrAssign(t.subject);
+      datatype_triples.push_back({*pid, sid, t.object});
+      dict.RecordDatatypePropertyOccurrence(*pid);
+      dict.RecordInstanceOccurrence(sid);
+      continue;
+    }
+    const auto pid = dict.ObjectPropertyId(p);
+    SEDGE_CHECK(pid.has_value()) << "object property missing: " << p;
+    const uint32_t sid = dict.InstanceIdOrAssign(t.subject);
+    const uint32_t oid = dict.InstanceIdOrAssign(t.object);
+    object_triples.push_back({*pid, sid, oid});
+    dict.RecordObjectPropertyOccurrence(*pid);
+    dict.RecordInstanceOccurrence(sid);
+    dict.RecordInstanceOccurrence(oid);
+  }
+
+  store.type_store_.Finalize();
+  store.object_store_ = PsoIndex::Build(std::move(object_triples));
+  store.datatype_store_ = DatatypeStore::Build(std::move(datatype_triples));
+  return store;
+}
+
+std::optional<EncodedTerm> TripleStore::EncodeInstance(
+    const rdf::Term& term) const {
+  const auto id = dict_.InstanceId(term);
+  if (!id) return std::nullopt;
+  return EncodedTerm{ValueSpace::kInstance, *id};
+}
+
+rdf::Term TripleStore::DecodeTerm(const EncodedTerm& value) const {
+  switch (value.space) {
+    case ValueSpace::kInstance:
+      return dict_.InstanceTerm(static_cast<uint32_t>(value.id));
+    case ValueSpace::kConcept: {
+      const auto iri = dict_.ConceptIri(value.id);
+      SEDGE_CHECK(iri.has_value()) << "unknown concept id " << value.id;
+      return rdf::Term::Iri(*iri);
+    }
+    case ValueSpace::kObjectProperty: {
+      const auto iri = dict_.ObjectPropertyIri(value.id);
+      SEDGE_CHECK(iri.has_value()) << "unknown object property " << value.id;
+      return rdf::Term::Iri(*iri);
+    }
+    case ValueSpace::kDatatypeProperty: {
+      const auto iri = dict_.DatatypePropertyIri(value.id);
+      SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << value.id;
+      return rdf::Term::Iri(*iri);
+    }
+    case ValueSpace::kLiteral:
+      return datatype_store_.LiteralAt(value.id);
+  }
+  SEDGE_CHECK(false) << "bad value space";
+  return {};
+}
+
+void TripleStore::SerializeTriples(std::ostream& os) const {
+  object_store_.Serialize(os);
+  datatype_store_.Serialize(os);
+  type_store_.Serialize(os);
+}
+
+}  // namespace sedge::store

@@ -1,0 +1,87 @@
+// TripleStore: the complete SuccinctEdge storage stack for one graph.
+//
+// Owns the LiteMat dictionaries and the three storage layouts of Figure 4
+// (object-triple store, datatype-triple store, RDFType store), routes each
+// incoming triple to the right layout, and offers encode/decode between
+// rdf::Term and EncodedTerm. This is what the SPARQL executor runs against;
+// applications usually interact with the higher-level sedge::Database.
+
+#ifndef SEDGE_STORE_TRIPLE_STORE_H_
+#define SEDGE_STORE_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+
+#include "litemat/dictionary.h"
+#include "ontology/ontology.h"
+#include "rdf/triple.h"
+#include "store/datatype_store.h"
+#include "store/encoded.h"
+#include "store/pso_index.h"
+#include "store/rdftype_store.h"
+#include "util/status.h"
+
+namespace sedge::store {
+
+/// \brief Immutable encoded store for one RDF graph instance.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Encodes `data` against `onto` and builds all three layouts.
+  /// Triples with non-IRI predicates, rdf:type triples with literal
+  /// objects, and similar malformed statements are counted in
+  /// skipped_triples() rather than failing the build.
+  static Result<TripleStore> Build(const ontology::Ontology& onto,
+                                   const rdf::Graph& data);
+
+  const litemat::Dictionary& dict() const { return dict_; }
+  litemat::Dictionary& mutable_dict() { return dict_; }
+  const PsoIndex& object_store() const { return object_store_; }
+  const DatatypeStore& datatype_store() const { return datatype_store_; }
+  const RdfTypeStore& type_store() const { return type_store_; }
+
+  /// Distinct triples stored across the three layouts.
+  uint64_t num_triples() const {
+    return object_store_.num_triples() + datatype_store_.num_triples() +
+           type_store_.num_triples();
+  }
+  uint64_t skipped_triples() const { return skipped_; }
+
+  // -- Encode / decode ------------------------------------------------------
+
+  /// Instance-space encoding of an IRI/blank term, if it occurs in the data.
+  std::optional<EncodedTerm> EncodeInstance(const rdf::Term& term) const;
+
+  /// Decodes any binding value back to an rdf::Term ("extract").
+  rdf::Term DecodeTerm(const EncodedTerm& value) const;
+
+  // -- Size accounting (Figures 9-11) --------------------------------------
+
+  /// Triple layouts only, dictionary excluded (Figure 10).
+  uint64_t TriplesSizeInBytes() const {
+    return object_store_.SizeInBytes() + datatype_store_.SizeInBytes() +
+           type_store_.SizeInBytes();
+  }
+  /// Dictionary payload (Figure 9).
+  uint64_t DictionarySizeInBytes() const { return dict_.SizeInBytes(); }
+  /// Full in-memory footprint (Figure 11).
+  uint64_t SizeInBytes() const {
+    return TriplesSizeInBytes() + DictionarySizeInBytes();
+  }
+
+  void SerializeTriples(std::ostream& os) const;
+  void SerializeDictionary(std::ostream& os) const { dict_.Serialize(os); }
+
+ private:
+  litemat::Dictionary dict_;
+  PsoIndex object_store_;
+  DatatypeStore datatype_store_;
+  RdfTypeStore type_store_;
+  uint64_t skipped_ = 0;
+};
+
+}  // namespace sedge::store
+
+#endif  // SEDGE_STORE_TRIPLE_STORE_H_

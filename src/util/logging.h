@@ -1,0 +1,54 @@
+// Minimal logging and invariant-checking macros.
+//
+// SEDGE_CHECK aborts on violated invariants (programming errors), never on
+// bad user input — bad input flows through Status (see util/status.h).
+
+#ifndef SEDGE_UTIL_LOGGING_H_
+#define SEDGE_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sedge::internal_logging {
+
+// Accumulates a message and aborts the process on destruction. Used only by
+// the SEDGE_CHECK family below.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace sedge::internal_logging
+
+#define SEDGE_CHECK(cond)                                                  \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::sedge::internal_logging::FatalLogMessage(__FILE__, __LINE__, #cond)  \
+        .stream()
+
+#define SEDGE_CHECK_EQ(a, b) SEDGE_CHECK((a) == (b))
+#define SEDGE_CHECK_NE(a, b) SEDGE_CHECK((a) != (b))
+#define SEDGE_CHECK_LT(a, b) SEDGE_CHECK((a) < (b))
+#define SEDGE_CHECK_LE(a, b) SEDGE_CHECK((a) <= (b))
+#define SEDGE_CHECK_GT(a, b) SEDGE_CHECK((a) > (b))
+#define SEDGE_CHECK_GE(a, b) SEDGE_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define SEDGE_DCHECK(cond) SEDGE_CHECK(true)
+#else
+#define SEDGE_DCHECK(cond) SEDGE_CHECK(cond)
+#endif
+
+#endif  // SEDGE_UTIL_LOGGING_H_

@@ -1,0 +1,75 @@
+// Deterministic pseudo-random number generation for generators and tests.
+//
+// A fixed, seedable generator keeps every workload and property test
+// reproducible across platforms (std::mt19937 distributions are not
+// guaranteed identical across standard libraries, so we roll our own
+// uniform helpers on top of SplitMix64/xoshiro256**).
+
+#ifndef SEDGE_UTIL_RNG_H_
+#define SEDGE_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace sedge {
+
+/// \brief Deterministic xoshiro256** generator with uniform helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedc0ffee123456ULL) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    SEDGE_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    SEDGE_DCHECK(lo <= hi);
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / (1ULL << 53)); }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace sedge
+
+#endif  // SEDGE_UTIL_RNG_H_

@@ -1,0 +1,147 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// SuccinctEdge never throws across module boundaries: fallible operations
+// return `Status` (or `Result<T>` when they also produce a value). Callers
+// either handle the error or propagate it with SEDGE_RETURN_NOT_OK /
+// SEDGE_ASSIGN_OR_RETURN.
+
+#ifndef SEDGE_UTIL_STATUS_H_
+#define SEDGE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sedge {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnsupported,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: a code plus a human-readable
+/// message. The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kUnsupported: return "Unsupported";
+      case StatusCode::kIoError: return "IoError";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status. Mirrors arrow::Result.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(value_);
+  }
+
+  /// Value accessors; callers must check ok() first (enforced in debug).
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::move(std::get<T>(value_)); }
+
+  T ValueOr(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace sedge
+
+/// Propagate a non-OK Status from an expression returning Status.
+#define SEDGE_RETURN_NOT_OK(expr)                   \
+  do {                                              \
+    ::sedge::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define SEDGE_CONCAT_IMPL(a, b) a##b
+#define SEDGE_CONCAT(a, b) SEDGE_CONCAT_IMPL(a, b)
+
+/// Assign the value of a Result expression to `lhs`, or propagate the error.
+#define SEDGE_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto SEDGE_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!SEDGE_CONCAT(_res_, __LINE__).ok())                        \
+    return SEDGE_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(SEDGE_CONCAT(_res_, __LINE__)).value()
+
+#endif  // SEDGE_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared by parsers and formatters.
+
+#ifndef SEDGE_UTIL_STRING_UTIL_H_
+#define SEDGE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sedge {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Formats a byte count with a binary-unit suffix ("3.2 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace sedge
+
+#endif  // SEDGE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,32 @@
+#include "util/timer.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sedge {
+namespace {
+
+// Parses a "VmRSS:   123 kB" style line from /proc/self/status.
+uint64_t ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, ": %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS") * 1024; }
+
+uint64_t PeakRssBytes() { return ReadProcStatusKb("VmHWM") * 1024; }
+
+}  // namespace sedge

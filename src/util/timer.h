@@ -1,0 +1,39 @@
+// Wall-clock timing and process-memory probes used by the benchmark harness.
+
+#ifndef SEDGE_UTIL_TIMER_H_
+#define SEDGE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sedge {
+
+/// \brief Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Resident set size of the current process in bytes (Linux /proc; returns 0
+/// where unavailable). Used for the Figure 11 RAM-footprint comparison.
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM), 0 where unavailable.
+uint64_t PeakRssBytes();
+
+}  // namespace sedge
+
+#endif  // SEDGE_UTIL_TIMER_H_

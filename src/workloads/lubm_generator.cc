@@ -1,0 +1,299 @@
+#include "workloads/lubm_generator.h"
+
+#include <string>
+#include <vector>
+
+#include "rdf/vocabulary.h"
+#include "util/rng.h"
+
+namespace sedge::workloads {
+namespace {
+
+using ontology::PropertyKind;
+using rdf::Term;
+
+std::string Ub(const std::string& local) { return kLubmNs + local; }
+
+// One department's entity IRIs.
+struct DeptContext {
+  std::string university;
+  std::string dept;
+  std::vector<std::string> faculty;   // all faculty members
+  std::vector<std::string> students;  // all students (UG + grad)
+  std::vector<std::string> courses;
+};
+
+class Builder {
+ public:
+  Builder(rdf::Graph* graph, Rng* rng) : graph_(graph), rng_(rng) {}
+
+  void Type(const std::string& s, const std::string& klass) {
+    graph_->Add(Term::Iri(s), Term::Iri(rdf::kRdfType), Term::Iri(Ub(klass)));
+  }
+  void Obj(const std::string& s, const std::string& p, const std::string& o) {
+    graph_->Add(Term::Iri(s), Term::Iri(Ub(p)), Term::Iri(o));
+  }
+  void Str(const std::string& s, const std::string& p, std::string value) {
+    graph_->Add(Term::Iri(s), Term::Iri(Ub(p)),
+                Term::Literal(std::move(value)));
+  }
+
+  Rng& rng() { return *rng_; }
+
+ private:
+  rdf::Graph* graph_;
+  Rng* rng_;
+};
+
+void EmitPerson(Builder& b, const std::string& iri, const std::string& klass,
+                const std::string& short_name) {
+  b.Type(iri, klass);
+  b.Str(iri, "name", short_name);
+  b.Str(iri, "emailAddress", short_name + "@university.example");
+  b.Str(iri, "telephone", "xxx-xxx-" + std::to_string(b.rng().Uniform(10000)));
+}
+
+void GenerateDepartment(Builder& b, DeptContext& ctx, int dept_index,
+                        const std::vector<std::string>& all_universities) {
+  Rng& rng = b.rng();
+  const std::string d = ctx.dept;
+  b.Type(d, "Department");
+  b.Str(d, "name", "Department" + std::to_string(dept_index));
+  b.Obj(d, "subOrganizationOf", ctx.university);
+
+  // Research groups.
+  const int num_groups = static_cast<int>(rng.UniformRange(10, 15));
+  for (int g = 0; g < num_groups; ++g) {
+    const std::string group = d + "/ResearchGroup" + std::to_string(g);
+    b.Type(group, "ResearchGroup");
+    b.Obj(group, "subOrganizationOf", d);
+  }
+
+  // Faculty: full / associate / assistant professors and lecturers.
+  struct FacultySpec {
+    const char* klass;
+    const char* prefix;
+    uint64_t lo, hi;
+  };
+  const FacultySpec specs[] = {
+      {"FullProfessor", "FullProfessor", 7, 10},
+      {"AssociateProfessor", "AssociateProfessor", 10, 14},
+      {"AssistantProfessor", "AssistantProfessor", 8, 11},
+      {"Lecturer", "Lecturer", 5, 7},
+  };
+  int course_counter = 0;
+  for (const FacultySpec& spec : specs) {
+    const int count = static_cast<int>(rng.UniformRange(spec.lo, spec.hi));
+    for (int i = 0; i < count; ++i) {
+      const std::string person =
+          d + "/" + spec.prefix + std::to_string(i);
+      ctx.faculty.push_back(person);
+      EmitPerson(b, person, spec.klass,
+                 std::string(spec.prefix) + std::to_string(i));
+      b.Obj(person, "worksFor", d);
+      // Degrees from random universities.
+      b.Obj(person, "undergraduateDegreeFrom",
+            all_universities[rng.Uniform(all_universities.size())]);
+      b.Obj(person, "mastersDegreeFrom",
+            all_universities[rng.Uniform(all_universities.size())]);
+      b.Obj(person, "doctoralDegreeFrom",
+            all_universities[rng.Uniform(all_universities.size())]);
+      b.Str(person, "researchInterest",
+            "Research" + std::to_string(rng.Uniform(30)));
+      // Courses taught.
+      const int courses = 1 + static_cast<int>(rng.Uniform(2));
+      for (int c = 0; c < courses; ++c) {
+        const bool graduate = rng.Bernoulli(0.35);
+        const std::string course =
+            d + (graduate ? "/GraduateCourse" : "/Course") +
+            std::to_string(course_counter++);
+        b.Type(course, graduate ? "GraduateCourse" : "Course");
+        b.Obj(person, "teacherOf", course);
+        ctx.courses.push_back(course);
+      }
+    }
+  }
+  // The department head: the first full professor.
+  b.Obj(ctx.faculty.front(), "headOf", d);
+
+  // University-wide core courses (taken by large shares of students; gives
+  // Table 2 its high-cardinality (?s, takesCourse, O) probes).
+  std::vector<std::string> core_courses;
+  for (int c = 0; c < 3; ++c) {
+    const std::string course = d + "/CoreCourse" + std::to_string(c);
+    b.Type(course, "Course");
+    core_courses.push_back(course);
+  }
+
+  // Undergraduate students: ~10 per faculty member.
+  const int num_ug = static_cast<int>(ctx.faculty.size() *
+                                      rng.UniformRange(8, 12));
+  for (int i = 0; i < num_ug; ++i) {
+    const std::string student = d + "/UndergraduateStudent" +
+                                std::to_string(i);
+    ctx.students.push_back(student);
+    b.Type(student, "UndergraduateStudent");
+    b.Str(student, "name", "UndergraduateStudent" + std::to_string(i));
+    b.Str(student, "emailAddress",
+          "ug" + std::to_string(i) + "@university.example");
+    b.Obj(student, "memberOf", d);
+    const int takes = 2 + static_cast<int>(rng.Uniform(3));
+    for (int c = 0; c < takes; ++c) {
+      b.Obj(student, "takesCourse",
+            ctx.courses[rng.Uniform(ctx.courses.size())]);
+    }
+    if (rng.Bernoulli(0.35)) {
+      b.Obj(student, "takesCourse",
+            core_courses[rng.Uniform(core_courses.size())]);
+    }
+    if (rng.Bernoulli(0.2)) {
+      b.Obj(student, "advisor",
+            ctx.faculty[rng.Uniform(ctx.faculty.size())]);
+    }
+  }
+
+  // Graduate students: ~3 per faculty member.
+  const int num_grad =
+      static_cast<int>(ctx.faculty.size() * rng.UniformRange(2, 4));
+  for (int i = 0; i < num_grad; ++i) {
+    const std::string student = d + "/GraduateStudent" + std::to_string(i);
+    ctx.students.push_back(student);
+    b.Type(student, "GraduateStudent");
+    b.Str(student, "name", "GraduateStudent" + std::to_string(i));
+    b.Str(student, "emailAddress",
+          "grad" + std::to_string(i) + "@university.example");
+    b.Obj(student, "memberOf", d);
+    b.Obj(student, "undergraduateDegreeFrom",
+          all_universities[rng.Uniform(all_universities.size())]);
+    const int takes = 1 + static_cast<int>(rng.Uniform(3));
+    for (int c = 0; c < takes; ++c) {
+      b.Obj(student, "takesCourse",
+            ctx.courses[rng.Uniform(ctx.courses.size())]);
+    }
+    b.Obj(student, "advisor", ctx.faculty[rng.Uniform(ctx.faculty.size())]);
+    if (rng.Bernoulli(0.25)) {
+      b.Type(student, "TeachingAssistant");
+    } else if (rng.Bernoulli(0.25)) {
+      b.Type(student, "ResearchAssistant");
+    }
+  }
+
+  // Publications: regular faculty papers plus a few many-author
+  // "proceedings" that give Table 1 its large (S, publicationAuthor, ?o)
+  // answer sets.
+  int pub_counter = 0;
+  for (const std::string& author : ctx.faculty) {
+    const int pubs = static_cast<int>(rng.UniformRange(6, 10));
+    for (int i = 0; i < pubs; ++i) {
+      const std::string pub = d + "/Publication" + std::to_string(pub_counter++);
+      b.Type(pub, "Publication");
+      b.Obj(pub, "publicationAuthor", author);
+      if (rng.Bernoulli(0.4)) {
+        b.Obj(pub, "publicationAuthor",
+              ctx.faculty[rng.Uniform(ctx.faculty.size())]);
+      }
+    }
+  }
+  if (dept_index < 4) {
+    // Department proceedings with tiered author counts: everyone in dept 0,
+    // decreasing shares after.
+    const std::string pub = d + "/Proceedings";
+    b.Type(pub, "Publication");
+    const double share[] = {1.0, 0.55, 0.3, 0.15};
+    std::vector<std::string> members = ctx.faculty;
+    members.insert(members.end(), ctx.students.begin(), ctx.students.end());
+    const size_t target = static_cast<size_t>(
+        static_cast<double>(members.size()) * share[dept_index]);
+    for (size_t i = 0; i < target && i < members.size(); ++i) {
+      b.Obj(pub, "publicationAuthor", members[i]);
+    }
+  }
+}
+
+}  // namespace
+
+ontology::Ontology LubmGenerator::BuildOntology() {
+  ontology::Ontology onto;
+  // Class hierarchy (the univ-bench subset the queries exercise).
+  onto.AddSubClassOf(Ub("Person"), rdf::kOwlThing);
+  onto.AddSubClassOf(Ub("Employee"), Ub("Person"));
+  onto.AddSubClassOf(Ub("Faculty"), Ub("Employee"));
+  onto.AddSubClassOf(Ub("Professor"), Ub("Faculty"));
+  onto.AddSubClassOf(Ub("FullProfessor"), Ub("Professor"));
+  onto.AddSubClassOf(Ub("AssociateProfessor"), Ub("Professor"));
+  onto.AddSubClassOf(Ub("AssistantProfessor"), Ub("Professor"));
+  onto.AddSubClassOf(Ub("VisitingProfessor"), Ub("Professor"));
+  onto.AddSubClassOf(Ub("Lecturer"), Ub("Faculty"));
+  onto.AddSubClassOf(Ub("PostDoc"), Ub("Faculty"));
+  onto.AddSubClassOf(Ub("Student"), Ub("Person"));
+  onto.AddSubClassOf(Ub("UndergraduateStudent"), Ub("Student"));
+  onto.AddSubClassOf(Ub("GraduateStudent"), Ub("Student"));
+  onto.AddSubClassOf(Ub("TeachingAssistant"), Ub("Person"));
+  onto.AddSubClassOf(Ub("ResearchAssistant"), Ub("Person"));
+  onto.AddSubClassOf(Ub("Organization"), rdf::kOwlThing);
+  onto.AddSubClassOf(Ub("University"), Ub("Organization"));
+  onto.AddSubClassOf(Ub("Department"), Ub("Organization"));
+  onto.AddSubClassOf(Ub("ResearchGroup"), Ub("Organization"));
+  onto.AddSubClassOf(Ub("Program"), Ub("Organization"));
+  onto.AddSubClassOf(Ub("Work"), rdf::kOwlThing);
+  onto.AddSubClassOf(Ub("Course"), Ub("Work"));
+  onto.AddSubClassOf(Ub("GraduateCourse"), Ub("Course"));
+  onto.AddSubClassOf(Ub("Publication"), rdf::kOwlThing);
+  onto.AddSubClassOf(Ub("Article"), Ub("Publication"));
+
+  // Property hierarchy.
+  onto.AddProperty(Ub("memberOf"), PropertyKind::kObject);
+  onto.AddSubPropertyOf(Ub("worksFor"), Ub("memberOf"), PropertyKind::kObject);
+  onto.AddSubPropertyOf(Ub("headOf"), Ub("worksFor"), PropertyKind::kObject);
+  onto.AddProperty(Ub("degreeFrom"), PropertyKind::kObject);
+  onto.AddSubPropertyOf(Ub("undergraduateDegreeFrom"), Ub("degreeFrom"),
+                        PropertyKind::kObject);
+  onto.AddSubPropertyOf(Ub("mastersDegreeFrom"), Ub("degreeFrom"),
+                        PropertyKind::kObject);
+  onto.AddSubPropertyOf(Ub("doctoralDegreeFrom"), Ub("degreeFrom"),
+                        PropertyKind::kObject);
+  for (const char* p : {"takesCourse", "teacherOf", "advisor",
+                        "publicationAuthor", "subOrganizationOf"}) {
+    onto.AddProperty(Ub(p), PropertyKind::kObject);
+  }
+  for (const char* p :
+       {"name", "emailAddress", "telephone", "researchInterest"}) {
+    onto.AddProperty(Ub(p), PropertyKind::kDatatype);
+  }
+  onto.SetDomain(Ub("worksFor"), Ub("Employee"));
+  onto.SetDomain(Ub("takesCourse"), Ub("Student"));
+  onto.SetRange(Ub("takesCourse"), Ub("Course"));
+  onto.SetRange(Ub("memberOf"), Ub("Organization"));
+  onto.SetRange(Ub("degreeFrom"), Ub("University"));
+  return onto;
+}
+
+rdf::Graph LubmGenerator::Generate(const LubmConfig& config) {
+  rdf::Graph graph;
+  Rng rng(config.seed);
+  Builder b(&graph, &rng);
+
+  // Referenced universities (degrees point anywhere in this pool).
+  std::vector<std::string> universities;
+  const int referenced = config.universities + 20;
+  for (int u = 0; u < referenced; ++u) {
+    universities.push_back(std::string(kLubmData) + "University" +
+                           std::to_string(u));
+  }
+  for (int u = 0; u < referenced; ++u) {
+    b.Type(universities[u], "University");
+    b.Str(universities[u], "name", "University" + std::to_string(u));
+  }
+
+  for (int u = 0; u < config.universities; ++u) {
+    for (int d = 0; d < config.departments_per_university; ++d) {
+      DeptContext ctx;
+      ctx.university = universities[u];
+      ctx.dept = universities[u] + "/Department" + std::to_string(d);
+      GenerateDepartment(b, ctx, d, universities);
+    }
+  }
+  return graph;
+}
+
+}  // namespace sedge::workloads

@@ -1,0 +1,278 @@
+#include "workloads/lubm_queries.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "rdf/vocabulary.h"
+#include "workloads/lubm_generator.h"
+
+namespace sedge::workloads {
+namespace {
+
+const char kPrefix[] =
+    "PREFIX lubm: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+    "PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n";
+
+std::string Ub(const std::string& local) { return kLubmNs + local; }
+
+uint64_t Distance(uint64_t a, uint64_t b) { return a > b ? a - b : b - a; }
+
+// Counts per (subject, predicate) or (predicate, object) key.
+using PairCounts = std::map<std::pair<std::string, std::string>, uint64_t>;
+
+PairCounts CountSp(const rdf::Graph& graph) {
+  PairCounts counts;
+  for (const auto& t : graph.triples()) {
+    if (!t.subject.is_iri() || !t.predicate.is_iri()) continue;
+    ++counts[{t.subject.lexical(), t.predicate.lexical()}];
+  }
+  return counts;
+}
+
+PairCounts CountPo(const rdf::Graph& graph) {
+  PairCounts counts;
+  for (const auto& t : graph.triples()) {
+    if (!t.predicate.is_iri() || !t.object.is_iri()) continue;
+    ++counts[{t.predicate.lexical(), t.object.lexical()}];
+  }
+  return counts;
+}
+
+// Picks, per target, the key whose count is nearest; keys are consumed so
+// five targets yield five distinct probes.
+std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>>
+PickByTargets(PairCounts counts, const std::vector<uint64_t>& targets,
+              const std::string& required_predicate, bool predicate_first) {
+  std::vector<std::pair<std::pair<std::string, std::string>, uint64_t>> out;
+  for (const uint64_t target : targets) {
+    const std::pair<std::string, std::string>* best = nullptr;
+    uint64_t best_count = 0;
+    for (const auto& [key, count] : counts) {
+      const std::string& pred = predicate_first ? key.first : key.second;
+      if (!required_predicate.empty() && pred != required_predicate) continue;
+      if (best == nullptr ||
+          Distance(count, target) < Distance(best_count, target)) {
+        best = &key;
+        best_count = count;
+      }
+    }
+    if (best == nullptr) continue;
+    out.push_back({*best, best_count});
+    counts.erase(*best);
+  }
+  return out;
+}
+
+// Publication constant for M5/R6: a small-author-set publication (paper:
+// 33 result tuples) whose authors include an AssociateProfessor teaching a
+// plain (non-graduate) Course — M5's join chain needs all of that to be
+// non-empty without inference.
+std::string PickPublication(const rdf::Graph& graph) {
+  std::set<std::string> associates;
+  std::set<std::string> plain_courses;
+  for (const auto& t : graph.triples()) {
+    if (!t.predicate.is_iri() || !t.object.is_iri()) continue;
+    if (t.predicate.lexical() == rdf::kRdfType) {
+      if (t.object.lexical() == Ub("AssociateProfessor")) {
+        associates.insert(t.subject.lexical());
+      } else if (t.object.lexical() == Ub("Course")) {
+        plain_courses.insert(t.subject.lexical());
+      }
+    }
+  }
+  std::set<std::string> qualified;  // associates teaching a plain course
+  for (const auto& t : graph.triples()) {
+    if (t.predicate.is_iri() && t.predicate.lexical() == Ub("teacherOf") &&
+        associates.count(t.subject.lexical()) > 0 &&
+        plain_courses.count(t.object.lexical()) > 0) {
+      qualified.insert(t.subject.lexical());
+    }
+  }
+  std::map<std::string, uint64_t> author_counts;
+  std::set<std::string> eligible;
+  for (const auto& t : graph.triples()) {
+    if (t.predicate.is_iri() &&
+        t.predicate.lexical() == Ub("publicationAuthor")) {
+      ++author_counts[t.subject.lexical()];
+      if (qualified.count(t.object.lexical()) > 0) {
+        eligible.insert(t.subject.lexical());
+      }
+    }
+  }
+  std::string best;
+  uint64_t best_count = 0;
+  for (const std::string& pub : eligible) {
+    const uint64_t count = author_counts[pub];
+    if (best.empty() || Distance(count, 3) < Distance(best_count, 3)) {
+      best = pub;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<QuerySpec> LubmQueries::SingleSp(
+    const rdf::Graph& graph, const std::vector<uint64_t>& targets) {
+  std::vector<QuerySpec> out;
+  // S1 uses takesCourse on an undergraduate (target 4); S2-S5 use
+  // publicationAuthor on publications of growing author counts.
+  PairCounts counts = CountSp(graph);
+  int index = 1;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const std::string predicate =
+        i == 0 ? Ub("takesCourse") : Ub("publicationAuthor");
+    auto picked = PickByTargets(counts, {targets[i]}, predicate,
+                                /*predicate_first=*/false);
+    if (picked.empty()) continue;
+    const auto& [key, realized] = picked[0];
+    counts.erase(key);
+    QuerySpec spec;
+    spec.id = "S" + std::to_string(index++);
+    spec.target = targets[i];
+    spec.sparql = std::string(kPrefix) + "SELECT ?X WHERE { <" + key.first +
+                  "> <" + key.second + "> ?X }";
+    out.push_back(std::move(spec));
+    (void)realized;
+  }
+  return out;
+}
+
+std::vector<QuerySpec> LubmQueries::SinglePo(
+    const rdf::Graph& graph, const std::vector<uint64_t>& targets) {
+  std::vector<QuerySpec> out;
+  // Paper's picks: advisor, takesCourse, worksFor, name, memberOf.
+  const std::string predicates[] = {Ub("advisor"), Ub("takesCourse"),
+                                    Ub("memberOf"), Ub("takesCourse"),
+                                    Ub("memberOf")};
+  PairCounts counts = CountPo(graph);
+  int index = 6;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto picked = PickByTargets(counts, {targets[i]},
+                                predicates[i % 5], /*predicate_first=*/true);
+    if (picked.empty()) continue;
+    const auto& [key, realized] = picked[0];
+    counts.erase(key);
+    QuerySpec spec;
+    spec.id = "S" + std::to_string(index++);
+    spec.target = targets[i];
+    spec.sparql = std::string(kPrefix) + "SELECT ?X WHERE { ?X <" +
+                  key.first + "> <" + key.second + "> }";
+    out.push_back(std::move(spec));
+    (void)realized;
+  }
+  return out;
+}
+
+std::vector<QuerySpec> LubmQueries::SingleP() {
+  const std::pair<const char*, const char*> specs[] = {
+      {"S11", "worksFor"},
+      {"S12", "teacherOf"},
+      {"S13", "undergraduateDegreeFrom"},
+      {"S14", "emailAddress"},
+      {"S15", "name"},
+  };
+  std::vector<QuerySpec> out;
+  for (const auto& [id, predicate] : specs) {
+    QuerySpec spec;
+    spec.id = id;
+    spec.sparql = std::string(kPrefix) + "SELECT ?X ?Y WHERE { ?X lubm:" +
+                  predicate + " ?Y }";
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<QuerySpec> LubmQueries::Multi(const rdf::Graph& graph) {
+  std::vector<QuerySpec> out;
+  const auto add = [&out](const char* id, std::string body,
+                          uint64_t target) {
+    out.push_back({id, std::string(kPrefix) + std::move(body), target, false});
+  };
+  add("M1", "SELECT ?X ?Y ?Z WHERE { ?X lubm:worksFor ?Z . ?X lubm:name ?Y }",
+      540);
+  add("M2",
+      "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+      "?X rdf:type lubm:GraduateStudent . "
+      "?X lubm:undergraduateDegreeFrom ?Y }",
+      1874);
+  add("M3",
+      "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+      "?X rdf:type lubm:GraduateStudent . ?Z rdf:type lubm:Department . "
+      "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University }",
+      1874);
+  add("M4",
+      "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+      "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University }",
+      7790);
+  const std::string pub = PickPublication(graph);
+  add("M5",
+      "SELECT * WHERE { <" + pub +
+          "> lubm:publicationAuthor ?p . ?st lubm:memberOf ?o2 . "
+          "?p rdf:type lubm:AssociateProfessor . ?p lubm:worksFor ?o . "
+          "?o rdf:type lubm:Department . ?o lubm:subOrganizationOf ?u . "
+          "?u rdf:type lubm:University . ?p lubm:teacherOf ?te . "
+          "?te rdf:type lubm:Course . ?st lubm:takesCourse ?te . "
+          "?st rdf:type lubm:UndergraduateStudent }",
+      33);
+  return out;
+}
+
+std::vector<QuerySpec> LubmQueries::Reasoning(const rdf::Graph& graph) {
+  std::vector<QuerySpec> out;
+  const auto add = [&out](const char* id, std::string body, uint64_t target) {
+    out.push_back({id, std::string(kPrefix) + std::move(body), target, true});
+  };
+  add("R1",
+      "SELECT ?X ?Y ?Z WHERE { ?X rdf:type lubm:Person . "
+      "?Z rdf:type lubm:Department . ?X lubm:headOf ?Z . "
+      "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University }",
+      15);
+  add("R2",
+      "SELECT ?X ?Y ?Z WHERE { ?X rdf:type lubm:Person . "
+      "?Z rdf:type lubm:Department . ?X lubm:worksFor ?Z . "
+      "?Z lubm:subOrganizationOf ?Y . ?Y rdf:type lubm:University }",
+      555);
+  add("R3",
+      "SELECT ?X ?Y ?Z WHERE { ?X lubm:memberOf ?Z . "
+      "?X rdf:type lubm:Student . ?X lubm:undergraduateDegreeFrom ?Y }",
+      1874);
+  add("R4",
+      "SELECT ?X ?Y ?Z ?N WHERE { ?X rdf:type lubm:Person . "
+      "?Z rdf:type lubm:Department . ?X lubm:memberOf ?Z . "
+      "?Z lubm:subOrganizationOf ?Y . ?Y lubm:name ?N . "
+      "?Y rdf:type lubm:University }",
+      1874);
+  // R5 = M4 reasoning over memberOf; R6 = M5 reasoning over memberOf and
+  // worksFor (paper Appendix A).
+  const auto multi = Multi(graph);
+  QuerySpec r5 = multi[3];
+  r5.id = "R5";
+  r5.reasoning = true;
+  r5.target = 8345;
+  out.push_back(std::move(r5));
+  QuerySpec r6 = multi[4];
+  r6.id = "R6";
+  r6.reasoning = true;
+  r6.target = 34;
+  out.push_back(std::move(r6));
+  return out;
+}
+
+std::vector<QuerySpec> LubmQueries::All(const rdf::Graph& graph) {
+  std::vector<QuerySpec> out = SingleSp(graph, {4, 66, 129, 257, 513});
+  auto po = SinglePo(graph, {5, 17, 135, 283, 521});
+  out.insert(out.end(), po.begin(), po.end());
+  auto p = SingleP();
+  out.insert(out.end(), p.begin(), p.end());
+  auto m = Multi(graph);
+  out.insert(out.end(), m.begin(), m.end());
+  auto r = Reasoning(graph);
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+}  // namespace sedge::workloads

@@ -1,0 +1,161 @@
+#include "workloads/sensor_generator.h"
+
+#include <cstdio>
+
+#include "rdf/vocabulary.h"
+#include "util/rng.h"
+
+namespace sedge::workloads {
+namespace {
+
+constexpr char kSosa[] = "http://www.w3.org/ns/sosa/";
+constexpr char kQudt[] = "http://qudt.org/schema/qudt/";
+constexpr char kUnit[] = "http://qudt.org/vocab/unit/";
+constexpr char kEx[] = "http://engie.example/water/";
+
+std::string Sosa(const std::string& l) { return kSosa + l; }
+std::string Qudt(const std::string& l) { return kQudt + l; }
+
+std::string FormatValue(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+ontology::Ontology SensorGraphGenerator::BuildOntology() {
+  ontology::Ontology onto;
+  using ontology::PropertyKind;
+  // SOSA classes.
+  for (const char* c :
+       {"Platform", "Sensor", "Observation", "Result", "FeatureOfInterest"}) {
+    onto.AddSubClassOf(Sosa(c), rdf::kOwlThing);
+  }
+  // QUDT unit-class hierarchy (Section 2's subsumptions).
+  onto.AddSubClassOf(Qudt("Unit"), rdf::kOwlThing);
+  onto.AddSubClassOf(Qudt("ScienceUnit"), Qudt("Unit"));
+  onto.AddSubClassOf(Qudt("Chemistry"), Qudt("ScienceUnit"));
+  onto.AddSubClassOf(Qudt("AmountOfSubstanceUnit"), Qudt("Chemistry"));
+  onto.AddSubClassOf(Qudt("MechanicsUnit"), Qudt("Unit"));
+  onto.AddSubClassOf(Qudt("PressureUnit"), Qudt("MechanicsUnit"));
+  onto.AddSubClassOf(Qudt("PressureOrStressUnit"), Qudt("PressureUnit"));
+  onto.AddSubClassOf(Qudt("Pressure"), Qudt("PressureUnit"));
+  // Properties.
+  for (const char* p : {"hosts", "observes", "hasResult"}) {
+    onto.AddProperty(Sosa(p), PropertyKind::kObject);
+  }
+  onto.AddProperty(Sosa("resultTime"), PropertyKind::kDatatype);
+  onto.AddProperty(Qudt("unit"), PropertyKind::kObject);
+  onto.AddProperty(Qudt("numericValue"), PropertyKind::kDatatype);
+  return onto;
+}
+
+rdf::Graph SensorGraphGenerator::Generate(const SensorConfig& config) {
+  rdf::Graph g;
+  Rng rng(config.seed);
+  using rdf::Term;
+  const auto type = [&g](const std::string& s, const std::string& c) {
+    g.Add(Term::Iri(s), Term::Iri(rdf::kRdfType), Term::Iri(c));
+  };
+  const auto obj = [&g](const std::string& s, const std::string& p,
+                        const std::string& o) {
+    g.Add(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+  };
+  const auto lit = [&g](const std::string& s, const std::string& p,
+                        std::string v, const char* dt = "") {
+    g.Add(Term::Iri(s), Term::Iri(p), Term::Literal(std::move(v), dt));
+  };
+
+  // The units themselves, annotated per Section 2.
+  type(std::string(kUnit) + "BAR", Qudt("PressureOrStressUnit"));
+  type(std::string(kUnit) + "HectoPA", Qudt("Pressure"));
+  type(std::string(kUnit) + "MOL-PER-L", Qudt("AmountOfSubstanceUnit"));
+  type(std::string(kUnit) + "PH", Qudt("Chemistry"));
+
+  int obs_counter = 0;
+  for (int st = 0; st < config.stations; ++st) {
+    const bool profile_a = st % 2 == 0;  // A: Bar + Chemistry; B: hPa + Mol
+    const std::string station = kEx + ("Station" + std::to_string(st + 1));
+    type(station, Sosa("Platform"));
+    for (int se = 0; se < config.sensors_per_station; ++se) {
+      const bool pressure = se % 2 == 0;
+      const std::string sensor =
+          station + "/Sensor" + std::to_string(se + 1);
+      type(sensor, Sosa("Sensor"));
+      obj(station, Sosa("hosts"), sensor);
+      for (int ob = 0; ob < config.observations_per_sensor; ++ob) {
+        const std::string obs =
+            sensor + "/Observation" + std::to_string(obs_counter);
+        const std::string res =
+            sensor + "/Result" + std::to_string(obs_counter);
+        ++obs_counter;
+        type(obs, Sosa("Observation"));
+        obj(sensor, Sosa("observes"), obs);
+        obj(obs, Sosa("hasResult"), res);
+        char ts[64];
+        std::snprintf(ts, sizeof(ts), "2020-12-01T%02d:%02d:00",
+                      ob % 24, (ob * 7) % 60);
+        lit(obs, Sosa("resultTime"), ts, rdf::kXsdDateTime);
+        type(res, Sosa("Result"));
+        const bool anomaly = rng.Bernoulli(config.anomaly_rate);
+        if (pressure) {
+          // Normal band: [3.00, 4.50] Bar; anomalies stray outside.
+          double bar = 3.0 + rng.NextDouble() * 1.5;
+          if (anomaly) bar += rng.Bernoulli(0.5) ? 1.5 : -1.8;
+          if (profile_a) {
+            lit(res, Qudt("numericValue"), FormatValue(bar),
+                rdf::kXsdDecimal);
+            obj(res, Qudt("unit"), std::string(kUnit) + "BAR");
+          } else {
+            lit(res, Qudt("numericValue"), FormatValue(bar * 1000.0),
+                rdf::kXsdDecimal);
+            obj(res, Qudt("unit"), std::string(kUnit) + "HectoPA");
+          }
+        } else {
+          double ph = 6.8 + rng.NextDouble() * 1.0;
+          if (anomaly) ph += rng.Bernoulli(0.5) ? 2.0 : -2.5;
+          lit(res, Qudt("numericValue"), FormatValue(ph), rdf::kXsdDecimal);
+          obj(res, Qudt("unit"),
+              std::string(kUnit) + (profile_a ? "PH" : "MOL-PER-L"));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+rdf::Graph SensorGraphGenerator::GenerateWithTripleTarget(int target_triples,
+                                                          uint64_t seed) {
+  // Fixed overhead: 4 unit typings + per-station (1 + sensors*(1+1)).
+  // Each observation adds 7 triples.
+  SensorConfig config;
+  config.seed = seed;
+  config.stations = 2;
+  config.sensors_per_station = 2;
+  const int overhead = 4 + config.stations * (1 + config.sensors_per_station * 2);
+  const int per_obs = 7;
+  const int total_sensors = config.stations * config.sensors_per_station;
+  config.observations_per_sensor =
+      std::max(1, (target_triples - overhead) / (per_obs * total_sensors));
+  return Generate(config);
+}
+
+std::string SensorGraphGenerator::PressureAnomalyQuery() {
+  return R"(
+PREFIX sosa: <http://www.w3.org/ns/sosa/>
+PREFIX qudt: <http://qudt.org/schema/qudt/>
+SELECT ?x ?s ?ts ?v1 WHERE {
+  ?x a sosa:Platform ; sosa:hosts ?s .
+  ?s sosa:observes ?o ; a sosa:Sensor .
+  ?o sosa:hasResult ?y ; a sosa:Observation ; sosa:resultTime ?ts .
+  ?y a sosa:Result ; qudt:numericValue ?v1 ; qudt:unit ?u1 .
+  ?u1 a qudt:PressureUnit .
+  FILTER (?newV < 3.00 || ?newV > 4.50)
+  BIND(if(regex(str(?u1), "http://qudt.org/vocab/unit/BAR"), ?v1,
+       if(regex(str(?u1), "http://qudt.org/vocab/unit/HectoPA"),
+          ?v1/1000, 0)) AS ?newV)
+})";
+}
+
+}  // namespace sedge::workloads

@@ -1,0 +1,55 @@
+// ENGIE-style water-distribution sensor graph generator (paper Section 2).
+//
+// Substitute for the proprietary building-management data: SOSA/QUDT
+// observation graphs from potable-water stations. Two station profiles
+// reproduce the heterogeneity the motivating example turns on —
+//   profile A annotates pressure results with qudt:PressureOrStressUnit
+//   and unit:BAR values, chemistry with qudt:Chemistry;
+//   profile B annotates pressure with qudt:Pressure and unit:HectoPA
+//   (values x1000), chemistry with qudt:AmountOfSubstanceUnit —
+// so a single high-level query (qudt:PressureUnit + unit conversion BIND)
+// must cover both. Anomalies (out-of-band values) are injected at a
+// configurable rate.
+
+#ifndef SEDGE_WORKLOADS_SENSOR_GENERATOR_H_
+#define SEDGE_WORKLOADS_SENSOR_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ontology/ontology.h"
+#include "rdf/triple.h"
+
+namespace sedge::workloads {
+
+struct SensorConfig {
+  uint64_t seed = 7;
+  int stations = 2;
+  int sensors_per_station = 2;  // one pressure + one chemistry per pair
+  int observations_per_sensor = 9;
+  double anomaly_rate = 0.1;
+};
+
+/// \brief Deterministic SOSA/QUDT observation-graph generator.
+class SensorGraphGenerator {
+ public:
+  /// QUDT unit-class hierarchy + SOSA classes/properties.
+  static ontology::Ontology BuildOntology();
+
+  /// One graph instance for `config` (the flow-of-graphs use case feeds
+  /// successive seeds).
+  static rdf::Graph Generate(const SensorConfig& config);
+
+  /// Convenience: a graph of approximately `target_triples` triples
+  /// (the paper's 250- and 500-triple real-world datasets).
+  static rdf::Graph GenerateWithTripleTarget(int target_triples,
+                                             uint64_t seed = 7);
+
+  /// The anomaly-detection query of Section 2 (pressure out of
+  /// [3.00, 4.50] Bar across heterogeneous stations and units).
+  static std::string PressureAnomalyQuery();
+};
+
+}  // namespace sedge::workloads
+
+#endif  // SEDGE_WORKLOADS_SENSOR_GENERATOR_H_

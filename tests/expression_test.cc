@@ -1,0 +1,161 @@
+// Direct tests for the FILTER/BIND expression evaluator, using a stub
+// decoder (no store involved).
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "rdf/vocabulary.h"
+#include "sparql/expression.h"
+#include "sparql/sparql_parser.h"
+
+namespace sedge::sparql {
+namespace {
+
+using store::EncodedTerm;
+using store::ValueSpace;
+
+// Decoder over a fixed id -> term table.
+class StubDecoder : public ValueDecoder {
+ public:
+  void Add(uint64_t id, rdf::Term term) { terms_[id] = std::move(term); }
+
+  rdf::Term Decode(const EncodedTerm& value) const override {
+    return terms_.at(value.id);
+  }
+  std::optional<double> Numeric(const EncodedTerm& value) const override {
+    const rdf::Term& t = terms_.at(value.id);
+    if (!t.IsNumericLiteral()) return std::nullopt;
+    return t.AsDouble();
+  }
+  std::string Str(const EncodedTerm& value) const override {
+    return terms_.at(value.id).lexical();
+  }
+
+ private:
+  std::map<uint64_t, rdf::Term> terms_;
+};
+
+// Parses the FILTER body of a dummy query so tests can write SPARQL syntax.
+std::unique_ptr<Expr> ParseExpr(const std::string& text) {
+  const auto q = ParseQuery("SELECT ?x WHERE { ?x ?p ?o . FILTER (" + text +
+                            ") }");
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << " for " << text;
+  auto& filters = const_cast<Query&>(q.value()).where.filters;
+  return std::move(filters[0]);
+}
+
+class ExpressionTest : public ::testing::Test {
+ protected:
+  ExpressionTest() : evaluator_(&decoder_) {
+    decoder_.Add(1, rdf::Term::Literal("42", rdf::kXsdInteger));
+    decoder_.Add(2, rdf::Term::Literal("3.5", rdf::kXsdDecimal));
+    decoder_.Add(3, rdf::Term::Literal("hello world"));
+    decoder_.Add(4, rdf::Term::Iri("http://example.org/unit/BAR"));
+    bindings_["n"] = {ValueSpace::kLiteral, 1};
+    bindings_["d"] = {ValueSpace::kLiteral, 2};
+    bindings_["s"] = {ValueSpace::kLiteral, 3};
+    bindings_["u"] = {ValueSpace::kInstance, 4};
+  }
+
+  bool Eval(const std::string& text) {
+    const auto expr = ParseExpr(text);
+    return evaluator_.EffectiveBool(*expr, [this](const Variable& v) {
+      const auto it = bindings_.find(v.name);
+      if (it == bindings_.end()) return std::optional<EncodedTerm>();
+      return std::optional<EncodedTerm>(it->second);
+    });
+  }
+
+  StubDecoder decoder_;
+  ExpressionEvaluator evaluator_;
+  std::map<std::string, EncodedTerm> bindings_;
+};
+
+TEST_F(ExpressionTest, NumericComparisons) {
+  EXPECT_TRUE(Eval("?n = 42"));
+  EXPECT_TRUE(Eval("?n > 41"));
+  EXPECT_FALSE(Eval("?n > 42"));
+  EXPECT_TRUE(Eval("?n >= 42"));
+  EXPECT_TRUE(Eval("?d < 4"));
+  EXPECT_TRUE(Eval("?d != ?n"));
+  EXPECT_TRUE(Eval("?n = 42.0"));  // integer/decimal promotion
+}
+
+TEST_F(ExpressionTest, Arithmetic) {
+  EXPECT_TRUE(Eval("?n + 8 = 50"));
+  EXPECT_TRUE(Eval("?n - 2 = 40"));
+  EXPECT_TRUE(Eval("?n * 2 = 84"));
+  EXPECT_TRUE(Eval("?n / 4 = 10.5"));
+  EXPECT_TRUE(Eval("-?n = 0 - 42"));
+  EXPECT_FALSE(Eval("?n / 0 = 1"));  // division by zero errors -> false
+  // Precedence: 2 + 3 * 4 = 14.
+  EXPECT_TRUE(Eval("2 + 3 * 4 = 14"));
+  EXPECT_TRUE(Eval("(2 + 3) * 4 = 20"));
+}
+
+TEST_F(ExpressionTest, BooleanConnectives) {
+  EXPECT_TRUE(Eval("?n = 42 && ?d = 3.5"));
+  EXPECT_FALSE(Eval("?n = 42 && ?d = 9"));
+  EXPECT_TRUE(Eval("?n = 0 || ?d = 3.5"));
+  EXPECT_FALSE(Eval("?n = 0 || ?d = 9"));
+  EXPECT_TRUE(Eval("!(?n = 0)"));
+  // Errors propagate as false through &&.
+  EXPECT_FALSE(Eval("?missing > 1 && ?n = 42"));
+  EXPECT_TRUE(Eval("?missing > 1 || ?n = 42"));
+}
+
+TEST_F(ExpressionTest, StringFunctions) {
+  EXPECT_TRUE(Eval("regex(str(?s), \"hello\")"));
+  EXPECT_TRUE(Eval("regex(str(?s), \"^hello w\")"));
+  EXPECT_FALSE(Eval("regex(str(?s), \"^world\")"));
+  EXPECT_TRUE(Eval("regex(str(?u), \"BAR\")"));  // IRIs stringify
+  EXPECT_TRUE(Eval("contains(str(?s), \"lo wo\")"));
+  EXPECT_TRUE(Eval("strstarts(str(?s), \"hel\")"));
+  EXPECT_FALSE(Eval("strstarts(str(?s), \"world\")"));
+  EXPECT_TRUE(Eval("strends(str(?s), \"world\")"));
+  EXPECT_TRUE(Eval("str(?n) = \"42\""));
+}
+
+TEST_F(ExpressionTest, ConditionalAndBound) {
+  EXPECT_TRUE(Eval("if(?n > 10, 1, 0) = 1"));
+  EXPECT_TRUE(Eval("if(?n > 100, 1, 0) = 0"));
+  EXPECT_TRUE(Eval("bound(?n)"));
+  EXPECT_FALSE(Eval("bound(?missing)"));
+  // Nested conditionals (the motivating-example shape).
+  EXPECT_TRUE(Eval(
+      "if(regex(str(?u), \"BAR\"), ?n, if(regex(str(?u), \"PA\"), "
+      "?n / 1000, 0)) = 42"));
+}
+
+TEST_F(ExpressionTest, NumericFunctions) {
+  EXPECT_TRUE(Eval("abs(0 - ?n) = 42"));
+  EXPECT_TRUE(Eval("ceil(?d) = 4"));
+  EXPECT_TRUE(Eval("floor(?d) = 3"));
+  EXPECT_TRUE(Eval("round(?d) = 4"));
+}
+
+TEST_F(ExpressionTest, TypeIntrospection) {
+  EXPECT_TRUE(Eval("isliteral(?n)"));
+  EXPECT_FALSE(Eval("isliteral(?u)"));
+  EXPECT_TRUE(Eval("isiri(?u)"));
+  EXPECT_FALSE(Eval("isblank(?u)"));
+  EXPECT_TRUE(Eval("datatype(?n) = "
+                   "\"http://www.w3.org/2001/XMLSchema#integer\""));
+}
+
+TEST_F(ExpressionTest, UnknownFunctionErrorsToFalse) {
+  EXPECT_FALSE(Eval("frobnicate(?n)"));
+}
+
+TEST_F(ExpressionTest, EffectiveBooleanValueRules) {
+  EXPECT_TRUE(Eval("\"nonempty\""));
+  EXPECT_FALSE(Eval("\"\""));
+  EXPECT_TRUE(Eval("1"));
+  EXPECT_FALSE(Eval("0"));
+  EXPECT_TRUE(Eval("true"));
+  EXPECT_FALSE(Eval("false"));
+}
+
+}  // namespace
+}  // namespace sedge::sparql

@@ -1,0 +1,191 @@
+// Tests for the simulated block device, pager, and the disk-paged B+tree.
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "btree/b_plus_tree.h"
+#include "io/block_device.h"
+#include "util/rng.h"
+
+namespace sedge {
+namespace {
+
+using btree::BPlusTree;
+using btree::TripleKey;
+using io::kBlockSize;
+using io::Pager;
+using io::SimulatedBlockDevice;
+
+TEST(BlockDevice, ReadBackWrites) {
+  SimulatedBlockDevice dev;
+  const uint64_t b0 = dev.AllocateBlock();
+  const uint64_t b1 = dev.AllocateBlock();
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(b1, 1u);
+  std::vector<uint8_t> data(kBlockSize, 0xAB);
+  dev.WriteBlock(b1, data.data());
+  std::vector<uint8_t> out(kBlockSize, 0);
+  dev.ReadBlock(b1, out.data());
+  EXPECT_EQ(out, data);
+  dev.ReadBlock(b0, out.data());
+  EXPECT_EQ(out, std::vector<uint8_t>(kBlockSize, 0));  // fresh blocks zeroed
+  EXPECT_EQ(dev.stats().reads, 2u);
+  EXPECT_EQ(dev.stats().writes, 1u);
+  EXPECT_EQ(dev.SizeInBytes(), 2 * kBlockSize);
+}
+
+TEST(Pager, CachesAndCountsHits) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, /*capacity_pages=*/2);
+  const uint64_t a = pager.AllocateBlock();
+  const uint64_t b = pager.AllocateBlock();
+  const uint64_t c = pager.AllocateBlock();
+  pager.Fetch(a);
+  pager.Fetch(a);
+  EXPECT_EQ(pager.cache_hits(), 1u);
+  EXPECT_EQ(pager.cache_misses(), 1u);
+  pager.Fetch(b);
+  pager.Fetch(c);  // evicts a (LRU)
+  pager.Fetch(a);  // miss again
+  EXPECT_EQ(pager.cache_misses(), 4u);
+}
+
+TEST(Pager, WritesBackDirtyFramesOnEviction) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, /*capacity_pages=*/1);
+  const uint64_t a = pager.AllocateBlock();
+  const uint64_t b = pager.AllocateBlock();
+  uint8_t* frame = pager.Fetch(a, /*will_write=*/true);
+  frame[0] = 0x42;
+  pager.Fetch(b);  // evicts dirty a
+  std::vector<uint8_t> out(kBlockSize);
+  dev.ReadBlock(a, out.data());
+  EXPECT_EQ(out[0], 0x42);
+}
+
+TEST(Pager, FlushAllPersistsDirtyFrames) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, 4);
+  const uint64_t a = pager.AllocateBlock();
+  pager.Fetch(a, /*will_write=*/true)[7] = 0x99;
+  pager.FlushAll();
+  std::vector<uint8_t> out(kBlockSize);
+  dev.ReadBlock(a, out.data());
+  EXPECT_EQ(out[7], 0x99);
+}
+
+TEST(BlockDevice, LatencyIsPaid) {
+  SimulatedBlockDevice dev(/*read_latency_us=*/200.0);
+  const uint64_t b = dev.AllocateBlock();
+  std::vector<uint8_t> out(kBlockSize);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) dev.ReadBlock(b, out.data());
+  const double elapsed_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_us, 10 * 200.0 * 0.9);
+}
+
+// ------------------------------------------------------------------ B+tree
+
+TripleKey MakeKey(uint32_t a, uint32_t b, uint32_t c) { return {a, b, c}; }
+
+TEST(BPlusTree, InsertLookupSmall) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, 16);
+  BPlusTree tree(&pager);
+  EXPECT_TRUE(tree.Insert(MakeKey(1, 2, 3)));
+  EXPECT_FALSE(tree.Insert(MakeKey(1, 2, 3)));  // duplicate
+  EXPECT_TRUE(tree.Insert(MakeKey(0, 0, 0)));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.Contains(MakeKey(1, 2, 3)));
+  EXPECT_FALSE(tree.Contains(MakeKey(1, 2, 4)));
+}
+
+class BPlusTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreeProperty, MatchesStdSet) {
+  const uint64_t n = GetParam();
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, 8);  // tiny cache: exercises eviction during splits
+  BPlusTree tree(&pager);
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> reference;
+  Rng rng(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(50));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(200));
+    const uint32_t c = static_cast<uint32_t>(rng.Uniform(500));
+    const bool added = reference.insert({a, b, c}).second;
+    EXPECT_EQ(tree.Insert(MakeKey(a, b, c)), added);
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  for (const auto& [a, b, c] : reference) {
+    ASSERT_TRUE(tree.Contains(MakeKey(a, b, c)))
+        << a << " " << b << " " << c;
+  }
+  // Full-range scan returns everything in lexicographic order.
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> scanned;
+  tree.RangeScan(MakeKey(0, 0, 0), MakeKey(~0u, ~0u, ~0u),
+                 [&](const TripleKey& k) {
+                   scanned.push_back({k.a, k.b, k.c});
+                   return true;
+                 });
+  std::vector<std::tuple<uint32_t, uint32_t, uint32_t>> expect(
+      reference.begin(), reference.end());
+  ASSERT_EQ(scanned, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BPlusTreeProperty,
+                         ::testing::Values(1, 10, 341, 1000, 20000, 100000));
+
+TEST(BPlusTree, PrefixRangeScan) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, 16);
+  BPlusTree tree(&pager);
+  for (uint32_t p = 0; p < 5; ++p) {
+    for (uint32_t s = 0; s < 20; ++s) {
+      tree.Insert(MakeKey(p, s, s * 10));
+    }
+  }
+  // All keys with a == 3: [ (3,0,0), (4,0,0) ).
+  std::vector<TripleKey> got;
+  tree.RangeScan(MakeKey(3, 0, 0), MakeKey(4, 0, 0), [&](const TripleKey& k) {
+    got.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(got.size(), 20u);
+  for (const auto& k : got) EXPECT_EQ(k.a, 3u);
+  // Early termination.
+  int count = 0;
+  tree.RangeScan(MakeKey(0, 0, 0), MakeKey(~0u, 0, 0), [&](const TripleKey&) {
+    return ++count < 7;
+  });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(BPlusTree, SequentialInsertionTriggersManySplits) {
+  SimulatedBlockDevice dev;
+  Pager pager(&dev, 8);
+  BPlusTree tree(&pager);
+  const uint32_t n = 200000;
+  for (uint32_t i = 0; i < n; ++i) {
+    tree.Insert(MakeKey(i >> 16, i >> 8, i));
+  }
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GT(tree.num_pages(), n / 340);  // at least enough leaves
+  uint64_t scanned = 0;
+  tree.RangeScan(MakeKey(0, 0, 0), MakeKey(~0u, ~0u, ~0u),
+                 [&](const TripleKey&) {
+                   ++scanned;
+                   return true;
+                 });
+  EXPECT_EQ(scanned, n);
+}
+
+}  // namespace
+}  // namespace sedge

@@ -1,0 +1,297 @@
+// Tests for the ontology model, the LiteMat encoder, and the dictionaries.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "litemat/dictionary.h"
+#include "litemat/hierarchy_encoding.h"
+#include "ontology/ontology.h"
+#include "rdf/rdf_parser.h"
+#include "rdf/vocabulary.h"
+#include "util/rng.h"
+
+namespace sedge::litemat {
+namespace {
+
+using ontology::Ontology;
+using ontology::PropertyKind;
+
+// --------------------------------------------------------------- Ontology
+
+TEST(Ontology, FromGraphExtractsRdfStructure) {
+  const auto graph = rdf::ParseTurtle(R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:Animal a owl:Class .
+ex:Dog rdfs:subClassOf ex:Animal .
+ex:Puppy rdfs:subClassOf ex:Dog .
+ex:Cat rdfs:subClassOf ex:Animal .
+ex:hasOwner a owl:ObjectProperty ; rdfs:domain ex:Animal ; rdfs:range ex:Person .
+ex:hasAge a owl:DatatypeProperty ; rdfs:range xsd:integer .
+ex:hasPuppyOwner rdfs:subPropertyOf ex:hasOwner .
+)");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  const auto onto_result = Ontology::FromGraph(graph.value());
+  ASSERT_TRUE(onto_result.ok());
+  const Ontology& onto = onto_result.value();
+
+  EXPECT_TRUE(onto.IsClass("http://example.org/Animal"));
+  EXPECT_TRUE(onto.IsClass("http://example.org/Puppy"));
+  EXPECT_EQ(onto.PrimaryParentClass("http://example.org/Puppy"),
+            "http://example.org/Dog");
+  EXPECT_TRUE(onto.IsSubClassOf("http://example.org/Puppy",
+                                "http://example.org/Animal"));
+  EXPECT_FALSE(onto.IsSubClassOf("http://example.org/Cat",
+                                 "http://example.org/Dog"));
+  const auto subs = onto.SubClassesTransitive("http://example.org/Animal");
+  EXPECT_EQ(subs.size(), 4u);  // Animal, Dog, Puppy, Cat
+
+  EXPECT_EQ(onto.KindOf("http://example.org/hasOwner"), PropertyKind::kObject);
+  EXPECT_EQ(onto.KindOf("http://example.org/hasAge"), PropertyKind::kDatatype);
+  EXPECT_TRUE(onto.IsSubPropertyOf("http://example.org/hasPuppyOwner",
+                                   "http://example.org/hasOwner"));
+  ASSERT_NE(onto.DomainOf("http://example.org/hasOwner"), nullptr);
+  EXPECT_EQ(*onto.DomainOf("http://example.org/hasOwner"),
+            "http://example.org/Animal");
+}
+
+TEST(Ontology, RangeXsdImpliesDatatypeProperty) {
+  const auto graph = rdf::ParseTurtle(R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@prefix ex: <http://example.org/> .
+ex:weight rdfs:range xsd:double .
+)");
+  ASSERT_TRUE(graph.ok());
+  const auto onto = Ontology::FromGraph(graph.value());
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto.value().KindOf("http://example.org/weight"),
+            PropertyKind::kDatatype);
+}
+
+TEST(Ontology, RoundTripsThroughGraph) {
+  Ontology onto;
+  onto.AddSubClassOf("B", "A");
+  onto.AddSubClassOf("C", "A");
+  onto.AddSubPropertyOf("q", "p", PropertyKind::kObject);
+  onto.SetDomain("p", "A");
+  const auto back = Ontology::FromGraph(onto.ToGraph());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().IsSubClassOf("B", "A"));
+  EXPECT_TRUE(back.value().IsSubPropertyOf("q", "p"));
+  EXPECT_EQ(*back.value().DomainOf("p"), "A");
+}
+
+// ------------------------------------------------------- LiteMatHierarchy
+
+TEST(LiteMat, PaperFigure2Example) {
+  // Axioms: A ⊑ Thing, B ⊑ Thing, C ⊑ B, D ⊑ B (Figure 2).
+  const auto h = LiteMatHierarchy::Encode(
+      "Thing", {"A", "B", "C", "D"},
+      {{"A", "Thing"}, {"B", "Thing"}, {"C", "B"}, {"D", "B"}});
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  const LiteMatHierarchy& lm = h.value();
+  // Thing = '1'; A,B take 2 local bits (codes 01,10); C,D take 2 more.
+  // Total length = 1 + 2 + 2 = 5 bits.
+  EXPECT_EQ(lm.total_bits(), 5);
+  EXPECT_EQ(lm.IdOf("Thing").value(), 0b10000u);
+  EXPECT_EQ(lm.IdOf("A").value(), 0b10100u);
+  EXPECT_EQ(lm.IdOf("B").value(), 0b11000u);
+  EXPECT_EQ(lm.IdOf("C").value(), 0b11001u);
+  EXPECT_EQ(lm.IdOf("D").value(), 0b11010u);
+
+  // Interval of B covers B, C, D and nothing else.
+  const auto b_interval = lm.Interval("B").value();
+  EXPECT_EQ(b_interval.first, 0b11000u);
+  EXPECT_EQ(b_interval.second, 0b11000u + 4u);  // span 2^(5-3)
+  EXPECT_TRUE(lm.SubsumedBy(lm.IdOf("C").value(), "B"));
+  EXPECT_TRUE(lm.SubsumedBy(lm.IdOf("D").value(), "B"));
+  EXPECT_TRUE(lm.SubsumedBy(lm.IdOf("B").value(), "B"));  // reflexive
+  EXPECT_FALSE(lm.SubsumedBy(lm.IdOf("A").value(), "B"));
+  // Everything is subsumed by Thing.
+  for (const char* name : {"A", "B", "C", "D"}) {
+    EXPECT_TRUE(lm.SubsumedBy(lm.IdOf(name).value(), "Thing")) << name;
+  }
+}
+
+TEST(LiteMat, OrphansAttachToRoot) {
+  const auto h = LiteMatHierarchy::Encode("Top", {"x", "y"}, {});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h.value().SubsumedBy(h.value().IdOf("x").value(), "Top"));
+  EXPECT_FALSE(h.value().SubsumedBy(h.value().IdOf("x").value(), "y"));
+}
+
+TEST(LiteMat, RejectsCycles) {
+  const auto h = LiteMatHierarchy::Encode(
+      "Top", {"a", "b"}, {{"a", "b"}, {"b", "a"}});
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(LiteMat, ReverseLookup) {
+  const auto h =
+      LiteMatHierarchy::Encode("Top", {"a", "b"}, {{"b", "a"}});
+  ASSERT_TRUE(h.ok());
+  const LiteMatHierarchy& lm = h.value();
+  EXPECT_EQ(lm.NameOf(lm.IdOf("b").value()).value(), "b");
+  EXPECT_EQ(lm.NameOf(lm.IdOf("a").value() + 12345), std::nullopt);
+}
+
+// Property test: on random trees, the LiteMat interval must contain exactly
+// the transitive closure computed over the explicit edges.
+class LiteMatProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LiteMatProperty, IntervalEqualsTransitiveClosure) {
+  const uint64_t n = GetParam();
+  Rng rng(n * 7919);
+  std::vector<std::string> names;
+  std::map<std::string, std::string> parent;
+  Ontology onto;
+  for (uint64_t i = 0; i < n; ++i) {
+    names.push_back("C" + std::to_string(i));
+  }
+  for (uint64_t i = 1; i < n; ++i) {
+    // Parent chosen among earlier nodes: guarantees an acyclic forest.
+    const uint64_t p = rng.Uniform(i);
+    parent[names[i]] = names[p];
+    onto.AddSubClassOf(names[i], names[p]);
+  }
+  const auto h = LiteMatHierarchy::Encode("Root", names, parent);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  const LiteMatHierarchy& lm = h.value();
+
+  for (uint64_t trial = 0; trial < std::min<uint64_t>(n, 30); ++trial) {
+    const std::string& target = names[rng.Uniform(n)];
+    const auto closure_vec = onto.SubClassesTransitive(target);
+    const std::set<std::string> closure(closure_vec.begin(),
+                                        closure_vec.end());
+    for (const std::string& name : names) {
+      const bool in_interval = lm.SubsumedBy(lm.IdOf(name).value(), target);
+      const bool in_closure = closure.count(name) > 0;
+      ASSERT_EQ(in_interval, in_closure)
+          << name << " vs " << target << " (n=" << n << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeSizes, LiteMatProperty,
+                         ::testing::Values(1, 2, 5, 20, 100, 500));
+
+// -------------------------------------------------------------- Dictionary
+
+TEST(Dictionary, BuildsThreeIdSpaces) {
+  const auto onto_graph = rdf::ParseTurtle(R"(
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl: <http://www.w3.org/2002/07/owl#> .
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:Sensor a owl:Class .
+ex:PressureSensor rdfs:subClassOf ex:Sensor .
+ex:hosts a owl:ObjectProperty .
+ex:value a owl:DatatypeProperty .
+)");
+  ASSERT_TRUE(onto_graph.ok());
+  const auto onto = Ontology::FromGraph(onto_graph.value());
+  ASSERT_TRUE(onto.ok());
+
+  const auto data = rdf::ParseTurtle(R"(
+@prefix ex: <http://example.org/> .
+ex:p1 ex:hosts ex:s1 .
+ex:s1 a ex:PressureSensor .
+ex:s1 ex:value 3.1 .
+ex:s1 ex:undeclaredObjProp ex:p1 .
+ex:s1 ex:undeclaredDataProp "x" .
+ex:s1 a ex:UndeclaredClass .
+)");
+  ASSERT_TRUE(data.ok());
+
+  const auto dict_result = Dictionary::Build(onto.value(), data.value());
+  ASSERT_TRUE(dict_result.ok()) << dict_result.status().ToString();
+  const Dictionary& dict = dict_result.value();
+
+  // Declared and data-discovered concepts are encoded.
+  EXPECT_TRUE(dict.ConceptId("http://example.org/Sensor").has_value());
+  EXPECT_TRUE(dict.ConceptId("http://example.org/UndeclaredClass").has_value());
+  // The hierarchy is honoured.
+  const auto sensor_interval =
+      dict.ConceptInterval("http://example.org/Sensor").value();
+  const uint64_t pressure_id =
+      dict.ConceptId("http://example.org/PressureSensor").value();
+  EXPECT_GE(pressure_id, sensor_interval.first);
+  EXPECT_LT(pressure_id, sensor_interval.second);
+
+  // Property spaces: declared kinds plus data-inferred kinds.
+  EXPECT_TRUE(dict.IsObjectProperty("http://example.org/hosts"));
+  EXPECT_TRUE(dict.IsDatatypeProperty("http://example.org/value"));
+  EXPECT_TRUE(dict.IsObjectProperty("http://example.org/undeclaredObjProp"));
+  EXPECT_TRUE(dict.IsDatatypeProperty("http://example.org/undeclaredDataProp"));
+
+  // Ids round-trip.
+  const uint64_t hosts = dict.ObjectPropertyId("http://example.org/hosts").value();
+  EXPECT_EQ(dict.ObjectPropertyIri(hosts).value(), "http://example.org/hosts");
+}
+
+TEST(Dictionary, InstanceIdsAreDenseAndStable) {
+  Dictionary dict;
+  const rdf::Term a = rdf::Term::Iri("http://e/a");
+  const rdf::Term b = rdf::Term::Blank("b0");
+  const uint32_t ia = dict.InstanceIdOrAssign(a);
+  const uint32_t ib = dict.InstanceIdOrAssign(b);
+  EXPECT_EQ(ia, 0u);
+  EXPECT_EQ(ib, 1u);
+  EXPECT_EQ(dict.InstanceIdOrAssign(a), ia);  // stable
+  EXPECT_EQ(dict.InstanceTerm(ib), b);
+  EXPECT_EQ(dict.InstanceId(rdf::Term::Iri("http://e/zzz")), std::nullopt);
+  EXPECT_EQ(dict.num_instances(), 2u);
+}
+
+TEST(Dictionary, HierarchyAggregatedStatistics) {
+  // C2 ⊑ C1 ⊑ C0 and C3 ⊑ C0 — the paper's statistics example: the count
+  // of C0 must sum the counts of C0..C3.
+  Ontology onto;
+  onto.AddSubClassOf("C1", "C0");
+  onto.AddSubClassOf("C2", "C1");
+  onto.AddSubClassOf("C3", "C0");
+  rdf::Graph empty;
+  auto dict_result = Dictionary::Build(onto, empty);
+  ASSERT_TRUE(dict_result.ok());
+  Dictionary& dict = dict_result.value();
+
+  const auto record = [&dict](const std::string& c, int times) {
+    for (int i = 0; i < times; ++i) {
+      dict.RecordConceptOccurrence(dict.ConceptId(c).value());
+    }
+  };
+  record("C0", 1);
+  record("C1", 2);
+  record("C2", 4);
+  record("C3", 8);
+  EXPECT_EQ(dict.ConceptCountAggregated("C2"), 4u);
+  EXPECT_EQ(dict.ConceptCountAggregated("C1"), 6u);
+  EXPECT_EQ(dict.ConceptCountAggregated("C3"), 8u);
+  EXPECT_EQ(dict.ConceptCountAggregated("C0"), 15u);
+}
+
+TEST(Dictionary, PropertyAggregatedStatistics) {
+  Ontology onto;
+  onto.AddSubPropertyOf("worksFor", "memberOf", PropertyKind::kObject);
+  onto.AddSubPropertyOf("headOf", "worksFor", PropertyKind::kObject);
+  rdf::Graph empty;
+  auto dict_result = Dictionary::Build(onto, empty);
+  ASSERT_TRUE(dict_result.ok());
+  Dictionary& dict = dict_result.value();
+  dict.RecordObjectPropertyOccurrence(dict.ObjectPropertyId("memberOf").value());
+  dict.RecordObjectPropertyOccurrence(dict.ObjectPropertyId("worksFor").value());
+  dict.RecordObjectPropertyOccurrence(dict.ObjectPropertyId("headOf").value());
+  EXPECT_EQ(dict.PropertyCountAggregated("headOf"), 1u);
+  EXPECT_EQ(dict.PropertyCountAggregated("worksFor"), 2u);
+  EXPECT_EQ(dict.PropertyCountAggregated("memberOf"), 3u);
+}
+
+}  // namespace
+}  // namespace sedge::litemat

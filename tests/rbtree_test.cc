@@ -1,0 +1,125 @@
+// Tests for the from-scratch red-black tree against std::map as reference.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rbtree/rb_tree.h"
+#include "util/rng.h"
+
+namespace sedge::rbtree {
+namespace {
+
+TEST(RbTree, EmptyTree) {
+  RbTree<int, int> tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Find(42), nullptr);
+  EXPECT_FALSE(tree.Contains(42));
+  EXPECT_GE(tree.ValidateInvariants(), 0);
+}
+
+TEST(RbTree, InsertAndFind) {
+  RbTree<int, std::string> tree;
+  tree.GetOrInsert(5) = "five";
+  tree.GetOrInsert(1) = "one";
+  tree.GetOrInsert(9) = "nine";
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), "five");
+  EXPECT_EQ(tree.Find(7), nullptr);
+  // Upsert: GetOrInsert on an existing key returns the same slot.
+  tree.GetOrInsert(5) = "FIVE";
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(*tree.Find(5), "FIVE");
+}
+
+TEST(RbTree, InOrderTraversalIsSorted) {
+  Rng rng(99);
+  RbTree<uint64_t, uint64_t> tree;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t k = rng.Uniform(500);  // plenty of duplicate keys
+    tree.GetOrInsert(k) = k * 2;
+  }
+  std::vector<uint64_t> keys;
+  tree.ForEach([&](const uint64_t& k, const uint64_t& v) {
+    EXPECT_EQ(v, k * 2);
+    keys.push_back(k);
+  });
+  ASSERT_EQ(keys.size(), tree.size());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);
+  }
+}
+
+class RbTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RbTreeProperty, MatchesStdMapAndKeepsInvariants) {
+  const uint64_t n = GetParam();
+  Rng rng(n);
+  RbTree<uint64_t, uint64_t> tree;
+  std::map<uint64_t, uint64_t> reference;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t k = rng.Uniform(n * 2 + 1);
+    const uint64_t v = rng.Next();
+    tree.GetOrInsert(k) = v;
+    reference[k] = v;
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  ASSERT_GE(tree.ValidateInvariants(), 0) << "red-black invariants violated";
+  for (const auto& [k, v] : reference) {
+    const uint64_t* found = tree.Find(k);
+    ASSERT_NE(found, nullptr) << "missing key " << k;
+    ASSERT_EQ(*found, v);
+  }
+  // Range scans agree with the reference on random windows.
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t lo = rng.Uniform(n * 2 + 2);
+    uint64_t hi = rng.Uniform(n * 2 + 2);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<uint64_t> expect;
+    for (auto it = reference.lower_bound(lo);
+         it != reference.end() && it->first < hi; ++it) {
+      expect.push_back(it->first);
+    }
+    std::vector<uint64_t> got;
+    tree.ForEachInRange(lo, hi, [&](const uint64_t& k, const uint64_t&) {
+      got.push_back(k);
+    });
+    ASSERT_EQ(got, expect) << "range [" << lo << "," << hi << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbTreeProperty,
+                         ::testing::Values(1, 2, 10, 100, 1000, 20000));
+
+TEST(RbTree, SortedInsertionStaysBalanced) {
+  RbTree<int, int> tree;
+  for (int i = 0; i < 10000; ++i) tree.GetOrInsert(i) = i;
+  const int black_height = tree.ValidateInvariants();
+  ASSERT_GE(black_height, 0);
+  // A valid RB tree of 10k nodes has black height <= ~log2(n)+1.
+  EXPECT_LE(black_height, 16);
+}
+
+TEST(RbTree, LowerBound) {
+  RbTree<int, int> tree;
+  for (int k : {10, 20, 30}) tree.GetOrInsert(k) = k;
+  ASSERT_NE(tree.LowerBound(15), nullptr);
+  EXPECT_EQ(*tree.LowerBound(15), 20);
+  EXPECT_EQ(*tree.LowerBound(10), 10);
+  EXPECT_EQ(tree.LowerBound(31), nullptr);
+}
+
+TEST(RbTree, MoveTransfersOwnership) {
+  RbTree<int, int> a;
+  a.GetOrInsert(1) = 10;
+  RbTree<int, int> b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(*b.Find(1), 10);
+}
+
+}  // namespace
+}  // namespace sedge::rbtree

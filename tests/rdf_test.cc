@@ -1,0 +1,160 @@
+// Tests for RDF terms, triples, and the Turtle/N-Triples parser.
+
+#include <gtest/gtest.h>
+
+#include "rdf/rdf_parser.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/vocabulary.h"
+
+namespace sedge::rdf {
+namespace {
+
+TEST(Term, FactoryAndAccessors) {
+  const Term iri = Term::Iri("http://example.org/a");
+  EXPECT_TRUE(iri.is_iri());
+  EXPECT_EQ(iri.lexical(), "http://example.org/a");
+
+  const Term blank = Term::Blank("b0");
+  EXPECT_TRUE(blank.is_blank());
+
+  const Term lit = Term::Literal("3.25", kXsdDecimal);
+  EXPECT_TRUE(lit.is_literal());
+  EXPECT_TRUE(lit.IsNumericLiteral());
+  EXPECT_DOUBLE_EQ(lit.AsDouble(), 3.25);
+
+  const Term lang = Term::Literal("bonjour", "", "fr");
+  EXPECT_FALSE(lang.IsNumericLiteral());
+  EXPECT_EQ(lang.lang(), "fr");
+}
+
+TEST(Term, NTriplesSerialization) {
+  EXPECT_EQ(Term::Iri("http://e.org/x").ToNTriples(), "<http://e.org/x>");
+  EXPECT_EQ(Term::Blank("n1").ToNTriples(), "_:n1");
+  EXPECT_EQ(Term::Literal("hi").ToNTriples(), "\"hi\"");
+  EXPECT_EQ(Term::Literal("5", kXsdInteger).ToNTriples(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+  EXPECT_EQ(Term::Literal("hey", "", "en").ToNTriples(), "\"hey\"@en");
+  EXPECT_EQ(Term::Literal("a\"b\\c\nd").ToNTriples(),
+            "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Term, OrderingIsTotal) {
+  const Term a = Term::Iri("http://e.org/a");
+  const Term b = Term::Iri("http://e.org/b");
+  const Term lit = Term::Literal("a");
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, lit);  // IRIs sort before literals (kind order)
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Parser, ParsesNTriples) {
+  const auto result = ParseNTriples(
+      "<http://e.org/s> <http://e.org/p> <http://e.org/o> .\n"
+      "<http://e.org/s> <http://e.org/q> \"42\"^^"
+      "<http://www.w3.org/2001/XMLSchema#integer> .\n"
+      "_:b0 <http://e.org/p> \"hello world\"@en .\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.value();
+  ASSERT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.triples()[0].subject.lexical(), "http://e.org/s");
+  EXPECT_EQ(g.triples()[1].object.datatype(), kXsdInteger);
+  EXPECT_TRUE(g.triples()[2].subject.is_blank());
+  EXPECT_EQ(g.triples()[2].object.lang(), "en");
+}
+
+TEST(Parser, ParsesTurtleAbbreviations) {
+  const auto result = ParseTurtle(R"(
+@prefix ex: <http://example.org/> .
+@prefix sosa: <http://www.w3.org/ns/sosa/> .
+# a comment
+ex:station1 a sosa:Platform ;
+    sosa:hosts ex:sensor1, ex:sensor2 ;
+    ex:label "Station 1" .
+ex:sensor1 sosa:observes ex:obs1 .
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.value();
+  ASSERT_EQ(g.size(), 5u);
+  // 'a' expands to rdf:type.
+  EXPECT_EQ(g.triples()[0].predicate.lexical(), kRdfType);
+  EXPECT_EQ(g.triples()[0].object.lexical(), "http://www.w3.org/ns/sosa/Platform");
+  // Object list shares subject and predicate.
+  EXPECT_EQ(g.triples()[1].object.lexical(), "http://example.org/sensor1");
+  EXPECT_EQ(g.triples()[2].object.lexical(), "http://example.org/sensor2");
+  EXPECT_EQ(g.triples()[2].predicate.lexical(),
+            "http://www.w3.org/ns/sosa/hosts");
+  // Literal via ';' continuation.
+  EXPECT_EQ(g.triples()[3].object.lexical(), "Station 1");
+}
+
+TEST(Parser, ParsesNumericAndBooleanAbbreviations) {
+  const auto result = ParseTurtle(R"(
+@prefix ex: <http://example.org/> .
+ex:m1 ex:value 42 .
+ex:m2 ex:value 3.75 .
+ex:m3 ex:value -1.5e3 .
+ex:m4 ex:flag true .
+ex:m5 ex:flag false .
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& g = result.value();
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.triples()[0].object.datatype(), kXsdInteger);
+  EXPECT_EQ(g.triples()[1].object.datatype(), kXsdDecimal);
+  EXPECT_DOUBLE_EQ(g.triples()[1].object.AsDouble(), 3.75);
+  EXPECT_EQ(g.triples()[2].object.datatype(), kXsdDouble);
+  EXPECT_DOUBLE_EQ(g.triples()[2].object.AsDouble(), -1500.0);
+  EXPECT_EQ(g.triples()[3].object.datatype(), kXsdBoolean);
+  EXPECT_EQ(g.triples()[4].object.lexical(), "false");
+}
+
+TEST(Parser, RoundTripsThroughNTriples) {
+  Graph g;
+  g.Add(Term::Iri("http://e.org/s"), Term::Iri("http://e.org/p"),
+        Term::Literal("x \"quoted\"\nline", kXsdString));
+  g.Add(Term::Blank("b1"), Term::Iri(kRdfType), Term::Iri("http://e.org/C"));
+  const auto reparsed = ParseNTriples(g.ToNTriples());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed.value().size(), 2u);
+  EXPECT_EQ(reparsed.value().triples()[0], g.triples()[0]);
+  EXPECT_EQ(reparsed.value().triples()[1], g.triples()[1]);
+}
+
+TEST(Parser, ReportsErrorsWithLineNumbers) {
+  const auto r1 = ParseTurtle("<http://e.org/s> <http://e.org/p> .\n");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_TRUE(r1.status().IsParseError());
+
+  const auto r2 = ParseTurtle("ex:a ex:b ex:c .");
+  ASSERT_FALSE(r2.ok());  // unknown prefix
+  EXPECT_NE(r2.status().message().find("unknown prefix"), std::string::npos);
+
+  const auto r3 = ParseTurtle("<http://e.org/s> <http://e.org/p> \"unterm .");
+  ASSERT_FALSE(r3.ok());
+}
+
+TEST(Parser, TrailingSemicolonAndDotLocalNames) {
+  const auto result = ParseTurtle(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b ; .
+)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().size(), 1u);
+}
+
+TEST(Graph, MergeAndTruncate) {
+  Graph a;
+  a.Add(Term::Iri("http://e/1"), Term::Iri("http://e/p"), Term::Iri("http://e/2"));
+  Graph b;
+  b.Add(Term::Iri("http://e/3"), Term::Iri("http://e/p"), Term::Iri("http://e/4"));
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  a.Truncate(1);
+  EXPECT_EQ(a.size(), 1u);
+  a.Truncate(50);  // no-op beyond size
+  EXPECT_EQ(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sedge::rdf

@@ -1,0 +1,397 @@
+// Unit and property tests for the succinct data structure substrate.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sds/bit_vector.h"
+#include "sds/elias_fano.h"
+#include "sds/int_vector.h"
+#include "sds/rrr_bit_vector.h"
+#include "sds/succinct_bit_vector.h"
+#include "sds/wavelet_tree.h"
+#include "util/rng.h"
+
+namespace sedge::sds {
+namespace {
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, PushBackAndGet) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.PushBack(i % 3 == 0);
+  ASSERT_EQ(bv.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bv.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, SetClearsAndSets) {
+  BitVector bv(130, false);
+  bv.Set(0, true);
+  bv.Set(64, true);
+  bv.Set(129, true);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+  bv.Set(64, false);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_EQ(bv.CountOnes(), 2u);
+}
+
+TEST(BitVector, AllOnesConstructorTrimsTail) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.CountOnes(), 70u);
+}
+
+// ------------------------------------------------------- SuccinctBitVector
+
+class SuccinctBitVectorProperty
+    : public ::testing::TestWithParam<std::pair<uint64_t, double>> {};
+
+TEST_P(SuccinctBitVectorProperty, RankSelectMatchNaive) {
+  const auto [n, density] = GetParam();
+  Rng rng(n * 1000003 + static_cast<uint64_t>(density * 97));
+  BitVector bits(n);
+  std::vector<uint64_t> one_positions;
+  std::vector<uint64_t> zero_positions;
+  for (uint64_t i = 0; i < n; ++i) {
+    const bool bit = rng.Bernoulli(density);
+    bits.Set(i, bit);
+    (bit ? one_positions : zero_positions).push_back(i);
+  }
+  SuccinctBitVector sbv(bits);
+  ASSERT_EQ(sbv.size(), n);
+  ASSERT_EQ(sbv.ones(), one_positions.size());
+
+  // Rank at every position (prefix sums are the ground truth).
+  uint64_t ones_so_far = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sbv.Rank1(i), ones_so_far) << "rank1 @" << i;
+    ASSERT_EQ(sbv.Rank0(i), i - ones_so_far) << "rank0 @" << i;
+    if (bits.Get(i)) ++ones_so_far;
+    ASSERT_EQ(sbv.Access(i), bits.Get(i)) << "access @" << i;
+  }
+  ASSERT_EQ(sbv.Rank1(n), one_positions.size());
+
+  for (uint64_t k = 1; k <= one_positions.size(); ++k) {
+    ASSERT_EQ(sbv.Select1(k), one_positions[k - 1]) << "select1 @" << k;
+  }
+  for (uint64_t k = 1; k <= zero_positions.size(); ++k) {
+    ASSERT_EQ(sbv.Select0(k), zero_positions[k - 1]) << "select0 @" << k;
+  }
+  // Sentinels close the last block range (paper Algorithms 2-4).
+  EXPECT_EQ(sbv.Select1(one_positions.size() + 1), n);
+  EXPECT_EQ(sbv.Select0(zero_positions.size() + 1), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, SuccinctBitVectorProperty,
+    ::testing::Values(std::pair<uint64_t, double>{0, 0.5},
+                      std::pair<uint64_t, double>{1, 1.0},
+                      std::pair<uint64_t, double>{63, 0.3},
+                      std::pair<uint64_t, double>{64, 0.5},
+                      std::pair<uint64_t, double>{65, 0.9},
+                      std::pair<uint64_t, double>{1000, 0.01},
+                      std::pair<uint64_t, double>{4096, 0.5},
+                      std::pair<uint64_t, double>{10000, 0.99},
+                      std::pair<uint64_t, double>{100000, 0.001},
+                      std::pair<uint64_t, double>{100000, 0.6}));
+
+TEST(SuccinctBitVector, AllOnes) {
+  BitVector bits(1000, true);
+  SuccinctBitVector sbv(bits);
+  EXPECT_EQ(sbv.ones(), 1000u);
+  EXPECT_EQ(sbv.Rank1(500), 500u);
+  EXPECT_EQ(sbv.Select1(1000), 999u);
+  EXPECT_EQ(sbv.Select1(1001), 1000u);  // sentinel
+}
+
+TEST(SuccinctBitVector, AllZeros) {
+  BitVector bits(1000, false);
+  SuccinctBitVector sbv(bits);
+  EXPECT_EQ(sbv.ones(), 0u);
+  EXPECT_EQ(sbv.Rank1(1000), 0u);
+  EXPECT_EQ(sbv.Select0(1000), 999u);
+  EXPECT_EQ(sbv.Select1(1), 1000u);  // sentinel for k = ones+1 = 1
+}
+
+TEST(SuccinctBitVector, PaperFigure5PsBitmap) {
+  // Figure 5: PS bitmap "100100..." — p1 owns subjects {s1,s2,s4}, p2 the
+  // rest. '1' starts a predicate's subject run.
+  BitVector bits(6);
+  bits.Set(0, true);  // p1 run starts
+  bits.Set(3, true);  // p2 run starts
+  SuccinctBitVector bm(bits);
+  // Subject range of predicate 0: [Select1(1), Select1(2)) = [0, 3).
+  EXPECT_EQ(bm.Select1(1), 0u);
+  EXPECT_EQ(bm.Select1(2), 3u);
+  // Subject range of predicate 1 (last): [Select1(2), Select1(3)) = [3, 6).
+  EXPECT_EQ(bm.Select1(3), 6u);  // sentinel closes the final run
+}
+
+// ----------------------------------------------------------------- IntVector
+
+TEST(IntVector, WidthFor) {
+  EXPECT_EQ(IntVector::WidthFor(0), 1);
+  EXPECT_EQ(IntVector::WidthFor(1), 1);
+  EXPECT_EQ(IntVector::WidthFor(2), 2);
+  EXPECT_EQ(IntVector::WidthFor(255), 8);
+  EXPECT_EQ(IntVector::WidthFor(256), 9);
+  EXPECT_EQ(IntVector::WidthFor(~0ULL), 64);
+}
+
+class IntVectorWidths : public ::testing::TestWithParam<uint8_t> {};
+
+TEST_P(IntVectorWidths, RoundTripsRandomValues) {
+  const uint8_t width = GetParam();
+  const uint64_t mask = width == 64 ? ~0ULL : (1ULL << width) - 1;
+  Rng rng(width);
+  const uint64_t n = 700;
+  std::vector<uint64_t> expect(n);
+  IntVector iv(n, width);
+  for (uint64_t i = 0; i < n; ++i) {
+    expect[i] = rng.Next() & mask;
+    iv.Set(i, expect[i]);
+  }
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(iv.Get(i), expect[i]) << i;
+  // Overwrite in reverse order; earlier writes must not be clobbered.
+  for (uint64_t i = n; i-- > 0;) iv.Set(i, (expect[i] + 1) & mask);
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(iv.Get(i), (expect[i] + 1) & mask) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, IntVectorWidths,
+                         ::testing::Values(1, 2, 3, 7, 8, 13, 16, 31, 32, 33,
+                                           48, 63, 64));
+
+TEST(IntVector, FromValuesPicksMinimalWidth) {
+  IntVector iv = IntVector::FromValues({0, 5, 1023});
+  EXPECT_EQ(iv.width(), 10);
+  EXPECT_EQ(iv.Get(2), 1023u);
+}
+
+// --------------------------------------------------------------- WaveletTree
+
+TEST(WaveletTree, PaperFigure3Example) {
+  // Sequence ABFECBCCADEF with A=0..F=5 (paper Figure 3).
+  const std::vector<uint64_t> seq = {0, 1, 5, 4, 2, 1, 2, 2, 0, 3, 4, 5};
+  WaveletTree wt(seq);
+  ASSERT_EQ(wt.size(), seq.size());
+  for (size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(wt.Access(i), seq[i]);
+  // Rank over the full sequence: counts per letter.
+  EXPECT_EQ(wt.Rank(12, 0), 2u);  // A
+  EXPECT_EQ(wt.Rank(12, 1), 2u);  // B
+  EXPECT_EQ(wt.Rank(12, 2), 3u);  // C
+  EXPECT_EQ(wt.Rank(12, 3), 1u);  // D
+  EXPECT_EQ(wt.Rank(12, 4), 2u);  // E
+  EXPECT_EQ(wt.Rank(12, 5), 2u);  // F
+  // Select: the 2nd C is at index 6, the 1st F at index 2.
+  EXPECT_EQ(wt.Select(2, 2), 6u);
+  EXPECT_EQ(wt.Select(1, 5), 2u);
+  EXPECT_EQ(wt.Select(2, 5), 11u);
+  // rangeSearch: occurrences of C in [4, 8) are {4, 6, 7}.
+  EXPECT_EQ(wt.RangeSearch(4, 8, 2), (std::vector<uint64_t>{4, 6, 7}));
+}
+
+struct WtParam {
+  uint64_t n;
+  uint64_t sigma;
+  uint64_t seed;
+};
+
+class WaveletTreeProperty : public ::testing::TestWithParam<WtParam> {};
+
+TEST_P(WaveletTreeProperty, MatchesNaiveReference) {
+  const auto [n, sigma, seed] = GetParam();
+  Rng rng(seed);
+  std::vector<uint64_t> seq(n);
+  for (auto& v : seq) v = rng.Uniform(sigma);
+  WaveletTree wt(seq);
+
+  // Access everywhere.
+  for (uint64_t i = 0; i < n; ++i) ASSERT_EQ(wt.Access(i), seq[i]) << i;
+
+  // Rank/Select for every symbol, via running counts.
+  std::map<uint64_t, std::vector<uint64_t>> positions;
+  for (uint64_t i = 0; i < n; ++i) positions[seq[i]].push_back(i);
+  for (const auto& [c, pos] : positions) {
+    for (uint64_t k = 1; k <= pos.size(); ++k) {
+      ASSERT_EQ(wt.Select(k, c), pos[k - 1]) << "select c=" << c << " k=" << k;
+    }
+    ASSERT_EQ(wt.Rank(n, c), pos.size());
+  }
+  // Spot-check rank at random cut points.
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t i = rng.Uniform(n + 1);
+    const uint64_t c = rng.Uniform(sigma);
+    const uint64_t expect = static_cast<uint64_t>(
+        std::count(seq.begin(), seq.begin() + i, c));
+    ASSERT_EQ(wt.Rank(i, c), expect) << "rank i=" << i << " c=" << c;
+  }
+  // RangeSearch on random windows.
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t a = rng.Uniform(n + 1);
+    uint64_t b = rng.Uniform(n + 1);
+    if (a > b) std::swap(a, b);
+    const uint64_t c = rng.Uniform(sigma);
+    std::vector<uint64_t> expect;
+    for (uint64_t i = a; i < b; ++i) {
+      if (seq[i] == c) expect.push_back(i);
+    }
+    ASSERT_EQ(wt.RangeSearch(a, b, c), expect);
+  }
+  // RangeCount / RangeDistinct on random windows and symbol intervals.
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t a = rng.Uniform(n + 1);
+    uint64_t b = rng.Uniform(n + 1);
+    if (a > b) std::swap(a, b);
+    uint64_t lo = rng.Uniform(sigma + 1);
+    uint64_t hi = rng.Uniform(sigma + 1);
+    if (lo > hi) std::swap(lo, hi);
+    uint64_t expect_count = 0;
+    std::map<uint64_t, uint64_t> expect_distinct;
+    for (uint64_t i = a; i < b; ++i) {
+      if (seq[i] >= lo && seq[i] < hi) {
+        ++expect_count;
+        ++expect_distinct[seq[i]];
+      }
+    }
+    ASSERT_EQ(wt.RangeCount(a, b, lo, hi), expect_count);
+    std::map<uint64_t, uint64_t> got;
+    uint64_t last_value = 0;
+    bool first = true;
+    wt.RangeDistinct(a, b, lo, hi, [&](uint64_t v, uint64_t cnt) {
+      if (!first) {
+        EXPECT_GT(v, last_value) << "values must ascend";
+      }
+      first = false;
+      last_value = v;
+      got[v] = cnt;
+    });
+    ASSERT_EQ(got, expect_distinct);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WaveletTreeProperty,
+    ::testing::Values(WtParam{1, 1, 1}, WtParam{100, 2, 2},
+                      WtParam{100, 3, 3}, WtParam{1000, 16, 4},
+                      WtParam{1000, 17, 5}, WtParam{5000, 100, 6},
+                      WtParam{5000, 1000, 7}, WtParam{20000, 65536, 8}));
+
+TEST(WaveletTree, EqualRangeSortedFindsRuns) {
+  // Block-sorted sequence, as inside one predicate's subject run.
+  const std::vector<uint64_t> seq = {5, 7, 7, 7, 9, 12, /* next block */ 1, 3};
+  WaveletTree wt(seq);
+  auto [first, last] = wt.EqualRangeSorted(0, 6, 7);
+  EXPECT_EQ(first, 1u);
+  EXPECT_EQ(last, 4u);
+  std::tie(first, last) = wt.EqualRangeSorted(0, 6, 8);
+  EXPECT_EQ(first, last);  // absent value: empty range
+  std::tie(first, last) = wt.EqualRangeSorted(0, 6, 5);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(last, 1u);
+}
+
+TEST(WaveletTree, SingleSymbolAlphabet) {
+  WaveletTree wt(std::vector<uint64_t>(50, 0));
+  EXPECT_EQ(wt.Rank(50, 0), 50u);
+  EXPECT_EQ(wt.Select(50, 0), 49u);
+  EXPECT_EQ(wt.RangeCount(0, 50, 0, 1), 50u);
+}
+
+// ----------------------------------------------------------------- EliasFano
+
+TEST(EliasFano, RoundTripsSortedSequence) {
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  uint64_t v = 0;
+  for (int i = 0; i < 10000; ++i) {
+    v += rng.Uniform(100);
+    values.push_back(v);
+  }
+  EliasFano ef(values);
+  ASSERT_EQ(ef.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(ef.Access(i), values[i]) << i;
+  }
+}
+
+TEST(EliasFano, NextGeq) {
+  EliasFano ef(std::vector<uint64_t>{2, 2, 5, 9, 100});
+  EXPECT_EQ(ef.NextGeq(0), 0u);
+  EXPECT_EQ(ef.NextGeq(2), 0u);
+  EXPECT_EQ(ef.NextGeq(3), 2u);
+  EXPECT_EQ(ef.NextGeq(10), 4u);
+  EXPECT_EQ(ef.NextGeq(101), 5u);  // past the end
+}
+
+TEST(EliasFano, DenseSequenceUsesFewBits) {
+  std::vector<uint64_t> values(100000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  EliasFano ef(values);
+  // ~2 bits/element for a dense run; allow generous slack for directories.
+  EXPECT_LT(ef.SizeInBytes(), values.size());  // << 8 bytes/element
+  EXPECT_EQ(ef.Access(99999), 99999u);
+}
+
+TEST(EliasFano, EmptyAndSingle) {
+  EliasFano empty((std::vector<uint64_t>{}));
+  EXPECT_EQ(empty.size(), 0u);
+  EliasFano one(std::vector<uint64_t>{7});
+  EXPECT_EQ(one.Access(0), 7u);
+}
+
+// -------------------------------------------------------------- RrrBitVector
+
+class RrrProperty : public ::testing::TestWithParam<std::pair<uint64_t, double>> {
+};
+
+TEST_P(RrrProperty, MatchesPlainBitVector) {
+  const auto [n, density] = GetParam();
+  Rng rng(n + static_cast<uint64_t>(density * 1000));
+  BitVector bits(n);
+  for (uint64_t i = 0; i < n; ++i) bits.Set(i, rng.Bernoulli(density));
+  SuccinctBitVector plain(bits);
+  RrrBitVector rrr(bits);
+  ASSERT_EQ(rrr.size(), n);
+  ASSERT_EQ(rrr.ones(), plain.ones());
+  for (uint64_t i = 0; i <= n; ++i) {
+    ASSERT_EQ(rrr.Rank1(i), plain.Rank1(i)) << "rank @" << i;
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(rrr.Access(i), plain.Access(i)) << "access @" << i;
+  }
+  for (uint64_t k = 1; k <= plain.ones(); ++k) {
+    ASSERT_EQ(rrr.Select1(k), plain.Select1(k)) << "select @" << k;
+  }
+  EXPECT_EQ(rrr.Select1(plain.ones() + 1), n);  // sentinel
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, RrrProperty,
+    ::testing::Values(std::pair<uint64_t, double>{0, 0.5},
+                      std::pair<uint64_t, double>{14, 0.5},
+                      std::pair<uint64_t, double>{15, 0.5},
+                      std::pair<uint64_t, double>{16, 0.5},
+                      std::pair<uint64_t, double>{1000, 0.02},
+                      std::pair<uint64_t, double>{1000, 0.5},
+                      std::pair<uint64_t, double>{1000, 0.98},
+                      std::pair<uint64_t, double>{50000, 0.05}));
+
+TEST(RrrBitVector, SparseBitmapCompresses) {
+  const uint64_t n = 1 << 18;
+  Rng rng(7);
+  BitVector bits(n);
+  for (uint64_t i = 0; i < n; ++i) bits.Set(i, rng.Bernoulli(0.02));
+  SuccinctBitVector plain(bits);
+  RrrBitVector rrr(bits);
+  EXPECT_LT(rrr.SizeInBytes(), plain.SizeInBytes() / 2)
+      << "RRR should be at least 2x smaller on a 2% dense bitmap";
+}
+
+}  // namespace
+}  // namespace sedge::sds

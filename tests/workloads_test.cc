@@ -1,0 +1,212 @@
+// Tests for the LUBM-like generator, the sensor-graph generator, and the
+// query catalog, including end-to-end runs through sedge::Database.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "workloads/lubm_generator.h"
+#include "workloads/lubm_queries.h"
+#include "workloads/sensor_generator.h"
+
+namespace sedge::workloads {
+namespace {
+
+TEST(LubmGenerator, SizeIsDeterministicAndInLubm1Range) {
+  LubmConfig config;
+  const rdf::Graph g1 = LubmGenerator::Generate(config);
+  const rdf::Graph g2 = LubmGenerator::Generate(config);
+  ASSERT_EQ(g1.size(), g2.size());
+  EXPECT_EQ(g1.triples()[123], g2.triples()[123]);
+  // LUBM(1) is "over 103.000 triples" (paper Section 7.2).
+  EXPECT_GT(g1.size(), 80000u);
+  EXPECT_LT(g1.size(), 140000u);
+}
+
+TEST(LubmGenerator, DifferentSeedsDiffer) {
+  LubmConfig a;
+  LubmConfig b;
+  b.seed = 1234;
+  EXPECT_NE(LubmGenerator::Generate(a).size(),
+            LubmGenerator::Generate(b).size());
+}
+
+TEST(LubmGenerator, SmallConfigScalesDown) {
+  LubmConfig config;
+  config.departments_per_university = 2;
+  const rdf::Graph g = LubmGenerator::Generate(config);
+  EXPECT_GT(g.size(), 5000u);
+  EXPECT_LT(g.size(), 20000u);
+}
+
+class LubmEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    LubmConfig config;
+    config.departments_per_university = 3;  // ~15K triples: fast tests
+    graph_ = new rdf::Graph(LubmGenerator::Generate(config));
+    db_ = new Database();
+    db_->LoadOntology(LubmGenerator::BuildOntology());
+    ASSERT_TRUE(db_->LoadData(*graph_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete graph_;
+    db_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  static rdf::Graph* graph_;
+  static Database* db_;
+};
+
+rdf::Graph* LubmEndToEnd::graph_ = nullptr;
+Database* LubmEndToEnd::db_ = nullptr;
+
+TEST_F(LubmEndToEnd, SingleTpQueriesHitNearTargets) {
+  const auto specs = LubmQueries::SingleSp(*graph_, {4, 66, 129, 257, 513});
+  ASSERT_EQ(specs.size(), 5u);
+  for (const auto& spec : specs) {
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id << ": " << count.status().ToString();
+    EXPECT_GT(count.value(), 0u) << spec.id;
+    // Within 3x of the paper's target (the graph is a third of LUBM1 here).
+    EXPECT_LT(count.value(), spec.target * 4 + 20) << spec.id;
+  }
+}
+
+TEST_F(LubmEndToEnd, ReverseTpQueriesWork) {
+  const auto specs = LubmQueries::SinglePo(*graph_, {5, 17, 135, 283, 521});
+  ASSERT_EQ(specs.size(), 5u);
+  for (const auto& spec : specs) {
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id << ": " << count.status().ToString();
+    EXPECT_GT(count.value(), 0u) << spec.id;
+  }
+}
+
+TEST_F(LubmEndToEnd, PredicateScansHaveAscendingSizes) {
+  const auto specs = LubmQueries::SingleP();
+  ASSERT_EQ(specs.size(), 5u);
+  uint64_t works_for = 0;
+  uint64_t name = 0;
+  for (const auto& spec : specs) {
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id;
+    EXPECT_GT(count.value(), 0u) << spec.id;
+    if (spec.id == "S11") works_for = count.value();
+    if (spec.id == "S15") name = count.value();
+  }
+  // name covers every named entity: by far the largest (Figure 12 shape).
+  EXPECT_GT(name, works_for * 5);
+}
+
+TEST_F(LubmEndToEnd, MultiTpQueriesReturnRows) {
+  db_->set_reasoning(false);  // M-queries are inference-free
+  for (const auto& spec : LubmQueries::Multi(*graph_)) {
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id << ": " << count.status().ToString();
+    EXPECT_GT(count.value(), 0u) << spec.id;
+  }
+  db_->set_reasoning(true);
+}
+
+TEST_F(LubmEndToEnd, ReasoningQueriesDeriveExtraTuples) {
+  db_->set_reasoning(false);
+  const auto m = LubmQueries::Multi(*graph_);
+  const uint64_t m4 = db_->QueryCount(m[3].sparql).ValueOr(0);
+  db_->set_reasoning(true);
+  const auto r = LubmQueries::Reasoning(*graph_);
+  for (const auto& spec : r) {
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id << ": " << count.status().ToString();
+    EXPECT_GT(count.value(), 0u) << spec.id;
+  }
+  // R5 is M4 plus memberOf reasoning: strictly more solutions.
+  const uint64_t r5 = db_->QueryCount(r[4].sparql).ValueOr(0);
+  EXPECT_GT(r5, m4);
+}
+
+TEST_F(LubmEndToEnd, ReasoningMatchesManualUnionSemantics) {
+  // ?x a Student (reasoning) == Student ∪ UndergraduateStudent ∪
+  // GraduateStudent (explicit union, no reasoning).
+  const char* kReasoned =
+      "PREFIX lubm: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { ?x a lubm:Student }";
+  const char* kUnion =
+      "PREFIX lubm: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+      "SELECT ?x WHERE { { ?x a lubm:Student } UNION "
+      "{ ?x a lubm:UndergraduateStudent } UNION "
+      "{ ?x a lubm:GraduateStudent } }";
+  db_->set_reasoning(true);
+  const uint64_t reasoned = db_->QueryCount(kReasoned).ValueOr(0);
+  db_->set_reasoning(false);
+  const uint64_t unioned = db_->QueryCount(kUnion).ValueOr(0);
+  db_->set_reasoning(true);
+  EXPECT_GT(reasoned, 0u);
+  EXPECT_EQ(reasoned, unioned);
+}
+
+TEST_F(LubmEndToEnd, AllCatalogQueriesParseAndRun) {
+  for (const auto& spec : LubmQueries::All(*graph_)) {
+    db_->set_reasoning(spec.reasoning);
+    const auto count = db_->QueryCount(spec.sparql);
+    ASSERT_TRUE(count.ok()) << spec.id << ": " << count.status().ToString();
+  }
+  db_->set_reasoning(true);
+}
+
+// -------------------------------------------------------- sensor generator
+
+TEST(SensorGenerator, HitsTripleTargets) {
+  const rdf::Graph g250 = SensorGraphGenerator::GenerateWithTripleTarget(250);
+  const rdf::Graph g500 = SensorGraphGenerator::GenerateWithTripleTarget(500);
+  EXPECT_NEAR(static_cast<double>(g250.size()), 250.0, 30.0);
+  EXPECT_NEAR(static_cast<double>(g500.size()), 500.0, 30.0);
+}
+
+TEST(SensorGenerator, AnomalyQueryFindsInjectedAnomalies) {
+  Database db;
+  db.LoadOntology(SensorGraphGenerator::BuildOntology());
+  SensorConfig config;
+  config.observations_per_sensor = 40;
+  config.anomaly_rate = 0.3;
+  ASSERT_TRUE(db.LoadData(SensorGraphGenerator::Generate(config)).ok());
+  const auto hits =
+      db.QueryCount(SensorGraphGenerator::PressureAnomalyQuery());
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_GT(hits.value(), 0u);
+
+  // With no anomalies, the detector stays silent.
+  config.anomaly_rate = 0.0;
+  ASSERT_TRUE(db.LoadData(SensorGraphGenerator::Generate(config)).ok());
+  const auto clean =
+      db.QueryCount(SensorGraphGenerator::PressureAnomalyQuery());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value(), 0u);
+}
+
+TEST(SensorGenerator, HeterogeneousStationsRequireReasoning) {
+  Database db;
+  db.LoadOntology(SensorGraphGenerator::BuildOntology());
+  SensorConfig config;
+  config.observations_per_sensor = 30;
+  config.anomaly_rate = 0.5;
+  ASSERT_TRUE(db.LoadData(SensorGraphGenerator::Generate(config)).ok());
+  // The unit classes differ per station profile; without reasoning the
+  // qudt:PressureUnit pattern matches no unit at all.
+  db.set_reasoning(false);
+  const auto without =
+      db.QueryCount(SensorGraphGenerator::PressureAnomalyQuery());
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without.value(), 0u);
+  db.set_reasoning(true);
+  const auto with =
+      db.QueryCount(SensorGraphGenerator::PressureAnomalyQuery());
+  ASSERT_TRUE(with.ok());
+  EXPECT_GT(with.value(), 0u);
+}
+
+}  // namespace
+}  // namespace sedge::workloads
