@@ -193,6 +193,21 @@ inline std::string FormatKb(uint64_t bytes) {
   return buf;
 }
 
+/// Machine-readable bench output: one JSON object per line (JSONL), shape
+///   {"bench": "...", "dataset": "...", "<metric>": <value>, ...}
+/// shared by every bench that wants scripted consumption next to its
+/// human-readable table.
+inline void PrintJsonRecord(
+    const std::string& bench, const std::string& dataset,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::printf("{\"bench\":\"%s\",\"dataset\":\"%s\"", bench.c_str(),
+              dataset.c_str());
+  for (const auto& [name, value] : metrics) {
+    std::printf(",\"%s\":%.6g", name.c_str(), value);
+  }
+  std::printf("}\n");
+}
+
 }  // namespace sedge::bench
 
 #endif  // SEDGE_BENCH_BENCH_UTIL_H_

@@ -1,13 +1,15 @@
-// Edge monitor: the full deployment loop of Section 4 in miniature.
+// Edge monitor: the full deployment loop of Section 4, streaming edition.
 //
-// A "server" side encodes the ontology once; an edge instance then
-// receives a stream of graph instances, runs a fixed set of registered
-// SPARQL queries once per instance (the paper's execution model), and
-// emits alerts — while reporting the memory the store occupies, the
-// quantity an edge device actually cares about.
+// A "server" side encodes the ontology once; an edge instance then ingests
+// a continuous stream of sensor observation batches through the
+// delta-overlay write path (no rebuild per batch), runs a fixed set of
+// registered SPARQL queries after each batch, and emits alerts — while
+// reporting the memory the store occupies and when the overlay was folded
+// back into the succinct base by auto-compaction.
 //
-//   $ ./build/examples/edge_monitor [instances] [observations_per_sensor]
+//   $ ./build/edge_monitor [batches] [observations_per_sensor]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -27,12 +29,13 @@ struct RegisteredQuery {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int instances = argc > 1 ? std::atoi(argv[1]) : 20;
+  const int batches = argc > 1 ? std::atoi(argv[1]) : 20;
   const int observations = argc > 2 ? std::atoi(argv[2]) : 25;
 
   // --- administration step (central server) ---
   sedge::Database db;
   db.LoadOntology(sedge::workloads::SensorGraphGenerator::BuildOntology());
+  db.set_compaction_ratio(0.25);
 
   // Queries registered on this edge instance: anomaly detection plus two
   // routine monitoring queries.
@@ -48,22 +51,44 @@ int main(int argc, char** argv) {
        "sosa:hosts ?s }"},
   };
 
-  std::printf("edge instance up; %zu queries registered\n\n", queries.size());
+  // --- bootstrap: the static station/sensor topology, inserted once ---
+  sedge::workloads::SensorConfig config;
+  config.seed = 31337;
+  config.observations_per_sensor = observations;
+  config.anomaly_rate = 0.05;
+  if (const sedge::Status st =
+          db.Insert(sedge::workloads::SensorGraphGenerator::GenerateTopology(
+              config));
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("edge instance up; %zu queries registered, streaming %d "
+              "batches\n\n",
+              queries.size(), batches);
   uint64_t max_memory = 0;
   double total_ms = 0.0;
   int alerts = 0;
-  for (int i = 0; i < instances; ++i) {
-    sedge::workloads::SensorConfig config;
-    config.seed = 31337 + static_cast<uint64_t>(i);
-    config.observations_per_sensor = observations;
-    config.anomaly_rate = 0.05;
-    const sedge::rdf::Graph graph =
-        sedge::workloads::SensorGraphGenerator::Generate(config);
+  int compactions = 0;
+  uint64_t last_generation = db.store_generation();
+  for (int i = 0; i < batches; ++i) {
+    const sedge::rdf::Graph batch =
+        sedge::workloads::SensorGraphGenerator::GenerateObservationBatch(
+            config, i);
 
     sedge::WallTimer timer;
-    if (const sedge::Status st = db.LoadData(graph); !st.ok()) {
+    if (const sedge::Status st = db.Insert(batch); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
+    }
+    if (db.store_generation() != last_generation) {
+      last_generation = db.store_generation();
+      ++compactions;
+      std::printf("batch %2d: auto-compaction folded the overlay "
+                  "(store generation %llu, %llu triples)\n",
+                  i, static_cast<unsigned long long>(last_generation),
+                  static_cast<unsigned long long>(db.num_triples()));
     }
     for (const RegisteredQuery& q : queries) {
       const auto result = db.Query(q.sparql);
@@ -74,7 +99,7 @@ int main(int argc, char** argv) {
       }
       if (q.name == "pressure-anomaly" && !result.value().rows.empty()) {
         alerts += static_cast<int>(result.value().size());
-        std::printf("instance %2d: %zu pressure alert(s) -> notify "
+        std::printf("batch %2d: %zu pressure alert(s) -> notify "
                     "supervisor\n",
                     i, result.value().size());
       }
@@ -83,9 +108,12 @@ int main(int argc, char** argv) {
     max_memory = std::max(max_memory, db.store().SizeInBytes());
   }
   std::printf(
-      "\nprocessed %d instances (%d observations/sensor): %d alerts,\n"
-      "avg %.2f ms per instance, peak store footprint %.1f KiB\n",
-      instances, observations, alerts, total_ms / instances,
+      "\nstreamed %d batches (%d observations/sensor): %d alerts,\n"
+      "%d compaction(s), %llu live triples, avg %.2f ms per batch "
+      "(insert + %zu queries),\npeak store footprint %.1f KiB\n",
+      batches, observations, alerts, compactions,
+      static_cast<unsigned long long>(db.num_triples()),
+      total_ms / std::max(batches, 1), queries.size(),
       static_cast<double>(max_memory) / 1024.0);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/database.h"
 
+#include <algorithm>
+
 #include "rdf/rdf_parser.h"
 #include "sparql/sparql_parser.h"
 
@@ -20,6 +22,76 @@ Status Database::LoadData(const rdf::Graph& graph) {
   SEDGE_ASSIGN_OR_RETURN(store::TripleStore store,
                          store::TripleStore::Build(onto_, graph));
   store_ = std::make_unique<store::TripleStore>(std::move(store));
+  ++store_generation_;
+  return Status::OK();
+}
+
+Status Database::EnsureStore() {
+  if (store_ != nullptr) return Status::OK();
+  return LoadData(rdf::Graph());
+}
+
+Status Database::InsertTurtle(std::string_view text) {
+  SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
+  return Insert(graph);
+}
+
+Status Database::Insert(const rdf::Graph& graph) {
+  SEDGE_RETURN_NOT_OK(EnsureStore());
+  for (const rdf::Triple& t : graph.triples()) {
+    SEDGE_RETURN_NOT_OK(store_->Insert(t));
+  }
+  store_->SealDelta();
+  ++write_generation_;
+  return MaybeCompact();
+}
+
+Status Database::Insert(const rdf::Triple& triple) {
+  SEDGE_RETURN_NOT_OK(EnsureStore());
+  SEDGE_RETURN_NOT_OK(store_->Insert(triple));
+  store_->SealDelta();
+  ++write_generation_;
+  return MaybeCompact();
+}
+
+Status Database::RemoveTurtle(std::string_view text) {
+  SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
+  return Remove(graph);
+}
+
+Status Database::Remove(const rdf::Graph& graph) {
+  if (store_ == nullptr) return Status::OK();  // nothing stored
+  for (const rdf::Triple& t : graph.triples()) {
+    SEDGE_RETURN_NOT_OK(store_->Remove(t));
+  }
+  store_->SealDelta();
+  ++write_generation_;
+  return MaybeCompact();
+}
+
+Status Database::Remove(const rdf::Triple& triple) {
+  if (store_ == nullptr) return Status::OK();
+  SEDGE_RETURN_NOT_OK(store_->Remove(triple));
+  store_->SealDelta();
+  ++write_generation_;
+  return MaybeCompact();
+}
+
+Status Database::Compact() {
+  if (store_ == nullptr || !store_->has_delta()) return Status::OK();
+  const rdf::Graph merged = store_->ExportGraph();
+  return LoadData(merged);  // rebuild through the existing machinery
+}
+
+Status Database::MaybeCompact() {
+  if (compaction_ratio_ <= 0.0 || store_ == nullptr) return Status::OK();
+  const uint64_t delta = store_->delta_size();
+  if (delta == 0) return Status::OK();
+  const uint64_t base = store_->base_num_triples();
+  if (static_cast<double>(delta) >=
+      compaction_ratio_ * static_cast<double>(std::max<uint64_t>(base, 1))) {
+    return Compact();
+  }
   return Status::OK();
 }
 

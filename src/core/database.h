@@ -7,9 +7,18 @@
 //   db.LoadDataTurtle(graph_ttl);          // per graph instance
 //   auto result = db.Query("SELECT ?s WHERE { ?s a ex:Sensor }");
 //
-// The database is rebuilt per loaded graph (the paper's deployment runs a
-// fixed query set once per incoming graph instance); reasoning, merge-join
-// and optimizer toggles map to the ablation switches of the executor.
+// LoadData (re)builds the succinct base store; reasoning, merge-join and
+// optimizer toggles map to the ablation switches of the executor.
+//
+// Streaming writes (the delta-overlay write path):
+//
+//   db.InsertTurtle(observation_ttl);      // lands in the delta overlay
+//   db.RemoveTurtle(stale_ttl);            // tombstones base triples
+//   db.Compact();                          // folds overlay into the base
+//
+// Queries between writes see one consistent base ∪ delta view. Compaction
+// also runs automatically once the overlay grows past
+// set_compaction_ratio() times the base size (default 0.25; 0 disables).
 
 #ifndef SEDGE_CORE_DATABASE_H_
 #define SEDGE_CORE_DATABASE_H_
@@ -44,6 +53,40 @@ class Database {
   /// (Re)builds the store from `graph`.
   Status LoadData(const rdf::Graph& graph);
 
+  // -- Streaming writes (delta overlay) -------------------------------------
+
+  /// Parses `text` and inserts every triple into the delta overlay. An
+  /// empty database bootstraps an empty base store first, so a stream can
+  /// start from nothing. May trigger auto-compaction afterwards.
+  Status InsertTurtle(std::string_view text);
+  /// Inserts every triple of `graph` into the delta overlay.
+  Status Insert(const rdf::Graph& graph);
+  /// Inserts one triple.
+  Status Insert(const rdf::Triple& triple);
+  /// Parses `text` and removes every triple (tombstoning base triples).
+  Status RemoveTurtle(std::string_view text);
+  /// Removes every triple of `graph`.
+  Status Remove(const rdf::Graph& graph);
+  /// Removes one triple.
+  Status Remove(const rdf::Triple& triple);
+
+  /// Merges base ∪ delta into a fresh succinct base store (reusing the
+  /// build machinery) and clears the overlay. No-op without an overlay.
+  Status Compact();
+
+  /// Overlay-size / base-size ratio that triggers auto-compaction after a
+  /// write batch (default 0.25; set 0 to disable automatic compaction).
+  void set_compaction_ratio(double ratio) { compaction_ratio_ = ratio; }
+  double compaction_ratio() const { return compaction_ratio_; }
+
+  /// Bumped every time the succinct base is (re)built: LoadData and each
+  /// compaction. Readers caching per-base state key off this.
+  uint64_t store_generation() const { return store_generation_; }
+  /// Bumped by every write batch that reached the overlay.
+  uint64_t write_generation() const { return write_generation_; }
+  /// Live overlay entries (inserted triples + tombstones).
+  uint64_t delta_size() const { return store_ ? store_->delta_size() : 0; }
+
   // -- Execution switches (defaults match the paper's system) ---------------
 
   void set_reasoning(bool on) { options_.reasoning = on; }
@@ -67,9 +110,17 @@ class Database {
   uint64_t num_triples() const { return store_ ? store_->num_triples() : 0; }
 
  private:
+  /// Builds an empty base store so writes can start before any LoadData.
+  Status EnsureStore();
+  /// Runs Compact() when the overlay outgrew compaction_ratio_.
+  Status MaybeCompact();
+
   ontology::Ontology onto_;
   std::unique_ptr<store::TripleStore> store_;
   sparql::Executor::Options options_;
+  double compaction_ratio_ = 0.25;
+  uint64_t store_generation_ = 0;
+  uint64_t write_generation_ = 0;
 };
 
 }  // namespace sedge

@@ -54,7 +54,7 @@ class Executor::Decoder : public ValueDecoder {
   std::optional<double> Numeric(const EncodedTerm& value) const override {
     switch (value.space) {
       case ValueSpace::kLiteral:
-        return store_->datatype_store().NumericAt(value.id);
+        return store_->NumericAt(value.id);  // routes base + delta pools
       case ValueSpace::kComputed:
         return (*computed_numeric_)[value.id];
       case ValueSpace::kUnbound:
@@ -72,7 +72,7 @@ class Executor::Decoder : public ValueDecoder {
   std::string Str(const EncodedTerm& value) const override {
     switch (value.space) {
       case ValueSpace::kLiteral:
-        return store_->datatype_store().LexicalAt(value.id);
+        return store_->LexicalAt(value.id);
       case ValueSpace::kUnbound:
         return "";
       default:
@@ -103,13 +103,12 @@ class Executor::Estimator : public CardinalityEstimator {
       if (o_const && AsTerm(tp.object).is_iri()) {
         const auto interval = ConceptIntervalFor(AsTerm(tp.object).lexical());
         if (!interval) return 0;
-        const uint64_t count =
-            store_->type_store().CountTypedIn(interval->first,
-                                              interval->second);
+        const uint64_t count = store_->type_view().CountTypedIn(
+            interval->first, interval->second);
         return s_const ? std::min<uint64_t>(count, 1) : count;
       }
       if (s_const) return 4;  // typical typings per individual
-      return store_->type_store().num_triples() + 1;
+      return store_->type_view().num_triples() + 1;
     }
     // Property counts, hierarchy-aggregated when reasoning (Section 5.1).
     uint64_t count = 0;
@@ -119,16 +118,16 @@ class Executor::Estimator : public CardinalityEstimator {
       pairs = count;  // refined below when the exact predicate is stored
     }
     if (const auto id = dict.ObjectPropertyId(p)) {
-      if (!reasoning_) count += store_->object_store().CountForPredicate(*id);
+      if (!reasoning_) count += store_->object_view().CountForPredicate(*id);
       pairs = std::max(pairs,
-                       store_->object_store().CountSubjectsForPredicate(*id));
+                       store_->object_view().CountSubjectsForPredicate(*id));
     }
     if (const auto id = dict.DatatypePropertyId(p)) {
       if (!reasoning_) {
-        count += store_->datatype_store().CountForPredicate(*id);
+        count += store_->datatype_view().CountForPredicate(*id);
       }
       pairs = std::max(
-          pairs, store_->datatype_store().CountSubjectsForPredicate(*id));
+          pairs, store_->datatype_view().CountSubjectsForPredicate(*id));
     }
     if (s_const && o_const) return 1;
     if (s_const || o_const) {
@@ -360,7 +359,7 @@ std::optional<uint64_t> ToConceptId(const store::TripleStore& store,
 Status Executor::ExtendTypeTp(const TriplePattern& tp, BindingTable* table) {
   const Slot s_slot = MakeSlot(tp.subject, *table);
   const Slot o_slot = MakeSlot(tp.object, *table);
-  const auto& type_store = store_->type_store();
+  const store::delta::MergedTypeView type_view = store_->type_view();
   const auto& dict = store_->dict();
 
   // Constant-object interval: the LiteMat rewriting (two shifts + add)
@@ -430,30 +429,27 @@ Status Executor::ExtendTypeTp(const TriplePattern& tp, BindingTable* table) {
 
     if (sid && interval) {
       // (s, type, o): membership within the interval.
-      const auto* concepts = type_store.ConceptsOf(*sid);
-      if (concepts == nullptr) continue;
-      const auto it = std::lower_bound(concepts->begin(), concepts->end(),
-                                       interval->first);
-      if (it != concepts->end() && *it < interval->second) emit(*sid, *it);
+      const auto first = type_view.FirstConceptIn(*sid, interval->first,
+                                                  interval->second);
+      if (first) emit(*sid, *first);
     } else if (sid) {
       // (s, type, ?o): stored concepts of the subject.
       if (same_new_var) continue;  // ?x type ?x can never match
-      const auto* concepts = type_store.ConceptsOf(*sid);
-      if (concepts == nullptr) continue;
-      for (const uint64_t c : *concepts) emit(*sid, c);
+      type_view.ForEachConceptOf(*sid,
+                                 [&](uint64_t c) { emit(*sid, c); });
     } else if (interval) {
       // (?s, type, o): LiteMat interval range scan; deduplicate subjects
       // when the object is not a variable (a subject typed by two
       // sub-concepts is still one solution).
       if (o_slot.is_var && o_newcol >= 0) {
-        type_store.ForEachSubjectTypedIn(
+        type_view.ForEachSubjectTypedIn(
             interval->first, interval->second,
             [&](uint64_t subject, uint64_t concept_id) {
               emit(subject, concept_id);
             });
       } else {
         std::vector<uint64_t> subjects;
-        type_store.ForEachSubjectTypedIn(
+        type_view.ForEachSubjectTypedIn(
             interval->first, interval->second,
             [&subjects](uint64_t subject, uint64_t) {
               subjects.push_back(subject);
@@ -466,7 +462,7 @@ Status Executor::ExtendTypeTp(const TriplePattern& tp, BindingTable* table) {
     } else {
       // (?s, type, ?o): full enumeration.
       if (same_new_var) continue;
-      type_store.ForEach([&](uint64_t subject, uint64_t concept_id) {
+      type_view.ForEach([&](uint64_t subject, uint64_t concept_id) {
         emit(subject, concept_id);
       });
     }
@@ -497,7 +493,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
     if (!object_is_literal_const) {
       if (options_.reasoning) {
         if (const auto interval = dict.ObjectPropertyInterval(p)) {
-          store_->object_store().ForEachPredicateIn(
+          store_->object_view().ForEachPredicateIn(
               interval->first, interval->second, [&](uint64_t pred) {
                 const_routes.push_back({false, true, pred});
               });
@@ -512,7 +508,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
     if (!object_is_resource_const) {
       if (options_.reasoning) {
         if (const auto interval = dict.DatatypePropertyInterval(p)) {
-          store_->datatype_store().ForEachPredicateIn(
+          store_->datatype_view().ForEachPredicateIn(
               interval->first, interval->second, [&](uint64_t pred) {
                 const_routes.push_back({false, false, pred});
               });
@@ -595,12 +591,12 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       }
     } else {
       // Unbound predicate variable: every stored predicate, plus rdf:type.
-      store_->object_store().ForEachPredicateIn(
+      store_->object_view().ForEachPredicateIn(
           0, ~0ULL, [&](uint64_t pred) { routes.push_back({false, true, pred}); });
-      store_->datatype_store().ForEachPredicateIn(
+      store_->datatype_view().ForEachPredicateIn(
           0, ~0ULL,
           [&](uint64_t pred) { routes.push_back({false, false, pred}); });
-      if (store_->type_store().num_triples() > 0) {
+      if (store_->type_view().num_triples() > 0) {
         routes.push_back({true, false, 0});
       }
     }
@@ -642,23 +638,19 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
           cid = ToConceptId(*store_, *decoder_, *bound_o);
           if (!cid) continue;
         }
-        const auto& types = store_->type_store();
+        const store::delta::MergedTypeView types = store_->type_view();
         if (sid && cid) {
           if (types.Contains(*sid, *cid)) {
             emit(p_val, *sid, {ValueSpace::kConcept, *cid});
           }
         } else if (sid) {
-          const auto* concepts = types.ConceptsOf(*sid);
-          if (concepts == nullptr) continue;
-          for (const uint64_t c : *concepts) {
+          types.ForEachConceptOf(*sid, [&](uint64_t c) {
             emit(p_val, *sid, {ValueSpace::kConcept, c});
-          }
+          });
         } else if (cid) {
-          const auto* subjects = types.SubjectsOf(*cid);
-          if (subjects == nullptr) continue;
-          for (const uint64_t s : *subjects) {
+          types.ForEachSubjectOf(*cid, [&](uint64_t s) {
             emit(p_val, s, {ValueSpace::kConcept, *cid});
-          }
+          });
         } else {
           types.ForEach([&](uint64_t s, uint64_t c) {
             emit(p_val, s, {ValueSpace::kConcept, c});
@@ -668,7 +660,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       }
 
       if (route.is_object) {
-        const auto& pso = store_->object_store();
+        const store::delta::MergedObjectView pso = store_->object_view();
         const EncodedTerm p_val{ValueSpace::kObjectProperty, route.pred};
         std::optional<uint64_t> oid;
         if (o_slot.is_const) {
@@ -696,7 +688,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       }
 
       // Datatype route.
-      const auto& dts = store_->datatype_store();
+      const store::delta::MergedDatatypeView dts = store_->datatype_view();
       const EncodedTerm p_val{ValueSpace::kDatatypeProperty, route.pred};
       std::optional<rdf::Term> literal;
       if (o_slot.is_const) {
@@ -737,6 +729,10 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
 bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
                                   const std::vector<PredRoute>& routes,
                                   BindingTable* table) {
+  // The merge join sweeps base subject runs positionally; with a live
+  // delta overlay the row-by-row path (which reads the merged views) is
+  // the correct one. Compact() restores this fast path.
+  if (store_->has_delta()) return false;
   const Slot s_slot = MakeSlot(tp.subject, *table);
   const Slot o_slot = MakeSlot(tp.object, *table);
   // Preconditions: subject var already bound, object a fresh var or a

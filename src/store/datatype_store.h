@@ -89,6 +89,10 @@ class DatatypeStore {
   /// Literal-position range [begin, end) of the (p, s) pair at `pair_idx`.
   std::pair<uint64_t, uint64_t> ObjectRange(uint64_t pair_idx) const;
 
+  /// Subject id at subject-layer position `pair_idx` (the delta-merged
+  /// views iterate base runs positionally to interleave overlay triples).
+  uint64_t SubjectAt(uint64_t pair_idx) const { return wt_s_.Access(pair_idx); }
+
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
 

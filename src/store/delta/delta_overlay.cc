@@ -1,0 +1,81 @@
+#include "store/delta/delta_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sedge::store::delta {
+
+// ---------------------------------------------------------- DatatypeDelta
+
+bool DatatypeDelta::HasTombstonesFor(uint64_t p, uint64_t s) const {
+  const auto& run = dels_.sorted();
+  const DtTriple probe{p, s, rdf::Term(), 0};
+  const auto it = std::lower_bound(
+      run.begin(), run.end(), probe, [](const DtTriple& a, const DtTriple& b) {
+        if (a.p != b.p) return a.p < b.p;
+        return a.s < b.s;
+      });
+  return it != run.end() && it->p == p && it->s == s;
+}
+
+bool DatatypeDelta::Add(uint64_t p, uint64_t s, rdf::Term literal) {
+  const uint64_t pool_idx = pool_.size();
+  if (!adds_.Insert({p, s, literal, pool_idx})) return false;
+  pool_numeric_.push_back(literal.IsNumericLiteral()
+                              ? literal.AsDouble()
+                              : std::numeric_limits<double>::quiet_NaN());
+  pool_.push_back(std::move(literal));
+  return true;
+}
+
+std::optional<double> DatatypeDelta::PoolNumeric(uint64_t pool_idx) const {
+  const double v = pool_numeric_[pool_idx];
+  if (std::isnan(v)) return std::nullopt;
+  return v;
+}
+
+uint64_t DatatypeDelta::SizeInBytes() const {
+  uint64_t total = adds_.SizeInBytes() + dels_.SizeInBytes();
+  const auto term_bytes = [](const rdf::Term& t) {
+    return t.lexical().size() + t.datatype().size() + t.lang().size();
+  };
+  // Literal strings live both inside the add/tombstone elements and (for
+  // adds) in the pool; count all of them.
+  const auto element_bytes = [&total, &term_bytes](const DtTriple& t) {
+    total += term_bytes(t.literal);
+  };
+  adds_.ForEachElement(element_bytes);
+  dels_.ForEachElement(element_bytes);
+  for (const rdf::Term& t : pool_) total += term_bytes(t);
+  total += pool_numeric_.size() * sizeof(double);
+  return total;
+}
+
+// -------------------------------------------------------------- TypeDelta
+
+bool TypeDelta::Add(uint64_t subject, uint64_t concept_id) {
+  if (!adds_sc_.Insert({subject, concept_id})) return false;
+  adds_cs_.Insert({concept_id, subject});
+  return true;
+}
+
+bool TypeDelta::EraseAdd(uint64_t subject, uint64_t concept_id) {
+  if (!adds_sc_.Erase({subject, concept_id})) return false;
+  adds_cs_.Erase({concept_id, subject});
+  return true;
+}
+
+bool TypeDelta::AddTombstone(uint64_t subject, uint64_t concept_id) {
+  if (!dels_sc_.Insert({subject, concept_id})) return false;
+  dels_cs_.Insert({concept_id, subject});
+  return true;
+}
+
+bool TypeDelta::EraseTombstone(uint64_t subject, uint64_t concept_id) {
+  if (!dels_sc_.Erase({subject, concept_id})) return false;
+  dels_cs_.Erase({concept_id, subject});
+  return true;
+}
+
+}  // namespace sedge::store::delta

@@ -1,0 +1,284 @@
+// The mutable delta overlay over the immutable succinct base store.
+//
+// SuccinctEdge's three layouts (object-triple PSO, datatype-triple PSO with
+// the flat literal pool, rdf:type red-black trees) are built once and never
+// change. The overlay makes the combined store updatable without touching
+// them: every layout gets a sorted run of *inserted* encoded triples plus a
+// sorted *tombstone* set marking base triples as deleted. The merged views
+// (merged_view.h) present base ∪ adds minus tombstones to the executor;
+// Compact() in sedge::Database folds everything back into a fresh succinct
+// base.
+//
+// Invariants maintained by the TripleStore write path:
+//   adds ∩ base = ∅   (inserting an existing triple is a no-op)
+//   dels ⊆ base       (tombstones only ever name base triples)
+// so the live triple count is exactly base + |adds| − |dels|.
+//
+// Literal objects inserted through the overlay live in a delta-local pool;
+// their positions carry kDeltaLiteralBit so a single uint64 id space serves
+// both pools and the decode path routes without lookups.
+
+#ifndef SEDGE_STORE_DELTA_DELTA_OVERLAY_H_
+#define SEDGE_STORE_DELTA_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rdf/term.h"
+#include "store/delta/delta_set.h"
+
+namespace sedge::store::delta {
+
+// ----------------------------------------------------- literal id routing
+
+/// High bit tagging literal positions that live in the delta pool rather
+/// than the base datatype store's flat pool.
+inline constexpr uint64_t kDeltaLiteralBit = 1ULL << 63;
+
+inline bool IsDeltaLiteral(uint64_t pos) {
+  return (pos & kDeltaLiteralBit) != 0;
+}
+inline uint64_t DeltaLiteralIndex(uint64_t pos) {
+  return pos & ~kDeltaLiteralBit;
+}
+inline uint64_t MakeDeltaLiteralPos(uint64_t pool_idx) {
+  return pool_idx | kDeltaLiteralBit;
+}
+
+// ------------------------------------------------------------- elements
+
+/// Encoded object-store triple, ordered PSO like the base index.
+struct IdTriple {
+  uint64_t p, s, o;
+};
+struct IdTripleLess {
+  bool operator()(const IdTriple& a, const IdTriple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.s != b.s) return a.s < b.s;
+    return a.o < b.o;
+  }
+};
+
+/// Encoded datatype-store triple. `pool_idx` points into the delta literal
+/// pool for adds and is ignored for tombstones (and by the ordering, which
+/// matches the base store's (p, s, literal) sort). The literal is stored
+/// here as well as in the pool: the run orders by literal content, and the
+/// pool gives O(1) decode for tagged positions — the duplication is bounded
+/// by the overlay size and vanishes at compaction.
+struct DtTriple {
+  uint64_t p, s;
+  rdf::Term literal;
+  uint64_t pool_idx = 0;
+};
+struct DtTripleLess {
+  bool operator()(const DtTriple& a, const DtTriple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.s != b.s) return a.s < b.s;
+    return a.literal < b.literal;
+  }
+};
+
+/// One rdf:type typing, stored in both (subject, concept) and
+/// (concept, subject) orientations like the base red-black trees.
+struct IdPair {
+  uint64_t first, second;
+};
+struct IdPairLess {
+  bool operator()(const IdPair& a, const IdPair& b) const {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  }
+};
+
+// ------------------------------------------------------------ per layout
+
+/// Delta over the object-property PSO index.
+class ObjectDelta {
+ public:
+  bool empty() const { return adds_.empty() && dels_.empty(); }
+  uint64_t num_adds() const { return adds_.size(); }
+  uint64_t num_dels() const { return dels_.size(); }
+
+  void Seal() const {
+    adds_.Seal();
+    dels_.Seal();
+  }
+  bool ContainsAdd(uint64_t p, uint64_t s, uint64_t o) const {
+    return adds_.Contains({p, s, o});
+  }
+  bool IsTombstoned(uint64_t p, uint64_t s, uint64_t o) const {
+    return dels_.Contains({p, s, o});
+  }
+  bool Add(uint64_t p, uint64_t s, uint64_t o) {
+    return adds_.Insert({p, s, o});
+  }
+  bool EraseAdd(uint64_t p, uint64_t s, uint64_t o) {
+    return adds_.Erase({p, s, o});
+  }
+  bool AddTombstone(uint64_t p, uint64_t s, uint64_t o) {
+    return dels_.Insert({p, s, o});
+  }
+  bool EraseTombstone(uint64_t p, uint64_t s, uint64_t o) {
+    return dels_.Erase({p, s, o});
+  }
+
+  const DeltaSet<IdTriple, IdTripleLess>& adds() const { return adds_; }
+  const DeltaSet<IdTriple, IdTripleLess>& dels() const { return dels_; }
+
+  uint64_t SizeInBytes() const {
+    return adds_.SizeInBytes() + dels_.SizeInBytes();
+  }
+
+ private:
+  DeltaSet<IdTriple, IdTripleLess> adds_;
+  DeltaSet<IdTriple, IdTripleLess> dels_;
+};
+
+/// Delta over the datatype-property store, with its own literal pool.
+class DatatypeDelta {
+ public:
+  bool empty() const { return adds_.empty() && dels_.empty(); }
+  uint64_t num_adds() const { return adds_.size(); }
+  uint64_t num_dels() const { return dels_.size(); }
+
+  void Seal() const {
+    adds_.Seal();
+    dels_.Seal();
+  }
+  bool ContainsAdd(uint64_t p, uint64_t s, const rdf::Term& literal) const {
+    return adds_.Contains({p, s, literal, 0});
+  }
+  bool IsTombstoned(uint64_t p, uint64_t s, const rdf::Term& literal) const {
+    return dels_.Contains({p, s, literal, 0});
+  }
+  /// True if any tombstone names the (p, s) pair — the cheap gate before
+  /// decoding base literals for tombstone comparison.
+  bool HasTombstonesFor(uint64_t p, uint64_t s) const;
+
+  /// Appends `literal` to the delta pool and records the add.
+  bool Add(uint64_t p, uint64_t s, rdf::Term literal);
+  bool EraseAdd(uint64_t p, uint64_t s, const rdf::Term& literal) {
+    return adds_.Erase({p, s, literal, 0});
+  }
+  bool AddTombstone(uint64_t p, uint64_t s, rdf::Term literal) {
+    return dels_.Insert({p, s, std::move(literal), 0});
+  }
+  bool EraseTombstone(uint64_t p, uint64_t s, const rdf::Term& literal) {
+    return dels_.Erase({p, s, literal, 0});
+  }
+
+  const DeltaSet<DtTriple, DtTripleLess>& adds() const { return adds_; }
+  const DeltaSet<DtTriple, DtTripleLess>& dels() const { return dels_; }
+
+  // -- Delta literal pool (positions tagged with kDeltaLiteralBit) ---------
+  const rdf::Term& PoolTerm(uint64_t pool_idx) const {
+    return pool_[pool_idx];
+  }
+  std::optional<double> PoolNumeric(uint64_t pool_idx) const;
+
+  uint64_t SizeInBytes() const;
+
+ private:
+  DeltaSet<DtTriple, DtTripleLess> adds_;
+  DeltaSet<DtTriple, DtTripleLess> dels_;
+  std::vector<rdf::Term> pool_;         // literal per add, append-only
+  std::vector<double> pool_numeric_;    // NaN when not numeric
+};
+
+/// Delta over the rdf:type store, both orientations kept in sync.
+class TypeDelta {
+ public:
+  bool empty() const { return adds_sc_.empty() && dels_sc_.empty(); }
+  uint64_t num_adds() const { return adds_sc_.size(); }
+  uint64_t num_dels() const { return dels_sc_.size(); }
+
+  void Seal() const {
+    adds_sc_.Seal();
+    adds_cs_.Seal();
+    dels_sc_.Seal();
+    dels_cs_.Seal();
+  }
+  bool ContainsAdd(uint64_t subject, uint64_t concept_id) const {
+    return adds_sc_.Contains({subject, concept_id});
+  }
+  bool IsTombstoned(uint64_t subject, uint64_t concept_id) const {
+    return dels_sc_.Contains({subject, concept_id});
+  }
+  bool Add(uint64_t subject, uint64_t concept_id);
+  bool EraseAdd(uint64_t subject, uint64_t concept_id);
+  bool AddTombstone(uint64_t subject, uint64_t concept_id);
+  bool EraseTombstone(uint64_t subject, uint64_t concept_id);
+
+  /// (subject, concept) orientation.
+  const DeltaSet<IdPair, IdPairLess>& adds_by_subject() const {
+    return adds_sc_;
+  }
+  const DeltaSet<IdPair, IdPairLess>& dels_by_subject() const {
+    return dels_sc_;
+  }
+  /// (concept, subject) orientation.
+  const DeltaSet<IdPair, IdPairLess>& adds_by_concept() const {
+    return adds_cs_;
+  }
+  const DeltaSet<IdPair, IdPairLess>& dels_by_concept() const {
+    return dels_cs_;
+  }
+
+  uint64_t SizeInBytes() const {
+    return adds_sc_.SizeInBytes() + adds_cs_.SizeInBytes() +
+           dels_sc_.SizeInBytes() + dels_cs_.SizeInBytes();
+  }
+
+ private:
+  DeltaSet<IdPair, IdPairLess> adds_sc_, adds_cs_;
+  DeltaSet<IdPair, IdPairLess> dels_sc_, dels_cs_;
+};
+
+// -------------------------------------------------------------- overlay
+
+/// \brief The write side of one TripleStore: three per-layout deltas.
+class DeltaOverlay {
+ public:
+  ObjectDelta& object() { return object_; }
+  const ObjectDelta& object() const { return object_; }
+  DatatypeDelta& datatype() { return datatype_; }
+  const DatatypeDelta& datatype() const { return datatype_; }
+  TypeDelta& type() { return type_; }
+  const TypeDelta& type() const { return type_; }
+
+  /// Seals every pending write buffer into its sorted run. The write path
+  /// calls this at the end of each batch so the read side never mutates —
+  /// see the concurrency contract in delta_set.h.
+  void Seal() const {
+    object_.Seal();
+    datatype_.Seal();
+    type_.Seal();
+  }
+
+  bool empty() const {
+    return object_.empty() && datatype_.empty() && type_.empty();
+  }
+  uint64_t num_adds() const {
+    return object_.num_adds() + datatype_.num_adds() + type_.num_adds();
+  }
+  uint64_t num_dels() const {
+    return object_.num_dels() + datatype_.num_dels() + type_.num_dels();
+  }
+  /// Total overlay entries — the compaction-trigger quantity.
+  uint64_t size() const { return num_adds() + num_dels(); }
+
+  uint64_t SizeInBytes() const {
+    return object_.SizeInBytes() + datatype_.SizeInBytes() +
+           type_.SizeInBytes();
+  }
+
+ private:
+  ObjectDelta object_;
+  DatatypeDelta datatype_;
+  TypeDelta type_;
+};
+
+}  // namespace sedge::store::delta
+
+#endif  // SEDGE_STORE_DELTA_DELTA_OVERLAY_H_

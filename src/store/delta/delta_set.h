@@ -1,0 +1,114 @@
+// DeltaSet: the sorted-run building block of the delta overlay.
+//
+// Each delta layout (object, datatype, rdf:type) keeps its inserted triples
+// and its tombstones in DeltaSets: one sorted, duplicate-free main run plus
+// a small unsorted pending buffer that absorbs bursts of writes. Point
+// lookups binary-search the run and linearly scan the pending tail; range
+// scans seal the buffer first (sort + in-place merge), so a stream of
+// inserts costs amortized O(log n) per triple instead of an O(n) memmove
+// each — the LSM level-0 idea scaled down to an edge device's RAM.
+//
+// Concurrency contract: single writer, and the write path seals the
+// buffer at the end of every batch (TripleStore::SealDelta, called by the
+// Database write methods). Read-side sorted()/Seal() calls therefore find
+// the buffer empty and mutate nothing, so concurrent const queries stay
+// safe exactly as they were on the immutable base store.
+
+#ifndef SEDGE_STORE_DELTA_DELTA_SET_H_
+#define SEDGE_STORE_DELTA_DELTA_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace sedge::store::delta {
+
+template <typename T, typename Less = std::less<T>>
+class DeltaSet {
+ public:
+  DeltaSet() = default;
+  explicit DeltaSet(Less less) : less_(std::move(less)) {}
+
+  uint64_t size() const { return run_.size() + pending_.size(); }
+  bool empty() const { return run_.empty() && pending_.empty(); }
+
+  bool Contains(const T& v) const {
+    const auto it = std::lower_bound(run_.begin(), run_.end(), v, less_);
+    if (it != run_.end() && Equal(*it, v)) return true;
+    for (const T& p : pending_) {
+      if (Equal(p, v)) return true;
+    }
+    return false;
+  }
+
+  /// Inserts `v` if absent. Returns true when the set grew.
+  bool Insert(T v) {
+    if (Contains(v)) return false;
+    if (pending_.size() >= kSealThreshold) Seal();
+    pending_.push_back(std::move(v));
+    return true;
+  }
+
+  /// Removes `v` if present. Returns true when the set shrank.
+  bool Erase(const T& v) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (Equal(*it, v)) {
+        pending_.erase(it);
+        return true;
+      }
+    }
+    const auto it = std::lower_bound(run_.begin(), run_.end(), v, less_);
+    if (it != run_.end() && Equal(*it, v)) {
+      run_.erase(it);
+      return true;
+    }
+    return false;
+  }
+
+  /// Merges the pending buffer into the sorted run (idempotent).
+  void Seal() const {
+    if (pending_.empty()) return;
+    std::sort(pending_.begin(), pending_.end(), less_);
+    const size_t mid = run_.size();
+    run_.insert(run_.end(), std::make_move_iterator(pending_.begin()),
+                std::make_move_iterator(pending_.end()));
+    pending_.clear();
+    std::inplace_merge(run_.begin(),
+                       run_.begin() + static_cast<ptrdiff_t>(mid), run_.end(),
+                       less_);
+  }
+
+  /// The full sorted run; seals first. Range scans lower_bound into this.
+  const std::vector<T>& sorted() const {
+    Seal();
+    return run_;
+  }
+
+  const Less& less() const { return less_; }
+
+  uint64_t SizeInBytes() const {
+    return (run_.capacity() + pending_.capacity()) * sizeof(T);
+  }
+
+  /// Per-element visitor over run and pending (memory accounting).
+  template <typename Visit>
+  void ForEachElement(const Visit& visit) const {
+    for (const T& v : run_) visit(v);
+    for (const T& v : pending_) visit(v);
+  }
+
+ private:
+  static constexpr size_t kSealThreshold = 1024;
+
+  bool Equal(const T& a, const T& b) const {
+    return !less_(a, b) && !less_(b, a);
+  }
+
+  mutable std::vector<T> run_;      // sorted, unique
+  mutable std::vector<T> pending_;  // unsorted write tail
+  Less less_;
+};
+
+}  // namespace sedge::store::delta
+
+#endif  // SEDGE_STORE_DELTA_DELTA_SET_H_

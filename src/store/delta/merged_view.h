@@ -1,0 +1,134 @@
+// Merged, tombstone-filtered views over (succinct base ∪ delta overlay).
+//
+// One lightweight view per layout, constructed on demand by
+// TripleStore::object_view()/datatype_view()/type_view(). Each mirrors the
+// scan surface of its base structure (PsoIndex, DatatypeStore,
+// RdfTypeStore) so the SPARQL executor runs the same algorithms whether or
+// not writes have happened:
+//
+//   - when the overlay is empty (fresh build, or right after Compact()),
+//     every call forwards straight to the base structure — the succinct
+//     scan speed of the paper is untouched;
+//   - otherwise base runs and delta runs are merged two-pointer style in
+//     the base's own order (subjects ascending within a predicate, objects
+//     / literals ascending within a (p, s) pair, concepts ascending per
+//     subject), with tombstoned base triples skipped, so downstream join
+//     logic keeps its ordering assumptions.
+//
+// Views are value types holding two pointers; create them per query, do
+// not store them across writes.
+
+#ifndef SEDGE_STORE_DELTA_MERGED_VIEW_H_
+#define SEDGE_STORE_DELTA_MERGED_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "rdf/term.h"
+#include "store/datatype_store.h"
+#include "store/delta/delta_overlay.h"
+#include "store/pso_index.h"
+#include "store/rdftype_store.h"
+
+namespace sedge::store::delta {
+
+/// \brief PsoIndex ∪ ObjectDelta.
+class MergedObjectView {
+ public:
+  MergedObjectView(const PsoIndex* base, const ObjectDelta* overlay)
+      : base_(base), overlay_(overlay) {}
+
+  bool Contains(uint64_t p, uint64_t s, uint64_t o) const;
+  bool ScanSP(uint64_t p, uint64_t s, const PairSink& sink) const;
+  bool ScanPO(uint64_t p, uint64_t o, const PairSink& sink) const;
+  bool ScanP(uint64_t p, const PairSink& sink) const;
+
+  void ForEachPredicateIn(uint64_t lo, uint64_t hi,
+                          const std::function<void(uint64_t)>& visit) const;
+
+  uint64_t CountForPredicate(uint64_t p) const;
+  /// Distinct-subject estimate (delta subjects may repeat base ones).
+  uint64_t CountSubjectsForPredicate(uint64_t p) const;
+
+ private:
+  bool HasDeltaFor(uint64_t p) const;
+
+  const PsoIndex* base_;
+  const ObjectDelta* overlay_;  // may be nullptr
+};
+
+/// \brief DatatypeStore ∪ DatatypeDelta. Literal positions emitted by the
+/// scans are base pool positions or kDeltaLiteralBit-tagged delta pool
+/// indices; LiteralAt/LexicalAt/NumericAt route both.
+class MergedDatatypeView {
+ public:
+  MergedDatatypeView(const DatatypeStore* base, const DatatypeDelta* overlay)
+      : base_(base), overlay_(overlay) {}
+
+  bool Contains(uint64_t p, uint64_t s, const rdf::Term& literal) const;
+  bool ScanSP(uint64_t p, uint64_t s, const LiteralSink& sink) const;
+  bool ScanPO(uint64_t p, const rdf::Term& literal,
+              const LiteralSink& sink) const;
+  bool ScanP(uint64_t p, const LiteralSink& sink) const;
+
+  void ForEachPredicateIn(uint64_t lo, uint64_t hi,
+                          const std::function<void(uint64_t)>& visit) const;
+
+  uint64_t CountForPredicate(uint64_t p) const;
+  uint64_t CountSubjectsForPredicate(uint64_t p) const;
+
+  rdf::Term LiteralAt(uint64_t pos) const;
+  std::string LexicalAt(uint64_t pos) const;
+  std::optional<double> NumericAt(uint64_t pos) const;
+
+ private:
+  bool HasDeltaFor(uint64_t p) const;
+  /// Emits one (p, s) pair's base run merged with its delta adds in the
+  /// base (p, s, literal) order. Returns false if the sink aborted.
+  bool EmitPair(uint64_t p, uint64_t s, uint64_t ob, uint64_t oe,
+                const DtTriple* ab, const DtTriple* ae,
+                const LiteralSink& sink) const;
+
+  const DatatypeStore* base_;
+  const DatatypeDelta* overlay_;  // may be nullptr
+};
+
+/// \brief RdfTypeStore ∪ TypeDelta.
+class MergedTypeView {
+ public:
+  MergedTypeView(const RdfTypeStore* base, const TypeDelta* overlay)
+      : base_(base), overlay_(overlay) {}
+
+  uint64_t num_triples() const;
+  bool Contains(uint64_t subject, uint64_t concept_id) const;
+
+  /// Concepts of `subject`, ascending.
+  void ForEachConceptOf(uint64_t subject,
+                        const std::function<void(uint64_t)>& visit) const;
+  /// Smallest stored concept of `subject` inside [lo, hi), if any — the
+  /// LiteMat interval membership probe of the executor.
+  std::optional<uint64_t> FirstConceptIn(uint64_t subject, uint64_t lo,
+                                         uint64_t hi) const;
+  /// Subjects typed exactly `concept_id`, ascending.
+  void ForEachSubjectOf(uint64_t concept_id,
+                        const std::function<void(uint64_t)>& visit) const;
+  /// All (subject, concept) typings with concept in [lo, hi): the filtered
+  /// base range scan first, then delta adds (concept-major each).
+  void ForEachSubjectTypedIn(
+      uint64_t lo, uint64_t hi,
+      const std::function<void(uint64_t subject, uint64_t concept_id)>& visit)
+      const;
+  uint64_t CountTypedIn(uint64_t lo, uint64_t hi) const;
+  void ForEach(const std::function<void(uint64_t subject,
+                                        uint64_t concept_id)>& visit) const;
+
+ private:
+  const RdfTypeStore* base_;
+  const TypeDelta* overlay_;  // may be nullptr
+};
+
+}  // namespace sedge::store::delta
+
+#endif  // SEDGE_STORE_DELTA_MERGED_VIEW_H_

@@ -59,6 +59,10 @@ class PsoIndex {
   /// Predicate id at WT_p position `pos`.
   uint64_t PredicateAt(uint64_t pos) const { return wt_p_.Access(pos); }
 
+  /// Subject id at subject-layer position `pair_idx` (the delta-merged
+  /// views iterate base runs positionally to interleave overlay triples).
+  uint64_t SubjectAt(uint64_t pair_idx) const { return wt_s_.Access(pair_idx); }
+
   /// Subject-pair range [begin, end) in WT_s for the predicate at `pos`.
   std::pair<uint64_t, uint64_t> SubjectRange(uint64_t predicate_pos) const;
 

@@ -62,6 +62,177 @@ Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
   return store;
 }
 
+delta::DeltaOverlay& TripleStore::EnsureDelta() {
+  if (delta_ == nullptr) delta_ = std::make_unique<delta::DeltaOverlay>();
+  return *delta_;
+}
+
+Status TripleStore::Insert(const rdf::Triple& t) {
+  if (!t.predicate.is_iri() || t.subject.is_literal()) {
+    ++skipped_;
+    return Status::OK();
+  }
+  const std::string& p = t.predicate.lexical();
+  if (p == rdf::kRdfType) {
+    if (!t.object.is_iri()) {
+      ++skipped_;
+      return Status::OK();
+    }
+    const auto cid = dict_.ConceptId(t.object.lexical());
+    if (!cid) {  // schema-new concept: ids are fixed at build time
+      ++skipped_;
+      return Status::OK();
+    }
+    const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
+    delta::TypeDelta& td = EnsureDelta().type();
+    if (td.ContainsAdd(sid, *cid)) return Status::OK();
+    if (type_store_.Contains(sid, *cid)) {
+      td.EraseTombstone(sid, *cid);  // revive if deleted, else no-op
+      return Status::OK();
+    }
+    td.Add(sid, *cid);
+    dict_.RecordConceptOccurrence(*cid);
+    dict_.RecordInstanceOccurrence(sid);
+    return Status::OK();
+  }
+  if (t.object.is_literal()) {
+    const auto pid = dict_.DatatypePropertyId(p);
+    if (!pid) {
+      ++skipped_;
+      return Status::OK();
+    }
+    const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
+    delta::DatatypeDelta& dd = EnsureDelta().datatype();
+    if (dd.ContainsAdd(*pid, sid, t.object)) return Status::OK();
+    if (datatype_store_.Contains(*pid, sid, t.object)) {
+      dd.EraseTombstone(*pid, sid, t.object);
+      return Status::OK();
+    }
+    dd.Add(*pid, sid, t.object);
+    dict_.RecordDatatypePropertyOccurrence(*pid);
+    dict_.RecordInstanceOccurrence(sid);
+    return Status::OK();
+  }
+  const auto pid = dict_.ObjectPropertyId(p);
+  if (!pid) {
+    ++skipped_;
+    return Status::OK();
+  }
+  const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
+  const uint32_t oid = dict_.InstanceIdOrAssign(t.object);
+  delta::ObjectDelta& od = EnsureDelta().object();
+  if (od.ContainsAdd(*pid, sid, oid)) return Status::OK();
+  if (object_store_.Contains(*pid, sid, oid)) {
+    od.EraseTombstone(*pid, sid, oid);
+    return Status::OK();
+  }
+  od.Add(*pid, sid, oid);
+  dict_.RecordObjectPropertyOccurrence(*pid);
+  dict_.RecordInstanceOccurrence(sid);
+  dict_.RecordInstanceOccurrence(oid);
+  return Status::OK();
+}
+
+Status TripleStore::Remove(const rdf::Triple& t) {
+  // Removal never assigns ids: a triple with an unknown term cannot be
+  // stored, so it is a no-op.
+  if (!t.predicate.is_iri() || t.subject.is_literal()) return Status::OK();
+  const auto sid = dict_.InstanceId(t.subject);
+  if (!sid) return Status::OK();
+  const std::string& p = t.predicate.lexical();
+  if (p == rdf::kRdfType) {
+    if (!t.object.is_iri()) return Status::OK();
+    const auto cid = dict_.ConceptId(t.object.lexical());
+    if (!cid) return Status::OK();
+    delta::TypeDelta& td = EnsureDelta().type();
+    if (td.EraseAdd(*sid, *cid)) return Status::OK();
+    if (type_store_.Contains(*sid, *cid)) td.AddTombstone(*sid, *cid);
+    return Status::OK();
+  }
+  if (t.object.is_literal()) {
+    const auto pid = dict_.DatatypePropertyId(p);
+    if (!pid) return Status::OK();
+    delta::DatatypeDelta& dd = EnsureDelta().datatype();
+    if (dd.EraseAdd(*pid, *sid, t.object)) return Status::OK();
+    if (datatype_store_.Contains(*pid, *sid, t.object)) {
+      dd.AddTombstone(*pid, *sid, t.object);
+    }
+    return Status::OK();
+  }
+  const auto pid = dict_.ObjectPropertyId(p);
+  if (!pid) return Status::OK();
+  const auto oid = dict_.InstanceId(t.object);
+  if (!oid) return Status::OK();
+  delta::ObjectDelta& od = EnsureDelta().object();
+  if (od.EraseAdd(*pid, *sid, *oid)) return Status::OK();
+  if (object_store_.Contains(*pid, *sid, *oid)) {
+    od.AddTombstone(*pid, *sid, *oid);
+  }
+  return Status::OK();
+}
+
+rdf::Graph TripleStore::ExportGraph() const {
+  rdf::Graph g;
+  const delta::ObjectDelta* od = delta_ ? &delta_->object() : nullptr;
+  object_store_.ScanAll([&](uint64_t p, uint64_t s, uint64_t o) {
+    if (od != nullptr && od->IsTombstoned(p, s, o)) return true;
+    const auto iri = dict_.ObjectPropertyIri(p);
+    SEDGE_CHECK(iri.has_value()) << "unknown object property " << p;
+    g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)), rdf::Term::Iri(*iri),
+          dict_.InstanceTerm(static_cast<uint32_t>(o)));
+    return true;
+  });
+  if (od != nullptr) {
+    for (const delta::IdTriple& t : od->adds().sorted()) {
+      const auto iri = dict_.ObjectPropertyIri(t.p);
+      SEDGE_CHECK(iri.has_value()) << "unknown object property " << t.p;
+      g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.s)),
+            rdf::Term::Iri(*iri),
+            dict_.InstanceTerm(static_cast<uint32_t>(t.o)));
+    }
+  }
+
+  const delta::DatatypeDelta* dd = delta_ ? &delta_->datatype() : nullptr;
+  datatype_store_.ScanAll([&](uint64_t p, uint64_t s, uint64_t pos) {
+    const rdf::Term literal = datatype_store_.LiteralAt(pos);
+    if (dd != nullptr && dd->HasTombstonesFor(p, s) &&
+        dd->IsTombstoned(p, s, literal)) {
+      return true;
+    }
+    const auto iri = dict_.DatatypePropertyIri(p);
+    SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << p;
+    g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)), rdf::Term::Iri(*iri),
+          literal);
+    return true;
+  });
+  if (dd != nullptr) {
+    for (const delta::DtTriple& t : dd->adds().sorted()) {
+      const auto iri = dict_.DatatypePropertyIri(t.p);
+      SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << t.p;
+      g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.s)),
+            rdf::Term::Iri(*iri), t.literal);
+    }
+  }
+
+  const delta::TypeDelta* td = delta_ ? &delta_->type() : nullptr;
+  type_store_.ForEach([&](uint64_t s, uint64_t c) {
+    if (td != nullptr && td->IsTombstoned(s, c)) return;
+    const auto iri = dict_.ConceptIri(c);
+    SEDGE_CHECK(iri.has_value()) << "unknown concept " << c;
+    g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)),
+          rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(*iri));
+  });
+  if (td != nullptr) {
+    for (const delta::IdPair& t : td->adds_by_concept().sorted()) {
+      const auto iri = dict_.ConceptIri(t.first);
+      SEDGE_CHECK(iri.has_value()) << "unknown concept " << t.first;
+      g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.second)),
+            rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(*iri));
+    }
+  }
+  return g;
+}
+
 std::optional<EncodedTerm> TripleStore::EncodeInstance(
     const rdf::Term& term) const {
   const auto id = dict_.InstanceId(term);
@@ -89,7 +260,7 @@ rdf::Term TripleStore::DecodeTerm(const EncodedTerm& value) const {
       return rdf::Term::Iri(*iri);
     }
     case ValueSpace::kLiteral:
-      return datatype_store_.LiteralAt(value.id);
+      return LiteralAt(value.id);  // routes base pool and delta pool
   }
   SEDGE_CHECK(false) << "bad value space";
   return {};

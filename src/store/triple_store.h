@@ -13,10 +13,14 @@
 #include <iosfwd>
 #include <optional>
 
+#include <memory>
+
 #include "litemat/dictionary.h"
 #include "ontology/ontology.h"
 #include "rdf/triple.h"
 #include "store/datatype_store.h"
+#include "store/delta/delta_overlay.h"
+#include "store/delta/merged_view.h"
 #include "store/encoded.h"
 #include "store/pso_index.h"
 #include "store/rdftype_store.h"
@@ -24,7 +28,11 @@
 
 namespace sedge::store {
 
-/// \brief Immutable encoded store for one RDF graph instance.
+/// \brief Encoded store for one RDF graph instance: an immutable succinct
+/// base built once, plus an optional mutable delta overlay fed by
+/// Insert/Remove. Readers go through the merged views so they always see
+/// one consistent (base ∪ delta) snapshot; Compact() folding happens at
+/// the Database layer by rebuilding from ExportGraph().
 class TripleStore {
  public:
   TripleStore() = default;
@@ -42,10 +50,68 @@ class TripleStore {
   const DatatypeStore& datatype_store() const { return datatype_store_; }
   const RdfTypeStore& type_store() const { return type_store_; }
 
-  /// Distinct triples stored across the three layouts.
-  uint64_t num_triples() const {
+  // -- Write path (delta overlay) -------------------------------------------
+
+  /// Inserts one triple into the delta overlay. Duplicates of live triples
+  /// are no-ops; deleting-then-reinserting revives the base triple.
+  /// Triples whose predicate/concept is unknown to the LiteMat dictionary
+  /// are counted in skipped_triples() (the hierarchy ids are fixed at
+  /// build time — schema growth requires a reload).
+  Status Insert(const rdf::Triple& t);
+  /// Removes one triple: drops it from the overlay adds, or tombstones the
+  /// base triple. Removing an absent triple is a no-op.
+  Status Remove(const rdf::Triple& t);
+
+  /// Seals the overlay's pending write buffers. The Database write methods
+  /// call this after every batch; it is what keeps concurrent const
+  /// queries mutation-free (see delta_set.h).
+  void SealDelta() const {
+    if (delta_) delta_->Seal();
+  }
+
+  bool has_delta() const { return delta_ != nullptr && !delta_->empty(); }
+  const delta::DeltaOverlay* delta() const { return delta_.get(); }
+  /// Overlay entries (adds + tombstones) — the compaction-trigger size.
+  uint64_t delta_size() const { return delta_ ? delta_->size() : 0; }
+
+  /// Decodes every live triple (base minus tombstones, plus overlay adds)
+  /// back to terms — the input Compact() rebuilds from.
+  rdf::Graph ExportGraph() const;
+
+  // -- Merged read views (what the executor scans) --------------------------
+
+  delta::MergedObjectView object_view() const {
+    return {&object_store_, delta_ ? &delta_->object() : nullptr};
+  }
+  delta::MergedDatatypeView datatype_view() const {
+    return {&datatype_store_, delta_ ? &delta_->datatype() : nullptr};
+  }
+  delta::MergedTypeView type_view() const {
+    return {&type_store_, delta_ ? &delta_->type() : nullptr};
+  }
+
+  /// Literal accessors routing base pool positions and
+  /// kDeltaLiteralBit-tagged delta positions.
+  rdf::Term LiteralAt(uint64_t pos) const {
+    return datatype_view().LiteralAt(pos);
+  }
+  std::string LexicalAt(uint64_t pos) const {
+    return datatype_view().LexicalAt(pos);
+  }
+  std::optional<double> NumericAt(uint64_t pos) const {
+    return datatype_view().NumericAt(pos);
+  }
+
+  /// Distinct triples in the succinct base layouts only.
+  uint64_t base_num_triples() const {
     return object_store_.num_triples() + datatype_store_.num_triples() +
            type_store_.num_triples();
+  }
+  /// Live triples across base and overlay.
+  uint64_t num_triples() const {
+    uint64_t n = base_num_triples();
+    if (delta_) n += delta_->num_adds() - delta_->num_dels();
+    return n;
   }
   uint64_t skipped_triples() const { return skipped_; }
 
@@ -66,19 +132,28 @@ class TripleStore {
   }
   /// Dictionary payload (Figure 9).
   uint64_t DictionarySizeInBytes() const { return dict_.SizeInBytes(); }
-  /// Full in-memory footprint (Figure 11).
+  /// Overlay footprint (zero when no writes happened since the last build
+  /// or compaction).
+  uint64_t DeltaSizeInBytes() const {
+    return delta_ ? delta_->SizeInBytes() : 0;
+  }
+  /// Full in-memory footprint (Figure 11; plus the overlay when present).
   uint64_t SizeInBytes() const {
-    return TriplesSizeInBytes() + DictionarySizeInBytes();
+    return TriplesSizeInBytes() + DictionarySizeInBytes() +
+           DeltaSizeInBytes();
   }
 
   void SerializeTriples(std::ostream& os) const;
   void SerializeDictionary(std::ostream& os) const { dict_.Serialize(os); }
 
  private:
+  delta::DeltaOverlay& EnsureDelta();
+
   litemat::Dictionary dict_;
   PsoIndex object_store_;
   DatatypeStore datatype_store_;
   RdfTypeStore type_store_;
+  std::unique_ptr<delta::DeltaOverlay> delta_;
   uint64_t skipped_ = 0;
 };
 

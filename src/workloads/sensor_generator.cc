@@ -125,6 +125,93 @@ rdf::Graph SensorGraphGenerator::Generate(const SensorConfig& config) {
   return g;
 }
 
+rdf::Graph SensorGraphGenerator::GenerateTopology(const SensorConfig& config) {
+  rdf::Graph g;
+  using rdf::Term;
+  const auto type = [&g](const std::string& s, const std::string& c) {
+    g.Add(Term::Iri(s), Term::Iri(rdf::kRdfType), Term::Iri(c));
+  };
+  type(std::string(kUnit) + "BAR", Qudt("PressureOrStressUnit"));
+  type(std::string(kUnit) + "HectoPA", Qudt("Pressure"));
+  type(std::string(kUnit) + "MOL-PER-L", Qudt("AmountOfSubstanceUnit"));
+  type(std::string(kUnit) + "PH", Qudt("Chemistry"));
+  for (int st = 0; st < config.stations; ++st) {
+    const std::string station = kEx + ("Station" + std::to_string(st + 1));
+    type(station, Sosa("Platform"));
+    for (int se = 0; se < config.sensors_per_station; ++se) {
+      const std::string sensor = station + "/Sensor" + std::to_string(se + 1);
+      type(sensor, Sosa("Sensor"));
+      g.Add(Term::Iri(station), Term::Iri(Sosa("hosts")), Term::Iri(sensor));
+    }
+  }
+  return g;
+}
+
+rdf::Graph SensorGraphGenerator::GenerateObservationBatch(
+    const SensorConfig& config, int batch_index) {
+  rdf::Graph g;
+  Rng rng(config.seed + 0x9e3779b9u * static_cast<uint64_t>(batch_index + 1));
+  using rdf::Term;
+  const auto type = [&g](const std::string& s, const std::string& c) {
+    g.Add(Term::Iri(s), Term::Iri(rdf::kRdfType), Term::Iri(c));
+  };
+  const auto obj = [&g](const std::string& s, const std::string& p,
+                        const std::string& o) {
+    g.Add(Term::Iri(s), Term::Iri(p), Term::Iri(o));
+  };
+  const auto lit = [&g](const std::string& s, const std::string& p,
+                        std::string v, const char* dt = "") {
+    g.Add(Term::Iri(s), Term::Iri(p), Term::Literal(std::move(v), dt));
+  };
+
+  const int per_batch = config.sensors_per_station *
+                        config.observations_per_sensor * config.stations;
+  int obs_counter = batch_index * per_batch;
+  for (int st = 0; st < config.stations; ++st) {
+    const bool profile_a = st % 2 == 0;
+    const std::string station = kEx + ("Station" + std::to_string(st + 1));
+    for (int se = 0; se < config.sensors_per_station; ++se) {
+      const bool pressure = se % 2 == 0;
+      const std::string sensor = station + "/Sensor" + std::to_string(se + 1);
+      for (int ob = 0; ob < config.observations_per_sensor; ++ob) {
+        const std::string obs =
+            sensor + "/Observation" + std::to_string(obs_counter);
+        const std::string res =
+            sensor + "/Result" + std::to_string(obs_counter);
+        ++obs_counter;
+        type(obs, Sosa("Observation"));
+        obj(sensor, Sosa("observes"), obs);
+        obj(obs, Sosa("hasResult"), res);
+        char ts[64];
+        std::snprintf(ts, sizeof(ts), "2020-12-%02dT%02d:%02d:00",
+                      1 + batch_index % 28, ob % 24, (ob * 7) % 60);
+        lit(obs, Sosa("resultTime"), ts, rdf::kXsdDateTime);
+        type(res, Sosa("Result"));
+        const bool anomaly = rng.Bernoulli(config.anomaly_rate);
+        if (pressure) {
+          double bar = 3.0 + rng.NextDouble() * 1.5;
+          if (anomaly) bar += rng.Bernoulli(0.5) ? 1.5 : -1.8;
+          if (profile_a) {
+            lit(res, Qudt("numericValue"), FormatValue(bar), rdf::kXsdDecimal);
+            obj(res, Qudt("unit"), std::string(kUnit) + "BAR");
+          } else {
+            lit(res, Qudt("numericValue"), FormatValue(bar * 1000.0),
+                rdf::kXsdDecimal);
+            obj(res, Qudt("unit"), std::string(kUnit) + "HectoPA");
+          }
+        } else {
+          double ph = 6.8 + rng.NextDouble() * 1.0;
+          if (anomaly) ph += rng.Bernoulli(0.5) ? 2.0 : -2.5;
+          lit(res, Qudt("numericValue"), FormatValue(ph), rdf::kXsdDecimal);
+          obj(res, Qudt("unit"),
+              std::string(kUnit) + (profile_a ? "PH" : "MOL-PER-L"));
+        }
+      }
+    }
+  }
+  return g;
+}
+
 rdf::Graph SensorGraphGenerator::GenerateWithTripleTarget(int target_triples,
                                                           uint64_t seed) {
   // Fixed overhead: 4 unit typings + per-station (1 + sensors*(1+1)).

@@ -40,6 +40,21 @@ class SensorGraphGenerator {
   /// successive seeds).
   static rdf::Graph Generate(const SensorConfig& config);
 
+  // -- Streaming variant (the delta-overlay write path) ----------------------
+
+  /// Static station/sensor topology only: unit typings, platforms, sensors
+  /// and hosts edges — the one-time bootstrap of a streaming deployment.
+  static rdf::Graph GenerateTopology(const SensorConfig& config);
+
+  /// One batch of fresh observations over that topology. `batch_index`
+  /// keeps observation/result IRIs and timestamps unique across batches,
+  /// so successive batches stream into Database::Insert without ever
+  /// rebuilding the store. Produces
+  /// stations * sensors_per_station * observations_per_sensor observations
+  /// (7 triples each).
+  static rdf::Graph GenerateObservationBatch(const SensorConfig& config,
+                                             int batch_index);
+
   /// Convenience: a graph of approximately `target_triples` triples
   /// (the paper's 250- and 500-triple real-world datasets).
   static rdf::Graph GenerateWithTripleTarget(int target_triples,
