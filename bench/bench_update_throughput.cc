@@ -1,16 +1,22 @@
 // Delta-overlay update bench: insert rate, query latency while an overlay
 // of varying delta/base ratio is live, compaction cost, and the restored
-// post-compaction latency.
+// post-compaction latency — each measured with the write-ahead log off and
+// on (simulated SD-card latencies), so the JSONL captures the durability
+// tax of group-committed logging.
 //
 // Expected shape: inserts are orders of magnitude cheaper than the
 // rebuild-per-batch model; query latency degrades gradually with the
 // overlay ratio (merged scans disable the positional merge join) and
-// snaps back to the base-only numbers after Compact().
+// snaps back to the base-only numbers after Compact(). WAL-on insert
+// throughput drops by the cost of ceil(batch_bytes/4096) SD block writes
+// per batch — not by a per-triple sync, which is the point of group
+// commit.
 //
-// Emits a human-readable table plus one JSONL record per ratio (the
-// bench_util.h JSON shape).
+// Emits a human-readable table plus one JSONL record per (ratio, wal)
+// cell (the bench_util.h JSON shape).
 
 #include "bench/bench_util.h"
+#include "io/wal.h"
 
 int main() {
   using namespace sedge;
@@ -37,72 +43,105 @@ int main() {
       workloads::SensorGraphGenerator::PressureAnomalyQuery();
 
   std::printf("=== Update throughput & query-under-delta "
-              "(base %zu triples, median of %d) ===\n",
-              base.size(), bench::kReps);
+              "(base %zu triples, median of %d, wal on/off at "
+              "%.0f/%.0f us SD latency) ===\n",
+              base.size(), bench::kReps, bench::kSdReadUs, bench::kSdWriteUs);
   bench::PrintRow("delta/base",
-                  {"ins ktriples/s", "count ms", "anomaly ms", "compact ms",
-                   "count ms (c)", "anomaly ms (c)"});
+                  {"wal", "ins ktriples/s", "count ms", "anomaly ms",
+                   "compact ms", "count ms (c)", "anomaly ms (c)",
+                   "wal blocks"});
 
   for (const double ratio : {0.0, 0.05, 0.10, 0.25, 0.50}) {
-    Database db;
-    db.LoadOntology(onto);
-    SEDGE_CHECK(db.LoadData(base).ok());
-    db.set_compaction_ratio(0);  // the bench controls compaction points
+    for (const bool wal_on : {false, true}) {
+      Database db;
+      db.LoadOntology(onto);
+      SEDGE_CHECK(db.LoadData(base).ok());
+      db.set_compaction_ratio(0);  // the bench controls compaction points
 
-    rdf::Graph delta;
-    int b = next_batch;
-    while (static_cast<double>(delta.size()) <
-           ratio * static_cast<double>(base.size())) {
-      delta.Merge(workloads::SensorGraphGenerator::GenerateObservationBatch(
-          config, b++));
+      // Fresh log per cell on a simulated SD card; durability starts at
+      // the loaded base, so there is nothing to replay. The snapshot
+      // callback makes Compact() a full durable compaction (fold +
+      // snapshot export + WAL truncation) — that total is what the
+      // "compact ms" column reports in the wal-on rows.
+      io::SimulatedBlockDevice wal_device(bench::kSdReadUs,
+                                          bench::kSdWriteUs);
+      io::WriteAheadLog wal(&wal_device);
+      std::string snapshot_ttl;
+      if (wal_on) {
+        SEDGE_CHECK(wal.Open().ok());
+        db.set_compaction_callback([&snapshot_ttl](const Database& inner) {
+          snapshot_ttl = inner.store().ExportGraph().ToNTriples();
+          return Status::OK();
+        });
+        SEDGE_CHECK(db.AttachWal(&wal).ok());
+      }
+
+      rdf::Graph delta;
+      int b = next_batch;
+      while (static_cast<double>(delta.size()) <
+             ratio * static_cast<double>(base.size())) {
+        delta.Merge(workloads::SensorGraphGenerator::GenerateObservationBatch(
+            config, b++));
+      }
+
+      double insert_ms = 0.0;
+      if (!delta.empty()) {
+        WallTimer timer;
+        SEDGE_CHECK(db.Insert(delta).ok());
+        insert_ms = timer.ElapsedMillis();
+      }
+      const double inserts_per_ms =
+          insert_ms > 0.0 ? static_cast<double>(delta.size()) / insert_ms
+                          : 0.0;
+
+      const auto time_query = [&](const std::string& q) {
+        return bench::MedianMillis([&] {
+          const auto r = db.QueryCount(q);
+          SEDGE_CHECK(r.ok()) << r.status().ToString();
+        });
+      };
+      const double count_ms = time_query(count_query);
+      const double anomaly_ms = time_query(anomaly_query);
+
+      double compact_ms = 0.0;
+      {
+        WallTimer timer;
+        SEDGE_CHECK(db.Compact().ok());  // wal on: + snapshot + truncate
+        compact_ms = timer.ElapsedMillis();
+      }
+      const double count_ms_compacted = time_query(count_query);
+      const double anomaly_ms_compacted = time_query(anomaly_query);
+      const double wal_blocks =
+          wal_on ? static_cast<double>(wal.stats().blocks_written) : 0.0;
+
+      char label[32];
+      std::snprintf(label, sizeof(label), "%.2f (%zu)", ratio, delta.size());
+      bench::PrintRow(label, {wal_on ? "on" : "off",
+                              bench::FormatMs(inserts_per_ms),
+                              bench::FormatMs(count_ms),
+                              bench::FormatMs(anomaly_ms),
+                              bench::FormatMs(compact_ms),
+                              bench::FormatMs(count_ms_compacted),
+                              bench::FormatMs(anomaly_ms_compacted),
+                              bench::FormatMs(wal_blocks)});
+      bench::PrintJsonRecord(
+          "update_throughput", label,
+          {{"delta_ratio", ratio},
+           {"wal", wal_on ? 1.0 : 0.0},
+           {"delta_triples", static_cast<double>(delta.size())},
+           {"base_triples", static_cast<double>(base.size())},
+           {"insert_ktriples_per_s", inserts_per_ms},
+           {"count_ms", count_ms},
+           {"anomaly_ms", anomaly_ms},
+           {"compact_ms", compact_ms},
+           {"count_ms_compacted", count_ms_compacted},
+           {"anomaly_ms_compacted", anomaly_ms_compacted},
+           {"wal_blocks_written", wal_blocks},
+           {"wal_bytes_appended",
+            wal_on ? static_cast<double>(wal.stats().bytes_appended) : 0.0},
+           {"wal_syncs",
+            wal_on ? static_cast<double>(wal.stats().syncs) : 0.0}});
     }
-
-    double insert_ms = 0.0;
-    if (!delta.empty()) {
-      WallTimer timer;
-      SEDGE_CHECK(db.Insert(delta).ok());
-      insert_ms = timer.ElapsedMillis();
-    }
-    const double inserts_per_ms =
-        insert_ms > 0.0 ? static_cast<double>(delta.size()) / insert_ms : 0.0;
-
-    const auto time_query = [&](const std::string& q) {
-      return bench::MedianMillis([&] {
-        const auto r = db.QueryCount(q);
-        SEDGE_CHECK(r.ok()) << r.status().ToString();
-      });
-    };
-    const double count_ms = time_query(count_query);
-    const double anomaly_ms = time_query(anomaly_query);
-
-    double compact_ms = 0.0;
-    {
-      WallTimer timer;
-      SEDGE_CHECK(db.Compact().ok());
-      compact_ms = timer.ElapsedMillis();
-    }
-    const double count_ms_compacted = time_query(count_query);
-    const double anomaly_ms_compacted = time_query(anomaly_query);
-
-    char label[32];
-    std::snprintf(label, sizeof(label), "%.2f (%zu)", ratio, delta.size());
-    bench::PrintRow(label, {bench::FormatMs(inserts_per_ms),
-                            bench::FormatMs(count_ms),
-                            bench::FormatMs(anomaly_ms),
-                            bench::FormatMs(compact_ms),
-                            bench::FormatMs(count_ms_compacted),
-                            bench::FormatMs(anomaly_ms_compacted)});
-    bench::PrintJsonRecord(
-        "update_throughput", label,
-        {{"delta_ratio", ratio},
-         {"delta_triples", static_cast<double>(delta.size())},
-         {"base_triples", static_cast<double>(base.size())},
-         {"insert_ktriples_per_s", inserts_per_ms},
-         {"count_ms", count_ms},
-         {"anomaly_ms", anomaly_ms},
-         {"compact_ms", compact_ms},
-         {"count_ms_compacted", count_ms_compacted},
-         {"anomaly_ms_compacted", anomaly_ms_compacted}});
   }
   return 0;
 }

@@ -1,4 +1,5 @@
-// Edge monitor: the full deployment loop of Section 4, streaming edition.
+// Edge monitor: the full deployment loop of Section 4, durable streaming
+// edition.
 //
 // A "server" side encodes the ontology once; an edge instance then ingests
 // a continuous stream of sensor observation batches through the
@@ -7,15 +8,24 @@
 // reporting the memory the store occupies and when the overlay was folded
 // back into the succinct base by auto-compaction.
 //
+// Durability loop: every batch is group-committed to a write-ahead log on
+// the (simulated) SD card before it is applied, and each compaction
+// persists a base snapshot before truncating the log. Halfway through the
+// stream the example pulls the plug — drops the whole in-memory store —
+// and reopens from snapshot + WAL replay, proving no acknowledged
+// observation was lost, then keeps streaming.
+//
 //   $ ./build/edge_monitor [batches] [observations_per_sensor]
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/database.h"
+#include "io/wal.h"
 #include "util/timer.h"
 #include "workloads/sensor_generator.h"
 
@@ -32,10 +42,14 @@ int main(int argc, char** argv) {
   const int batches = argc > 1 ? std::atoi(argv[1]) : 20;
   const int observations = argc > 2 ? std::atoi(argv[2]) : 25;
 
-  // --- administration step (central server) ---
-  sedge::Database db;
-  db.LoadOntology(sedge::workloads::SensorGraphGenerator::BuildOntology());
-  db.set_compaction_ratio(0.25);
+  const sedge::ontology::Ontology onto =
+      sedge::workloads::SensorGraphGenerator::BuildOntology();
+
+  // What survives a power cut: the WAL device (SD-card latencies) and the
+  // snapshot the compaction callback persists. Everything else is RAM.
+  sedge::io::SimulatedBlockDevice wal_device(/*read_latency_us=*/20.0,
+                                             /*write_latency_us=*/55.0);
+  std::string snapshot_ttl;
 
   // Queries registered on this edge instance: anomaly detection plus two
   // routine monitoring queries.
@@ -51,13 +65,38 @@ int main(int argc, char** argv) {
        "sosa:hosts ?s }"},
   };
 
+  // Brings an edge instance up from the durable state: ontology + last
+  // snapshot + replay of the acknowledged WAL tail.
+  std::unique_ptr<sedge::Database> db;
+  std::unique_ptr<sedge::io::WriteAheadLog> wal;
+  const auto open_durable = [&]() -> sedge::Status {
+    db = std::make_unique<sedge::Database>();
+    db->LoadOntology(onto);
+    db->set_compaction_ratio(0.25);
+    if (!snapshot_ttl.empty()) {
+      SEDGE_RETURN_NOT_OK(db->LoadDataTurtle(snapshot_ttl));
+    }
+    db->set_compaction_callback(
+        [&snapshot_ttl](const sedge::Database& inner) {
+          snapshot_ttl = inner.store().ExportGraph().ToNTriples();
+          return sedge::Status::OK();
+        });
+    wal = std::make_unique<sedge::io::WriteAheadLog>(&wal_device);
+    SEDGE_RETURN_NOT_OK(wal->Open());
+    return db->AttachWal(wal.get());
+  };
+  if (const sedge::Status st = open_durable(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
   // --- bootstrap: the static station/sensor topology, inserted once ---
   sedge::workloads::SensorConfig config;
   config.seed = 31337;
   config.observations_per_sensor = observations;
   config.anomaly_rate = 0.05;
   if (const sedge::Status st =
-          db.Insert(sedge::workloads::SensorGraphGenerator::GenerateTopology(
+          db->Insert(sedge::workloads::SensorGraphGenerator::GenerateTopology(
               config));
       !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -65,33 +104,58 @@ int main(int argc, char** argv) {
   }
 
   std::printf("edge instance up; %zu queries registered, streaming %d "
-              "batches\n\n",
+              "batches with WAL durability\n\n",
               queries.size(), batches);
   uint64_t max_memory = 0;
   double total_ms = 0.0;
   int alerts = 0;
   int compactions = 0;
-  uint64_t last_generation = db.store_generation();
+  uint64_t last_generation = db->store_generation();
+  const int crash_at = batches / 2;
   for (int i = 0; i < batches; ++i) {
+    if (i == crash_at && crash_at > 0) {
+      // --- simulated power cut: the in-memory store evaporates; only the
+      // WAL device and the last compaction snapshot survive. ---
+      const uint64_t pre_crash_triples = db->num_triples();
+      db.reset();
+      wal.reset();
+      if (const sedge::Status st = open_durable(); !st.ok()) {
+        std::fprintf(stderr, "recovery: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("batch %2d: POWER CUT -> reopened from snapshot (%zu B) + "
+                  "WAL replay: %llu/%llu triples recovered\n",
+                  i, snapshot_ttl.size(),
+                  static_cast<unsigned long long>(db->num_triples()),
+                  static_cast<unsigned long long>(pre_crash_triples));
+      if (db->num_triples() != pre_crash_triples) {
+        std::fprintf(stderr, "recovery lost acknowledged data!\n");
+        return 1;
+      }
+      last_generation = db->store_generation();
+    }
     const sedge::rdf::Graph batch =
         sedge::workloads::SensorGraphGenerator::GenerateObservationBatch(
             config, i);
 
     sedge::WallTimer timer;
-    if (const sedge::Status st = db.Insert(batch); !st.ok()) {
+    if (const sedge::Status st = db->Insert(batch); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    if (db.store_generation() != last_generation) {
-      last_generation = db.store_generation();
+    if (db->store_generation() != last_generation) {
+      last_generation = db->store_generation();
       ++compactions;
       std::printf("batch %2d: auto-compaction folded the overlay "
-                  "(store generation %llu, %llu triples)\n",
+                  "(store generation %llu, %llu triples; snapshot %zu B, "
+                  "WAL truncated to epoch %llu)\n",
                   i, static_cast<unsigned long long>(last_generation),
-                  static_cast<unsigned long long>(db.num_triples()));
+                  static_cast<unsigned long long>(db->num_triples()),
+                  snapshot_ttl.size(),
+                  static_cast<unsigned long long>(wal->epoch()));
     }
     for (const RegisteredQuery& q : queries) {
-      const auto result = db.Query(q.sparql);
+      const auto result = db->Query(q.sparql);
       if (!result.ok()) {
         std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
                      result.status().ToString().c_str());
@@ -105,15 +169,18 @@ int main(int argc, char** argv) {
       }
     }
     total_ms += timer.ElapsedMillis();
-    max_memory = std::max(max_memory, db.store().SizeInBytes());
+    max_memory = std::max(max_memory, db->store().SizeInBytes());
   }
   std::printf(
       "\nstreamed %d batches (%d observations/sensor): %d alerts,\n"
       "%d compaction(s), %llu live triples, avg %.2f ms per batch "
-      "(insert + %zu queries),\npeak store footprint %.1f KiB\n",
+      "(insert + %zu queries + WAL group commit),\npeak store footprint "
+      "%.1f KiB; WAL device %llu blocks, %llu block writes\n",
       batches, observations, alerts, compactions,
-      static_cast<unsigned long long>(db.num_triples()),
+      static_cast<unsigned long long>(db->num_triples()),
       total_ms / std::max(batches, 1), queries.size(),
-      static_cast<double>(max_memory) / 1024.0);
+      static_cast<double>(max_memory) / 1024.0,
+      static_cast<unsigned long long>(wal_device.num_blocks()),
+      static_cast<unsigned long long>(wal_device.stats().writes));
   return 0;
 }

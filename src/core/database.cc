@@ -36,8 +36,29 @@ Status Database::InsertTurtle(std::string_view text) {
   return Insert(graph);
 }
 
+Status Database::LogBatch(io::WalRecordType type, const rdf::Triple* triples,
+                          size_t count) {
+  if (wal_ == nullptr || count == 0) return Status::OK();
+  for (size_t i = 0; i < count; ++i) {
+    const Status st = type == io::WalRecordType::kInsert
+                          ? wal_->AppendInsert(triples[i])
+                          : wal_->AppendRemove(triples[i]);
+    if (!st.ok()) {
+      // A rejected record (e.g. an oversized literal) voids the whole
+      // batch: none of it is applied, so none of it may ever sync.
+      wal_->DiscardPending();
+      return st;
+    }
+  }
+  // Group commit: the whole batch becomes durable with one sync.
+  return wal_->Sync();
+}
+
 Status Database::Insert(const rdf::Graph& graph) {
   SEDGE_RETURN_NOT_OK(EnsureStore());
+  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kInsert,
+                               graph.triples().data(),
+                               graph.triples().size()));
   for (const rdf::Triple& t : graph.triples()) {
     SEDGE_RETURN_NOT_OK(store_->Insert(t));
   }
@@ -48,6 +69,7 @@ Status Database::Insert(const rdf::Graph& graph) {
 
 Status Database::Insert(const rdf::Triple& triple) {
   SEDGE_RETURN_NOT_OK(EnsureStore());
+  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kInsert, &triple, 1));
   SEDGE_RETURN_NOT_OK(store_->Insert(triple));
   store_->SealDelta();
   ++write_generation_;
@@ -61,6 +83,9 @@ Status Database::RemoveTurtle(std::string_view text) {
 
 Status Database::Remove(const rdf::Graph& graph) {
   if (store_ == nullptr) return Status::OK();  // nothing stored
+  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kRemove,
+                               graph.triples().data(),
+                               graph.triples().size()));
   for (const rdf::Triple& t : graph.triples()) {
     SEDGE_RETURN_NOT_OK(store_->Remove(t));
   }
@@ -71,6 +96,7 @@ Status Database::Remove(const rdf::Graph& graph) {
 
 Status Database::Remove(const rdf::Triple& triple) {
   if (store_ == nullptr) return Status::OK();
+  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kRemove, &triple, 1));
   SEDGE_RETURN_NOT_OK(store_->Remove(triple));
   store_->SealDelta();
   ++write_generation_;
@@ -80,7 +106,47 @@ Status Database::Remove(const rdf::Triple& triple) {
 Status Database::Compact() {
   if (store_ == nullptr || !store_->has_delta()) return Status::OK();
   const rdf::Graph merged = store_->ExportGraph();
-  return LoadData(merged);  // rebuild through the existing machinery
+  SEDGE_RETURN_NOT_OK(LoadData(merged));  // rebuild, existing machinery
+  // Snapshot before truncating: if we crash in between, replaying the old
+  // epoch onto the new snapshot is an idempotent no-op, while the reverse
+  // ordering would lose the folded overlay for good. Without a snapshot
+  // hook the log is the only durable copy of the folded mutations, so it
+  // must NOT be truncated — it keeps covering everything since load, at
+  // the cost of growing until a callback is registered.
+  if (compaction_callback_) {
+    SEDGE_RETURN_NOT_OK(compaction_callback_(*this));
+    if (wal_ != nullptr) {
+      SEDGE_RETURN_NOT_OK(wal_->Truncate(num_triples()));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
+  SEDGE_CHECK(wal != nullptr && wal->open()) << "AttachWal needs an open WAL";
+  if (replay) {
+    SEDGE_RETURN_NOT_OK(EnsureStore());
+    uint64_t applied = 0;
+    SEDGE_RETURN_NOT_OK(wal->Replay([&](const io::WalReplayRecord& r) {
+      switch (r.type) {
+        case io::WalRecordType::kInsert:
+          ++applied;
+          return store_->Insert(r.triple);
+        case io::WalRecordType::kRemove:
+          ++applied;
+          return store_->Remove(r.triple);
+        case io::WalRecordType::kCompactEpoch:
+          return Status::OK();  // informational marker
+      }
+      return Status::Internal("unreachable WAL record type");
+    }));
+    store_->SealDelta();
+    if (applied > 0) ++write_generation_;
+  }
+  wal_ = wal;
+  // The replayed overlay may already exceed the compaction trigger; fold it
+  // now that truncation can record the fact in the log.
+  return MaybeCompact();
 }
 
 Status Database::MaybeCompact() {

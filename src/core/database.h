@@ -19,14 +19,25 @@
 // Queries between writes see one consistent base ∪ delta view. Compaction
 // also runs automatically once the overlay grows past
 // set_compaction_ratio() times the base size (default 0.25; 0 disables).
+//
+// Durability (see examples/edge_monitor.cpp for the full loop):
+//
+//   io::WriteAheadLog wal(&device);
+//   wal.Open();
+//   db.AttachWal(&wal);                    // replays any acknowledged tail
+//   db.InsertTurtle(obs_ttl);              // logged + synced, then applied
+//   ...power cut...                        // reopen: reload snapshot,
+//                                          // AttachWal replays the rest
 
 #ifndef SEDGE_CORE_DATABASE_H_
 #define SEDGE_CORE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "io/wal.h"
 #include "ontology/ontology.h"
 #include "rdf/triple.h"
 #include "sparql/executor.h"
@@ -74,6 +85,41 @@ class Database {
   /// build machinery) and clears the overlay. No-op without an overlay.
   Status Compact();
 
+  // -- Durability (write-ahead log) ------------------------------------------
+  //
+  // With a WAL attached, every Insert*/Remove* batch is appended to the log
+  // and group-committed with one Sync() *before* it touches the overlay:
+  // when a write call returns OK, its mutations are on the device. Compact()
+  // truncates the log after the overlay is folded into the base — the WAL
+  // covers exactly the mutations since the last load/compaction, so a
+  // deployment that wants full durability persists a base snapshot at each
+  // compaction (set_compaction_callback) and on restart reloads it, then
+  // re-attaches the WAL to replay the acknowledged tail. Replay runs
+  // through the normal write path and is idempotent, which makes the
+  // snapshot-first / truncate-second ordering safe against a crash between
+  // the two.
+
+  /// Attaches `wal` (already Open()ed). When `replay` is set, first
+  /// re-applies every acknowledged record in the log to the store —
+  /// reopen-after-crash. A torn or corrupt log tail (power cut mid-write)
+  /// is silently cut off; only intact acknowledged records are applied.
+  Status AttachWal(io::WriteAheadLog* wal, bool replay = true);
+  /// Stops logging; the log itself is left untouched.
+  void DetachWal() { wal_ = nullptr; }
+  io::WriteAheadLog* wal() const { return wal_; }
+
+  /// Invoked after every successful Compact() / auto-compaction, before the
+  /// WAL (if any) is truncated — the hook where a deployment persists its
+  /// base snapshot (e.g. store().ExportGraph()). A non-OK return aborts the
+  /// compaction path and is surfaced to the writer. Without a registered
+  /// callback, compaction never truncates the WAL: the log is then the
+  /// only durable copy of the folded mutations and keeps growing (replay
+  /// onto the originally loaded data remains correct and idempotent).
+  using CompactionCallback = std::function<Status(const Database&)>;
+  void set_compaction_callback(CompactionCallback cb) {
+    compaction_callback_ = std::move(cb);
+  }
+
   /// Overlay-size / base-size ratio that triggers auto-compaction after a
   /// write batch (default 0.25; set 0 to disable automatic compaction).
   void set_compaction_ratio(double ratio) { compaction_ratio_ = ratio; }
@@ -114,10 +160,16 @@ class Database {
   Status EnsureStore();
   /// Runs Compact() when the overlay outgrew compaction_ratio_.
   Status MaybeCompact();
+  /// Appends one record per triple and group-commits with a single Sync().
+  /// No-op without a WAL. Called before the mutations are applied.
+  Status LogBatch(io::WalRecordType type, const rdf::Triple* triples,
+                  size_t count);
 
   ontology::Ontology onto_;
   std::unique_ptr<store::TripleStore> store_;
   sparql::Executor::Options options_;
+  io::WriteAheadLog* wal_ = nullptr;
+  CompactionCallback compaction_callback_;
   double compaction_ratio_ = 0.25;
   uint64_t store_generation_ = 0;
   uint64_t write_generation_ = 0;

@@ -39,6 +39,8 @@ class SimulatedBlockDevice {
       : read_latency_us_(read_latency_us),
         write_latency_us_(write_latency_us) {}
 
+  virtual ~SimulatedBlockDevice() = default;
+
   /// Appends a zeroed block and returns its id.
   uint64_t AllocateBlock() {
     blocks_.emplace_back(new uint8_t[kBlockSize]());
@@ -55,11 +57,15 @@ class SimulatedBlockDevice {
     ++stats_.reads;
   }
 
-  void WriteBlock(uint64_t id, const uint8_t* data) {
+  /// Returns false when the block did not (fully) reach stable storage —
+  /// the failure-injection subclasses use this; the plain simulated device
+  /// always succeeds. Durability-critical callers (the WAL) must check it.
+  virtual bool WriteBlock(uint64_t id, const uint8_t* data) {
     SEDGE_CHECK(id < blocks_.size()) << "write past device end";
     SpinFor(write_latency_us_);
     std::memcpy(blocks_[id].get(), data, kBlockSize);
     ++stats_.writes;
+    return true;
   }
 
   const DeviceStats& stats() const { return stats_; }

@@ -1,0 +1,68 @@
+// Crash-injection block device for durability tests.
+//
+// Models an SD card losing power mid-write: the first `writes_before_failure`
+// block writes succeed, the next one is *torn* (only the first `torn_bytes`
+// of the new data land; the rest of the block keeps its previous content)
+// and from then on every write is dropped. Reads keep working, exactly like
+// remounting the card after the power cut, so recovery code can scan
+// whatever survived. tests/wal_recovery_test.cc sweeps the cut point over a
+// scripted mutation history and asserts WAL replay recovers exactly a
+// prefix of it.
+
+#ifndef SEDGE_IO_FAILING_BLOCK_DEVICE_H_
+#define SEDGE_IO_FAILING_BLOCK_DEVICE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+#include "io/block_device.h"
+
+namespace sedge::io {
+
+/// \brief SimulatedBlockDevice that dies after a configurable write budget.
+class FailingBlockDevice : public SimulatedBlockDevice {
+ public:
+  /// `writes_before_failure` block writes succeed; the following write is
+  /// torn after `torn_bytes` bytes (0 = dropped whole); all later writes
+  /// are dropped. Latencies are 0 — crash tests don't model timing.
+  explicit FailingBlockDevice(uint64_t writes_before_failure,
+                              uint64_t torn_bytes = 0)
+      : writes_remaining_(writes_before_failure), torn_bytes_(torn_bytes) {}
+
+  bool WriteBlock(uint64_t id, const uint8_t* data) override {
+    if (failed_) {
+      ++dropped_writes_;
+      return false;
+    }
+    if (writes_remaining_ > 0) {
+      --writes_remaining_;
+      return SimulatedBlockDevice::WriteBlock(id, data);
+    }
+    failed_ = true;
+    const uint64_t torn = std::min(torn_bytes_, kBlockSize);
+    if (torn > 0) {
+      uint8_t block[kBlockSize];
+      ReadBlock(id, block);
+      std::memcpy(block, data, torn);
+      SimulatedBlockDevice::WriteBlock(id, block);
+    }
+    ++dropped_writes_;
+    return false;
+  }
+
+  /// True once the simulated power cut has happened.
+  bool failed() const { return failed_; }
+  /// Writes issued at or after the cut (torn one included).
+  uint64_t dropped_writes() const { return dropped_writes_; }
+
+ private:
+  uint64_t writes_remaining_;
+  uint64_t torn_bytes_;
+  bool failed_ = false;
+  uint64_t dropped_writes_ = 0;
+};
+
+}  // namespace sedge::io
+
+#endif  // SEDGE_IO_FAILING_BLOCK_DEVICE_H_

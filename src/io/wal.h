@@ -1,0 +1,176 @@
+// Durable write-ahead log for the delta-overlay write path.
+//
+// The succinct base store is immutable and rebuilt from a snapshot; the
+// delta overlay (src/store/delta/) is where streamed mutations live — and
+// before this log it lived purely in RAM, so a power cut on an edge board
+// lost every observation since the last rebuild. The WAL appends one
+// CRC-framed record per Insert/Remove to a SimulatedBlockDevice *before*
+// the mutation is applied, group-committing a whole batch with a single
+// Sync() so an N-triple batch costs O(bytes/4096) block writes rather than
+// N. On reopen, Replay() hands back exactly the prefix of records that
+// survived intact; a torn or corrupt tail (power cut mid-write) is detected
+// by the per-record CRC and cut off. Compaction folds the overlay into a
+// fresh base, after which Truncate() starts a new epoch: the header is
+// rewritten, stale records become unreadable (epoch mismatch), and the log
+// is logically empty again.
+//
+// Device layout (4 KiB blocks):
+//   blocks 0,1   double-buffered header slots: magic, version, epoch, CRC.
+//                Truncation writes the slot `epoch % 2`, so a power cut
+//                tearing the header rewrite leaves the previous slot
+//                intact; Open() picks the valid slot with the larger
+//                epoch. (Old-epoch records replayed onto the snapshot the
+//                compaction persisted just before are idempotent no-ops.)
+//   block 2..    record stream, records freely spanning block boundaries
+//
+// Record frame (little-endian):
+//   u32 crc     over everything below
+//   u32 length  payload bytes
+//   u64 epoch   must match the header epoch
+//   u64 seq     dense per-epoch sequence number
+//   u8  type    WalRecordType
+//   payload     insert/remove: serialized rdf::Triple;
+//               compact-epoch: u64 base triple count after the fold
+//
+// Records are mutation-level and self-describing (term kinds + lexical
+// forms), not encoded ids: LiteMat ids are only meaningful against one
+// particular base build, while replay happens against a freshly rebuilt
+// store. Replay therefore goes through the ordinary TripleStore write path
+// and is idempotent — re-applying a record that the base snapshot already
+// absorbed is a no-op, which is what makes the snapshot-then-truncate
+// compaction ordering crash-safe.
+
+#ifndef SEDGE_IO_WAL_H_
+#define SEDGE_IO_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "io/block_device.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::io {
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kRemove = 2,
+  kCompactEpoch = 3,
+};
+
+/// \brief One replayed record. `triple` is set for insert/remove;
+/// `base_triples` for compact-epoch markers.
+struct WalReplayRecord {
+  WalRecordType type;
+  rdf::Triple triple;
+  uint64_t base_triples = 0;
+};
+
+/// \brief Log-lifetime counters (DeviceStats counts blocks; these count
+/// log-level events — the group-commit tests compare the two).
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t syncs = 0;
+  uint64_t blocks_written = 0;
+  uint64_t bytes_appended = 0;
+  uint64_t truncations = 0;
+};
+
+/// \brief Block-aligned, CRC-framed, group-committing write-ahead log.
+///
+/// Single-writer like the rest of the store. The device outlives the log;
+/// several WriteAheadLog objects may be opened on one device over time
+/// (reopen-after-crash), but never concurrently.
+class WriteAheadLog {
+ public:
+  explicit WriteAheadLog(SimulatedBlockDevice* device) : device_(device) {}
+
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Formats an empty device (fresh header, epoch 1) or, on a non-empty
+  /// one, validates the header and scans the record stream to position the
+  /// append tail after the last intact record. Must be called before any
+  /// other operation.
+  Status Open();
+
+  /// Buffers one record; nothing reaches the device until Sync(). The
+  /// mutation it describes must not be applied before Sync() succeeds.
+  /// Rejects records over 1 MiB with InvalidArgument — the caller must
+  /// then DiscardPending() the batch (partial batches must never sync).
+  Status AppendInsert(const rdf::Triple& triple);
+  Status AppendRemove(const rdf::Triple& triple);
+
+  /// Drops every buffered-but-unsynced record and rolls the sequence
+  /// numbers back, as if the appends never happened. Used to abandon a
+  /// batch that failed validation midway.
+  void DiscardPending();
+
+  /// Group commit: flushes every buffered record to the device. On return
+  /// OK, all previously appended records are durable. On IoError the log
+  /// is dead (the device failed mid-write and may hold a torn tail) and
+  /// every later call fails; reopen on the device to recover.
+  Status Sync();
+
+  /// Invokes `fn` for every intact current-epoch record in append order,
+  /// stopping silently at the first torn / CRC-mismatching / stale frame
+  /// (that is the crash-consistency contract: an acknowledged prefix).
+  /// A failing `fn` aborts the replay with its status. The records
+  /// decoded by Open()'s tail scan are cached, so the usual
+  /// Open-then-AttachWal recovery sequence reads every device block once,
+  /// not twice; once the log is written to, Replay() rescans the device.
+  Status Replay(
+      const std::function<Status(const WalReplayRecord&)>& fn) const;
+
+  /// Starts a new epoch after a compaction folded the overlay into the
+  /// base: rewrites the header (making all previous records stale) and
+  /// logs + syncs a compact-epoch marker carrying `base_triples`. The log
+  /// is logically empty afterwards — Replay() yields only the marker.
+  Status Truncate(uint64_t base_triples);
+
+  /// Replayable mutation records (insert/remove only, markers excluded).
+  Result<uint64_t> ReplayableMutations() const;
+
+  uint64_t epoch() const { return epoch_; }
+  bool open() const { return open_; }
+  /// Records appended but not yet synced.
+  uint64_t pending_records() const { return pending_records_; }
+  const WalStats& stats() const { return stats_; }
+
+ private:
+  Status AppendRecord(WalRecordType type, const std::string& payload);
+  Status WriteHeader();
+  /// Sequential record scan from block 1; `fn` may be null (tail scan).
+  /// Outputs the end-of-valid-prefix position and the next sequence number.
+  Status ScanRecords(const std::function<Status(const WalReplayRecord&)>& fn,
+                     uint64_t* end_block, uint64_t* end_offset,
+                     uint64_t* next_seq) const;
+
+  SimulatedBlockDevice* device_;
+  bool open_ = false;
+  bool failed_ = false;
+  uint64_t epoch_ = 0;
+  uint64_t next_seq_ = 0;
+
+  // Append tail: first byte after the last durable record. tail_buf_
+  // mirrors bytes [0, tail_offset_) of tail_block_ so a partially filled
+  // block can be rewritten with more records appended.
+  uint64_t tail_block_ = 2;
+  uint64_t tail_offset_ = 0;
+  std::vector<uint8_t> tail_buf_ = std::vector<uint8_t>(kBlockSize, 0);
+
+  // Records decoded by Open()'s tail scan; serves the first Replay()
+  // without re-reading the device. Invalidated by any device write.
+  std::vector<WalReplayRecord> open_scan_cache_;
+  bool open_scan_cache_valid_ = false;
+
+  std::vector<uint8_t> pending_;
+  uint64_t pending_records_ = 0;
+  WalStats stats_;
+};
+
+}  // namespace sedge::io
+
+#endif  // SEDGE_IO_WAL_H_

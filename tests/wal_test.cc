@@ -1,0 +1,342 @@
+// WAL unit tests: record framing round-trips, group-commit batching
+// (log-level syncs vs device-level block writes), truncation-at-compaction
+// semantics, reopen tail scanning, and failure propagation. Crash
+// injection lives in wal_recovery_test.cc.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/failing_block_device.h"
+#include "io/wal.h"
+
+namespace sedge::io {
+namespace {
+
+rdf::Triple ObjTriple(const std::string& s, const std::string& p,
+                      const std::string& o) {
+  return {rdf::Term::Iri(s), rdf::Term::Iri(p), rdf::Term::Iri(o)};
+}
+
+/// Replays into a vector for easy assertions.
+std::vector<WalReplayRecord> ReplayAll(const WriteAheadLog& wal) {
+  std::vector<WalReplayRecord> out;
+  const Status st = wal.Replay([&](const WalReplayRecord& r) {
+    out.push_back(r);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+TEST(WalFraming, RoundTripsEveryTermShape) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+
+  const std::vector<rdf::Triple> triples = {
+      ObjTriple("http://e.org/s0", "http://e.org/p", "http://e.org/o0"),
+      {rdf::Term::Blank("b0"), rdf::Term::Iri("http://e.org/p"),
+       rdf::Term::Blank("b1")},
+      {rdf::Term::Iri("http://e.org/s1"), rdf::Term::Iri("http://e.org/dp"),
+       rdf::Term::Literal("12.5",
+                          "http://www.w3.org/2001/XMLSchema#decimal")},
+      {rdf::Term::Iri("http://e.org/s2"), rdf::Term::Iri("http://e.org/dp"),
+       rdf::Term::Literal("gr\xC3\xBC\xC3\x9F dich", "", "de")},
+      {rdf::Term::Iri("http://e.org/s3"), rdf::Term::Iri("http://e.org/dp"),
+       rdf::Term::Literal("")},  // empty lexical form
+  };
+  for (size_t i = 0; i < triples.size(); ++i) {
+    const Status st = (i % 2 == 0) ? wal.AppendInsert(triples[i])
+                                   : wal.AppendRemove(triples[i]);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+
+  const auto records = ReplayAll(wal);
+  ASSERT_EQ(records.size(), triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ(records[i].type, i % 2 == 0 ? WalRecordType::kInsert
+                                          : WalRecordType::kRemove);
+    EXPECT_EQ(records[i].triple, triples[i]) << "record " << i;
+  }
+}
+
+TEST(WalFraming, RecordsSpanBlockBoundaries) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // ~1.5 KiB literals: every third record straddles a 4 KiB block edge.
+  std::vector<rdf::Triple> triples;
+  for (int i = 0; i < 24; ++i) {
+    triples.push_back({rdf::Term::Iri("http://e.org/s" + std::to_string(i)),
+                       rdf::Term::Iri("http://e.org/dp"),
+                       rdf::Term::Literal(std::string(1500, 'a' + i % 26))});
+    ASSERT_TRUE(wal.AppendInsert(triples.back()).ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_GT(device.num_blocks(), 2u) << "log should cover several blocks";
+
+  const auto records = ReplayAll(wal);
+  ASSERT_EQ(records.size(), triples.size());
+  for (size_t i = 0; i < triples.size(); ++i) {
+    EXPECT_EQ(records[i].triple, triples[i]);
+  }
+}
+
+TEST(WalGroupCommit, OneSyncPerBatchNotPerRecord) {
+  // Grouped: 100 records, one sync.
+  SimulatedBlockDevice grouped_device;
+  WriteAheadLog grouped(&grouped_device);
+  ASSERT_TRUE(grouped.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(grouped
+                    .AppendInsert(ObjTriple("http://e.org/s" +
+                                                std::to_string(i),
+                                            "http://e.org/p",
+                                            "http://e.org/o"))
+                    .ok());
+  }
+  EXPECT_EQ(grouped.pending_records(), 100u);
+  ASSERT_TRUE(grouped.Sync().ok());
+  EXPECT_EQ(grouped.pending_records(), 0u);
+  EXPECT_EQ(grouped.stats().syncs, 1u);
+
+  // Ungrouped: same 100 records, sync after each.
+  SimulatedBlockDevice single_device;
+  WriteAheadLog single(&single_device);
+  ASSERT_TRUE(single.Open().ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(single
+                    .AppendInsert(ObjTriple("http://e.org/s" +
+                                                std::to_string(i),
+                                            "http://e.org/p",
+                                            "http://e.org/o"))
+                    .ok());
+    ASSERT_TRUE(single.Sync().ok());
+  }
+
+  // The batch costs ceil(bytes / 4096) data-block writes (+1 header write);
+  // per-record syncing rewrites the tail block for every record.
+  EXPECT_GE(single_device.stats().writes, 100u);
+  EXPECT_LE(grouped_device.stats().writes,
+            1 + (grouped.stats().bytes_appended + kBlockSize - 1) /
+                    kBlockSize);
+  EXPECT_LT(grouped_device.stats().writes,
+            single_device.stats().writes / 10);
+
+  // Both logs replay identically regardless of the commit pattern.
+  EXPECT_EQ(ReplayAll(grouped).size(), 100u);
+  EXPECT_EQ(ReplayAll(single).size(), 100u);
+}
+
+TEST(WalTruncate, LeavesEmptyReplayableLog) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_EQ(wal.epoch(), 1u);
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s" +
+                                               std::to_string(i),
+                                           "http://e.org/p",
+                                           "http://e.org/o"))
+                    .ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  ASSERT_EQ(wal.ReplayableMutations().ValueOr(99), 50u);
+
+  ASSERT_TRUE(wal.Truncate(/*base_triples=*/50).ok());
+  EXPECT_EQ(wal.epoch(), 2u);
+  EXPECT_EQ(wal.ReplayableMutations().ValueOr(99), 0u);
+
+  // The only surviving record is the compact-epoch marker.
+  const auto records = ReplayAll(wal);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, WalRecordType::kCompactEpoch);
+  EXPECT_EQ(records[0].base_triples, 50u);
+
+  // The truncated log accepts and replays fresh appends; the 50 stale
+  // records never resurface even though their bytes are still on the
+  // device (epoch fencing).
+  ASSERT_TRUE(
+      wal.AppendInsert(ObjTriple("http://e.org/new", "http://e.org/p",
+                                 "http://e.org/o"))
+          .ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.ReplayableMutations().ValueOr(99), 1u);
+}
+
+TEST(WalReopen, ScansToTailAndContinuesAppending) {
+  SimulatedBlockDevice device;
+  {
+    WriteAheadLog wal(&device);
+    ASSERT_TRUE(wal.Open().ok());
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/a" +
+                                                 std::to_string(i),
+                                             "http://e.org/p",
+                                             "http://e.org/o"))
+                      .ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+  }  // first process "exits"
+
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  EXPECT_EQ(wal.ReplayableMutations().ValueOr(0), 7u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(wal.AppendRemove(ObjTriple("http://e.org/a" +
+                                               std::to_string(i),
+                                           "http://e.org/p",
+                                           "http://e.org/o"))
+                    .ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+
+  const auto records = ReplayAll(wal);
+  ASSERT_EQ(records.size(), 10u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(records[i].type, WalRecordType::kInsert);
+  }
+  for (size_t i = 7; i < 10; ++i) {
+    EXPECT_EQ(records[i].type, WalRecordType::kRemove);
+  }
+}
+
+TEST(WalReopen, RejectsForeignDevice) {
+  SimulatedBlockDevice device;
+  const uint64_t b = device.AllocateBlock();
+  uint8_t junk[kBlockSize];
+  std::memset(junk, 0xAB, sizeof(junk));
+  device.WriteBlock(b, junk);
+
+  WriteAheadLog wal(&device);
+  EXPECT_FALSE(wal.Open().ok());
+}
+
+TEST(WalFailure, SyncFailurePropagatesAndSticks) {
+  FailingBlockDevice device(/*writes_before_failure=*/1);  // header only
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s", "http://e.org/p",
+                                         "http://e.org/o"))
+                  .ok());
+  EXPECT_FALSE(wal.Sync().ok());
+  // The log object is dead after a device failure.
+  EXPECT_FALSE(wal.AppendInsert(ObjTriple("http://e.org/s2",
+                                          "http://e.org/p",
+                                          "http://e.org/o"))
+                   .ok());
+  EXPECT_FALSE(wal.Truncate(0).ok());
+}
+
+TEST(WalFailure, CorruptTailIsCutOffOnReplay) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s" +
+                                               std::to_string(i),
+                                           "http://e.org/p",
+                                           "http://e.org/o"))
+                    .ok());
+    ASSERT_TRUE(wal.Sync().ok());
+  }
+
+  // Bit rot in the last record's bytes: flip one byte near the tail.
+  const uint64_t data_block = 2;  // first record block (0/1 are headers)
+  uint8_t block[kBlockSize];
+  device.ReadBlock(data_block, block);
+  // Find the last nonzero byte (inside the final record) and flip it.
+  size_t last = kBlockSize;
+  while (last > 0 && block[last - 1] == 0) --last;
+  ASSERT_GT(last, 0u);
+  block[last - 1] ^= 0xFF;
+  device.WriteBlock(data_block, block);
+
+  WriteAheadLog reopened(&device);
+  ASSERT_TRUE(reopened.Open().ok());
+  // Exactly the four intact records survive; the corrupt tail is dropped.
+  EXPECT_EQ(reopened.ReplayableMutations().ValueOr(0), 4u);
+}
+
+TEST(WalFailure, TornHeaderRewriteDuringTruncateKeepsOldEpochReadable) {
+  // Pass A: measure the block writes before Truncate on a healthy device.
+  uint64_t writes_before_truncate = 0;
+  {
+    SimulatedBlockDevice device;
+    WriteAheadLog wal(&device);
+    ASSERT_TRUE(wal.Open().ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s" +
+                                                 std::to_string(i),
+                                             "http://e.org/p",
+                                             "http://e.org/o"))
+                      .ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+    writes_before_truncate = device.stats().writes;
+  }
+
+  // Pass B: the power cut tears the header-slot rewrite that Truncate()
+  // issues first, mid-way through the 24 meaningful header bytes (magic +
+  // version land, the epoch/CRC region keeps the slot's old content) so
+  // the new slot's CRC cannot validate.
+  FailingBlockDevice device(writes_before_truncate, /*torn_bytes=*/12);
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s" +
+                                               std::to_string(i),
+                                           "http://e.org/p",
+                                           "http://e.org/o"))
+                    .ok());
+  }
+  ASSERT_TRUE(wal.Sync().ok());
+  const uint64_t old_epoch = wal.epoch();
+  EXPECT_FALSE(wal.Truncate(5).ok()) << "the torn header write must fail";
+
+  // Reopen: the untouched slot is authoritative — the old epoch and all
+  // five records survive (replaying them onto the snapshot persisted just
+  // before truncation is an idempotent no-op).
+  WriteAheadLog reopened(&device);
+  ASSERT_TRUE(reopened.Open().ok())
+      << "a torn truncation must not brick the log";
+  EXPECT_EQ(reopened.epoch(), old_epoch);
+  EXPECT_EQ(reopened.ReplayableMutations().ValueOr(0), 5u);
+}
+
+TEST(WalFailure, OversizedRecordIsRejectedWithoutPoisoningTheLog) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+  ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s", "http://e.org/p",
+                                         "http://e.org/o"))
+                  .ok());
+  ASSERT_TRUE(wal.Sync().ok());
+
+  // > 1 MiB literal: rejected as bad input, not a process abort...
+  const rdf::Triple huge = {rdf::Term::Iri("http://e.org/s"),
+                            rdf::Term::Iri("http://e.org/dp"),
+                            rdf::Term::Literal(std::string(2u << 20, 'x'))};
+  const Status st = wal.AppendInsert(huge);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  wal.DiscardPending();
+
+  // ...and after discarding the batch the log keeps working: the next
+  // record syncs and the sequence stays gapless across a reopen.
+  ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s2", "http://e.org/p",
+                                         "http://e.org/o"))
+                  .ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  WriteAheadLog reopened(&device);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.ReplayableMutations().ValueOr(0), 2u);
+}
+
+}  // namespace
+}  // namespace sedge::io
