@@ -5,21 +5,33 @@
 // tax of group-committed logging.
 //
 // Expected shape: inserts are orders of magnitude cheaper than the
-// rebuild-per-batch model; query latency degrades gradually with the
-// overlay ratio (merged scans disable the positional merge join) and
-// snaps back to the base-only numbers after Compact(). WAL-on insert
+// rebuild-per-batch model; query latency degrades only gradually with
+// the overlay ratio — the positional merge join stays engaged under a
+// live delta (it sweeps the overlay runs alongside the base runs), so
+// star-query latency remains within ~2x of the compacted-base figure
+// instead of dropping to the row-by-row path. WAL-on insert
 // throughput drops by the cost of ceil(batch_bytes/4096) SD block writes
 // per batch — not by a per-triple sync, which is the point of group
 // commit.
 //
 // Emits a human-readable table plus one JSONL record per (ratio, wal)
 // cell (the bench_util.h JSON shape).
+//
+// `--smoke` runs a single live-delta cell and exits non-zero unless the
+// executor's merge-join fast path actually served the star query while
+// the overlay was live (ExecutorStats.merge_join_delta_extends) — the CI
+// regression gate for the delta-aware merge join.
+
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "io/wal.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sedge;
+
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
 
   workloads::SensorConfig config;
   config.stations = 4;
@@ -51,8 +63,13 @@ int main() {
                    "compact ms", "count ms (c)", "anomaly ms (c)",
                    "wal blocks"});
 
-  for (const double ratio : {0.0, 0.05, 0.10, 0.25, 0.50}) {
-    for (const bool wal_on : {false, true}) {
+  const std::vector<double> ratios =
+      smoke ? std::vector<double>{0.10}
+            : std::vector<double>{0.0, 0.05, 0.10, 0.25, 0.50};
+  const std::vector<bool> wal_modes =
+      smoke ? std::vector<bool>{false} : std::vector<bool>{false, true};
+  for (const double ratio : ratios) {
+    for (const bool wal_on : wal_modes) {
       Database db;
       db.LoadOntology(onto);
       SEDGE_CHECK(db.LoadData(base).ok());
@@ -100,8 +117,19 @@ int main() {
           SEDGE_CHECK(r.ok()) << r.status().ToString();
         });
       };
+      db.reset_query_stats();
       const double count_ms = time_query(count_query);
       const double anomaly_ms = time_query(anomaly_query);
+      const sparql::ExecutorStats delta_stats = db.query_stats();
+      if (ratio > 0.0) {
+        // The star query must have been served by the delta-aware merge
+        // join, not the row-by-row fallback — this is what `--smoke`
+        // gates in CI.
+        SEDGE_CHECK(db.store().has_delta())
+            << "delta cell compacted prematurely";
+        SEDGE_CHECK(delta_stats.merge_join_delta_extends > 0)
+            << "merge-join fast path not taken under a live delta";
+      }
 
       double compact_ms = 0.0;
       {
@@ -136,11 +164,25 @@ int main() {
            {"compact_ms", compact_ms},
            {"count_ms_compacted", count_ms_compacted},
            {"anomaly_ms_compacted", anomaly_ms_compacted},
+           {"merge_join_extends",
+            static_cast<double>(delta_stats.merge_join_extends)},
+           {"merge_join_delta_extends",
+            static_cast<double>(delta_stats.merge_join_delta_extends)},
+           {"row_extends", static_cast<double>(delta_stats.row_extends)},
            {"wal_blocks_written", wal_blocks},
            {"wal_bytes_appended",
             wal_on ? static_cast<double>(wal.stats().bytes_appended) : 0.0},
            {"wal_syncs",
             wal_on ? static_cast<double>(wal.stats().syncs) : 0.0}});
+
+      if (smoke) {
+        std::printf("SMOKE OK: merge join served %llu extensions under a "
+                    "live delta (anomaly %.3f ms live vs %.3f ms "
+                    "compacted)\n",
+                    static_cast<unsigned long long>(
+                        delta_stats.merge_join_delta_extends),
+                    anomaly_ms, anomaly_ms_compacted);
+      }
     }
   }
   return 0;

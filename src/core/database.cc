@@ -161,13 +161,24 @@ Status Database::MaybeCompact() {
   return Status::OK();
 }
 
+void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
+  const sparql::ExecutorStats& s = executor.stats();
+  stat_merge_join_.fetch_add(s.merge_join_extends,
+                             std::memory_order_relaxed);
+  stat_merge_join_delta_.fetch_add(s.merge_join_delta_extends,
+                                   std::memory_order_relaxed);
+  stat_row_.fetch_add(s.row_extends, std::memory_order_relaxed);
+}
+
 Result<sparql::QueryResult> Database::Query(std::string_view text) const {
   if (store_ == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   sparql::Executor executor(store_.get(), options_);
-  return executor.Execute(query);
+  auto result = executor.Execute(query);
+  AccumulateQueryStats(executor);
+  return result;
 }
 
 Result<uint64_t> Database::QueryCount(std::string_view text) const {
@@ -176,9 +187,10 @@ Result<uint64_t> Database::QueryCount(std::string_view text) const {
   }
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   sparql::Executor executor(store_.get(), options_);
-  SEDGE_ASSIGN_OR_RETURN(sparql::BindingTable table,
-                         executor.ExecuteEncoded(query));
-  return static_cast<uint64_t>(table.rows.size());
+  auto table = executor.ExecuteEncoded(query);
+  AccumulateQueryStats(executor);
+  SEDGE_RETURN_NOT_OK(table.status());
+  return static_cast<uint64_t>(table.value().rows.size());
 }
 
 }  // namespace sedge

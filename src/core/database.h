@@ -32,6 +32,7 @@
 #ifndef SEDGE_CORE_DATABASE_H_
 #define SEDGE_CORE_DATABASE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -140,6 +141,25 @@ class Database {
   void set_optimizer(bool on) { options_.use_optimizer = on; }
   const sparql::Executor::Options& options() const { return options_; }
 
+  /// Snapshot of the executor counters accumulated over every
+  /// Query/QueryCount since the last reset. merge_join_delta_extends > 0
+  /// proves the star-join fast path ran against a live overlay — the
+  /// bench smoke check asserts it. Atomics, because concurrent const
+  /// queries are part of the store's concurrency contract (delta_set.h).
+  sparql::ExecutorStats query_stats() const {
+    sparql::ExecutorStats s;
+    s.merge_join_extends = stat_merge_join_.load(std::memory_order_relaxed);
+    s.merge_join_delta_extends =
+        stat_merge_join_delta_.load(std::memory_order_relaxed);
+    s.row_extends = stat_row_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void reset_query_stats() {
+    stat_merge_join_.store(0, std::memory_order_relaxed);
+    stat_merge_join_delta_.store(0, std::memory_order_relaxed);
+    stat_row_.store(0, std::memory_order_relaxed);
+  }
+
   // -- Querying --------------------------------------------------------------
 
   /// Parses, optimizes and executes a SPARQL SELECT query.
@@ -158,6 +178,8 @@ class Database {
  private:
   /// Builds an empty base store so writes can start before any LoadData.
   Status EnsureStore();
+  /// Folds one executor's counters into query_stats_.
+  void AccumulateQueryStats(const sparql::Executor& executor) const;
   /// Runs Compact() when the overlay outgrew compaction_ratio_.
   Status MaybeCompact();
   /// Appends one record per triple and group-commits with a single Sync().
@@ -173,6 +195,10 @@ class Database {
   double compaction_ratio_ = 0.25;
   uint64_t store_generation_ = 0;
   uint64_t write_generation_ = 0;
+  // Query is const; the counters are observability, not database state.
+  mutable std::atomic<uint64_t> stat_merge_join_{0};
+  mutable std::atomic<uint64_t> stat_merge_join_delta_{0};
+  mutable std::atomic<uint64_t> stat_row_{0};
 };
 
 }  // namespace sedge

@@ -26,6 +26,7 @@ struct DeviceStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocated_blocks = 0;
+  uint64_t trimmed_blocks = 0;
 };
 
 /// \brief RAM-backed block device with simulated access latency.
@@ -49,6 +50,18 @@ class SimulatedBlockDevice {
   }
 
   uint64_t num_blocks() const { return blocks_.size(); }
+
+  /// Releases every block at id >= `new_num_blocks` back to the device
+  /// (the flat array only supports tail trimming). The WAL calls this
+  /// after epoch truncation so logically freed log blocks stop pinning
+  /// RAM; without it the device high-watermarks forever. Reads/writes to
+  /// a trimmed id are errors until AllocateBlock() hands it out again
+  /// (zeroed, like any fresh block).
+  void TrimBlocks(uint64_t new_num_blocks) {
+    if (new_num_blocks >= blocks_.size()) return;
+    stats_.trimmed_blocks += blocks_.size() - new_num_blocks;
+    blocks_.resize(new_num_blocks);
+  }
 
   void ReadBlock(uint64_t id, uint8_t* out) {
     SEDGE_CHECK(id < blocks_.size()) << "read past device end";

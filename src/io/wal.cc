@@ -352,9 +352,9 @@ Status WriteAheadLog::Truncate(uint64_t base_triples) {
   if (!open_) return Status::Internal("WAL not open");
   if (failed_) return Status::IoError("WAL device failed");
   // Unsynced records were never acknowledged and the compaction that
-  // triggered us folded the applied state into the base, so drop them.
-  pending_.clear();
-  pending_records_ = 0;
+  // triggered us folded the applied state into the base, so drop them —
+  // stats rolled back too, exactly as if the appends never happened.
+  DiscardPending();
 
   ++epoch_;
   SEDGE_RETURN_NOT_OK(WriteHeader());
@@ -367,7 +367,19 @@ Status WriteAheadLog::Truncate(uint64_t base_triples) {
   std::string payload;
   PutU64(payload, base_triples);
   SEDGE_RETURN_NOT_OK(AppendRecord(WalRecordType::kCompactEpoch, payload));
-  return Sync();
+  SEDGE_RETURN_NOT_OK(Sync());
+
+  // The new header and marker are durable, so every block past the
+  // marker's tail holds only epoch-fenced (unreachable) records: release
+  // them instead of letting the device high-watermark forever. Ordering
+  // matters — trimming before the marker sync could drop blocks Sync()
+  // is about to write; a crash landing here simply leaves the stale
+  // blocks for the next truncation to release.
+  const uint64_t live_end = tail_block_ + (tail_offset_ > 0 ? 1 : 0);
+  const uint64_t before = device_->num_blocks();
+  device_->TrimBlocks(std::max(live_end, kFirstRecordBlock));
+  stats_.blocks_released += before - device_->num_blocks();
+  return Status::OK();
 }
 
 Status WriteAheadLog::Replay(

@@ -76,6 +76,10 @@ struct WalStats {
   uint64_t blocks_written = 0;
   uint64_t bytes_appended = 0;
   uint64_t truncations = 0;
+  /// Device blocks returned by Truncate() — epoch-fenced record blocks
+  /// are released, not just reused, so repeated compactions keep the
+  /// device's block count bounded by the live log size.
+  uint64_t blocks_released = 0;
 };
 
 /// \brief Block-aligned, CRC-framed, group-committing write-ahead log.
@@ -127,7 +131,9 @@ class WriteAheadLog {
   /// Starts a new epoch after a compaction folded the overlay into the
   /// base: rewrites the header (making all previous records stale) and
   /// logs + syncs a compact-epoch marker carrying `base_triples`. The log
-  /// is logically empty afterwards — Replay() yields only the marker.
+  /// is logically empty afterwards — Replay() yields only the marker —
+  /// and the stale record blocks are released back to the device, so the
+  /// device block count stays bounded across repeated compactions.
   Status Truncate(uint64_t base_triples);
 
   /// Replayable mutation records (insert/remove only, markers excluded).

@@ -525,7 +525,11 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
     std::vector<PredRoute> routes;
     routes.reserve(const_routes.size());
     for (const Route& r : const_routes) routes.push_back({r.is_object, r.pred});
-    if (TryMergeJoinExtend(tp, routes, table)) return Status::OK();
+    if (TryMergeJoinExtend(tp, routes, table)) {
+      ++stats_.merge_join_extends;
+      if (store_->has_delta()) ++stats_.merge_join_delta_extends;
+      return Status::OK();
+    }
   }
 
   BindingTable out;
@@ -551,10 +555,30 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
           ? dict.InstanceId(*o_slot.const_term)
           : std::nullopt;
 
+  // Routes for an unbound predicate variable — every stored predicate
+  // plus rdf:type — are row-independent; enumerate them once, lazily
+  // (the wavelet-tree predicate scans are too costly to repeat per row).
+  std::optional<std::vector<Route>> unbound_routes;
+  const auto unbound_predicate_routes = [&]() -> const std::vector<Route>& {
+    if (!unbound_routes) {
+      unbound_routes.emplace();
+      store_->object_view().ForEachPredicateIn(
+          0, ~0ULL,
+          [&](uint64_t pred) { unbound_routes->push_back({false, true, pred}); });
+      store_->datatype_view().ForEachPredicateIn(
+          0, ~0ULL,
+          [&](uint64_t pred) { unbound_routes->push_back({false, false, pred}); });
+      if (store_->type_view().num_triples() > 0) {
+        unbound_routes->push_back({true, false, 0});
+      }
+    }
+    return *unbound_routes;
+  };
+
+  std::vector<Route> row_routes;  // scratch for a bound predicate variable
   for (const auto& row : table->rows) {
     // Subject resolution.
     std::optional<uint64_t> sid;
-    bool row_dead = false;
     if (s_slot.is_const) {
       if (!const_sid) continue;
       sid = const_sid;
@@ -563,44 +587,38 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       if (!sid) continue;
     }
 
-    // Predicate routes for this row.
-    std::vector<Route> routes;
+    // Predicate routes for this row; the row-independent lists (constant
+    // predicate, unbound variable) are referenced, not copied.
+    const std::vector<Route>* routes = nullptr;
     if (p_slot.is_const) {
-      routes = const_routes;
+      routes = &const_routes;
     } else if (p_slot.col >= 0 && !IsUnbound(row[p_slot.col])) {
+      row_routes.clear();
       const EncodedTerm pv = row[p_slot.col];
       if (pv.space == ValueSpace::kObjectProperty) {
-        routes.push_back({false, true, pv.id});
+        row_routes.push_back({false, true, pv.id});
       } else if (pv.space == ValueSpace::kDatatypeProperty) {
-        routes.push_back({false, false, pv.id});
+        row_routes.push_back({false, false, pv.id});
       } else if (pv.space == ValueSpace::kRdfType) {
-        routes.push_back({true, false, 0});
+        row_routes.push_back({true, false, 0});
       } else {
         const rdf::Term t = decoder_->Decode(pv);
         if (!t.is_iri()) continue;
         if (t.lexical() == rdf::kRdfType) {
-          routes.push_back({true, false, 0});
+          row_routes.push_back({true, false, 0});
         } else {
           if (const auto id = dict.ObjectPropertyId(t.lexical())) {
-            routes.push_back({false, true, *id});
+            row_routes.push_back({false, true, *id});
           }
           if (const auto id = dict.DatatypePropertyId(t.lexical())) {
-            routes.push_back({false, false, *id});
+            row_routes.push_back({false, false, *id});
           }
         }
       }
+      routes = &row_routes;
     } else {
-      // Unbound predicate variable: every stored predicate, plus rdf:type.
-      store_->object_view().ForEachPredicateIn(
-          0, ~0ULL, [&](uint64_t pred) { routes.push_back({false, true, pred}); });
-      store_->datatype_view().ForEachPredicateIn(
-          0, ~0ULL,
-          [&](uint64_t pred) { routes.push_back({false, false, pred}); });
-      if (store_->type_view().num_triples() > 0) {
-        routes.push_back({true, false, 0});
-      }
+      routes = &unbound_predicate_routes();
     }
-    if (row_dead) continue;
 
     // Object resolution (space depends on the route; resolve lazily).
     const EncodedTerm* bound_o = nullptr;
@@ -624,7 +642,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       out.rows.push_back(std::move(extended));
     };
 
-    for (const Route& route : routes) {
+    for (const Route& route : *routes) {
       if (route.is_type) {
         // Var-predicate hit on rdf:type triples.
         const EncodedTerm p_val{ValueSpace::kRdfType, 0};
@@ -722,6 +740,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       }
     }
   }
+  ++stats_.row_extends;
   *table = std::move(out);
   return Status::OK();
 }
@@ -729,10 +748,6 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
 bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
                                   const std::vector<PredRoute>& routes,
                                   BindingTable* table) {
-  // The merge join sweeps base subject runs positionally; with a live
-  // delta overlay the row-by-row path (which reads the merged views) is
-  // the correct one. Compact() restores this fast path.
-  if (store_->has_delta()) return false;
   const Slot s_slot = MakeSlot(tp.subject, *table);
   const Slot o_slot = MakeSlot(tp.object, *table);
   // Preconditions: subject var already bound, object a fresh var or a
@@ -768,7 +783,10 @@ bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
   }
 
   // Both sides ordered by subject: sort the rows once, then sweep each
-  // route's subject run left to right (Figure 7).
+  // route's merged subject run left to right (Figure 7). The RunCursors
+  // interleave the delta overlay's sorted adds and skip tombstoned base
+  // triples, so the sweep stays a single pass whether or not writes are
+  // live.
   std::vector<size_t> order(table->rows.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -782,63 +800,55 @@ bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
     out.rows.push_back(std::move(extended));
   };
 
-  const auto& pso = store_->object_store();
-  const auto& dts = store_->datatype_store();
+  const store::delta::MergedObjectView pso = store_->object_view();
+  const store::delta::MergedDatatypeView dts = store_->datatype_view();
   for (const PredRoute& route : routes) {
     if (route.is_object) {
       if (const_literal) continue;  // literal never matches a resource
-      const auto pos = pso.PredicatePos(route.pred);
-      if (!pos) continue;
-      const auto [sb, se] = pso.SubjectRange(*pos);
-      uint64_t from = sb;
+      auto cursor = pso.OpenRun(route.pred);
+      if (!cursor.valid()) continue;
       uint64_t cached_s = ~0ULL;
-      std::pair<uint64_t, uint64_t> pair{0, 0};
       for (const size_t idx : order) {
         const uint64_t s = table->rows[idx][s_slot.col].id;
         if (s != cached_s) {
-          pair = pso.FindPairForSubject(from, se, s);
+          cursor.Seek(s);
           cached_s = s;
-          from = pair.first;  // monotone advance (insertion point)
         }
-        if (pair.first == pair.second) continue;
-        const auto [ob, oe] = pso.ObjectRange(pair.first);
+        if (!cursor.has_current()) continue;
         if (const_oid) {
-          const auto [lb, le] = pso.FindObjectInRange(ob, oe, *const_oid);
-          if (lb != le) emit(idx, nullptr);
+          if (cursor.ContainsObject(*const_oid)) emit(idx, nullptr);
         } else {
-          for (uint64_t io = ob; io < oe; ++io) {
-            const EncodedTerm value{ValueSpace::kInstance, pso.ObjectAt(io)};
+          cursor.ForEachObject([&](uint64_t o) {
+            const EncodedTerm value{ValueSpace::kInstance, o};
             emit(idx, &value);
-          }
+            return true;
+          });
         }
       }
       continue;
     }
-    // Datatype route.
+    // Datatype route. Emitted positions may carry kDeltaLiteralBit; the
+    // binding keeps them verbatim and the decode path routes both pools.
     if (const_oid) continue;  // resource never matches a literal
-    const auto range = dts.PredicateSubjectRange(route.pred);
-    if (!range) continue;
-    const auto [sb, se] = *range;
-    uint64_t from = sb;
+    auto cursor = dts.OpenRun(route.pred);
+    if (!cursor.valid()) continue;
     uint64_t cached_s = ~0ULL;
-    std::pair<uint64_t, uint64_t> pair{0, 0};
     for (const size_t idx : order) {
       const uint64_t s = table->rows[idx][s_slot.col].id;
       if (s != cached_s) {
-        pair = dts.FindPairForSubject(from, se, s);
+        cursor.Seek(s);
         cached_s = s;
-        from = pair.first;
       }
-      if (pair.first == pair.second) continue;
-      const auto [ob, oe] = dts.ObjectRange(pair.first);
-      for (uint64_t io = ob; io < oe; ++io) {
+      if (!cursor.has_current()) continue;
+      cursor.ForEachLiteral([&](uint64_t pos) {
         if (const_literal) {
-          if (dts.LiteralAt(io) == *const_literal) emit(idx, nullptr);
+          if (dts.LiteralAt(pos) == *const_literal) emit(idx, nullptr);
         } else {
-          const EncodedTerm value{ValueSpace::kLiteral, io};
+          const EncodedTerm value{ValueSpace::kLiteral, pos};
           emit(idx, &value);
         }
-      }
+        return true;
+      });
     }
   }
   *table = std::move(out);

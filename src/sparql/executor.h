@@ -14,8 +14,13 @@
 //
 // Joins propagate variable assignments TP by TP (index nested loop); a
 // merge-join fast path exploits the PSO ordering on subject-subject star
-// joins (Figure 7). Both reasoning and merge join are switchable — the
-// ablation benches quantify each.
+// joins (Figure 7). The fast path engages whether or not a delta overlay
+// is live: it drives the merged views' RunCursor APIs, which sweep the
+// overlay's sorted runs alongside the base subject runs (tombstone
+// filtered, delta literal positions kDeltaLiteralBit-tagged). Both
+// reasoning and merge join are switchable — the ablation benches
+// quantify each — and ExecutorStats counts which path served each TP
+// extension.
 
 #ifndef SEDGE_SPARQL_EXECUTOR_H_
 #define SEDGE_SPARQL_EXECUTOR_H_
@@ -32,6 +37,18 @@
 #include "util/status.h"
 
 namespace sedge::sparql {
+
+/// \brief Execution counters for one Executor. Database accumulates them
+/// across queries; the bench smoke check reads merge_join_delta_extends
+/// to prove the star-join fast path stays engaged under a live overlay.
+struct ExecutorStats {
+  /// Regular-TP extensions served by the merge-join fast path.
+  uint64_t merge_join_extends = 0;
+  /// The subset of merge_join_extends run while a delta overlay was live.
+  uint64_t merge_join_delta_extends = 0;
+  /// Regular-TP extensions that fell back to the row-by-row path.
+  uint64_t row_extends = 0;
+};
 
 /// \brief Physical query engine over one TripleStore.
 class Executor {
@@ -60,6 +77,9 @@ class Executor {
 
   const Options& options() const { return options_; }
 
+  /// Counters for the extensions this executor ran so far.
+  const ExecutorStats& stats() const { return stats_; }
+
  private:
   class Decoder;
   class Estimator;
@@ -77,8 +97,9 @@ class Executor {
   Status ExtendTypeTp(const TriplePattern& tp, BindingTable* table);
   Status ExtendRegularTp(const TriplePattern& tp, BindingTable* table);
   // Merge-join fast path (Figure 7): subject bindings sorted once, each
-  // route's subject run swept once. Returns false if preconditions fail
-  // (caller falls back to the row-by-row path).
+  // route's merged (base ∪ delta) subject run swept once through a
+  // RunCursor. Returns false if preconditions fail (caller falls back to
+  // the row-by-row path).
   bool TryMergeJoinExtend(const TriplePattern& tp,
                           const std::vector<PredRoute>& routes,
                           BindingTable* table);
@@ -95,6 +116,7 @@ class Executor {
 
   const store::TripleStore* store_;
   Options options_;
+  ExecutorStats stats_;
   std::unique_ptr<Decoder> decoder_;
   std::unique_ptr<ExpressionEvaluator> evaluator_;
   std::vector<rdf::Term> computed_pool_;

@@ -5,8 +5,68 @@
 #include <limits>
 
 namespace sedge::store::delta {
+namespace {
+
+// Heterogeneous comparators for slicing the sorted runs by a key prefix.
+// Each compares its element type against the key in both argument orders,
+// as lower_bound/upper_bound require.
+
+// Key: predicate id (IdTriple / DtTriple runs, PSO-sorted).
+struct ByPred {
+  bool operator()(const IdTriple& t, uint64_t p) const { return t.p < p; }
+  bool operator()(uint64_t p, const IdTriple& t) const { return p < t.p; }
+  bool operator()(const DtTriple& t, uint64_t p) const { return t.p < p; }
+  bool operator()(uint64_t p, const DtTriple& t) const { return p < t.p; }
+};
+
+// Key: (predicate, subject) prefix.
+using PsKey = std::pair<uint64_t, uint64_t>;
+struct ByPredSubject {
+  template <typename T>
+  bool operator()(const T& t, const PsKey& k) const {
+    if (t.p != k.first) return t.p < k.first;
+    return t.s < k.second;
+  }
+  template <typename T>
+  bool operator()(const PsKey& k, const T& t) const {
+    if (k.first != t.p) return k.first < t.p;
+    return k.second < t.s;
+  }
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ ObjectDelta
+
+RunSlice<IdTriple> ObjectDelta::AddsForPredicate(uint64_t p) const {
+  return adds_.EqualRange(p, ByPred{});
+}
+RunSlice<IdTriple> ObjectDelta::TombstonesForPredicate(uint64_t p) const {
+  return dels_.EqualRange(p, ByPred{});
+}
+RunSlice<IdTriple> ObjectDelta::AddsForPair(uint64_t p, uint64_t s) const {
+  return adds_.EqualRange(PsKey{p, s}, ByPredSubject{});
+}
+RunSlice<IdTriple> ObjectDelta::TombstonesForPair(uint64_t p,
+                                                  uint64_t s) const {
+  return dels_.EqualRange(PsKey{p, s}, ByPredSubject{});
+}
 
 // ---------------------------------------------------------- DatatypeDelta
+
+RunSlice<DtTriple> DatatypeDelta::AddsForPredicate(uint64_t p) const {
+  return adds_.EqualRange(p, ByPred{});
+}
+RunSlice<DtTriple> DatatypeDelta::TombstonesForPredicate(uint64_t p) const {
+  return dels_.EqualRange(p, ByPred{});
+}
+RunSlice<DtTriple> DatatypeDelta::AddsForPair(uint64_t p, uint64_t s) const {
+  return adds_.EqualRange(PsKey{p, s}, ByPredSubject{});
+}
+RunSlice<DtTriple> DatatypeDelta::TombstonesForPair(uint64_t p,
+                                                    uint64_t s) const {
+  return dels_.EqualRange(PsKey{p, s}, ByPredSubject{});
+}
 
 bool DatatypeDelta::HasTombstonesFor(uint64_t p, uint64_t s) const {
   const auto& run = dels_.sorted();

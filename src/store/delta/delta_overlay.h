@@ -93,6 +93,11 @@ struct IdPairLess {
 
 // ------------------------------------------------------------ per layout
 
+/// Pointer range [first, last) into one layout's sorted run — the unit of
+/// run exposure the merge-join cursors sweep two-pointer style.
+template <typename T>
+using RunSlice = std::pair<const T*, const T*>;
+
 /// Delta over the object-property PSO index.
 class ObjectDelta {
  public:
@@ -125,6 +130,16 @@ class ObjectDelta {
 
   const DeltaSet<IdTriple, IdTripleLess>& adds() const { return adds_; }
   const DeltaSet<IdTriple, IdTripleLess>& dels() const { return dels_; }
+
+  // -- Run exposure (merge-join cursors / merged views) --------------------
+  // Slices of the sorted add / tombstone runs, keyed by predicate or by
+  // (predicate, subject) prefix. Elements inside a slice keep the runs'
+  // (p, s, o) order, so a cursor can advance through them monotonically
+  // while sweeping the base subject run.
+  RunSlice<IdTriple> AddsForPredicate(uint64_t p) const;
+  RunSlice<IdTriple> TombstonesForPredicate(uint64_t p) const;
+  RunSlice<IdTriple> AddsForPair(uint64_t p, uint64_t s) const;
+  RunSlice<IdTriple> TombstonesForPair(uint64_t p, uint64_t s) const;
 
   uint64_t SizeInBytes() const {
     return adds_.SizeInBytes() + dels_.SizeInBytes();
@@ -170,6 +185,13 @@ class DatatypeDelta {
 
   const DeltaSet<DtTriple, DtTripleLess>& adds() const { return adds_; }
   const DeltaSet<DtTriple, DtTripleLess>& dels() const { return dels_; }
+
+  // -- Run exposure (merge-join cursors / merged views) --------------------
+  // Same contract as ObjectDelta: sorted (p, s, literal) slices.
+  RunSlice<DtTriple> AddsForPredicate(uint64_t p) const;
+  RunSlice<DtTriple> TombstonesForPredicate(uint64_t p) const;
+  RunSlice<DtTriple> AddsForPair(uint64_t p, uint64_t s) const;
+  RunSlice<DtTriple> TombstonesForPair(uint64_t p, uint64_t s) const;
 
   // -- Delta literal pool (positions tagged with kDeltaLiteralBit) ---------
   const rdf::Term& PoolTerm(uint64_t pool_idx) const {

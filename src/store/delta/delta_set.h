@@ -84,6 +84,20 @@ class DeltaSet {
     return run_;
   }
 
+  /// [first, last) pointers into the sorted run whose elements compare
+  /// equal to `key` under the heterogeneous comparator `cmp` (which must
+  /// accept both (T, Key) and (Key, T), as lower/upper_bound require).
+  /// Seals first — this is the run exposure the merged views and the
+  /// executor's delta-aware merge-join cursors slice predicates out of.
+  template <typename Key, typename Cmp>
+  std::pair<const T*, const T*> EqualRange(const Key& key,
+                                           const Cmp& cmp) const {
+    const std::vector<T>& run = sorted();
+    const auto lo = std::lower_bound(run.begin(), run.end(), key, cmp);
+    const auto hi = std::upper_bound(lo, run.end(), key, cmp);
+    return {run.data() + (lo - run.begin()), run.data() + (hi - run.begin())};
+  }
+
   const Less& less() const { return less_; }
 
   uint64_t SizeInBytes() const {

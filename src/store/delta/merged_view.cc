@@ -6,67 +6,18 @@
 namespace sedge::store::delta {
 namespace {
 
-// Heterogeneous comparators for binary-searching sorted runs by a key
-// prefix. Each compares its element type against the key in both argument
-// orders, as lower_bound/upper_bound require.
-
-// Key: predicate id (IdTriple / DtTriple runs, PSO-sorted).
-struct ByPred {
-  bool operator()(const IdTriple& t, uint64_t p) const { return t.p < p; }
-  bool operator()(uint64_t p, const IdTriple& t) const { return p < t.p; }
-  bool operator()(const DtTriple& t, uint64_t p) const { return t.p < p; }
-  bool operator()(uint64_t p, const DtTriple& t) const { return p < t.p; }
-};
-
-// Key: (predicate, subject) prefix.
-using PsKey = std::pair<uint64_t, uint64_t>;
-struct ByPredSubject {
-  template <typename T>
-  bool operator()(const T& t, const PsKey& k) const {
-    if (t.p != k.first) return t.p < k.first;
-    return t.s < k.second;
-  }
-  template <typename T>
-  bool operator()(const PsKey& k, const T& t) const {
-    if (k.first != t.p) return k.first < t.p;
-    return k.second < t.s;
-  }
-};
-
-// Key: leading element of an IdPair run.
+// Key: leading element of an IdPair run. (Predicate / (p, s) slicing of
+// the triple runs lives on the deltas themselves — AddsForPredicate &co.)
 struct ByFirst {
   bool operator()(const IdPair& t, uint64_t k) const { return t.first < k; }
   bool operator()(uint64_t k, const IdPair& t) const { return k < t.first; }
 };
 
-/// [first, last) pointers of the run elements equal to `key` under `cmp`.
-template <typename T, typename Key, typename Cmp>
-std::pair<const T*, const T*> Slice(const std::vector<T>& run,
-                                    const Key& key, Cmp cmp) {
-  const auto lo = std::lower_bound(run.begin(), run.end(), key, cmp);
-  const auto hi = std::upper_bound(lo, run.end(), key, cmp);
-  return {run.data() + (lo - run.begin()), run.data() + (hi - run.begin())};
-}
-
-std::pair<const IdTriple*, const IdTriple*> PredSlice(
-    const std::vector<IdTriple>& run, uint64_t p) {
-  return Slice(run, p, ByPred{});
-}
-std::pair<const IdTriple*, const IdTriple*> PairSlice(
-    const std::vector<IdTriple>& run, uint64_t p, uint64_t s) {
-  return Slice(run, PsKey{p, s}, ByPredSubject{});
-}
-std::pair<const DtTriple*, const DtTriple*> DtPredSlice(
-    const std::vector<DtTriple>& run, uint64_t p) {
-  return Slice(run, p, ByPred{});
-}
-std::pair<const DtTriple*, const DtTriple*> DtPairSlice(
-    const std::vector<DtTriple>& run, uint64_t p, uint64_t s) {
-  return Slice(run, PsKey{p, s}, ByPredSubject{});
-}
 std::pair<const IdPair*, const IdPair*> FirstSlice(
     const std::vector<IdPair>& run, uint64_t key) {
-  return Slice(run, key, ByFirst{});
+  const auto lo = std::lower_bound(run.begin(), run.end(), key, ByFirst{});
+  const auto hi = std::upper_bound(lo, run.end(), key, ByFirst{});
+  return {run.data() + (lo - run.begin()), run.data() + (hi - run.begin())};
 }
 
 // Slice of a sorted IdPair run with .first in [lo_key, hi_key).
@@ -84,9 +35,9 @@ std::pair<const IdPair*, const IdPair*> FirstRangeSlice(
 
 bool MergedObjectView::HasDeltaFor(uint64_t p) const {
   if (overlay_ == nullptr || overlay_->empty()) return false;
-  const auto [ab, ae] = PredSlice(overlay_->adds().sorted(), p);
+  const auto [ab, ae] = overlay_->AddsForPredicate(p);
   if (ab != ae) return true;
-  const auto [db, de] = PredSlice(overlay_->dels().sorted(), p);
+  const auto [db, de] = overlay_->TombstonesForPredicate(p);
   return db != de;
 }
 
@@ -101,8 +52,8 @@ bool MergedObjectView::ScanSP(uint64_t p, uint64_t s,
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanSP(p, s, sink);
   }
-  const auto [ab0, ae] = PairSlice(overlay_->adds().sorted(), p, s);
-  const auto [db0, de] = PairSlice(overlay_->dels().sorted(), p, s);
+  const auto [ab0, ae] = overlay_->AddsForPair(p, s);
+  const auto [db0, de] = overlay_->TombstonesForPair(p, s);
   const IdTriple* ab = ab0;
   const IdTriple* db = db0;
   if (base_ != nullptr) {
@@ -135,7 +86,7 @@ bool MergedObjectView::ScanPO(uint64_t p, uint64_t o,
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanPO(p, o, sink);
   }
-  const auto [ab0, ae] = PredSlice(overlay_->adds().sorted(), p);
+  const auto [ab0, ae] = overlay_->AddsForPredicate(p);
   const IdTriple* ab = ab0;
   const auto emit_adds_below = [&](uint64_t s_limit) {
     for (; ab < ae && ab->s < s_limit; ++ab) {
@@ -164,8 +115,8 @@ bool MergedObjectView::ScanP(uint64_t p, const PairSink& sink) const {
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanP(p, sink);
   }
-  const auto [ab0, ae] = PredSlice(overlay_->adds().sorted(), p);
-  const auto [db0, de] = PredSlice(overlay_->dels().sorted(), p);
+  const auto [ab0, ae] = overlay_->AddsForPredicate(p);
+  const auto [db0, de] = overlay_->TombstonesForPredicate(p);
   const IdTriple* ab = ab0;
   const IdTriple* db = db0;
   if (base_ != nullptr) {
@@ -222,8 +173,8 @@ void MergedObjectView::ForEachPredicateIn(
 uint64_t MergedObjectView::CountForPredicate(uint64_t p) const {
   uint64_t count = base_ != nullptr ? base_->CountForPredicate(p) : 0;
   if (overlay_ != nullptr && !overlay_->empty()) {
-    const auto [ab, ae] = PredSlice(overlay_->adds().sorted(), p);
-    const auto [db, de] = PredSlice(overlay_->dels().sorted(), p);
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
+    const auto [db, de] = overlay_->TombstonesForPredicate(p);
     count += static_cast<uint64_t>(ae - ab);
     count -= static_cast<uint64_t>(de - db);
   }
@@ -233,7 +184,7 @@ uint64_t MergedObjectView::CountForPredicate(uint64_t p) const {
 uint64_t MergedObjectView::CountSubjectsForPredicate(uint64_t p) const {
   uint64_t count = base_ != nullptr ? base_->CountSubjectsForPredicate(p) : 0;
   if (overlay_ != nullptr && !overlay_->empty()) {
-    const auto [ab, ae] = PredSlice(overlay_->adds().sorted(), p);
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
     uint64_t prev = ~0ULL;
     for (const IdTriple* it = ab; it < ae; ++it) {
       if (it->s != prev) {
@@ -245,13 +196,68 @@ uint64_t MergedObjectView::CountSubjectsForPredicate(uint64_t p) const {
   return count;
 }
 
+MergedObjectView::RunCursor MergedObjectView::OpenRun(uint64_t p) const {
+  RunCursor cursor;
+  if (base_ != nullptr) {
+    if (const auto pos = base_->PredicatePos(p)) {
+      cursor.base_ = base_;
+      const auto [sb, se] = base_->SubjectRange(*pos);
+      cursor.pair_from_ = sb;
+      cursor.pair_end_ = se;
+      cursor.valid_ = true;
+    }
+  }
+  if (overlay_ != nullptr && !overlay_->empty()) {
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
+    cursor.add_b_ = cursor.cur_add_b_ = cursor.cur_add_e_ = ab;
+    cursor.add_e_ = ae;
+    const auto [db, de] = overlay_->TombstonesForPredicate(p);
+    cursor.del_b_ = cursor.cur_del_b_ = cursor.cur_del_e_ = db;
+    cursor.del_e_ = de;
+    cursor.valid_ = cursor.valid_ || ab != ae || db != de;
+  }
+  return cursor;
+}
+
+void MergedObjectView::RunCursor::Seek(uint64_t s) {
+  if (base_ != nullptr) {
+    const auto [qb, qe] = base_->FindPairForSubject(pair_from_, pair_end_, s);
+    cur_qb_ = qb;
+    cur_qe_ = qe;
+    pair_from_ = qb;  // monotone advance (insertion point)
+  }
+  while (add_b_ < add_e_ && add_b_->s < s) ++add_b_;
+  cur_add_b_ = add_b_;
+  cur_add_e_ = add_b_;
+  while (cur_add_e_ < add_e_ && cur_add_e_->s == s) ++cur_add_e_;
+  while (del_b_ < del_e_ && del_b_->s < s) ++del_b_;
+  cur_del_b_ = del_b_;
+  cur_del_e_ = del_b_;
+  while (cur_del_e_ < del_e_ && cur_del_e_->s == s) ++cur_del_e_;
+}
+
+bool MergedObjectView::RunCursor::ContainsObject(uint64_t o) const {
+  const auto by_object = [](const IdTriple& t, uint64_t k) { return t.o < k; };
+  const IdTriple* add = std::lower_bound(cur_add_b_, cur_add_e_, o, by_object);
+  if (add != cur_add_e_ && add->o == o) return true;
+  for (uint64_t q = cur_qb_; q < cur_qe_; ++q) {
+    const auto [ob, oe] = base_->ObjectRange(q);
+    const auto [lb, le] = base_->FindObjectInRange(ob, oe, o);
+    if (lb == le) continue;
+    const IdTriple* del = std::lower_bound(cur_del_b_, cur_del_e_, o,
+                                           by_object);
+    return del == cur_del_e_ || del->o != o;  // live unless tombstoned
+  }
+  return false;
+}
+
 // ------------------------------------------------------ MergedDatatypeView
 
 bool MergedDatatypeView::HasDeltaFor(uint64_t p) const {
   if (overlay_ == nullptr || overlay_->empty()) return false;
-  const auto [ab, ae] = DtPredSlice(overlay_->adds().sorted(), p);
+  const auto [ab, ae] = overlay_->AddsForPredicate(p);
   if (ab != ae) return true;
-  const auto [db, de] = DtPredSlice(overlay_->dels().sorted(), p);
+  const auto [db, de] = overlay_->TombstonesForPredicate(p);
   return db != de;
 }
 
@@ -297,7 +303,7 @@ bool MergedDatatypeView::ScanSP(uint64_t p, uint64_t s,
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanSP(p, s, sink);
   }
-  const auto [ab, ae] = DtPairSlice(overlay_->adds().sorted(), p, s);
+  const auto [ab, ae] = overlay_->AddsForPair(p, s);
   bool base_pair = false;
   if (base_ != nullptr) {
     if (const auto range = base_->PredicateSubjectRange(p)) {
@@ -323,7 +329,7 @@ bool MergedDatatypeView::ScanPO(uint64_t p, const rdf::Term& literal,
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanPO(p, literal, sink);
   }
-  const auto [ab0, ae] = DtPredSlice(overlay_->adds().sorted(), p);
+  const auto [ab0, ae] = overlay_->AddsForPredicate(p);
   const DtTriple* ab = ab0;
   const auto emit_adds_below = [&](uint64_t s_limit) {
     for (; ab < ae && ab->s < s_limit; ++ab) {
@@ -355,7 +361,7 @@ bool MergedDatatypeView::ScanP(uint64_t p, const LiteralSink& sink) const {
   if (!HasDeltaFor(p)) {
     return base_ == nullptr || base_->ScanP(p, sink);
   }
-  const auto [ab0, ae] = DtPredSlice(overlay_->adds().sorted(), p);
+  const auto [ab0, ae] = overlay_->AddsForPredicate(p);
   const DtTriple* ab = ab0;
   if (base_ != nullptr) {
     if (const auto range = base_->PredicateSubjectRange(p)) {
@@ -409,8 +415,8 @@ void MergedDatatypeView::ForEachPredicateIn(
 uint64_t MergedDatatypeView::CountForPredicate(uint64_t p) const {
   uint64_t count = base_ != nullptr ? base_->CountForPredicate(p) : 0;
   if (overlay_ != nullptr && !overlay_->empty()) {
-    const auto [ab, ae] = DtPredSlice(overlay_->adds().sorted(), p);
-    const auto [db, de] = DtPredSlice(overlay_->dels().sorted(), p);
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
+    const auto [db, de] = overlay_->TombstonesForPredicate(p);
     count += static_cast<uint64_t>(ae - ab);
     count -= static_cast<uint64_t>(de - db);
   }
@@ -420,7 +426,7 @@ uint64_t MergedDatatypeView::CountForPredicate(uint64_t p) const {
 uint64_t MergedDatatypeView::CountSubjectsForPredicate(uint64_t p) const {
   uint64_t count = base_ != nullptr ? base_->CountSubjectsForPredicate(p) : 0;
   if (overlay_ != nullptr && !overlay_->empty()) {
-    const auto [ab, ae] = DtPredSlice(overlay_->adds().sorted(), p);
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
     uint64_t prev = ~0ULL;
     for (const DtTriple* it = ab; it < ae; ++it) {
       if (it->s != prev) {
@@ -452,6 +458,46 @@ std::optional<double> MergedDatatypeView::NumericAt(uint64_t pos) const {
   }
   return base_->NumericAt(pos);
 }
+
+MergedDatatypeView::RunCursor MergedDatatypeView::OpenRun(uint64_t p) const {
+  RunCursor cursor;
+  if (base_ != nullptr) {
+    if (const auto range = base_->PredicateSubjectRange(p)) {
+      cursor.base_ = base_;
+      cursor.pair_from_ = range->first;
+      cursor.pair_end_ = range->second;
+      cursor.valid_ = true;
+    }
+  }
+  if (overlay_ != nullptr && !overlay_->empty()) {
+    const auto [ab, ae] = overlay_->AddsForPredicate(p);
+    cursor.add_b_ = cursor.cur_add_b_ = cursor.cur_add_e_ = ab;
+    cursor.add_e_ = ae;
+    const auto [db, de] = overlay_->TombstonesForPredicate(p);
+    cursor.del_b_ = cursor.cur_del_b_ = cursor.cur_del_e_ = db;
+    cursor.del_e_ = de;
+    cursor.valid_ = cursor.valid_ || ab != ae || db != de;
+  }
+  return cursor;
+}
+
+void MergedDatatypeView::RunCursor::Seek(uint64_t s) {
+  if (base_ != nullptr) {
+    const auto [qb, qe] = base_->FindPairForSubject(pair_from_, pair_end_, s);
+    cur_qb_ = qb;
+    cur_qe_ = qe;
+    pair_from_ = qb;  // monotone advance (insertion point)
+  }
+  while (add_b_ < add_e_ && add_b_->s < s) ++add_b_;
+  cur_add_b_ = add_b_;
+  cur_add_e_ = add_b_;
+  while (cur_add_e_ < add_e_ && cur_add_e_->s == s) ++cur_add_e_;
+  while (del_b_ < del_e_ && del_b_->s < s) ++del_b_;
+  cur_del_b_ = del_b_;
+  cur_del_e_ = del_b_;
+  while (cur_del_e_ < del_e_ && cur_del_e_->s == s) ++cur_del_e_;
+}
+
 
 // ---------------------------------------------------------- MergedTypeView
 

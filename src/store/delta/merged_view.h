@@ -15,8 +15,20 @@
 //     subject), with tombstoned base triples skipped, so downstream join
 //     logic keeps its ordering assumptions.
 //
+// The executor's positional merge join (paper Figure 7) runs through the
+// RunCursor APIs below, so it engages whether or not a delta overlay is
+// live: OpenRun(p) pins one predicate's base subject window plus the
+// overlay's add/tombstone slices, Seek(s) advances all three monotonically
+// (the same insertion-point discipline FindPairForSubject gives on the
+// bare base), and the per-subject visitors emit the merged,
+// tombstone-filtered run in base order. Literal positions emitted by
+// MergedDatatypeView are either base pool positions or delta pool indices
+// tagged with kDeltaLiteralBit; LiteralAt/LexicalAt/NumericAt route both,
+// so bindings built from cursor output decode uniformly.
+//
 // Views are value types holding two pointers; create them per query, do
-// not store them across writes.
+// not store them across writes. Cursors additionally pin run slices, so
+// they follow the same rule.
 
 #ifndef SEDGE_STORE_DELTA_MERGED_VIEW_H_
 #define SEDGE_STORE_DELTA_MERGED_VIEW_H_
@@ -39,6 +51,84 @@ class MergedObjectView {
  public:
   MergedObjectView(const PsoIndex* base, const ObjectDelta* overlay)
       : base_(base), overlay_(overlay) {}
+
+  /// \brief Monotone merge-join cursor over one predicate's merged
+  /// (base ∪ delta, tombstone-filtered) subject run.
+  ///
+  /// Obtained from OpenRun(p). Seek(s) must be called with non-decreasing
+  /// subjects: the base window and the overlay slices only ever advance,
+  /// so a whole sorted binding column sweeps the predicate run in one
+  /// left-to-right pass — the Figure-7 property, kept alive under writes.
+  class RunCursor {
+   public:
+    /// False when the predicate occurs in neither base nor overlay; such
+    /// a cursor must not be Seek'd.
+    bool valid() const { return valid_; }
+
+    /// Positions the cursor at subject `s` (>= every previously sought
+    /// subject). Idempotent for a repeated subject.
+    void Seek(uint64_t s);
+
+    /// Whether the sought subject has any base pair or delta adds. May
+    /// report true when every triple is tombstoned — ForEachObject then
+    /// emits nothing (exact liveness would cost the filtering up front).
+    bool has_current() const {
+      return cur_qb_ != cur_qe_ || cur_add_b_ != cur_add_e_;
+    }
+
+    /// Visits the sought subject's live objects ascending. Returns false
+    /// iff the sink aborted. Templated (not std::function): this is the
+    /// Figure-7 inner loop, called once per (row, route) — the sink must
+    /// stay inlinable.
+    template <typename Sink>
+    bool ForEachObject(Sink&& sink) const {
+      const IdTriple* a = cur_add_b_;
+      const IdTriple* d = cur_del_b_;
+      for (uint64_t q = cur_qb_; q < cur_qe_; ++q) {
+        const auto [ob, oe] = base_->ObjectRange(q);
+        for (uint64_t io = ob; io < oe; ++io) {
+          const uint64_t o = base_->ObjectAt(io);
+          while (a < cur_add_e_ && a->o < o) {
+            if (!sink(a->o)) return false;
+            ++a;
+          }
+          while (d < cur_del_e_ && d->o < o) ++d;
+          if (d < cur_del_e_ && d->o == o) continue;  // tombstoned
+          if (!sink(o)) return false;
+        }
+      }
+      for (; a < cur_add_e_; ++a) {
+        if (!sink(a->o)) return false;
+      }
+      return true;
+    }
+
+    /// Membership probe for a constant object of the sought subject.
+    bool ContainsObject(uint64_t o) const;
+
+   private:
+    friend class MergedObjectView;
+    RunCursor() = default;
+
+    bool valid_ = false;
+    const PsoIndex* base_ = nullptr;  // null when pred absent from base
+    uint64_t pair_from_ = 0;          // monotone insertion point in WT_s
+    uint64_t pair_end_ = 0;           // end of the predicate's subject run
+    uint64_t cur_qb_ = 0, cur_qe_ = 0;  // base pairs of the sought subject
+    // Overlay slices for the predicate; *_b advances with Seek, the
+    // current subject's run is [*_b, cur_*_e).
+    const IdTriple* add_b_ = nullptr;
+    const IdTriple* add_e_ = nullptr;
+    const IdTriple* cur_add_b_ = nullptr;
+    const IdTriple* cur_add_e_ = nullptr;
+    const IdTriple* del_b_ = nullptr;
+    const IdTriple* del_e_ = nullptr;
+    const IdTriple* cur_del_b_ = nullptr;
+    const IdTriple* cur_del_e_ = nullptr;
+  };
+
+  /// Opens a merge-join cursor over predicate `p`'s merged run.
+  RunCursor OpenRun(uint64_t p) const;
 
   bool Contains(uint64_t p, uint64_t s, uint64_t o) const;
   bool ScanSP(uint64_t p, uint64_t s, const PairSink& sink) const;
@@ -66,6 +156,85 @@ class MergedDatatypeView {
  public:
   MergedDatatypeView(const DatatypeStore* base, const DatatypeDelta* overlay)
       : base_(base), overlay_(overlay) {}
+
+  /// \brief Monotone merge-join cursor, the datatype twin of
+  /// MergedObjectView::RunCursor. Emitted positions are base pool
+  /// positions or kDeltaLiteralBit-tagged delta pool indices, in the base
+  /// (p, s, literal) order.
+  class RunCursor {
+   public:
+    bool valid() const { return valid_; }
+
+    /// Positions at subject `s`; subjects must be non-decreasing across
+    /// calls (monotone advance).
+    void Seek(uint64_t s);
+
+    /// Whether the sought subject has any base pair or delta adds (may be
+    /// true with everything tombstoned; ForEachLiteral then emits
+    /// nothing).
+    bool has_current() const {
+      return cur_qb_ != cur_qe_ || cur_add_b_ != cur_add_e_;
+    }
+
+    /// Visits the sought subject's live literal positions in base
+    /// (p, s, literal) order. Returns false iff the sink aborted.
+    /// Templated for the same hot-path reason as ForEachObject.
+    template <typename Sink>
+    bool ForEachLiteral(Sink&& sink) const {
+      const DtTriple* a = cur_add_b_;
+      const DtTriple* d = cur_del_b_;
+      const bool pure_base = a == cur_add_e_ && d == cur_del_e_;
+      for (uint64_t q = cur_qb_; q < cur_qe_; ++q) {
+        const auto [ob, oe] = base_->ObjectRange(q);
+        if (pure_base) {
+          // No adds and no tombstones for this subject: positional emit,
+          // no literal decoding.
+          for (uint64_t io = ob; io < oe; ++io) {
+            if (!sink(io)) return false;
+          }
+          continue;
+        }
+        // Base literals are ascending within the (p, s) run; merge the
+        // delta adds in and skip tombstoned base literals, both in
+        // literal order.
+        for (uint64_t io = ob; io < oe; ++io) {
+          const rdf::Term lit = base_->LiteralAt(io);
+          while (a < cur_add_e_ && a->literal < lit) {
+            if (!sink(MakeDeltaLiteralPos(a->pool_idx))) return false;
+            ++a;
+          }
+          while (d < cur_del_e_ && d->literal < lit) ++d;
+          if (d < cur_del_e_ && d->literal == lit) continue;  // tombstoned
+          if (!sink(io)) return false;
+        }
+      }
+      for (; a < cur_add_e_; ++a) {
+        if (!sink(MakeDeltaLiteralPos(a->pool_idx))) return false;
+      }
+      return true;
+    }
+
+   private:
+    friend class MergedDatatypeView;
+    RunCursor() = default;
+
+    bool valid_ = false;
+    const DatatypeStore* base_ = nullptr;
+    uint64_t pair_from_ = 0;
+    uint64_t pair_end_ = 0;
+    uint64_t cur_qb_ = 0, cur_qe_ = 0;
+    const DtTriple* add_b_ = nullptr;
+    const DtTriple* add_e_ = nullptr;
+    const DtTriple* cur_add_b_ = nullptr;
+    const DtTriple* cur_add_e_ = nullptr;
+    const DtTriple* del_b_ = nullptr;
+    const DtTriple* del_e_ = nullptr;
+    const DtTriple* cur_del_b_ = nullptr;
+    const DtTriple* cur_del_e_ = nullptr;
+  };
+
+  /// Opens a merge-join cursor over predicate `p`'s merged run.
+  RunCursor OpenRun(uint64_t p) const;
 
   bool Contains(uint64_t p, uint64_t s, const rdf::Term& literal) const;
   bool ScanSP(uint64_t p, uint64_t s, const LiteralSink& sink) const;

@@ -402,6 +402,126 @@ TEST(WalDurability, RandomReopenCyclesMatchOracle) {
   ASSERT_GE(reopens, 10) << "rng drift: reopen arm barely exercised";
 }
 
+// The delta-aware merge join: with a LIVE overlay (no compaction), the
+// fast path must agree with the row-by-row path on star joins over
+// randomized interleaved writes — covering tombstoned base triples,
+// delta-only subjects, and const-object / const-literal probes — and the
+// ExecutorStats counters must prove it actually ran against the delta.
+TEST(EngineAgreementModes, MergeJoinAgreesWithRowPathUnderLiveDelta) {
+  Rng rng(31337);
+  const int kSubjects = 30;
+  const int kPredicates = 4;
+  const int kObjects = 20;
+
+  const auto random_triple_over = [&](int subject_space) -> rdf::Triple {
+    const std::string s = Iri("s", rng.Uniform(subject_space));
+    const uint64_t kind = rng.Uniform(4);
+    if (kind == 0) {
+      return {rdf::Term::Iri(s), rdf::Term::Iri(rdf::kRdfType),
+              rdf::Term::Iri(Iri("C", rng.Uniform(4)))};
+    }
+    if (kind == 1) {
+      return {rdf::Term::Iri(s), rdf::Term::Iri(Iri("dp", rng.Uniform(3))),
+              rdf::Term::Literal(std::to_string(rng.Uniform(10)))};
+    }
+    return {rdf::Term::Iri(s),
+            rdf::Term::Iri(Iri("p", rng.Uniform(kPredicates))),
+            rdf::Term::Iri(Iri("o", rng.Uniform(kObjects)))};
+  };
+  const auto random_triple = [&]() { return random_triple_over(kSubjects); };
+
+  // Seed over the lower half of the subject space; the upper half enters
+  // only through the overlay (delta-only subject runs).
+  rdf::Graph seed;
+  for (uint64_t p = 0; p < kPredicates; ++p) {
+    seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(Iri("p", p)),
+             rdf::Term::Iri(Iri("o", 0)));
+  }
+  for (uint64_t p = 0; p < 3; ++p) {
+    seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(Iri("dp", p)),
+             rdf::Term::Literal("0"));
+  }
+  for (uint64_t c = 0; c < 4; ++c) {
+    seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(rdf::kRdfType),
+             rdf::Term::Iri(Iri("C", c)));
+  }
+  for (int i = 0; i < 150; ++i) seed.Add(random_triple_over(kSubjects / 2));
+
+  Database db;
+  ASSERT_TRUE(db.LoadData(seed).ok());
+  db.set_reasoning(false);
+  db.set_compaction_ratio(0);  // the delta must stay live throughout
+
+  const auto star_query = [&]() {
+    // Subject-bound star: the first TP binds ?a, the rest extend it —
+    // exactly the merge-join shape. Objects are fresh vars or constants
+    // (resource and literal probes both).
+    std::string where = "?a <" + Iri("p", rng.Uniform(kPredicates)) +
+                        "> ?b . ";
+    const int extra = 1 + static_cast<int>(rng.Uniform(3));
+    for (int t = 0; t < extra; ++t) {
+      // The first extension is always a regular TP so that every query
+      // holds two mergeable patterns: whichever the optimizer runs
+      // second is subject-bound and must take the fast path.
+      const uint64_t pk = t == 0 ? rng.Uniform(2) : rng.Uniform(3);
+      if (pk == 0) {
+        where += "?a <" + Iri("p", rng.Uniform(kPredicates)) + "> " +
+                 (rng.Bernoulli(0.5)
+                      ? "?c" + std::to_string(t)
+                      : "<" + Iri("o", rng.Uniform(kObjects)) + ">") +
+                 " . ";
+      } else if (pk == 1) {
+        where += "?a <" + Iri("dp", rng.Uniform(3)) + "> " +
+                 (rng.Bernoulli(0.5)
+                      ? "?d" + std::to_string(t)
+                      : "\"" + std::to_string(rng.Uniform(10)) + "\"") +
+                 " . ";
+      } else {
+        where += "?a a <" + Iri("C", rng.Uniform(4)) + "> . ";
+      }
+    }
+    return "SELECT * WHERE { " + where + "}";
+  };
+
+  for (int round = 0; round < 12; ++round) {
+    // A fresh slice of interleaved writes per round: inserts biased to
+    // the delta-only upper subject half, removes tombstoning the base.
+    for (int step = 0; step < 30; ++step) {
+      const rdf::Triple t = random_triple();
+      if (rng.Bernoulli(0.7)) {
+        ASSERT_TRUE(db.Insert(t).ok());
+      } else {
+        ASSERT_TRUE(db.Remove(t).ok());
+      }
+    }
+    ASSERT_TRUE(db.store().has_delta()) << "round " << round;
+
+    uint64_t round_delta_extends = 0;
+    for (int trial = 0; trial < 8; ++trial) {
+      const std::string sparql = star_query();
+      db.set_merge_join(true);
+      db.reset_query_stats();
+      const auto fast = db.QueryCount(sparql);
+      ASSERT_TRUE(fast.ok()) << sparql;
+      if (fast.value() > 0) {
+        // Non-empty result: every TP ran, so the second mergeable
+        // pattern must have taken the fast path against the live delta.
+        ASSERT_GT(db.query_stats().merge_join_delta_extends, 0u)
+            << "fast path skipped under live delta: " << sparql;
+      }
+      round_delta_extends += db.query_stats().merge_join_delta_extends;
+      db.set_merge_join(false);
+      const auto slow = db.QueryCount(sparql);
+      ASSERT_TRUE(slow.ok()) << sparql;
+      ASSERT_EQ(fast.value(), slow.value())
+          << "round " << round << ", disagreement on: " << sparql;
+    }
+    ASSERT_GT(round_delta_extends, 0u)
+        << "round " << round << " never exercised the delta-aware sweep";
+    db.set_merge_join(true);
+  }
+}
+
 // Merge join on/off must agree on every random query too.
 TEST(EngineAgreementModes, MergeJoinAndOptimizerOnOffAgree) {
   Rng rng(99);

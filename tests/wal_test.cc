@@ -169,6 +169,53 @@ TEST(WalTruncate, LeavesEmptyReplayableLog) {
   EXPECT_EQ(wal.ReplayableMutations().ValueOr(99), 1u);
 }
 
+TEST(WalTruncate, ReleasesStaleBlocksAcrossRepeatedCompactions) {
+  SimulatedBlockDevice device;
+  WriteAheadLog wal(&device);
+  ASSERT_TRUE(wal.Open().ok());
+
+  // Each cycle writes a multi-block batch, then truncates (one durable
+  // compaction). Freed blocks must go back to the device, not merely be
+  // reused: the block count right after every truncation is the live log
+  // (2 header slots + the marker's tail block), and the high water inside
+  // a cycle is bounded by that cycle's own batch — no ratchet.
+  uint64_t single_cycle_high_water = 0;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 24; ++i) {
+      ASSERT_TRUE(
+          wal.AppendInsert({rdf::Term::Iri("http://e.org/s" +
+                                           std::to_string(i)),
+                            rdf::Term::Iri("http://e.org/dp"),
+                            rdf::Term::Literal(std::string(1500, 'x'))})
+              .ok());
+    }
+    ASSERT_TRUE(wal.Sync().ok());
+    ASSERT_GT(device.num_blocks(), 4u) << "batch should span several blocks";
+    if (cycle == 0) single_cycle_high_water = device.num_blocks();
+    // +1 slack: later cycles start behind the compact-epoch marker, which
+    // can push the same payload across one extra block boundary.
+    EXPECT_LE(device.num_blocks(), single_cycle_high_water + 1)
+        << "cycle " << cycle << ": device block count must not ratchet up";
+
+    ASSERT_TRUE(wal.Truncate(/*base_triples=*/24).ok());
+    EXPECT_EQ(device.num_blocks(), 3u)
+        << "cycle " << cycle
+        << ": post-truncation device = 2 header slots + marker tail block";
+    EXPECT_EQ(wal.ReplayableMutations().ValueOr(99), 0u);
+  }
+  EXPECT_GT(device.stats().trimmed_blocks, 0u);
+  EXPECT_GT(wal.stats().blocks_released, 0u);
+
+  // The trimmed log still appends, syncs and survives a reopen.
+  ASSERT_TRUE(wal.AppendInsert(ObjTriple("http://e.org/s", "http://e.org/p",
+                                         "http://e.org/o"))
+                  .ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  WriteAheadLog reopened(&device);
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.ReplayableMutations().ValueOr(0), 1u);
+}
+
 TEST(WalReopen, ScansToTailAndContinuesAppending) {
   SimulatedBlockDevice device;
   {
