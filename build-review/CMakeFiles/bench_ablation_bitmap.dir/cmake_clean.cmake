@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitmap.dir/bench/bench_ablation_bitmap.cc.o"
+  "CMakeFiles/bench_ablation_bitmap.dir/bench/bench_ablation_bitmap.cc.o.d"
+  "bench_ablation_bitmap"
+  "bench_ablation_bitmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_join.dir/bench/bench_ablation_join.cc.o"
+  "CMakeFiles/bench_ablation_join.dir/bench/bench_ablation_join.cc.o.d"
+  "bench_ablation_join"
+  "bench_ablation_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_reasoning.dir/bench/bench_ablation_reasoning.cc.o"
+  "CMakeFiles/bench_ablation_reasoning.dir/bench/bench_ablation_reasoning.cc.o.d"
+  "bench_ablation_reasoning"
+  "bench_ablation_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

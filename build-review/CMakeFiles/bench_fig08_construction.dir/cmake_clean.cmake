@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_construction.dir/bench/bench_fig08_construction.cc.o"
+  "CMakeFiles/bench_fig08_construction.dir/bench/bench_fig08_construction.cc.o.d"
+  "bench_fig08_construction"
+  "bench_fig08_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_ram.dir/bench/bench_fig11_ram.cc.o"
+  "CMakeFiles/bench_fig11_ram.dir/bench/bench_fig11_ram.cc.o.d"
+  "bench_fig11_ram"
+  "bench_fig11_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

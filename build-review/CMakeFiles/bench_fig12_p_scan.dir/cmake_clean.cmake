@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_p_scan.dir/bench/bench_fig12_p_scan.cc.o"
+  "CMakeFiles/bench_fig12_p_scan.dir/bench/bench_fig12_p_scan.cc.o.d"
+  "bench_fig12_p_scan"
+  "bench_fig12_p_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_p_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_bgp.dir/bench/bench_fig13_bgp.cc.o"
+  "CMakeFiles/bench_fig13_bgp.dir/bench/bench_fig13_bgp.cc.o.d"
+  "bench_fig13_bgp"
+  "bench_fig13_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_reasoning.dir/bench/bench_fig14_reasoning.cc.o"
+  "CMakeFiles/bench_fig14_reasoning.dir/bench/bench_fig14_reasoning.cc.o.d"
+  "bench_fig14_reasoning"
+  "bench_fig14_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

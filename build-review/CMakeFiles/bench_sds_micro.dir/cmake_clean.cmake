@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sds_micro.dir/bench/bench_sds_micro.cc.o"
+  "CMakeFiles/bench_sds_micro.dir/bench/bench_sds_micro.cc.o.d"
+  "bench_sds_micro"
+  "bench_sds_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sds_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_spo.dir/bench/bench_tab1_spo.cc.o"
+  "CMakeFiles/bench_tab1_spo.dir/bench/bench_tab1_spo.cc.o.d"
+  "bench_tab1_spo"
+  "bench_tab1_spo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_spo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

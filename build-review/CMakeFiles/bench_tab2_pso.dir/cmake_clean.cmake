@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_pso.dir/bench/bench_tab2_pso.cc.o"
+  "CMakeFiles/bench_tab2_pso.dir/bench/bench_tab2_pso.cc.o.d"
+  "bench_tab2_pso"
+  "bench_tab2_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

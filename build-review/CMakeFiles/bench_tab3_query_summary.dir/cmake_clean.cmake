@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_query_summary.dir/bench/bench_tab3_query_summary.cc.o"
+  "CMakeFiles/bench_tab3_query_summary.dir/bench/bench_tab3_query_summary.cc.o.d"
+  "bench_tab3_query_summary"
+  "bench_tab3_query_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_query_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

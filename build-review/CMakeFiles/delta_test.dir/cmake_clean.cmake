@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_test.dir/tests/delta_test.cc.o"
+  "CMakeFiles/delta_test.dir/tests/delta_test.cc.o.d"
+  "delta_test"
+  "delta_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_monitor.dir/examples/edge_monitor.cpp.o"
+  "CMakeFiles/edge_monitor.dir/examples/edge_monitor.cpp.o.d"
+  "edge_monitor"
+  "edge_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

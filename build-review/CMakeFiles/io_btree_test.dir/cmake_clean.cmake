@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_btree_test.dir/tests/io_btree_test.cc.o"
+  "CMakeFiles/io_btree_test.dir/tests/io_btree_test.cc.o.d"
+  "io_btree_test"
+  "io_btree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

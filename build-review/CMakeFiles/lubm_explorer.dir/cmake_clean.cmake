@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lubm_explorer.dir/examples/lubm_explorer.cpp.o"
+  "CMakeFiles/lubm_explorer.dir/examples/lubm_explorer.cpp.o.d"
+  "lubm_explorer"
+  "lubm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lubm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merged_view_order_test.dir/tests/merged_view_order_test.cc.o"
+  "CMakeFiles/merged_view_order_test.dir/tests/merged_view_order_test.cc.o.d"
+  "merged_view_order_test"
+  "merged_view_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merged_view_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ontology_litemat_test.dir/tests/ontology_litemat_test.cc.o"
+  "CMakeFiles/ontology_litemat_test.dir/tests/ontology_litemat_test.cc.o.d"
+  "ontology_litemat_test"
+  "ontology_litemat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ontology_litemat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

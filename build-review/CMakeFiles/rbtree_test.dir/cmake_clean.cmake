@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbtree_test.dir/tests/rbtree_test.cc.o"
+  "CMakeFiles/rbtree_test.dir/tests/rbtree_test.cc.o.d"
+  "rbtree_test"
+  "rbtree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdf_test.dir/tests/rdf_test.cc.o"
+  "CMakeFiles/rdf_test.dir/tests/rdf_test.cc.o.d"
+  "rdf_test"
+  "rdf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sds_test.dir/tests/sds_test.cc.o"
+  "CMakeFiles/sds_test.dir/tests/sds_test.cc.o.d"
+  "sds_test"
+  "sds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

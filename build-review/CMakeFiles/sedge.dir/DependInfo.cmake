@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_engine.cc" "CMakeFiles/sedge.dir/src/baselines/baseline_engine.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/baseline_engine.cc.o.d"
+  "/root/repo/src/baselines/jena_inmem_like.cc" "CMakeFiles/sedge.dir/src/baselines/jena_inmem_like.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/jena_inmem_like.cc.o.d"
+  "/root/repo/src/baselines/jena_tdb_like.cc" "CMakeFiles/sedge.dir/src/baselines/jena_tdb_like.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/jena_tdb_like.cc.o.d"
+  "/root/repo/src/baselines/rdf4j_like.cc" "CMakeFiles/sedge.dir/src/baselines/rdf4j_like.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/rdf4j_like.cc.o.d"
+  "/root/repo/src/baselines/rdf4led_like.cc" "CMakeFiles/sedge.dir/src/baselines/rdf4led_like.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/rdf4led_like.cc.o.d"
+  "/root/repo/src/baselines/term_dictionary.cc" "CMakeFiles/sedge.dir/src/baselines/term_dictionary.cc.o" "gcc" "CMakeFiles/sedge.dir/src/baselines/term_dictionary.cc.o.d"
+  "/root/repo/src/btree/b_plus_tree.cc" "CMakeFiles/sedge.dir/src/btree/b_plus_tree.cc.o" "gcc" "CMakeFiles/sedge.dir/src/btree/b_plus_tree.cc.o.d"
+  "/root/repo/src/core/database.cc" "CMakeFiles/sedge.dir/src/core/database.cc.o" "gcc" "CMakeFiles/sedge.dir/src/core/database.cc.o.d"
+  "/root/repo/src/io/block_device.cc" "CMakeFiles/sedge.dir/src/io/block_device.cc.o" "gcc" "CMakeFiles/sedge.dir/src/io/block_device.cc.o.d"
+  "/root/repo/src/io/wal.cc" "CMakeFiles/sedge.dir/src/io/wal.cc.o" "gcc" "CMakeFiles/sedge.dir/src/io/wal.cc.o.d"
+  "/root/repo/src/litemat/dictionary.cc" "CMakeFiles/sedge.dir/src/litemat/dictionary.cc.o" "gcc" "CMakeFiles/sedge.dir/src/litemat/dictionary.cc.o.d"
+  "/root/repo/src/litemat/hierarchy_encoding.cc" "CMakeFiles/sedge.dir/src/litemat/hierarchy_encoding.cc.o" "gcc" "CMakeFiles/sedge.dir/src/litemat/hierarchy_encoding.cc.o.d"
+  "/root/repo/src/ontology/ontology.cc" "CMakeFiles/sedge.dir/src/ontology/ontology.cc.o" "gcc" "CMakeFiles/sedge.dir/src/ontology/ontology.cc.o.d"
+  "/root/repo/src/rdf/rdf_parser.cc" "CMakeFiles/sedge.dir/src/rdf/rdf_parser.cc.o" "gcc" "CMakeFiles/sedge.dir/src/rdf/rdf_parser.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "CMakeFiles/sedge.dir/src/rdf/term.cc.o" "gcc" "CMakeFiles/sedge.dir/src/rdf/term.cc.o.d"
+  "/root/repo/src/sds/elias_fano.cc" "CMakeFiles/sedge.dir/src/sds/elias_fano.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sds/elias_fano.cc.o.d"
+  "/root/repo/src/sds/int_vector.cc" "CMakeFiles/sedge.dir/src/sds/int_vector.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sds/int_vector.cc.o.d"
+  "/root/repo/src/sds/rrr_bit_vector.cc" "CMakeFiles/sedge.dir/src/sds/rrr_bit_vector.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sds/rrr_bit_vector.cc.o.d"
+  "/root/repo/src/sds/succinct_bit_vector.cc" "CMakeFiles/sedge.dir/src/sds/succinct_bit_vector.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sds/succinct_bit_vector.cc.o.d"
+  "/root/repo/src/sds/wavelet_tree.cc" "CMakeFiles/sedge.dir/src/sds/wavelet_tree.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sds/wavelet_tree.cc.o.d"
+  "/root/repo/src/sparql/executor.cc" "CMakeFiles/sedge.dir/src/sparql/executor.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/executor.cc.o.d"
+  "/root/repo/src/sparql/expression.cc" "CMakeFiles/sedge.dir/src/sparql/expression.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/expression.cc.o.d"
+  "/root/repo/src/sparql/optimizer.cc" "CMakeFiles/sedge.dir/src/sparql/optimizer.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/optimizer.cc.o.d"
+  "/root/repo/src/sparql/query_graph.cc" "CMakeFiles/sedge.dir/src/sparql/query_graph.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/query_graph.cc.o.d"
+  "/root/repo/src/sparql/result_table.cc" "CMakeFiles/sedge.dir/src/sparql/result_table.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/result_table.cc.o.d"
+  "/root/repo/src/sparql/sparql_parser.cc" "CMakeFiles/sedge.dir/src/sparql/sparql_parser.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/sparql_parser.cc.o.d"
+  "/root/repo/src/sparql/union_rewriter.cc" "CMakeFiles/sedge.dir/src/sparql/union_rewriter.cc.o" "gcc" "CMakeFiles/sedge.dir/src/sparql/union_rewriter.cc.o.d"
+  "/root/repo/src/store/datatype_store.cc" "CMakeFiles/sedge.dir/src/store/datatype_store.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/datatype_store.cc.o.d"
+  "/root/repo/src/store/delta/delta_overlay.cc" "CMakeFiles/sedge.dir/src/store/delta/delta_overlay.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/delta/delta_overlay.cc.o.d"
+  "/root/repo/src/store/delta/merged_view.cc" "CMakeFiles/sedge.dir/src/store/delta/merged_view.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/delta/merged_view.cc.o.d"
+  "/root/repo/src/store/pso_index.cc" "CMakeFiles/sedge.dir/src/store/pso_index.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/pso_index.cc.o.d"
+  "/root/repo/src/store/rdftype_store.cc" "CMakeFiles/sedge.dir/src/store/rdftype_store.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/rdftype_store.cc.o.d"
+  "/root/repo/src/store/triple_store.cc" "CMakeFiles/sedge.dir/src/store/triple_store.cc.o" "gcc" "CMakeFiles/sedge.dir/src/store/triple_store.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/sedge.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/sedge.dir/src/util/string_util.cc.o.d"
+  "/root/repo/src/util/timer.cc" "CMakeFiles/sedge.dir/src/util/timer.cc.o" "gcc" "CMakeFiles/sedge.dir/src/util/timer.cc.o.d"
+  "/root/repo/src/workloads/lubm_generator.cc" "CMakeFiles/sedge.dir/src/workloads/lubm_generator.cc.o" "gcc" "CMakeFiles/sedge.dir/src/workloads/lubm_generator.cc.o.d"
+  "/root/repo/src/workloads/lubm_queries.cc" "CMakeFiles/sedge.dir/src/workloads/lubm_queries.cc.o" "gcc" "CMakeFiles/sedge.dir/src/workloads/lubm_queries.cc.o.d"
+  "/root/repo/src/workloads/sensor_generator.cc" "CMakeFiles/sedge.dir/src/workloads/sensor_generator.cc.o" "gcc" "CMakeFiles/sedge.dir/src/workloads/sensor_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

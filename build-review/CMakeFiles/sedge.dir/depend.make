@@ -1,0 +1,2 @@
+# Empty dependencies file for sedge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_anomaly.dir/examples/water_anomaly.cpp.o"
+  "CMakeFiles/water_anomaly.dir/examples/water_anomaly.cpp.o.d"
+  "water_anomaly"
+  "water_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
