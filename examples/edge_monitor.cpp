@@ -1,19 +1,23 @@
-// Edge monitor: the full deployment loop of Section 4, durable streaming
-// edition.
+// Edge monitor: the full deployment loop of Section 4, self-contained
+// durable edition.
 //
 // A "server" side encodes the ontology once; an edge instance then ingests
 // a continuous stream of sensor observation batches through the
 // delta-overlay write path (no rebuild per batch), runs a fixed set of
 // registered SPARQL queries after each batch, and emits alerts — while
 // reporting the memory the store occupies and when the overlay was folded
-// back into the succinct base by auto-compaction.
+// back into the succinct base by background auto-compaction.
 //
-// Durability loop: every batch is group-committed to a write-ahead log on
-// the (simulated) SD card before it is applied, and each compaction
-// persists a base snapshot before truncating the log. Halfway through the
-// stream the example pulls the plug — drops the whole in-memory store —
-// and reopens from snapshot + WAL replay, proving no acknowledged
-// observation was lost, then keeps streaming.
+// Durability loop: the whole store lives on ONE (simulated) SD card.
+// Database::Open lays out the device — superblocks, WAL region,
+// checkpoint extents — and from then on every batch is group-committed to
+// the WAL before it is applied, every compaction runs on a background
+// thread (writes keep streaming) and ends by serializing the fresh
+// succinct base to checkpoint blocks and truncating the log. Halfway
+// through the stream the example pulls the plug — drops the whole
+// in-memory store — and reopens with nothing but the device: checkpoint
+// deserialized, acknowledged WAL tail replayed, no application callback
+// anywhere.
 //
 //   $ ./build/edge_monitor [batches] [observations_per_sensor]
 
@@ -25,7 +29,6 @@
 #include <vector>
 
 #include "core/database.h"
-#include "io/wal.h"
 #include "util/timer.h"
 #include "workloads/sensor_generator.h"
 
@@ -45,11 +48,10 @@ int main(int argc, char** argv) {
   const sedge::ontology::Ontology onto =
       sedge::workloads::SensorGraphGenerator::BuildOntology();
 
-  // What survives a power cut: the WAL device (SD-card latencies) and the
-  // snapshot the compaction callback persists. Everything else is RAM.
-  sedge::io::SimulatedBlockDevice wal_device(/*read_latency_us=*/20.0,
-                                             /*write_latency_us=*/55.0);
-  std::string snapshot_ttl;
+  // What survives a power cut: this device, nothing else. SD-card
+  // latencies are simulated on every block access.
+  sedge::io::SimulatedBlockDevice device(/*read_latency_us=*/20.0,
+                                         /*write_latency_us=*/55.0);
 
   // Queries registered on this edge instance: anomaly detection plus two
   // routine monitoring queries.
@@ -65,32 +67,26 @@ int main(int argc, char** argv) {
        "sosa:hosts ?s }"},
   };
 
-  // Brings an edge instance up from the durable state: ontology + last
-  // snapshot + replay of the acknowledged WAL tail.
+  // Brings an edge instance up from the device alone: a fresh card is
+  // formatted (with the broadcast ontology as bootstrap); a used card
+  // restores checkpoint + WAL tail with no application help.
   std::unique_ptr<sedge::Database> db;
-  std::unique_ptr<sedge::io::WriteAheadLog> wal;
   const auto open_durable = [&]() -> sedge::Status {
-    db = std::make_unique<sedge::Database>();
-    db->LoadOntology(onto);
+    sedge::Database::OpenOptions options;
+    options.wal_capacity_blocks = 512;  // 2 MiB WAL region
+    options.bootstrap_ontology = onto;
+    SEDGE_ASSIGN_OR_RETURN(db, sedge::Database::Open(&device, options));
     db->set_compaction_ratio(0.25);
-    if (!snapshot_ttl.empty()) {
-      SEDGE_RETURN_NOT_OK(db->LoadDataTurtle(snapshot_ttl));
-    }
-    db->set_compaction_callback(
-        [&snapshot_ttl](const sedge::Database& inner) {
-          snapshot_ttl = inner.store().ExportGraph().ToNTriples();
-          return sedge::Status::OK();
-        });
-    wal = std::make_unique<sedge::io::WriteAheadLog>(&wal_device);
-    SEDGE_RETURN_NOT_OK(wal->Open());
-    return db->AttachWal(wal.get());
+    db->set_async_compaction(true);  // folds run off the write path
+    return sedge::Status::OK();
   };
   if (const sedge::Status st = open_durable(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
 
-  // --- bootstrap: the static station/sensor topology, inserted once ---
+  // --- provision: the static station/sensor topology, inserted once and
+  // pinned with a first checkpoint so the device is self-describing ---
   sedge::workloads::SensorConfig config;
   config.seed = 31337;
   config.observations_per_sensor = observations;
@@ -102,9 +98,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  if (const sedge::Status st = db->Checkpoint(); !st.ok()) {
+    std::fprintf(stderr, "provision checkpoint: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::printf("edge instance up; %zu queries registered, streaming %d "
-              "batches with WAL durability\n\n",
+              "batches with device-checkpoint durability\n\n",
               queries.size(), batches);
   uint64_t max_memory = 0;
   double total_ms = 0.0;
@@ -115,17 +115,20 @@ int main(int argc, char** argv) {
   for (int i = 0; i < batches; ++i) {
     if (i == crash_at && crash_at > 0) {
       // --- simulated power cut: the in-memory store evaporates; only the
-      // WAL device and the last compaction snapshot survive. ---
+      // block device survives. (Let an in-flight background fold settle
+      // first so the pre/post triple comparison is apples to apples.) ---
+      (void)db->WaitForCompaction();
       const uint64_t pre_crash_triples = db->num_triples();
       db.reset();
-      wal.reset();
       if (const sedge::Status st = open_durable(); !st.ok()) {
         std::fprintf(stderr, "recovery: %s\n", st.ToString().c_str());
         return 1;
       }
-      std::printf("batch %2d: POWER CUT -> reopened from snapshot (%zu B) + "
-                  "WAL replay: %llu/%llu triples recovered\n",
-                  i, snapshot_ttl.size(),
+      std::printf("batch %2d: POWER CUT -> reopened from device alone "
+                  "(checkpoint gen %llu + WAL replay): %llu/%llu triples "
+                  "recovered\n",
+                  i,
+                  static_cast<unsigned long long>(db->storage()->generation()),
                   static_cast<unsigned long long>(db->num_triples()),
                   static_cast<unsigned long long>(pre_crash_triples));
       if (db->num_triples() != pre_crash_triples) {
@@ -146,13 +149,13 @@ int main(int argc, char** argv) {
     if (db->store_generation() != last_generation) {
       last_generation = db->store_generation();
       ++compactions;
-      std::printf("batch %2d: auto-compaction folded the overlay "
-                  "(store generation %llu, %llu triples; snapshot %zu B, "
-                  "WAL truncated to epoch %llu)\n",
+      std::printf("batch %2d: background compaction folded the overlay "
+                  "(store generation %llu, %llu triples; checkpoint seq "
+                  "%llu, WAL truncated to epoch %llu)\n",
                   i, static_cast<unsigned long long>(last_generation),
                   static_cast<unsigned long long>(db->num_triples()),
-                  snapshot_ttl.size(),
-                  static_cast<unsigned long long>(wal->epoch()));
+                  static_cast<unsigned long long>(db->checkpoint_sequence()),
+                  static_cast<unsigned long long>(db->wal_epoch()));
     }
     for (const RegisteredQuery& q : queries) {
       const auto result = db->Query(q.sparql);
@@ -169,18 +172,24 @@ int main(int argc, char** argv) {
       }
     }
     total_ms += timer.ElapsedMillis();
-    max_memory = std::max(max_memory, db->store().SizeInBytes());
+    // Pin the generation: a background fold may swap (and free) the
+    // store at any moment, so never hold a bare store() reference here.
+    max_memory =
+        std::max(max_memory, db->snapshot()->store().SizeInBytes());
   }
+  (void)db->WaitForCompaction();
   std::printf(
       "\nstreamed %d batches (%d observations/sensor): %d alerts,\n"
-      "%d compaction(s), %llu live triples, avg %.2f ms per batch "
-      "(insert + %zu queries + WAL group commit),\npeak store footprint "
-      "%.1f KiB; WAL device %llu blocks, %llu block writes\n",
+      "%d background compaction(s), %llu live triples, avg %.2f ms per "
+      "batch (insert + %zu queries + WAL group commit),\npeak store "
+      "footprint %.1f KiB; device %llu blocks, %llu block writes, "
+      "checkpoint seq %llu\n",
       batches, observations, alerts, compactions,
       static_cast<unsigned long long>(db->num_triples()),
       total_ms / std::max(batches, 1), queries.size(),
       static_cast<double>(max_memory) / 1024.0,
-      static_cast<unsigned long long>(wal_device.num_blocks()),
-      static_cast<unsigned long long>(wal_device.stats().writes));
+      static_cast<unsigned long long>(device.num_blocks()),
+      static_cast<unsigned long long>(device.stats().writes),
+      static_cast<unsigned long long>(db->checkpoint_sequence()));
   return 0;
 }

@@ -1,16 +1,87 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+#include <utility>
 
 #include "rdf/rdf_parser.h"
+#include "rdf/triple_codec.h"
 #include "sparql/sparql_parser.h"
 
 namespace sedge {
+namespace {
+
+// Checkpoint image framing: magic + version, generation, ontology graph
+// (length-prefixed codec triples), then the TripleStore image
+// (TripleStore::SaveTo). Integrity is the extent CRC's job
+// (io/checkpoint.cc); this layer only checks shape.
+constexpr char kImageMagic[8] = {'S', 'E', 'D', 'G', 'E', 'I', 'M', 'G'};
+constexpr uint32_t kImageVersion = 1;
+
+/// Appends everything written to the stream to one external string — the
+/// checkpoint image is the whole database, so avoiding ostringstream's
+/// str() copy halves the peak transient memory of a checkpoint (which
+/// runs under the writer lock).
+class StringSink : public std::streambuf {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    out_->append(s, static_cast<size_t>(n));
+    return n;
+  }
+  int overflow(int ch) override {
+    if (ch != traits_type::eof()) {
+      out_->push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Read-only stream view over an existing string — the restore-side
+/// mirror of StringSink (istringstream would duplicate the whole image
+/// before deserialization starts).
+class StringSource : public std::streambuf {
+ public:
+  explicit StringSource(const std::string& s) {
+    char* base = const_cast<char*>(s.data());
+    setg(base, base, base + s.size());
+  }
+};
+
+}  // namespace
+
+Database::~Database() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    if (worker_.joinable()) worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+}
+
+// ------------------------------------------------------------------ setup
 
 Status Database::LoadOntologyTurtle(std::string_view text) {
   SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
-  SEDGE_ASSIGN_OR_RETURN(onto_, ontology::Ontology::FromGraph(graph));
+  SEDGE_ASSIGN_OR_RETURN(ontology::Ontology onto,
+                         ontology::Ontology::FromGraph(graph));
+  LoadOntology(std::move(onto));
   return Status::OK();
+}
+
+void Database::LoadOntology(ontology::Ontology onto) {
+  // write_mu_, not just convention: the background fold's checkpoint
+  // serializes onto_ on the worker thread under this lock.
+  std::lock_guard<std::mutex> lk(write_mu_);
+  onto_ = std::move(onto);
 }
 
 Status Database::LoadDataTurtle(std::string_view text) {
@@ -19,61 +90,146 @@ Status Database::LoadDataTurtle(std::string_view text) {
 }
 
 Status Database::LoadData(const rdf::Graph& graph) {
-  SEDGE_ASSIGN_OR_RETURN(store::TripleStore store,
-                         store::TripleStore::Build(onto_, graph));
-  store_ = std::make_unique<store::TripleStore>(std::move(store));
-  ++store_generation_;
+  // A full reload supersedes whatever a background fold was building.
+  SEDGE_RETURN_NOT_OK(WaitForCompaction());
+  std::lock_guard<std::mutex> lk(write_mu_);
+  SEDGE_RETURN_NOT_OK(LoadDataLocked(graph));
+  // Device mode: the replacement base must be durable immediately —
+  // otherwise later acknowledged WAL writes would replay onto the *old*
+  // checkpoint after a crash, recovering a base the application never
+  // ran against.
+  if (storage_ != nullptr && wal_ != nullptr) {
+    return CheckpointLocked();
+  }
   return Status::OK();
 }
 
-Status Database::EnsureStore() {
-  if (store_ != nullptr) return Status::OK();
-  return LoadData(rdf::Graph());
+Status Database::LoadDataLocked(const rdf::Graph& graph) {
+  SEDGE_ASSIGN_OR_RETURN(store::TripleStore store,
+                         store::TripleStore::Build(onto_, graph));
+  store_ = std::make_shared<store::TripleStore>(std::move(store));
+  ++store_epoch_;  // supersedes any fold forked from the replaced store
+  relay_.clear();
+  recording_ = false;
+  generation_number_.fetch_add(1);
+  PublishSnapshotLocked();
+  return Status::OK();
 }
+
+Status Database::EnsureStoreLocked() {
+  if (store_ != nullptr) return Status::OK();
+  return LoadDataLocked(rdf::Graph());
+}
+
+void Database::PublishSnapshotLocked() {
+  auto gen = std::make_shared<const store::StoreGeneration>(
+      store_, generation_number_.load());
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  gen_ = std::move(gen);
+}
+
+std::shared_ptr<const store::StoreGeneration> Database::snapshot() const {
+  std::lock_guard<std::mutex> lk(snap_mu_);
+  return gen_;
+}
+
+const store::TripleStore& Database::store() const {
+  const auto snap = snapshot();
+  SEDGE_CHECK(snap != nullptr) << "store() before any data was loaded";
+  return snap->store();
+}
+
+uint64_t Database::num_triples() const {
+  const auto snap = snapshot();
+  return snap ? snap->store().num_triples() : 0;
+}
+
+uint64_t Database::delta_size() const {
+  const auto snap = snapshot();
+  return snap ? snap->store().delta_size() : 0;
+}
+
+// ------------------------------------------------------------ write path
 
 Status Database::InsertTurtle(std::string_view text) {
   SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
   return Insert(graph);
 }
 
-Status Database::LogBatch(io::WalRecordType type, const rdf::Triple* triples,
-                          size_t count) {
+Status Database::LogBatchLocked(io::WalRecordType type,
+                                const rdf::Triple* triples, size_t count) {
   if (wal_ == nullptr || count == 0) return Status::OK();
-  for (size_t i = 0; i < count; ++i) {
-    const Status st = type == io::WalRecordType::kInsert
-                          ? wal_->AppendInsert(triples[i])
-                          : wal_->AppendRemove(triples[i]);
-    if (!st.ok()) {
-      // A rejected record (e.g. an oversized literal) voids the whole
-      // batch: none of it is applied, so none of it may ever sync.
-      wal_->DiscardPending();
-      return st;
+  const auto append_all = [&]() -> Status {
+    for (size_t i = 0; i < count; ++i) {
+      const Status st = type == io::WalRecordType::kInsert
+                            ? wal_->AppendInsert(triples[i])
+                            : wal_->AppendRemove(triples[i]);
+      if (!st.ok()) {
+        // A rejected record (e.g. an oversized literal) voids the whole
+        // batch: none of it is applied, so none of it may ever sync.
+        wal_->DiscardPending();
+        return st;
+      }
     }
-  }
+    return Status::OK();
+  };
+  SEDGE_RETURN_NOT_OK(append_all());
   // Group commit: the whole batch becomes durable with one sync.
-  return wal_->Sync();
+  Status st = wal_->Sync();
+  if (st.IsResourceExhausted() && storage_ != nullptr) {
+    // The WAL region filled up. A checkpoint persists everything the log
+    // covers and truncates it, freeing the region for this very batch.
+    // (Truncate drops the still-pending batch records; re-append after.)
+    // Safe even while a background fold is in flight: the image
+    // serializes the *current* store — shared base plus live overlay —
+    // which covers every logged mutation regardless of the rebuild.
+    SEDGE_RETURN_NOT_OK(CheckpointLocked());
+    SEDGE_RETURN_NOT_OK(append_all());
+    st = wal_->Sync();
+  }
+  if (st.IsResourceExhausted()) {
+    // Still over capacity against an empty log (or no checkpoint path to
+    // empty it): this batch can never fit. Void it — pending records of
+    // a failed batch must never linger, or every later sync would see
+    // phantom capacity pressure.
+    wal_->DiscardPending();
+  }
+  return st;
+}
+
+void Database::RecordRelayLocked(bool insert, const rdf::Triple* triples,
+                                 size_t count) {
+  if (!recording_) return;
+  for (size_t i = 0; i < count; ++i) {
+    relay_.push_back({insert, triples[i]});
+  }
 }
 
 Status Database::Insert(const rdf::Graph& graph) {
-  SEDGE_RETURN_NOT_OK(EnsureStore());
-  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kInsert,
-                               graph.triples().data(),
-                               graph.triples().size()));
+  std::lock_guard<std::mutex> lk(write_mu_);
+  SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+  SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kInsert,
+                                     graph.triples().data(),
+                                     graph.triples().size()));
   for (const rdf::Triple& t : graph.triples()) {
     SEDGE_RETURN_NOT_OK(store_->Insert(t));
+    RecordRelayLocked(/*insert=*/true, &t, 1);
   }
   store_->SealDelta();
-  ++write_generation_;
-  return MaybeCompact();
+  write_generation_.fetch_add(1);
+  return MaybeCompactLocked();
 }
 
 Status Database::Insert(const rdf::Triple& triple) {
-  SEDGE_RETURN_NOT_OK(EnsureStore());
-  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kInsert, &triple, 1));
+  std::lock_guard<std::mutex> lk(write_mu_);
+  SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+  SEDGE_RETURN_NOT_OK(
+      LogBatchLocked(io::WalRecordType::kInsert, &triple, 1));
   SEDGE_RETURN_NOT_OK(store_->Insert(triple));
+  RecordRelayLocked(/*insert=*/true, &triple, 1);
   store_->SealDelta();
-  ++write_generation_;
-  return MaybeCompact();
+  write_generation_.fetch_add(1);
+  return MaybeCompactLocked();
 }
 
 Status Database::RemoveTurtle(std::string_view text) {
@@ -82,84 +238,313 @@ Status Database::RemoveTurtle(std::string_view text) {
 }
 
 Status Database::Remove(const rdf::Graph& graph) {
+  std::lock_guard<std::mutex> lk(write_mu_);
   if (store_ == nullptr) return Status::OK();  // nothing stored
-  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kRemove,
-                               graph.triples().data(),
-                               graph.triples().size()));
+  SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kRemove,
+                                     graph.triples().data(),
+                                     graph.triples().size()));
   for (const rdf::Triple& t : graph.triples()) {
     SEDGE_RETURN_NOT_OK(store_->Remove(t));
+    RecordRelayLocked(/*insert=*/false, &t, 1);
   }
   store_->SealDelta();
-  ++write_generation_;
-  return MaybeCompact();
+  write_generation_.fetch_add(1);
+  return MaybeCompactLocked();
 }
 
 Status Database::Remove(const rdf::Triple& triple) {
+  std::lock_guard<std::mutex> lk(write_mu_);
   if (store_ == nullptr) return Status::OK();
-  SEDGE_RETURN_NOT_OK(LogBatch(io::WalRecordType::kRemove, &triple, 1));
+  SEDGE_RETURN_NOT_OK(
+      LogBatchLocked(io::WalRecordType::kRemove, &triple, 1));
   SEDGE_RETURN_NOT_OK(store_->Remove(triple));
+  RecordRelayLocked(/*insert=*/false, &triple, 1);
   store_->SealDelta();
-  ++write_generation_;
-  return MaybeCompact();
+  write_generation_.fetch_add(1);
+  return MaybeCompactLocked();
 }
 
+// ------------------------------------------------------------- compaction
+
 Status Database::Compact() {
+  SEDGE_RETURN_NOT_OK(WaitForCompaction());
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return CompactLocked();
+}
+
+Status Database::CompactLocked() {
   if (store_ == nullptr || !store_->has_delta()) return Status::OK();
   const rdf::Graph merged = store_->ExportGraph();
-  SEDGE_RETURN_NOT_OK(LoadData(merged));  // rebuild, existing machinery
-  // Snapshot before truncating: if we crash in between, replaying the old
-  // epoch onto the new snapshot is an idempotent no-op, while the reverse
-  // ordering would lose the folded overlay for good. Without a snapshot
-  // hook the log is the only durable copy of the folded mutations, so it
-  // must NOT be truncated — it keeps covering everything since load, at
-  // the cost of growing until a callback is registered.
-  if (compaction_callback_) {
-    SEDGE_RETURN_NOT_OK(compaction_callback_(*this));
-    if (wal_ != nullptr) {
-      SEDGE_RETURN_NOT_OK(wal_->Truncate(num_triples()));
-    }
+  SEDGE_ASSIGN_OR_RETURN(store::TripleStore built,
+                         store::TripleStore::Build(onto_, merged));
+  store_ = std::make_shared<store::TripleStore>(std::move(built));
+  ++store_epoch_;  // supersedes any fold forked from the replaced store
+  relay_.clear();
+  recording_ = false;
+  generation_number_.fetch_add(1);
+  PublishSnapshotLocked();
+  // Device mode: persist the fresh base before dropping the log records
+  // that produced it. If we crash between the two, replaying the old
+  // epoch onto the new checkpoint is an idempotent no-op, while the
+  // reverse ordering would lose the folded overlay for good. Standalone
+  // WAL mode has no checkpoint, so the log must NOT be truncated — it
+  // keeps covering everything since load, at the cost of growing.
+  if (storage_ != nullptr) {
+    SEDGE_RETURN_NOT_OK(CheckpointLocked());
   }
   return Status::OK();
 }
 
-Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
-  SEDGE_CHECK(wal != nullptr && wal->open()) << "AttachWal needs an open WAL";
-  if (replay) {
-    SEDGE_RETURN_NOT_OK(EnsureStore());
-    uint64_t applied = 0;
-    SEDGE_RETURN_NOT_OK(wal->Replay([&](const io::WalReplayRecord& r) {
-      switch (r.type) {
-        case io::WalRecordType::kInsert:
-          ++applied;
-          return store_->Insert(r.triple);
-        case io::WalRecordType::kRemove:
-          ++applied;
-          return store_->Remove(r.triple);
-        case io::WalRecordType::kCompactEpoch:
-          return Status::OK();  // informational marker
-      }
-      return Status::Internal("unreachable WAL record type");
-    }));
-    store_->SealDelta();
-    if (applied > 0) ++write_generation_;
-  }
-  wal_ = wal;
-  // The replayed overlay may already exceed the compaction trigger; fold it
-  // now that truncation can record the fact in the log.
-  return MaybeCompact();
+Status Database::CompactAsync() {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return CompactAsyncLocked();
 }
 
-Status Database::MaybeCompact() {
+Status Database::CompactAsyncLocked() {
+  if (store_ == nullptr || !store_->has_delta()) return Status::OK();
+  if (compaction_running_.load()) return Status::OK();  // already folding
+  if (worker_.joinable()) worker_.join();  // reap a finished worker
+
+  // Freeze: the current store stops receiving writes forever; new writes
+  // land in a fork sharing the immutable base but owning copies of the
+  // dictionary and overlay. Readers pinned to either see identical data.
+  store_->SealDelta();
+  std::shared_ptr<const store::TripleStore> frozen = store_;
+  store_ = std::shared_ptr<store::TripleStore>(store_->ForkForWrites());
+  const uint64_t ticket = ++store_epoch_;
+  PublishSnapshotLocked();
+
+  relay_.clear();
+  recording_ = true;
+  // compaction_error_ is deliberately NOT reset here: a previous fold's
+  // failure (e.g. a durable-checkpoint error) stays pending until
+  // WaitForCompaction() consumes it, even if auto-compaction kicks off
+  // further folds in between.
+  compaction_running_.store(true);
+
+  ontology::Ontology onto = onto_;  // the worker must not race LoadOntology
+  worker_ = std::thread([this, ticket, frozen = std::move(frozen),
+                         onto = std::move(onto)]() mutable {
+    // Off the write path: O(n) export + succinct rebuild, against the
+    // frozen generation only.
+    const rdf::Graph merged = frozen->ExportGraph();
+    frozen.reset();
+    FinishCompaction(ticket, store::TripleStore::Build(onto, merged));
+  });
+  return Status::OK();
+}
+
+void Database::FinishCompaction(uint64_t ticket,
+                                Result<store::TripleStore> built) {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  if (store_epoch_ != ticket) {
+    // The store this fold forked from was replaced (LoadData or a sync
+    // fold) while the rebuild ran — the result describes a dataset that
+    // no longer exists. Discard it; the replacement already published
+    // (and, in device mode, checkpointed) the authoritative state.
+    recording_ = false;
+    relay_.clear();
+    compaction_running_.store(false);
+    return;
+  }
+  recording_ = false;
+  if (!built.ok()) {
+    compaction_error_ = built.status();
+    relay_.clear();
+    compaction_running_.store(false);
+    return;
+  }
+  auto fresh =
+      std::make_shared<store::TripleStore>(std::move(built).value());
+  // Catch-up: replay every write that landed while the rebuild ran. The
+  // relay is short (bounded by the write rate times the rebuild time), so
+  // this pause is nothing like the full fold.
+  for (const RelayOp& op : relay_) {
+    const Status st =
+        op.insert ? fresh->Insert(op.triple) : fresh->Remove(op.triple);
+    if (!st.ok()) {
+      compaction_error_ = st;
+      relay_.clear();
+      compaction_running_.store(false);
+      return;
+    }
+  }
+  fresh->SealDelta();
+  relay_.clear();
+
+  // The atomic generation swap.
+  store_ = std::move(fresh);
+  ++store_epoch_;
+  generation_number_.fetch_add(1);
+  PublishSnapshotLocked();
+
+  // Durable epoch fence: checkpoint the swapped-in state (base + relay
+  // overlay), then truncate the WAL. Writers are paused for the
+  // checkpoint I/O only, never for the rebuild.
+  if (storage_ != nullptr) {
+    const Status st = CheckpointLocked();
+    if (!st.ok()) compaction_error_ = st;
+  }
+  compaction_running_.store(false);
+}
+
+Status Database::WaitForCompaction() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    if (worker_.joinable()) worker = std::move(worker_);
+  }
+  if (worker.joinable()) worker.join();
+  std::lock_guard<std::mutex> lk(write_mu_);
+  const Status st = compaction_error_;
+  compaction_error_ = Status::OK();
+  return st;
+}
+
+Status Database::MaybeCompactLocked() {
   if (compaction_ratio_ <= 0.0 || store_ == nullptr) return Status::OK();
   const uint64_t delta = store_->delta_size();
   if (delta == 0) return Status::OK();
   const uint64_t base = store_->base_num_triples();
   if (static_cast<double>(delta) >=
       compaction_ratio_ * static_cast<double>(std::max<uint64_t>(base, 1))) {
-    return Compact();
+    return async_compaction_ ? CompactAsyncLocked() : CompactLocked();
   }
   return Status::OK();
 }
+
+// ------------------------------------------------------------- durability
+
+Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
+  SEDGE_CHECK(wal != nullptr && wal->open()) << "AttachWal needs an open WAL";
+  std::lock_guard<std::mutex> lk(write_mu_);
+  if (replay) {
+    SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+    uint64_t applied = 0;
+    SEDGE_RETURN_NOT_OK(wal->Replay([&](const io::WalReplayRecord& r) {
+      switch (r.type) {
+        case io::WalRecordType::kInsert:
+          ++applied;
+          RecordRelayLocked(/*insert=*/true, &r.triple, 1);
+          return store_->Insert(r.triple);
+        case io::WalRecordType::kRemove:
+          ++applied;
+          RecordRelayLocked(/*insert=*/false, &r.triple, 1);
+          return store_->Remove(r.triple);
+        case io::WalRecordType::kCompactEpoch:
+          return Status::OK();  // informational marker
+        case io::WalRecordType::kCommit:
+          return Status::OK();  // internal; never surfaced by Replay
+      }
+      return Status::Internal("unreachable WAL record type");
+    }));
+    store_->SealDelta();
+    if (applied > 0) write_generation_.fetch_add(1);
+  }
+  wal_ = wal;
+  // The replayed overlay may already exceed the compaction trigger; fold
+  // it now that truncation can record the fact in the log.
+  return MaybeCompactLocked();
+}
+
+Status Database::Checkpoint() {
+  SEDGE_RETURN_NOT_OK(WaitForCompaction());
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return CheckpointLocked();
+}
+
+uint64_t Database::checkpoint_sequence() const {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return storage_ != nullptr ? storage_->sequence() : 0;
+}
+
+uint64_t Database::wal_epoch() const {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  return wal_ != nullptr ? wal_->epoch() : 0;
+}
+
+std::string Database::SerializeImageLocked() const {
+  std::string image;
+  StringSink sink(&image);
+  std::ostream os(&sink);
+  os.write(kImageMagic, sizeof(kImageMagic));
+  os.write(reinterpret_cast<const char*>(&kImageVersion),
+           sizeof(kImageVersion));
+  const uint64_t generation = generation_number_.load();
+  os.write(reinterpret_cast<const char*>(&generation), sizeof(generation));
+  rdf::WriteTripleList(os, onto_.ToGraph().triples());
+  store_->SaveTo(os);
+  return image;
+}
+
+Status Database::CheckpointLocked() {
+  if (storage_ == nullptr) {
+    return Status::Unsupported(
+        "Checkpoint() needs a device-opened database (Database::Open)");
+  }
+  SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+  const std::string image = SerializeImageLocked();
+  SEDGE_RETURN_NOT_OK(storage_->WriteCheckpoint(
+      image, generation_number_.load(), store_->num_triples()));
+  // The checkpoint image covers everything the log covered (base + live
+  // overlay), so the epoch fence may advance: truncate, releasing the
+  // region for new batches.
+  if (wal_ != nullptr) {
+    SEDGE_RETURN_NOT_OK(wal_->Truncate(store_->num_triples()));
+  }
+  return Status::OK();
+}
+
+Status Database::RestoreImage(const std::string& image) {
+  StringSource source(image);
+  std::istream is(&source);
+  char magic[sizeof(kImageMagic)];
+  is.read(magic, sizeof(magic));
+  uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is || std::memcmp(magic, kImageMagic, sizeof(magic)) != 0 ||
+      version != kImageVersion) {
+    return Status::IoError("checkpoint image has a foreign header");
+  }
+  uint64_t generation = 0;
+  is.read(reinterpret_cast<char*>(&generation), sizeof(generation));
+  std::vector<rdf::Triple> onto_triples;
+  SEDGE_RETURN_NOT_OK(rdf::ReadTripleList(is, &onto_triples));
+  rdf::Graph onto_graph;
+  for (rdf::Triple& t : onto_triples) onto_graph.Add(std::move(t));
+  SEDGE_ASSIGN_OR_RETURN(onto_, ontology::Ontology::FromGraph(onto_graph));
+  SEDGE_ASSIGN_OR_RETURN(store::TripleStore restored,
+                         store::TripleStore::LoadFrom(is));
+  std::lock_guard<std::mutex> lk(write_mu_);
+  store_ = std::make_shared<store::TripleStore>(std::move(restored));
+  generation_number_.store(std::max<uint64_t>(generation, 1));
+  PublishSnapshotLocked();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(
+    io::SimulatedBlockDevice* device, OpenOptions options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->onto_ = std::move(options.bootstrap_ontology);
+  db->storage_ = std::make_unique<io::CheckpointStorage>(device);
+  SEDGE_RETURN_NOT_OK(db->storage_->Open(options.wal_capacity_blocks));
+  if (db->storage_->has_checkpoint()) {
+    SEDGE_ASSIGN_OR_RETURN(const std::string image,
+                           db->storage_->ReadCheckpoint());
+    SEDGE_RETURN_NOT_OK(db->RestoreImage(image));
+  }
+  db->owned_wal_ = std::make_unique<io::WriteAheadLog>(
+      device, db->storage_->wal_region_start(),
+      db->storage_->wal_capacity_blocks());
+  SEDGE_RETURN_NOT_OK(db->owned_wal_->Open());
+  // Replay the acknowledged tail on top of the restored checkpoint
+  // (idempotent: records the checkpoint already absorbed re-apply as
+  // no-ops) and start logging through the owned WAL.
+  SEDGE_RETURN_NOT_OK(db->AttachWal(db->owned_wal_.get(), /*replay=*/true));
+  return db;
+}
+
+// --------------------------------------------------------------- querying
 
 void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
   const sparql::ExecutorStats& s = executor.stats();
@@ -171,22 +556,24 @@ void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
 }
 
 Result<sparql::QueryResult> Database::Query(std::string_view text) const {
-  if (store_ == nullptr) {
+  const auto snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
-  sparql::Executor executor(store_.get(), options_);
+  sparql::Executor executor(snap, options_);
   auto result = executor.Execute(query);
   AccumulateQueryStats(executor);
   return result;
 }
 
 Result<uint64_t> Database::QueryCount(std::string_view text) const {
-  if (store_ == nullptr) {
+  const auto snap = snapshot();
+  if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
-  sparql::Executor executor(store_.get(), options_);
+  sparql::Executor executor(snap, options_);
   auto table = executor.ExecuteEncoded(query);
   AccumulateQueryStats(executor);
   SEDGE_RETURN_NOT_OK(table.status());

@@ -19,46 +19,109 @@
 // Queries between writes see one consistent base ∪ delta view. Compaction
 // also runs automatically once the overlay grows past
 // set_compaction_ratio() times the base size (default 0.25; 0 disables).
+// With set_async_compaction(true), the fold happens on a background
+// thread: the overlay is frozen and handed to the rebuild while new
+// writes land in a fresh fork of the store (CompactAsync), and the
+// generations swap atomically when the build finishes. Queries pin the
+// generation they started on (snapshot()), so a swap never frees a store
+// under a running query.
 //
-// Durability (see examples/edge_monitor.cpp for the full loop):
+// Durability — self-contained device mode (see examples/edge_monitor.cpp):
 //
-//   io::WriteAheadLog wal(&device);
-//   wal.Open();
-//   db.AttachWal(&wal);                    // replays any acknowledged tail
-//   db.InsertTurtle(obs_ttl);              // logged + synced, then applied
-//   ...power cut...                        // reopen: reload snapshot,
-//                                          // AttachWal replays the rest
+//   io::SimulatedBlockDevice device;        // the "SD card"
+//   auto db = sedge::Database::Open(&device, options).value();
+//   db->Insert(batch);                      // WAL group commit, then apply
+//   db->Compact();                          // rebuild + device checkpoint
+//                                           //   + WAL truncation
+//   ...power cut...
+//   auto db2 = sedge::Database::Open(&device, options).value();
+//   // checkpoint restored (dictionary + succinct layouts deserialized
+//   // from blocks), acknowledged WAL tail replayed — no application
+//   // callback involved.
+//
+// The standalone-WAL mode (AttachWal on a caller-owned log) remains for
+// deployments that persist the base elsewhere; without a checkpoint
+// device, compaction never truncates the log.
 
 #ifndef SEDGE_CORE_DATABASE_H_
 #define SEDGE_CORE_DATABASE_H_
 
 #include <atomic>
-#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
+#include "io/checkpoint.h"
 #include "io/wal.h"
 #include "ontology/ontology.h"
 #include "rdf/triple.h"
 #include "sparql/executor.h"
 #include "sparql/result_table.h"
+#include "store/store_generation.h"
 #include "store/triple_store.h"
 #include "util/status.h"
 
 namespace sedge {
 
-/// \brief In-memory, self-indexed, reasoning-enabled RDF store.
+/// \brief In-memory, self-indexed, reasoning-enabled RDF store with an
+/// optional self-contained durable lifecycle on a block device.
 class Database {
  public:
   Database() = default;
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- Self-contained durable open ------------------------------------------
+
+  struct OpenOptions {
+    /// Blocks reserved for the WAL region (4 KiB each; headers included).
+    /// A full region forces a checkpoint + truncation on the write path.
+    /// Only consulted when formatting a fresh device — an existing layout
+    /// keeps its stored capacity.
+    uint64_t wal_capacity_blocks = 1024;  // 4 MiB
+    /// Ontology installed when the device holds no checkpoint yet (the
+    /// bootstrap broadcast). A restored checkpoint's ontology wins.
+    ontology::Ontology bootstrap_ontology;
+  };
+
+  /// Brings a database up from `device` with no application help: formats
+  /// a fresh device, or restores the active checkpoint (deserializing the
+  /// succinct base) and replays the acknowledged WAL tail. The device must
+  /// outlive the returned database, which owns the log and checkpoint
+  /// bookkeeping on it.
+  static Result<std::unique_ptr<Database>> Open(
+      io::SimulatedBlockDevice* device, OpenOptions options);
+  static Result<std::unique_ptr<Database>> Open(
+      io::SimulatedBlockDevice* device) {
+    return Open(device, OpenOptions());
+  }
+
+  /// Serializes the full current state (ontology, dictionary, succinct
+  /// base, live overlay) to the device and truncates the WAL. Requires a
+  /// device-opened database; called automatically at every compaction.
+  Status Checkpoint();
+
+  const io::CheckpointStorage* storage() const { return storage_.get(); }
+
+  /// Superblock flips so far (0 without a device) / current WAL epoch
+  /// (0 without a log). Synchronized with the background fold's
+  /// checkpoint + truncation, unlike poking storage()/wal() directly.
+  uint64_t checkpoint_sequence() const;
+  uint64_t wal_epoch() const;
 
   // -- Setup ----------------------------------------------------------------
 
   /// Parses and installs the ontology (Turtle / N-Triples).
   Status LoadOntologyTurtle(std::string_view text);
-  /// Installs an already-built ontology.
-  void LoadOntology(ontology::Ontology onto) { onto_ = std::move(onto); }
+  /// Installs an already-built ontology. Serialized against the write
+  /// path (a background fold's checkpoint reads the ontology under the
+  /// same lock).
+  void LoadOntology(ontology::Ontology onto);
 
   /// Parses `text` and (re)builds the store for that graph.
   Status LoadDataTurtle(std::string_view text);
@@ -82,57 +145,72 @@ class Database {
   /// Removes one triple.
   Status Remove(const rdf::Triple& triple);
 
-  /// Merges base ∪ delta into a fresh succinct base store (reusing the
-  /// build machinery) and clears the overlay. No-op without an overlay.
+  // -- Compaction -----------------------------------------------------------
+
+  /// Synchronous fold: merges base ∪ delta into a fresh succinct base
+  /// (stop-the-world on the write path), then checkpoints + truncates the
+  /// WAL in device mode. Waits for any in-flight background fold first.
+  /// No-op without an overlay.
   Status Compact();
 
-  // -- Durability (write-ahead log) ------------------------------------------
-  //
-  // With a WAL attached, every Insert*/Remove* batch is appended to the log
-  // and group-committed with one Sync() *before* it touches the overlay:
-  // when a write call returns OK, its mutations are on the device. Compact()
-  // truncates the log after the overlay is folded into the base — the WAL
-  // covers exactly the mutations since the last load/compaction, so a
-  // deployment that wants full durability persists a base snapshot at each
-  // compaction (set_compaction_callback) and on restart reloads it, then
-  // re-attaches the WAL to replay the acknowledged tail. Replay runs
-  // through the normal write path and is idempotent, which makes the
-  // snapshot-first / truncate-second ordering safe against a crash between
-  // the two.
+  /// Background fold: freezes the current overlay and hands it (with the
+  /// shared immutable base) to a rebuild thread, while new writes land in
+  /// a fork of the store and are relayed onto the fresh base before the
+  /// atomic generation swap. Returns immediately; a fold already in
+  /// flight makes this a no-op. Errors surface via WaitForCompaction()
+  /// (or the next Compact()).
+  Status CompactAsync();
 
-  /// Attaches `wal` (already Open()ed). When `replay` is set, first
-  /// re-applies every acknowledged record in the log to the store —
-  /// reopen-after-crash. A torn or corrupt log tail (power cut mid-write)
-  /// is silently cut off; only intact acknowledged records are applied.
-  Status AttachWal(io::WriteAheadLog* wal, bool replay = true);
-  /// Stops logging; the log itself is left untouched.
-  void DetachWal() { wal_ = nullptr; }
-  io::WriteAheadLog* wal() const { return wal_; }
+  /// Joins an in-flight background fold (if any) and returns its result.
+  Status WaitForCompaction();
 
-  /// Invoked after every successful Compact() / auto-compaction, before the
-  /// WAL (if any) is truncated — the hook where a deployment persists its
-  /// base snapshot (e.g. store().ExportGraph()). A non-OK return aborts the
-  /// compaction path and is surfaced to the writer. Without a registered
-  /// callback, compaction never truncates the WAL: the log is then the
-  /// only durable copy of the folded mutations and keeps growing (replay
-  /// onto the originally loaded data remains correct and idempotent).
-  using CompactionCallback = std::function<Status(const Database&)>;
-  void set_compaction_callback(CompactionCallback cb) {
-    compaction_callback_ = std::move(cb);
-  }
+  /// True while a background fold is rebuilding.
+  bool compaction_in_flight() const { return compaction_running_.load(); }
+
+  /// Routes auto-compaction through CompactAsync() instead of the
+  /// synchronous fold (default off: deterministic folds for batch-style
+  /// callers; streaming deployments switch it on to keep writes flowing
+  /// during rebuilds).
+  void set_async_compaction(bool on) { async_compaction_ = on; }
 
   /// Overlay-size / base-size ratio that triggers auto-compaction after a
   /// write batch (default 0.25; set 0 to disable automatic compaction).
   void set_compaction_ratio(double ratio) { compaction_ratio_ = ratio; }
   double compaction_ratio() const { return compaction_ratio_; }
 
+  // -- Durability (standalone write-ahead log) -------------------------------
+  //
+  // With a WAL attached, every Insert*/Remove* batch is appended to the
+  // log and group-committed with one Sync() *before* it touches the
+  // overlay: when a write call returns OK, its mutations are on the
+  // device. In device mode (Open), compaction checkpoints the base and
+  // truncates the log; in standalone mode nothing persists the folded
+  // base, so the log is never truncated and keeps covering everything
+  // since the original load (replay stays correct and idempotent).
+
+  /// Attaches `wal` (already Open()ed). When `replay` is set, first
+  /// re-applies every acknowledged record in the log to the store —
+  /// reopen-after-crash. A torn or corrupt log tail (power cut mid-write)
+  /// is silently cut off; only intact committed batches are applied.
+  Status AttachWal(io::WriteAheadLog* wal, bool replay = true);
+  /// Stops logging; the log itself is left untouched.
+  void DetachWal() { wal_ = nullptr; }
+  io::WriteAheadLog* wal() const { return wal_; }
+
+  // -- Generations -----------------------------------------------------------
+
+  /// The current generation snapshot (store + base build number), or null
+  /// before any data is loaded. Readers pin it for however long they need
+  /// consistent lifetime guarantees; Query does this internally.
+  std::shared_ptr<const store::StoreGeneration> snapshot() const;
+
   /// Bumped every time the succinct base is (re)built: LoadData and each
-  /// compaction. Readers caching per-base state key off this.
-  uint64_t store_generation() const { return store_generation_; }
+  /// compaction swap. Shorthand for snapshot()->number().
+  uint64_t store_generation() const { return generation_number_.load(); }
   /// Bumped by every write batch that reached the overlay.
-  uint64_t write_generation() const { return write_generation_; }
+  uint64_t write_generation() const { return write_generation_.load(); }
   /// Live overlay entries (inserted triples + tombstones).
-  uint64_t delta_size() const { return store_ ? store_->delta_size() : 0; }
+  uint64_t delta_size() const;
 
   // -- Execution switches (defaults match the paper's system) ---------------
 
@@ -162,7 +240,9 @@ class Database {
 
   // -- Querying --------------------------------------------------------------
 
-  /// Parses, optimizes and executes a SPARQL SELECT query.
+  /// Parses, optimizes and executes a SPARQL SELECT query against a
+  /// pinned generation snapshot (safe against concurrent compaction
+  /// swaps).
   Result<sparql::QueryResult> Query(std::string_view sparql) const;
 
   /// Number of solutions only (skips decode; benches use this).
@@ -170,31 +250,84 @@ class Database {
 
   // -- Introspection ----------------------------------------------------------
 
-  bool has_data() const { return store_ != nullptr; }
-  const store::TripleStore& store() const { return *store_; }
+  bool has_data() const { return snapshot() != nullptr; }
+  /// The current store. Control-thread convenience (tests, benches,
+  /// examples): the returned reference is guaranteed only while no
+  /// generation swap can run concurrently — when a CompactAsync() fold
+  /// may be in flight, pin snapshot() and read through it instead (a
+  /// swap would otherwise free the store behind this reference).
+  const store::TripleStore& store() const;
   const ontology::Ontology& ontology() const { return onto_; }
-  uint64_t num_triples() const { return store_ ? store_->num_triples() : 0; }
+  uint64_t num_triples() const;
 
  private:
-  /// Builds an empty base store so writes can start before any LoadData.
-  Status EnsureStore();
+  struct RelayOp {
+    bool insert;
+    rdf::Triple triple;
+  };
+
+  // All *Locked methods require write_mu_ held.
+  Status EnsureStoreLocked();
+  Status LoadDataLocked(const rdf::Graph& graph);
+  Status CompactLocked();
+  Status CompactAsyncLocked();
+  Status CheckpointLocked();
+  Status MaybeCompactLocked();
+  /// Appends one record per triple and group-commits with a single
+  /// Sync(). No-op without a WAL. Called before the mutations are
+  /// applied. A full WAL region (device mode) forces a checkpoint +
+  /// truncation, then retries the batch once.
+  Status LogBatchLocked(io::WalRecordType type, const rdf::Triple* triples,
+                        size_t count);
+  /// Records applied mutations for the background fold's catch-up replay.
+  void RecordRelayLocked(bool insert, const rdf::Triple* triples,
+                         size_t count);
+  /// Publishes store_ as the current StoreGeneration.
+  void PublishSnapshotLocked();
+  /// Background-thread completion: catch-up relay, swap, checkpoint.
+  /// `ticket` is the store epoch the fold forked at; a mismatch means
+  /// the fold was superseded and its result is discarded.
+  void FinishCompaction(uint64_t ticket, Result<store::TripleStore> built);
+  /// Restores ontology + store + generation from a checkpoint image.
+  Status RestoreImage(const std::string& image);
+  /// Serializes the current state into a checkpoint image.
+  std::string SerializeImageLocked() const;
+
   /// Folds one executor's counters into query_stats_.
   void AccumulateQueryStats(const sparql::Executor& executor) const;
-  /// Runs Compact() when the overlay outgrew compaction_ratio_.
-  Status MaybeCompact();
-  /// Appends one record per triple and group-commits with a single Sync().
-  /// No-op without a WAL. Called before the mutations are applied.
-  Status LogBatch(io::WalRecordType type, const rdf::Triple* triples,
-                  size_t count);
 
   ontology::Ontology onto_;
-  std::unique_ptr<store::TripleStore> store_;
   sparql::Executor::Options options_;
+
+  // Current writable store and its published snapshot. store_ is guarded
+  // by write_mu_; gen_ by snap_mu_ (readers only ever touch gen_).
+  std::shared_ptr<store::TripleStore> store_;
+  std::shared_ptr<const store::StoreGeneration> gen_;
+  mutable std::mutex snap_mu_;
+  mutable std::mutex write_mu_;
+
+  // Background compaction state (write_mu_ unless noted).
+  std::thread worker_;
+  std::atomic<bool> compaction_running_{false};
+  Status compaction_error_;
+  std::vector<RelayOp> relay_;
+  bool recording_ = false;
+  bool async_compaction_ = false;
+  // Bumped on every store_ replacement. A background fold captures the
+  // value right after installing its fork and swaps only if it still
+  // matches — a LoadData (or sync fold) that replaced the store in the
+  // meantime supersedes the fold, whose result is then discarded.
+  uint64_t store_epoch_ = 0;
+
+  // Durability plumbing. In device mode owned_wal_/storage_ are owned and
+  // wal_ aliases owned_wal_; in standalone mode wal_ is borrowed.
   io::WriteAheadLog* wal_ = nullptr;
-  CompactionCallback compaction_callback_;
+  std::unique_ptr<io::WriteAheadLog> owned_wal_;
+  std::unique_ptr<io::CheckpointStorage> storage_;
+
   double compaction_ratio_ = 0.25;
-  uint64_t store_generation_ = 0;
-  uint64_t write_generation_ = 0;
+  std::atomic<uint64_t> generation_number_{0};
+  std::atomic<uint64_t> write_generation_{0};
   // Query is const; the counters are observability, not database state.
   mutable std::atomic<uint64_t> stat_merge_join_{0};
   mutable std::atomic<uint64_t> stat_merge_join_delta_{0};

@@ -1,0 +1,223 @@
+#include "io/checkpoint.h"
+
+#include <cstring>
+
+#include "io/crc32.h"
+#include "rdf/triple_codec.h"
+#include "util/logging.h"
+
+namespace sedge::io {
+namespace {
+
+constexpr uint8_t kMagic[8] = {'S', 'E', 'D', 'G', 'E', 'C', 'K', 'P'};
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status CheckpointStorage::WriteSuperblock() {
+  while (device_->num_blocks() < kSuperblockSlots) device_->AllocateBlock();
+  // Superblock payload: magic, version, seq, wal capacity, has-checkpoint
+  // flag, then both extent descriptors; a CRC over all of it closes the
+  // block. The slot flips with the sequence parity so a torn write leaves
+  // the previous superblock (and therefore the previous checkpoint)
+  // authoritative.
+  std::string payload;
+  payload.append(reinterpret_cast<const char*>(kMagic), sizeof(kMagic));
+  rdf::PutU32(payload, kVersion);
+  rdf::PutU64(payload, seq_);
+  rdf::PutU64(payload, wal_capacity_);
+  rdf::PutU8(payload, has_checkpoint_ ? 1 : 0);
+  for (const Extent& e : extents_) {
+    rdf::PutU64(payload, e.start);
+    rdf::PutU64(payload, e.blocks);
+    rdf::PutU64(payload, e.payload_bytes);
+    rdf::PutU32(payload, e.payload_crc);
+    rdf::PutU64(payload, e.generation);
+    rdf::PutU64(payload, e.base_triples);
+  }
+  SEDGE_CHECK(payload.size() + 4 <= kBlockSize);
+  uint8_t block[kBlockSize] = {};
+  std::memcpy(block, payload.data(), payload.size());
+  const uint32_t crc =
+      Crc32(reinterpret_cast<const uint8_t*>(payload.data()), payload.size());
+  std::string crc_bytes;
+  rdf::PutU32(crc_bytes, crc);
+  std::memcpy(block + payload.size(), crc_bytes.data(), crc_bytes.size());
+  if (!device_->WriteBlock(seq_ % kSuperblockSlots, block)) {
+    return Status::IoError("checkpoint superblock write failed");
+  }
+  return Status::OK();
+}
+
+Status CheckpointStorage::Open(uint64_t wal_capacity_blocks) {
+  if (opened_) return Status::Internal("CheckpointStorage already open");
+  // Fresh means "never held a superblock": zero blocks, or slots that
+  // are still all-zero (a power cut can allocate the slot blocks and
+  // die before the first superblock write lands — that device must stay
+  // formattable, not brick).
+  bool fresh = device_->num_blocks() == 0;
+  if (!fresh) {
+    fresh = true;
+    uint8_t block[kBlockSize];
+    for (uint64_t slot = 0; slot < kSuperblockSlots && fresh; ++slot) {
+      if (slot >= device_->num_blocks()) break;
+      device_->ReadBlock(slot, block);
+      for (uint64_t i = 0; i < kBlockSize; ++i) {
+        if (block[i] != 0) {
+          fresh = false;
+          break;
+        }
+      }
+    }
+  }
+  if (fresh) {
+    // Fresh device: format. The WAL region needs its two header slots
+    // plus at least one record block.
+    if (wal_capacity_blocks < 3) {
+      return Status::InvalidArgument("WAL region needs >= 3 blocks");
+    }
+    seq_ = 1;
+    wal_capacity_ = wal_capacity_blocks;
+    has_checkpoint_ = false;
+    SEDGE_RETURN_NOT_OK(WriteSuperblock());
+    opened_ = true;
+    return Status::OK();
+  }
+
+  bool any_valid = false;
+  for (uint64_t slot = 0; slot < kSuperblockSlots; ++slot) {
+    if (slot >= device_->num_blocks()) break;
+    uint8_t block[kBlockSize];
+    device_->ReadBlock(slot, block);
+    if (std::memcmp(block, kMagic, sizeof(kMagic)) != 0) continue;
+    if (rdf::GetU32(block + 8) != kVersion) continue;
+    // Fixed-size payload: magic(8) + version(4) + seq(8) + walcap(8) +
+    // flag(1) + 2 * extent(44).
+    const size_t payload_size = 8 + 4 + 8 + 8 + 1 + 2 * 44;
+    if (rdf::GetU32(block + payload_size) != Crc32(block, payload_size)) {
+      continue;
+    }
+    const uint64_t slot_seq = rdf::GetU64(block + 12);
+    if (any_valid && slot_seq <= seq_) continue;
+    seq_ = slot_seq;
+    wal_capacity_ = rdf::GetU64(block + 20);
+    has_checkpoint_ = block[28] != 0;
+    size_t pos = 29;
+    for (Extent& e : extents_) {
+      e.start = rdf::GetU64(block + pos);
+      e.blocks = rdf::GetU64(block + pos + 8);
+      e.payload_bytes = rdf::GetU64(block + pos + 16);
+      e.payload_crc = rdf::GetU32(block + pos + 24);
+      e.generation = rdf::GetU64(block + pos + 28);
+      e.base_triples = rdf::GetU64(block + pos + 36);
+      pos += 44;
+    }
+    any_valid = true;
+  }
+  if (!any_valid) {
+    return Status::IoError(
+        "device does not hold a valid SuccinctEdge checkpoint layout");
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status CheckpointStorage::WriteCheckpoint(const std::string& image,
+                                          uint64_t generation,
+                                          uint64_t base_triples) {
+  if (!opened_) return Status::Internal("CheckpointStorage not open");
+  const uint64_t needed =
+      (image.size() + kBlockSize - 1) / kBlockSize;
+  // The new image goes into the extent the *next* sequence number will
+  // mark active — i.e. the currently inactive one — so the live
+  // checkpoint stays intact until the superblock flip.
+  Extent target = extents_[(seq_ + 1) % 2];
+  if (target.start == 0 || target.blocks < needed) {
+    // Outgrown (or never allocated). Growth is amortized: an extent at
+    // the device tail is extended in place, and any fresh extent gets
+    // 50% headroom, so reallocations happen O(log growth) times and the
+    // abandoned-extent waste stays a constant factor of the image size
+    // (geometric series) rather than the sum of every past image.
+    const uint64_t with_headroom = needed + needed / 2;
+    if (target.start != 0 &&
+        target.start + target.blocks == device_->num_blocks()) {
+      while (device_->num_blocks() < target.start + with_headroom) {
+        device_->AllocateBlock();
+      }
+      target.blocks = with_headroom;
+    } else {
+      const uint64_t start =
+          std::max(device_->num_blocks(),
+                   wal_region_start() + wal_capacity_);
+      while (device_->num_blocks() < start + with_headroom) {
+        device_->AllocateBlock();
+      }
+      target.start = start;
+      target.blocks = with_headroom;
+    }
+  }
+  for (uint64_t i = 0; i < needed; ++i) {
+    uint8_t block[kBlockSize] = {};
+    const uint64_t off = i * kBlockSize;
+    const uint64_t n =
+        std::min<uint64_t>(kBlockSize, image.size() - off);
+    std::memcpy(block, image.data() + off, n);
+    if (!device_->WriteBlock(target.start + i, block)) {
+      return Status::IoError("checkpoint payload write failed");
+    }
+  }
+  target.payload_bytes = image.size();
+  target.payload_crc =
+      Crc32(reinterpret_cast<const uint8_t*>(image.data()), image.size());
+  target.generation = generation;
+  target.base_triples = base_triples;
+
+  // Commit point: the superblock flip makes the new image active. A crash
+  // before this write leaves the old superblock (pointing at the old
+  // extent) authoritative; a torn flip is caught by the slot CRC and
+  // falls back the same way.
+  const bool prev_has_checkpoint = has_checkpoint_;
+  ++seq_;
+  extents_[seq_ % 2] = target;
+  has_checkpoint_ = true;
+  const Status st = WriteSuperblock();
+  if (!st.ok()) {
+    // Roll the in-memory state back so a failed flip does not leave the
+    // manager believing in a superblock the device never stored. (The
+    // updated extent descriptor is kept — it records blocks genuinely
+    // allocated, available for the next attempt.)
+    --seq_;
+    has_checkpoint_ = prev_has_checkpoint;
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<std::string> CheckpointStorage::ReadCheckpoint() const {
+  if (!opened_) return Status::Internal("CheckpointStorage not open");
+  if (!has_checkpoint_) {
+    return Status::NotFound("device holds no checkpoint");
+  }
+  const Extent& e = active();
+  const uint64_t blocks = (e.payload_bytes + kBlockSize - 1) / kBlockSize;
+  if (e.start + blocks > device_->num_blocks()) {
+    return Status::IoError("checkpoint extent past device end");
+  }
+  std::string image;
+  image.resize(e.payload_bytes);
+  uint8_t block[kBlockSize];
+  for (uint64_t i = 0; i < blocks; ++i) {
+    device_->ReadBlock(e.start + i, block);
+    const uint64_t off = i * kBlockSize;
+    const uint64_t n =
+        std::min<uint64_t>(kBlockSize, e.payload_bytes - off);
+    std::memcpy(image.data() + off, block, n);
+  }
+  if (Crc32(reinterpret_cast<const uint8_t*>(image.data()), image.size()) !=
+      e.payload_crc) {
+    return Status::IoError("checkpoint image failed CRC validation");
+  }
+  return image;
+}
+
+}  // namespace sedge::io

@@ -1,0 +1,103 @@
+// Device-resident checkpoints for the succinct base store.
+//
+// The paper's edge deployment rebuilds the succinct structures on-device;
+// before this module the store could only persist its base through an
+// application callback (export the graph, keep the TTL somewhere), which
+// made recovery an application protocol. CheckpointStorage makes one
+// SimulatedBlockDevice fully self-contained: it lays out
+//
+//   blocks 0,1            double-buffered superblock slots (CRC'd):
+//                         magic, version, superblock sequence, WAL region
+//                         capacity, and the two checkpoint extents with
+//                         the active image's length/CRC/generation;
+//   blocks 2..2+walcap    the write-ahead log region (io/wal.h), fixed
+//                         capacity so the log can never grow into the
+//                         checkpoint extents;
+//   blocks beyond         checkpoint extents, ping-ponged A/B.
+//
+// A checkpoint write streams the serialized store image (see
+// TripleStore::SaveTo — dictionary, PSO/datatype/rdf:type layouts, LiteMat
+// tables, plus the overlay as decoded mutations) into the *inactive*
+// extent, then flips the superblock. A power cut anywhere before the flip
+// leaves the previous checkpoint authoritative; replaying the (not yet
+// truncated) WAL on top of it reproduces the acknowledged state, exactly
+// like the snapshot-then-truncate ordering the WAL already documents.
+// Extents are reused across checkpoints and only reallocated (with 50%
+// headroom, growing tail extents in place) when an image outgrows its
+// slot, so the device footprint stays proportional — amortized, within a
+// constant factor — to two base images plus the WAL region.
+
+#ifndef SEDGE_IO_CHECKPOINT_H_
+#define SEDGE_IO_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/block_device.h"
+#include "util/status.h"
+
+namespace sedge::io {
+
+/// \brief Superblock + extent manager for checkpoints sharing a block
+/// device with the WAL. Single-writer, like the rest of the store.
+class CheckpointStorage {
+ public:
+  explicit CheckpointStorage(SimulatedBlockDevice* device)
+      : device_(device) {}
+
+  CheckpointStorage(const CheckpointStorage&) = delete;
+  CheckpointStorage& operator=(const CheckpointStorage&) = delete;
+
+  /// Opens an existing layout (validating the superblocks) or formats a
+  /// fresh device with a WAL region of `wal_capacity_blocks`. On an
+  /// already-formatted device the stored capacity wins — the layout is a
+  /// device property, not a per-open option.
+  Status Open(uint64_t wal_capacity_blocks);
+
+  bool opened() const { return opened_; }
+  bool has_checkpoint() const { return has_checkpoint_; }
+  /// Store generation recorded with the active checkpoint.
+  uint64_t generation() const { return active().generation; }
+  uint64_t base_triples() const { return active().base_triples; }
+  /// Superblock flips so far (each durable checkpoint bumps it).
+  uint64_t sequence() const { return seq_; }
+
+  /// First block and capacity of the WAL region this layout reserves.
+  uint64_t wal_region_start() const { return kSuperblockSlots; }
+  uint64_t wal_capacity_blocks() const { return wal_capacity_; }
+
+  /// Writes `image` as the new active checkpoint: payload blocks into the
+  /// inactive extent first, superblock flip last (the commit point).
+  Status WriteCheckpoint(const std::string& image, uint64_t generation,
+                         uint64_t base_triples);
+
+  /// Reads and CRC-verifies the active checkpoint image.
+  Result<std::string> ReadCheckpoint() const;
+
+ private:
+  static constexpr uint64_t kSuperblockSlots = 2;
+
+  struct Extent {
+    uint64_t start = 0;   // first device block (0 = never allocated)
+    uint64_t blocks = 0;  // allocated capacity in blocks
+    uint64_t payload_bytes = 0;
+    uint32_t payload_crc = 0;
+    uint64_t generation = 0;
+    uint64_t base_triples = 0;
+  };
+
+  const Extent& active() const { return extents_[seq_ % 2]; }
+
+  Status WriteSuperblock();
+
+  SimulatedBlockDevice* device_;
+  bool opened_ = false;
+  bool has_checkpoint_ = false;
+  uint64_t seq_ = 0;  // extents_[seq_ % 2] holds the active image
+  uint64_t wal_capacity_ = 0;
+  Extent extents_[2];
+};
+
+}  // namespace sedge::io
+
+#endif  // SEDGE_IO_CHECKPOINT_H_

@@ -1,0 +1,43 @@
+// Shared CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven.
+//
+// Both durable layers — the WAL record frames and the checkpoint
+// superblocks/extents — checksum with this one implementation, so their
+// on-device formats cannot drift. Kept header-only and dependency-free:
+// zlib would be a dependency the edge build does not otherwise carry.
+
+#ifndef SEDGE_IO_CRC32_H_
+#define SEDGE_IO_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sedge::io {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline uint32_t Crc32(const uint8_t* data, size_t n) {
+  const auto& table = Crc32Table();
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sedge::io
+
+#endif  // SEDGE_IO_CRC32_H_

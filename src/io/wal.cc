@@ -1,139 +1,20 @@
 #include "io/wal.h"
 
 #include <algorithm>
-#include <array>
 #include <cstring>
 
+#include "io/crc32.h"
+#include "rdf/triple_codec.h"
 #include "util/logging.h"
 
 namespace sedge::io {
 namespace {
 
-// ------------------------------------------------------------------ CRC32
-// Standard CRC-32 (IEEE 802.3, reflected 0xEDB88320), table-driven. Kept
-// local: nothing else in the tree needs a checksum, and zlib would be a
-// dependency the edge build does not otherwise carry.
-
-const std::array<uint32_t, 256>& CrcTable() {
-  static const std::array<uint32_t, 256> table = [] {
-    std::array<uint32_t, 256> t{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-uint32_t Crc32(const uint8_t* data, size_t n) {
-  const auto& table = CrcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
-}
-
-// ------------------------------------------------- little-endian framing
-
-void PutU8(std::string& out, uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-void PutU32(std::string& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-void PutU64(std::string& out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
-}
-
-uint32_t GetU32(const uint8_t* p) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-uint64_t GetU64(const uint8_t* p) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
-  return v;
-}
-
-void PutString(std::string& out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out.append(s);
-}
-
-// --------------------------------------------------- triple (de)serializer
-
-void PutTerm(std::string& out, const rdf::Term& t) {
-  PutU8(out, static_cast<uint8_t>(t.kind()));
-  PutString(out, t.lexical());
-  PutString(out, t.datatype());
-  PutString(out, t.lang());
-}
-
-std::string SerializeTriple(const rdf::Triple& t) {
-  std::string out;
-  PutTerm(out, t.subject);
-  PutTerm(out, t.predicate);
-  PutTerm(out, t.object);
-  return out;
-}
-
-bool GetString(const uint8_t* data, size_t size, size_t* pos,
-               std::string* out) {
-  if (*pos + 4 > size) return false;
-  const uint32_t n = GetU32(data + *pos);
-  *pos += 4;
-  if (*pos + n > size) return false;
-  out->assign(reinterpret_cast<const char*>(data + *pos), n);
-  *pos += n;
-  return true;
-}
-
-bool GetTerm(const uint8_t* data, size_t size, size_t* pos, rdf::Term* out) {
-  if (*pos + 1 > size) return false;
-  const uint8_t kind = data[*pos];
-  *pos += 1;
-  std::string lexical, datatype, lang;
-  if (!GetString(data, size, pos, &lexical) ||
-      !GetString(data, size, pos, &datatype) ||
-      !GetString(data, size, pos, &lang)) {
-    return false;
-  }
-  switch (static_cast<rdf::TermKind>(kind)) {
-    case rdf::TermKind::kIri:
-      *out = rdf::Term::Iri(std::move(lexical));
-      return datatype.empty() && lang.empty();
-    case rdf::TermKind::kBlank:
-      *out = rdf::Term::Blank(std::move(lexical));
-      return datatype.empty() && lang.empty();
-    case rdf::TermKind::kLiteral:
-      *out = rdf::Term::Literal(std::move(lexical), std::move(datatype),
-                                std::move(lang));
-      return true;
-  }
-  return false;
-}
-
-bool DeserializeTriple(const uint8_t* data, size_t size, rdf::Triple* out) {
-  size_t pos = 0;
-  return GetTerm(data, size, &pos, &out->subject) &&
-         GetTerm(data, size, &pos, &out->predicate) &&
-         GetTerm(data, size, &pos, &out->object) && pos == size;
-}
-
 // ------------------------------------------------------------- constants
 
 constexpr uint8_t kMagic[8] = {'S', 'E', 'D', 'G', 'E', 'W', 'A', 'L'};
-constexpr uint32_t kVersion = 1;
-// Double-buffered header slots: Truncate() rewrites slot epoch%2, so the
-// previously valid slot survives a power cut mid-rewrite.
-constexpr uint64_t kHeaderSlots = 2;
-constexpr uint64_t kFirstRecordBlock = kHeaderSlots;
+// v2: per-sync commit markers (replay stops at the last commit).
+constexpr uint32_t kVersion = 2;
 // magic + version + epoch, then the CRC over them.
 constexpr size_t kHeaderPayload = 8 + 4 + 8;
 // crc + length + epoch + seq + type.
@@ -142,18 +23,24 @@ constexpr size_t kFrameHeader = 4 + 4 + 8 + 8 + 1;
 // this, and the cap stops a corrupt length field from allocating wildly.
 constexpr uint32_t kMaxPayload = 1u << 20;
 
-/// Forward byte reader over the record stream, one device read per block.
+/// Forward byte reader over one region's record stream, one device read
+/// per block.
 class BlockCursor {
  public:
-  explicit BlockCursor(SimulatedBlockDevice* device) : device_(device) {}
+  BlockCursor(SimulatedBlockDevice* device, uint64_t first_block,
+              uint64_t end_block)
+      : device_(device), block_(first_block), end_block_(end_block) {}
 
   uint64_t block() const { return block_; }
   uint64_t offset() const { return offset_; }
 
-  /// False when the stream ends before `n` bytes (device exhausted).
+  /// False when the stream ends before `n` bytes (device or region
+  /// exhausted).
   bool ReadBytes(uint8_t* out, size_t n) {
     while (n > 0) {
-      if (block_ >= device_->num_blocks()) return false;
+      if (block_ >= device_->num_blocks() || block_ >= end_block_) {
+        return false;
+      }
       if (loaded_block_ != block_) {
         device_->ReadBlock(block_, buf_);
         loaded_block_ = block_;
@@ -174,7 +61,8 @@ class BlockCursor {
 
  private:
   SimulatedBlockDevice* device_;
-  uint64_t block_ = kFirstRecordBlock;
+  uint64_t block_;
+  uint64_t end_block_;
   uint64_t offset_ = 0;
   uint64_t loaded_block_ = ~0ULL;
   uint8_t buf_[kBlockSize];
@@ -184,8 +72,31 @@ class BlockCursor {
 
 Status WriteAheadLog::Open() {
   if (open_) return Status::Internal("WAL already open");
-  if (device_->num_blocks() == 0) {
-    // Fresh device: format it.
+  if (capacity_blocks_ != kUnboundedCapacity &&
+      capacity_blocks_ < kWalHeaderSlots + 1) {
+    return Status::InvalidArgument("WAL region too small for headers");
+  }
+  // Fresh means "never held a header": the region's blocks do not exist
+  // yet, or the header slots are still all-zero (a power cut between
+  // slot allocation and the first header write must leave the region
+  // formattable, not brick it).
+  bool fresh = device_->num_blocks() <= region_start_;
+  if (!fresh) {
+    fresh = true;
+    uint8_t header[kBlockSize];
+    for (uint64_t slot = 0; slot < kWalHeaderSlots && fresh; ++slot) {
+      if (region_start_ + slot >= device_->num_blocks()) break;
+      device_->ReadBlock(region_start_ + slot, header);
+      for (uint64_t i = 0; i < kBlockSize; ++i) {
+        if (header[i] != 0) {
+          fresh = false;
+          break;
+        }
+      }
+    }
+  }
+  if (fresh) {
+    // Fresh region: format it.
     epoch_ = 1;
     SEDGE_RETURN_NOT_OK(WriteHeader());
     open_ = true;
@@ -196,16 +107,17 @@ Status WriteAheadLog::Open() {
   // Take the valid header slot with the largest epoch (a torn slot
   // rewrite during truncation leaves the other slot authoritative).
   bool any_valid = false;
-  for (uint64_t slot = 0; slot < kHeaderSlots; ++slot) {
-    if (slot >= device_->num_blocks()) break;
+  for (uint64_t slot = 0; slot < kWalHeaderSlots; ++slot) {
+    if (region_start_ + slot >= device_->num_blocks()) break;
     uint8_t header[kBlockSize];
-    device_->ReadBlock(slot, header);
+    device_->ReadBlock(region_start_ + slot, header);
     if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) continue;
-    if (GetU32(header + 8) != kVersion) continue;
-    if (GetU32(header + kHeaderPayload) != Crc32(header, kHeaderPayload)) {
+    if (rdf::GetU32(header + 8) != kVersion) continue;
+    if (rdf::GetU32(header + kHeaderPayload) !=
+        Crc32(header, kHeaderPayload)) {
       continue;
     }
-    const uint64_t slot_epoch = GetU64(header + 12);
+    const uint64_t slot_epoch = rdf::GetU64(header + 12);
     if (!any_valid || slot_epoch > epoch_) epoch_ = slot_epoch;
     any_valid = true;
   }
@@ -213,8 +125,9 @@ Status WriteAheadLog::Open() {
     return Status::IoError("device does not hold a valid SuccinctEdge WAL");
   }
 
-  // Scan to the end of the intact record prefix; appends continue there.
-  // The decoded records are cached so the AttachWal replay that normally
+  // Scan to the end of the intact committed prefix; appends continue
+  // there (an uncommitted tail is overwritten by the next sync). The
+  // decoded records are cached so the AttachWal replay that normally
   // follows does not re-read every log block at SD latencies.
   open_scan_cache_.clear();
   SEDGE_RETURN_NOT_OK(ScanRecords(
@@ -237,19 +150,21 @@ Status WriteAheadLog::Open() {
 Status WriteAheadLog::WriteHeader() {
   // Both slots must exist so Open() can read them; only epoch%2 is
   // written, leaving the other slot's contents (the previous epoch) alone.
-  while (device_->num_blocks() < kHeaderSlots) device_->AllocateBlock();
-  const uint64_t slot = epoch_ % kHeaderSlots;
+  while (device_->num_blocks() < region_start_ + kWalHeaderSlots) {
+    device_->AllocateBlock();
+  }
+  const uint64_t slot = region_start_ + epoch_ % kWalHeaderSlots;
   open_scan_cache_valid_ = false;
   open_scan_cache_ = {};  // free the decoded copies, not just the flag
   uint8_t header[kBlockSize] = {};
   std::memcpy(header, kMagic, sizeof(kMagic));
   std::string tail;
-  PutU32(tail, kVersion);
-  PutU64(tail, epoch_);
+  rdf::PutU32(tail, kVersion);
+  rdf::PutU64(tail, epoch_);
   std::memcpy(header + 8, tail.data(), tail.size());
   const uint32_t crc = Crc32(header, kHeaderPayload);
   std::string crc_bytes;
-  PutU32(crc_bytes, crc);
+  rdf::PutU32(crc_bytes, crc);
   std::memcpy(header + kHeaderPayload, crc_bytes.data(), crc_bytes.size());
   if (!device_->WriteBlock(slot, header)) {
     failed_ = true;
@@ -260,11 +175,11 @@ Status WriteAheadLog::WriteHeader() {
 }
 
 Status WriteAheadLog::AppendInsert(const rdf::Triple& triple) {
-  return AppendRecord(WalRecordType::kInsert, SerializeTriple(triple));
+  return AppendRecord(WalRecordType::kInsert, rdf::EncodeTriple(triple));
 }
 
 Status WriteAheadLog::AppendRemove(const rdf::Triple& triple) {
-  return AppendRecord(WalRecordType::kRemove, SerializeTriple(triple));
+  return AppendRecord(WalRecordType::kRemove, rdf::EncodeTriple(triple));
 }
 
 Status WriteAheadLog::AppendRecord(WalRecordType type,
@@ -279,15 +194,15 @@ Status WriteAheadLog::AppendRecord(WalRecordType type,
 
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
-  PutU32(frame, static_cast<uint32_t>(payload.size()));
-  PutU64(frame, epoch_);
-  PutU64(frame, next_seq_++);
-  PutU8(frame, static_cast<uint8_t>(type));
+  rdf::PutU32(frame, static_cast<uint32_t>(payload.size()));
+  rdf::PutU64(frame, epoch_);
+  rdf::PutU64(frame, next_seq_++);
+  rdf::PutU8(frame, static_cast<uint8_t>(type));
   frame.append(payload);
   const uint32_t crc =
       Crc32(reinterpret_cast<const uint8_t*>(frame.data()), frame.size());
   std::string crc_bytes;
-  PutU32(crc_bytes, crc);
+  rdf::PutU32(crc_bytes, crc);
 
   pending_.insert(pending_.end(), crc_bytes.begin(), crc_bytes.end());
   pending_.insert(pending_.end(), frame.begin(), frame.end());
@@ -311,6 +226,28 @@ Status WriteAheadLog::Sync() {
   if (!open_) return Status::Internal("WAL not open");
   if (failed_) return Status::IoError("WAL device failed");
   if (pending_.empty()) return Status::OK();
+
+  // Region capacity check, commit marker included, *before* anything is
+  // written or the batch's records are mutated: on ResourceExhausted the
+  // pending batch stays intact. Note the recovery protocol: folding the
+  // overlay truncates this log, and Truncate() starts by discarding the
+  // pending batch — the caller must re-append it before syncing again
+  // (Database::LogBatchLocked does exactly that).
+  const uint64_t commit_bytes = 4 + kFrameHeader;
+  const uint64_t total_after =
+      tail_offset_ + pending_.size() + commit_bytes;
+  const uint64_t last_block =
+      tail_block_ + (total_after > 0 ? (total_after - 1) / kBlockSize : 0);
+  if (capacity_blocks_ != kUnboundedCapacity &&
+      last_block >= region_start_ + capacity_blocks_) {
+    return Status::ResourceExhausted("WAL region full");
+  }
+
+  // Seal the batch with its commit marker — replay applies a batch only
+  // when this record survived, which is what makes a torn sync invisible
+  // instead of half-applied.
+  SEDGE_RETURN_NOT_OK(AppendRecord(WalRecordType::kCommit, std::string()));
+
   open_scan_cache_valid_ = false;
   open_scan_cache_ = {};  // free the decoded copies, not just the flag
 
@@ -358,27 +295,33 @@ Status WriteAheadLog::Truncate(uint64_t base_triples) {
 
   ++epoch_;
   SEDGE_RETURN_NOT_OK(WriteHeader());
-  tail_block_ = kFirstRecordBlock;
+  tail_block_ = region_start_ + kWalHeaderSlots;
   tail_offset_ = 0;
   std::fill(tail_buf_.begin(), tail_buf_.end(), 0);
   next_seq_ = 0;
   ++stats_.truncations;
 
   std::string payload;
-  PutU64(payload, base_triples);
+  rdf::PutU64(payload, base_triples);
   SEDGE_RETURN_NOT_OK(AppendRecord(WalRecordType::kCompactEpoch, payload));
   SEDGE_RETURN_NOT_OK(Sync());
 
   // The new header and marker are durable, so every block past the
-  // marker's tail holds only epoch-fenced (unreachable) records: release
-  // them instead of letting the device high-watermark forever. Ordering
-  // matters — trimming before the marker sync could drop blocks Sync()
-  // is about to write; a crash landing here simply leaves the stale
-  // blocks for the next truncation to release.
-  const uint64_t live_end = tail_block_ + (tail_offset_ > 0 ? 1 : 0);
-  const uint64_t before = device_->num_blocks();
-  device_->TrimBlocks(std::max(live_end, kFirstRecordBlock));
-  stats_.blocks_released += before - device_->num_blocks();
+  // marker's tail holds only epoch-fenced (unreachable) records. When the
+  // log owns the device tail (the standalone unbounded mode), release
+  // them instead of letting the device high-watermark forever; inside a
+  // fixed region (checkpoint layout) the blocks beyond may belong to
+  // checkpoint extents, so they are simply reused by later appends.
+  // Ordering matters — trimming before the marker sync could drop blocks
+  // Sync() is about to write; a crash landing here simply leaves the
+  // stale blocks for the next truncation to release.
+  if (capacity_blocks_ == kUnboundedCapacity) {
+    const uint64_t live_end = tail_block_ + (tail_offset_ > 0 ? 1 : 0);
+    const uint64_t before = device_->num_blocks();
+    device_->TrimBlocks(
+        std::max(live_end, region_start_ + kWalHeaderSlots));
+    stats_.blocks_released += before - device_->num_blocks();
+  }
   return Status::OK();
 }
 
@@ -407,28 +350,36 @@ Result<uint64_t> WriteAheadLog::ReplayableMutations() const {
 Status WriteAheadLog::ScanRecords(
     const std::function<Status(const WalReplayRecord&)>& fn,
     uint64_t* end_block, uint64_t* end_offset, uint64_t* next_seq) const {
-  BlockCursor cursor(device_);
-  *end_block = kFirstRecordBlock;
+  const uint64_t region_end =
+      capacity_blocks_ == kUnboundedCapacity
+          ? ~0ULL
+          : region_start_ + capacity_blocks_;
+  BlockCursor cursor(device_, region_start_ + kWalHeaderSlots, region_end);
+  *end_block = region_start_ + kWalHeaderSlots;
   *end_offset = 0;
   *next_seq = 0;
 
+  // Records decoded since the last commit marker; delivered to `fn` only
+  // once their batch's commit survives intact (batch atomicity).
+  std::vector<WalReplayRecord> uncommitted;
   uint64_t expected_seq = 0;
   while (true) {
     // Any framing violation below means the durable prefix ended here —
     // a zeroed region, a torn multi-block record, bit rot, or records of
-    // a pre-truncation epoch. All of them just stop the scan.
+    // a pre-truncation epoch. All of them just stop the scan, and the
+    // batch accumulated since the last commit is dropped with it.
     uint8_t header[kFrameHeader];
     if (!cursor.ReadBytes(header, kFrameHeader)) break;
-    const uint32_t crc = GetU32(header);
-    const uint32_t length = GetU32(header + 4);
-    const uint64_t epoch = GetU64(header + 8);
-    const uint64_t seq = GetU64(header + 16);
+    const uint32_t crc = rdf::GetU32(header);
+    const uint32_t length = rdf::GetU32(header + 4);
+    const uint64_t epoch = rdf::GetU64(header + 8);
+    const uint64_t seq = rdf::GetU64(header + 16);
     const uint8_t type = header[24];
     if (length > kMaxPayload) break;
     if (epoch != epoch_) break;
     if (seq != expected_seq) break;
     if (type < static_cast<uint8_t>(WalRecordType::kInsert) ||
-        type > static_cast<uint8_t>(WalRecordType::kCompactEpoch)) {
+        type > static_cast<uint8_t>(WalRecordType::kCommit)) {
       break;
     }
     std::vector<uint8_t> framed(kFrameHeader - 4 + length);
@@ -442,19 +393,33 @@ Status WriteAheadLog::ScanRecords(
     WalReplayRecord record;
     record.type = static_cast<WalRecordType>(type);
     const uint8_t* payload = framed.data() + kFrameHeader - 4;
-    if (record.type == WalRecordType::kCompactEpoch) {
+    if (record.type == WalRecordType::kCommit) {
+      if (length != 0) break;
+    } else if (record.type == WalRecordType::kCompactEpoch) {
       if (length != 8) break;
-      record.base_triples = GetU64(payload);
-    } else if (!DeserializeTriple(payload, length, &record.triple)) {
+      record.base_triples = rdf::GetU64(payload);
+    } else if (!rdf::DecodeTriple(payload, length, &record.triple)) {
       break;  // CRC-valid but malformed — treat as end of prefix
     }
-    if (fn != nullptr) SEDGE_RETURN_NOT_OK(fn(record));
-
     ++expected_seq;
-    *end_block = cursor.block();
-    *end_offset = cursor.offset();
+
+    if (record.type == WalRecordType::kCommit) {
+      if (fn != nullptr) {
+        for (const WalReplayRecord& r : uncommitted) {
+          SEDGE_RETURN_NOT_OK(fn(r));
+        }
+      }
+      uncommitted.clear();
+      // The committed prefix ends after this marker; appends (and the
+      // next sequence number) continue from here, overwriting any torn
+      // batch beyond.
+      *end_block = cursor.block();
+      *end_offset = cursor.offset();
+      *next_seq = expected_seq;
+    } else {
+      uncommitted.push_back(std::move(record));
+    }
   }
-  *next_seq = expected_seq;
   return Status::OK();
 }
 

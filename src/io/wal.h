@@ -14,14 +14,16 @@
 // rewritten, stale records become unreadable (epoch mismatch), and the log
 // is logically empty again.
 //
-// Device layout (4 KiB blocks):
-//   blocks 0,1   double-buffered header slots: magic, version, epoch, CRC.
+// Device layout (4 KiB blocks, offsets relative to the region start — the
+// log owns the whole device by default, or a fixed region of it when a
+// device checkpoint shares the device, see io/checkpoint.h):
+//   blocks +0,+1 double-buffered header slots: magic, version, epoch, CRC.
 //                Truncation writes the slot `epoch % 2`, so a power cut
 //                tearing the header rewrite leaves the previous slot
 //                intact; Open() picks the valid slot with the larger
 //                epoch. (Old-epoch records replayed onto the snapshot the
 //                compaction persisted just before are idempotent no-ops.)
-//   block 2..    record stream, records freely spanning block boundaries
+//   block +2..   record stream, records freely spanning block boundaries
 //
 // Record frame (little-endian):
 //   u32 crc     over everything below
@@ -30,7 +32,17 @@
 //   u64 seq     dense per-epoch sequence number
 //   u8  type    WalRecordType
 //   payload     insert/remove: serialized rdf::Triple;
-//               compact-epoch: u64 base triple count after the fold
+//               compact-epoch: u64 base triple count after the fold;
+//               commit: empty
+//
+// Batch atomicity: every Sync() seals its records with one trailing
+// commit-marker record, and replay stops at the last intact commit. A
+// power cut mid-sync can therefore persist a *prefix* of a batch's
+// records, but recovery never applies it: a batch whose write call
+// returned failure is invisible after reopen, never half-applied. (The
+// converse ambiguity is inherent: a batch whose final commit block landed
+// right before the cut may be recovered even though the caller never saw
+// the acknowledgement.)
 //
 // Records are mutation-level and self-describing (term kinds + lexical
 // forms), not encoded ids: LiteMat ids are only meaningful against one
@@ -54,10 +66,18 @@
 
 namespace sedge::io {
 
+/// Double-buffered header slots at the start of the WAL region; records
+/// follow immediately after.
+inline constexpr uint64_t kWalHeaderSlots = 2;
+
 enum class WalRecordType : uint8_t {
   kInsert = 1,
   kRemove = 2,
   kCompactEpoch = 3,
+  /// Trailing marker of every synced batch; internal to the log (never
+  /// surfaced through Replay) — records after the last commit are an
+  /// unacknowledged tail and are cut off.
+  kCommit = 4,
 };
 
 /// \brief One replayed record. `triple` is set for insert/remove;
@@ -89,7 +109,21 @@ struct WalStats {
 /// (reopen-after-crash), but never concurrently.
 class WriteAheadLog {
  public:
-  explicit WriteAheadLog(SimulatedBlockDevice* device) : device_(device) {}
+  /// Owns blocks [region_start, region_start + capacity_blocks) of
+  /// `device`. The defaults — region at block 0, unbounded capacity —
+  /// give a log that owns the whole device (the standalone AttachWal
+  /// mode). A device checkpoint layout passes its reserved WAL region;
+  /// Sync() then fails with ResourceExhausted instead of growing past it,
+  /// which the Database turns into a forced compaction.
+  explicit WriteAheadLog(SimulatedBlockDevice* device,
+                         uint64_t region_start = 0,
+                         uint64_t capacity_blocks = kUnboundedCapacity)
+      : device_(device),
+        region_start_(region_start),
+        capacity_blocks_(capacity_blocks),
+        tail_block_(region_start + kWalHeaderSlots) {}
+
+  static constexpr uint64_t kUnboundedCapacity = ~0ULL;
 
   WriteAheadLog(const WriteAheadLog&) = delete;
   WriteAheadLog& operator=(const WriteAheadLog&) = delete;
@@ -141,6 +175,8 @@ class WriteAheadLog {
 
   uint64_t epoch() const { return epoch_; }
   bool open() const { return open_; }
+  uint64_t region_start() const { return region_start_; }
+  uint64_t capacity_blocks() const { return capacity_blocks_; }
   /// Records appended but not yet synced.
   uint64_t pending_records() const { return pending_records_; }
   const WalStats& stats() const { return stats_; }
@@ -155,6 +191,8 @@ class WriteAheadLog {
                      uint64_t* next_seq) const;
 
   SimulatedBlockDevice* device_;
+  uint64_t region_start_ = 0;
+  uint64_t capacity_blocks_ = kUnboundedCapacity;
   bool open_ = false;
   bool failed_ = false;
   uint64_t epoch_ = 0;
@@ -163,7 +201,7 @@ class WriteAheadLog {
   // Append tail: first byte after the last durable record. tail_buf_
   // mirrors bytes [0, tail_offset_) of tail_block_ so a partially filled
   // block can be rewritten with more records appended.
-  uint64_t tail_block_ = 2;
+  uint64_t tail_block_;
   uint64_t tail_offset_ = 0;
   std::vector<uint8_t> tail_buf_ = std::vector<uint8_t>(kBlockSize, 0);
 

@@ -1,9 +1,11 @@
 #include "litemat/dictionary.h"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
 #include <set>
 
+#include "rdf/triple_codec.h"
 #include "rdf/vocabulary.h"
 #include "util/logging.h"
 
@@ -199,6 +201,82 @@ void Dictionary::Serialize(std::ostream& os) const {
       os.write(reinterpret_cast<const char*>(&count), sizeof(count));
     }
   }
+}
+
+void Dictionary::SaveTo(std::ostream& os) const {
+  concepts_.SaveTo(os);
+  object_props_.SaveTo(os);
+  datatype_props_.SaveTo(os);
+  const uint64_t n = instance_terms_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string encoded;
+    rdf::AppendTerm(encoded, instance_terms_[i]);
+    WriteString(os, encoded);
+    os.write(reinterpret_cast<const char*>(&instance_counts_[i]),
+             sizeof(uint32_t));
+  }
+  for (const auto* counts :
+       {&concept_counts_, &object_prop_counts_, &datatype_prop_counts_}) {
+    const uint64_t m = counts->size();
+    os.write(reinterpret_cast<const char*>(&m), sizeof(m));
+    for (const auto& [id, count] : *counts) {
+      os.write(reinterpret_cast<const char*>(&id), sizeof(id));
+      os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    }
+  }
+}
+
+Result<Dictionary> Dictionary::LoadFrom(std::istream& is) {
+  Dictionary dict;
+  SEDGE_ASSIGN_OR_RETURN(dict.concepts_, LiteMatHierarchy::LoadFrom(is));
+  SEDGE_ASSIGN_OR_RETURN(dict.object_props_, LiteMatHierarchy::LoadFrom(is));
+  SEDGE_ASSIGN_OR_RETURN(dict.datatype_props_,
+                         LiteMatHierarchy::LoadFrom(is));
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) return Status::IoError("Dictionary image truncated");
+  dict.instance_terms_.reserve(n);
+  dict.instance_counts_.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is) return Status::IoError("Dictionary instance table truncated");
+    std::string encoded(len, '\0');
+    is.read(encoded.data(), len);
+    uint32_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!is) return Status::IoError("Dictionary instance table truncated");
+    rdf::Term term;
+    size_t pos = 0;
+    if (!rdf::DecodeTerm(reinterpret_cast<const uint8_t*>(encoded.data()),
+                         encoded.size(), &pos, &term) ||
+        pos != encoded.size()) {
+      return Status::IoError("Dictionary instance term malformed");
+    }
+    const uint32_t id = static_cast<uint32_t>(dict.instance_terms_.size());
+    dict.instance_ids_.emplace(term, id);
+    dict.instance_terms_.push_back(std::move(term));
+    dict.instance_counts_.push_back(count);
+  }
+  if (dict.instance_ids_.size() != dict.instance_terms_.size()) {
+    return Status::IoError("Dictionary instance terms not unique");
+  }
+  for (auto* counts :
+       {&dict.concept_counts_, &dict.object_prop_counts_,
+        &dict.datatype_prop_counts_}) {
+    uint64_t m = 0;
+    is.read(reinterpret_cast<char*>(&m), sizeof(m));
+    if (!is) return Status::IoError("Dictionary statistics truncated");
+    for (uint64_t i = 0; i < m; ++i) {
+      uint64_t id = 0, count = 0;
+      is.read(reinterpret_cast<char*>(&id), sizeof(id));
+      is.read(reinterpret_cast<char*>(&count), sizeof(count));
+      if (!is) return Status::IoError("Dictionary statistics truncated");
+      (*counts)[id] = count;
+    }
+  }
+  return dict;
 }
 
 }  // namespace sedge::litemat

@@ -123,6 +123,14 @@ class Dictionary {
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
 
+  /// Lossless dump / restore of the full dictionary state — hierarchies,
+  /// instance table (terms kept bit-exact via the triple codec, unlike the
+  /// N-Triples rendering of Serialize) and occurrence statistics. This is
+  /// what the device checkpoint persists so a restored base decodes to
+  /// exactly the ids it was built with.
+  void SaveTo(std::ostream& os) const;
+  static Result<Dictionary> LoadFrom(std::istream& is);
+
  private:
   static uint64_t SumRange(const std::map<uint64_t, uint64_t>& counts,
                            uint64_t lo, uint64_t hi);

@@ -1,6 +1,8 @@
 #include "litemat/hierarchy_encoding.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 
 #include "util/logging.h"
 
@@ -145,6 +147,68 @@ uint64_t LiteMatHierarchy::SizeInBytes() const {
     total += 2 * (name.size() + sizeof(EncodedEntity) + 48);
   }
   return total;
+}
+
+namespace {
+
+void WriteStr(std::ostream& os, const std::string& s) {
+  const uint64_t n = s.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+bool ReadStr(std::istream& is, std::string* out) {
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) return false;
+  out->resize(n);
+  is.read(out->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void LiteMatHierarchy::SaveTo(std::ostream& os) const {
+  WriteStr(os, root_);
+  os.write(reinterpret_cast<const char*>(&total_bits_), sizeof(total_bits_));
+  const uint64_t n = by_name_.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& [name, entry] : by_name_) {
+    WriteStr(os, name);
+    os.write(reinterpret_cast<const char*>(&entry.id), sizeof(entry.id));
+    os.write(reinterpret_cast<const char*>(&entry.used_bits),
+             sizeof(entry.used_bits));
+  }
+}
+
+Result<LiteMatHierarchy> LiteMatHierarchy::LoadFrom(std::istream& is) {
+  LiteMatHierarchy h;
+  if (!ReadStr(is, &h.root_)) {
+    return Status::IoError("LiteMatHierarchy image truncated");
+  }
+  is.read(reinterpret_cast<char*>(&h.total_bits_), sizeof(h.total_bits_));
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is || h.total_bits_ < 1 || h.total_bits_ > 63) {
+    return Status::IoError("LiteMatHierarchy image malformed");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    EncodedEntity entry;
+    if (!ReadStr(is, &name)) {
+      return Status::IoError("LiteMatHierarchy entry truncated");
+    }
+    is.read(reinterpret_cast<char*>(&entry.id), sizeof(entry.id));
+    is.read(reinterpret_cast<char*>(&entry.used_bits),
+            sizeof(entry.used_bits));
+    if (!is) return Status::IoError("LiteMatHierarchy entry truncated");
+    h.by_id_[entry.id] = name;
+    h.by_name_.emplace(std::move(name), entry);
+  }
+  if (h.by_id_.size() != h.by_name_.size()) {
+    return Status::IoError("LiteMatHierarchy ids not unique");
+  }
+  return h;
 }
 
 }  // namespace sedge::litemat

@@ -14,6 +14,7 @@
 #define SEDGE_LITEMAT_HIERARCHY_ENCODING_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
 #include <string>
@@ -70,6 +71,13 @@ class LiteMatHierarchy {
   std::vector<std::string> NamesByIdOrder() const;
 
   uint64_t SizeInBytes() const;
+
+  /// Lossless state dump for the device checkpoint: root, bit length and
+  /// every (name, id, used_bits) entry. Unlike re-encoding from the
+  /// ontology, restoring this reproduces the exact id assignment the base
+  /// store was built against (including data-extended entries).
+  void SaveTo(std::ostream& os) const;
+  static Result<LiteMatHierarchy> LoadFrom(std::istream& is);
 
  private:
   std::string root_;

@@ -1,0 +1,129 @@
+#include "rdf/triple_codec.h"
+
+#include <istream>
+#include <ostream>
+
+namespace sedge::rdf {
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+namespace {
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+bool GetString(const uint8_t* data, size_t size, size_t* pos,
+               std::string* out) {
+  if (*pos + 4 > size) return false;
+  const uint32_t n = GetU32(data + *pos);
+  *pos += 4;
+  if (n > size || *pos + n > size) return false;
+  out->assign(reinterpret_cast<const char*>(data + *pos), n);
+  *pos += n;
+  return true;
+}
+
+}  // namespace
+
+void AppendTerm(std::string& out, const Term& t) {
+  PutU8(out, static_cast<uint8_t>(t.kind()));
+  PutString(out, t.lexical());
+  PutString(out, t.datatype());
+  PutString(out, t.lang());
+}
+
+std::string EncodeTriple(const Triple& t) {
+  std::string out;
+  AppendTerm(out, t.subject);
+  AppendTerm(out, t.predicate);
+  AppendTerm(out, t.object);
+  return out;
+}
+
+bool DecodeTerm(const uint8_t* data, size_t size, size_t* pos, Term* out) {
+  if (*pos + 1 > size) return false;
+  const uint8_t kind = data[*pos];
+  *pos += 1;
+  std::string lexical, datatype, lang;
+  if (!GetString(data, size, pos, &lexical) ||
+      !GetString(data, size, pos, &datatype) ||
+      !GetString(data, size, pos, &lang)) {
+    return false;
+  }
+  switch (static_cast<TermKind>(kind)) {
+    case TermKind::kIri:
+      *out = Term::Iri(std::move(lexical));
+      return datatype.empty() && lang.empty();
+    case TermKind::kBlank:
+      *out = Term::Blank(std::move(lexical));
+      return datatype.empty() && lang.empty();
+    case TermKind::kLiteral:
+      *out = Term::Literal(std::move(lexical), std::move(datatype),
+                           std::move(lang));
+      return true;
+  }
+  return false;
+}
+
+bool DecodeTriple(const uint8_t* data, size_t size, Triple* out) {
+  size_t pos = 0;
+  return DecodeTerm(data, size, &pos, &out->subject) &&
+         DecodeTerm(data, size, &pos, &out->predicate) &&
+         DecodeTerm(data, size, &pos, &out->object) && pos == size;
+}
+
+void WriteTripleList(std::ostream& os, const std::vector<Triple>& list) {
+  const uint64_t n = list.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Triple& t : list) {
+    const std::string encoded = EncodeTriple(t);
+    const uint64_t len = encoded.size();
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(encoded.data(), static_cast<std::streamsize>(len));
+  }
+}
+
+Status ReadTripleList(std::istream& is, std::vector<Triple>* out) {
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) return Status::IoError("triple list truncated");
+  out->reserve(out->size() + n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!is) return Status::IoError("triple list truncated");
+    std::string encoded(len, '\0');
+    is.read(encoded.data(), static_cast<std::streamsize>(len));
+    if (!is) return Status::IoError("triple list truncated");
+    Triple t;
+    if (!DecodeTriple(reinterpret_cast<const uint8_t*>(encoded.data()),
+                      encoded.size(), &t)) {
+      return Status::IoError("triple list entry malformed");
+    }
+    out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace sedge::rdf

@@ -1,0 +1,63 @@
+// Mutation-level binary codec for terms and triples.
+//
+// Both durable layers — the write-ahead log (io/wal.cc) and the device
+// checkpoint (io/checkpoint.cc) — persist mutations as self-describing
+// terms (kind + lexical form + datatype + language) rather than encoded
+// LiteMat ids: ids are only meaningful against one particular base build,
+// while recovery replays against a freshly restored store. This header is
+// the single definition of that byte format so the two layers can never
+// drift apart.
+//
+// Frame (little-endian):
+//   term   := u8 kind, str lexical, str datatype, str lang
+//   triple := term subject, term predicate, term object
+//   str    := u32 length, bytes
+//
+// Decoding is defensive: any truncated or malformed buffer returns false
+// instead of reading out of bounds (the WAL treats that as the end of the
+// durable prefix; the checkpoint as corruption).
+
+#ifndef SEDGE_RDF_TRIPLE_CODEC_H_
+#define SEDGE_RDF_TRIPLE_CODEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace sedge::rdf {
+
+// Little-endian integer helpers shared by the durable formats.
+void PutU8(std::string& out, uint8_t v);
+void PutU32(std::string& out, uint32_t v);
+void PutU64(std::string& out, uint64_t v);
+uint32_t GetU32(const uint8_t* p);
+uint64_t GetU64(const uint8_t* p);
+
+/// Appends the encoded `term` to `out`.
+void AppendTerm(std::string& out, const Term& term);
+
+/// Returns the encoded form of `triple` (subject, predicate, object).
+std::string EncodeTriple(const Triple& triple);
+
+/// Decodes one term starting at `*pos`; advances `*pos` past it. Returns
+/// false on truncation or a malformed kind/shape (e.g. an IRI carrying a
+/// datatype), leaving `*pos` unspecified.
+bool DecodeTerm(const uint8_t* data, size_t size, size_t* pos, Term* out);
+
+/// Decodes a triple occupying exactly `size` bytes (trailing garbage is an
+/// error — a WAL record or checkpoint entry holds nothing else).
+bool DecodeTriple(const uint8_t* data, size_t size, Triple* out);
+
+/// Length-prefixed triple list (u64 count, then u64 length + encoded
+/// triple each) — the framing every checkpoint-image section uses for
+/// triple collections (ontology graph, overlay mutation lists).
+void WriteTripleList(std::ostream& os, const std::vector<Triple>& list);
+Status ReadTripleList(std::istream& is, std::vector<Triple>* out);
+
+}  // namespace sedge::rdf
+
+#endif  // SEDGE_RDF_TRIPLE_CODEC_H_

@@ -1,5 +1,6 @@
 #include "sds/elias_fano.h"
 
+#include <istream>
 #include <ostream>
 
 namespace sedge::sds {
@@ -54,6 +55,18 @@ void EliasFano::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&low_bits_), sizeof(low_bits_));
   low_.Serialize(os);
   high_.Serialize(os);
+}
+
+Result<EliasFano> EliasFano::Deserialize(std::istream& is) {
+  EliasFano ef;
+  is.read(reinterpret_cast<char*>(&ef.size_), sizeof(ef.size_));
+  is.read(reinterpret_cast<char*>(&ef.low_bits_), sizeof(ef.low_bits_));
+  if (!is || ef.low_bits_ > 64) {
+    return Status::IoError("EliasFano image truncated or malformed");
+  }
+  SEDGE_ASSIGN_OR_RETURN(ef.low_, sds::IntVector::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(ef.high_, sds::SuccinctBitVector::Deserialize(is));
+  return ef;
 }
 
 }  // namespace sedge::sds

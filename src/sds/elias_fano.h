@@ -43,6 +43,8 @@ class EliasFano {
 
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote (the checkpoint restore path).
+  static Result<EliasFano> Deserialize(std::istream& is);
 
  private:
   uint64_t size_ = 0;

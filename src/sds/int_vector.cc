@@ -1,5 +1,6 @@
 #include "sds/int_vector.h"
 
+#include <istream>
 #include <ostream>
 
 namespace sedge::sds {
@@ -9,6 +10,20 @@ void IntVector::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&width_), sizeof(width_));
   os.write(reinterpret_cast<const char*>(words_.data()),
            static_cast<std::streamsize>(words_.size() * sizeof(uint64_t)));
+}
+
+Result<IntVector> IntVector::Deserialize(std::istream& is) {
+  IntVector iv;
+  is.read(reinterpret_cast<char*>(&iv.size_), sizeof(iv.size_));
+  is.read(reinterpret_cast<char*>(&iv.width_), sizeof(iv.width_));
+  if (!is || iv.width_ < 1 || iv.width_ > 64) {
+    return Status::IoError("IntVector image truncated or malformed");
+  }
+  iv.words_.resize((iv.size_ * iv.width_ + 63) / 64);
+  is.read(reinterpret_cast<char*>(iv.words_.data()),
+          static_cast<std::streamsize>(iv.words_.size() * sizeof(uint64_t)));
+  if (!is) return Status::IoError("IntVector payload truncated");
+  return iv;
 }
 
 }  // namespace sedge::sds

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace sedge::sds {
 
@@ -78,6 +79,8 @@ class IntVector {
   }
 
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote (the checkpoint restore path).
+  static Result<IntVector> Deserialize(std::istream& is);
 
  private:
   uint64_t size_ = 0;

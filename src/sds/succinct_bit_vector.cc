@@ -1,5 +1,6 @@
 #include "sds/succinct_bit_vector.h"
 
+#include <istream>
 #include <ostream>
 
 namespace sedge::sds {
@@ -38,7 +39,13 @@ SuccinctBitVector::SuccinctBitVector(const BitVector& bits)
   }
   superblock_ranks_.push_back(total);  // sentinel: total ones
   ones_ = total;
+  BuildSelectSamples();
+}
 
+void SuccinctBitVector::BuildSelectSamples() {
+  select1_samples_.clear();
+  select0_samples_.clear();
+  const uint64_t num_words = words_.size();
   // Select samples: record the position of every kSelectSample-th bit of
   // each kind, starting with the first.
   uint64_t seen1 = 0;
@@ -158,6 +165,36 @@ void SuccinctBitVector::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(block_ranks_.data()),
            static_cast<std::streamsize>(block_ranks_.size() *
                                         sizeof(uint16_t)));
+}
+
+Result<SuccinctBitVector> SuccinctBitVector::Deserialize(std::istream& is) {
+  SuccinctBitVector bv;
+  is.read(reinterpret_cast<char*>(&bv.size_), sizeof(bv.size_));
+  is.read(reinterpret_cast<char*>(&bv.ones_), sizeof(bv.ones_));
+  if (!is || bv.ones_ > bv.size_) {
+    return Status::IoError("SuccinctBitVector image truncated or malformed");
+  }
+  // Directory lengths are functions of size_ — exactly what the
+  // constructor produces (one superblock entry per kSuperblockBits-word
+  // group plus the sentinel, one block entry per kBlockBits-word group).
+  const uint64_t num_words = (bv.size_ + 63) / 64;
+  const uint64_t words_per_block = kBlockBits / 64;
+  const uint64_t words_per_super = kSuperblockBits / 64;
+  bv.words_.resize(num_words);
+  bv.superblock_ranks_.resize(
+      (num_words + words_per_super - 1) / words_per_super + 1);
+  bv.block_ranks_.resize((num_words + words_per_block - 1) / words_per_block);
+  is.read(reinterpret_cast<char*>(bv.words_.data()),
+          static_cast<std::streamsize>(num_words * sizeof(uint64_t)));
+  is.read(reinterpret_cast<char*>(bv.superblock_ranks_.data()),
+          static_cast<std::streamsize>(bv.superblock_ranks_.size() *
+                                       sizeof(uint64_t)));
+  is.read(reinterpret_cast<char*>(bv.block_ranks_.data()),
+          static_cast<std::streamsize>(bv.block_ranks_.size() *
+                                       sizeof(uint16_t)));
+  if (!is) return Status::IoError("SuccinctBitVector payload truncated");
+  bv.BuildSelectSamples();
+  return bv;
 }
 
 }  // namespace sedge::sds

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sds/bit_vector.h"
+#include "util/status.h"
 
 namespace sedge::sds {
 
@@ -56,8 +57,14 @@ class SuccinctBitVector {
 
   /// Writes the payload and directories; used by the storage-size benches.
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote and rebuilds the (unserialized)
+  /// select samples — the checkpoint restore path.
+  static Result<SuccinctBitVector> Deserialize(std::istream& is);
 
  private:
+  /// Rebuilds select1/select0 samples from words_ (construction + restore).
+  void BuildSelectSamples();
+
   static constexpr uint64_t kBlockBits = 256;        // 4 words
   static constexpr uint64_t kSuperblockBits = 2048;  // 8 blocks
   static constexpr uint64_t kSelectSample = 4096;

@@ -1,6 +1,7 @@
 #include "sds/wavelet_tree.h"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
 
 namespace sedge::sds {
@@ -240,6 +241,27 @@ void WaveletTree::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&max_value_), sizeof(max_value_));
   os.write(reinterpret_cast<const char*>(&height_), sizeof(height_));
   for (const auto& level : levels_) level.Serialize(os);
+}
+
+Result<WaveletTree> WaveletTree::Deserialize(std::istream& is) {
+  WaveletTree wt;
+  is.read(reinterpret_cast<char*>(&wt.size_), sizeof(wt.size_));
+  is.read(reinterpret_cast<char*>(&wt.max_value_), sizeof(wt.max_value_));
+  is.read(reinterpret_cast<char*>(&wt.height_), sizeof(wt.height_));
+  if (!is || wt.height_ < 1 || wt.height_ > 64 ||
+      wt.height_ != IntVector::WidthFor(wt.max_value_)) {
+    return Status::IoError("WaveletTree image truncated or malformed");
+  }
+  wt.levels_.reserve(wt.height_);
+  for (uint8_t l = 0; l < wt.height_; ++l) {
+    SEDGE_ASSIGN_OR_RETURN(SuccinctBitVector level,
+                           SuccinctBitVector::Deserialize(is));
+    if (level.size() != wt.size_) {
+      return Status::IoError("WaveletTree level size mismatch");
+    }
+    wt.levels_.push_back(std::move(level));
+  }
+  return wt;
 }
 
 }  // namespace sedge::sds

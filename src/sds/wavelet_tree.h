@@ -75,6 +75,8 @@ class WaveletTree {
 
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote (the checkpoint restore path).
+  static Result<WaveletTree> Deserialize(std::istream& is);
 
  private:
   struct DistinctFrame;  // declared in .cc

@@ -162,6 +162,16 @@ Executor::Executor(const store::TripleStore* store, Options options)
   evaluator_ = std::make_unique<ExpressionEvaluator>(decoder_.get());
 }
 
+Executor::Executor(std::shared_ptr<const store::StoreGeneration> snapshot,
+                   Options options)
+    : snapshot_(std::move(snapshot)),
+      store_(&snapshot_->store()),
+      options_(options) {
+  decoder_ = std::make_unique<Decoder>(store_, &computed_pool_,
+                                       &computed_numeric_);
+  evaluator_ = std::make_unique<ExpressionEvaluator>(decoder_.get());
+}
+
 Executor::~Executor() = default;
 
 std::vector<size_t> Executor::PlanOrder(

@@ -33,6 +33,7 @@
 #include "sparql/ast.h"
 #include "sparql/expression.h"
 #include "sparql/result_table.h"
+#include "store/store_generation.h"
 #include "store/triple_store.h"
 #include "util/status.h"
 
@@ -60,9 +61,16 @@ class Executor {
   };
 
   /// Constructs with default options (reasoning, merge join and the
-  /// optimizer all enabled).
+  /// optimizer all enabled). The caller must keep `store` alive for the
+  /// executor's lifetime — bench/test convenience; concurrent deployments
+  /// use the snapshot-pinning constructor below.
   explicit Executor(const store::TripleStore* store);
   Executor(const store::TripleStore* store, Options options);
+  /// Pins `snapshot` for the executor's lifetime, so a concurrent
+  /// generation swap (background compaction) can never free the store
+  /// underneath a running query.
+  Executor(std::shared_ptr<const store::StoreGeneration> snapshot,
+           Options options);
   ~Executor();
 
   /// Runs the full pipeline: optimize, evaluate, bind, filter, project,
@@ -114,6 +122,9 @@ class Executor {
   // positions).
   std::string CanonicalKey(const store::EncodedTerm& v) const;
 
+  // Pinned generation (null in the raw-pointer construction modes);
+  // store_ aliases it when set.
+  std::shared_ptr<const store::StoreGeneration> snapshot_;
   const store::TripleStore* store_;
   Options options_;
   ExecutorStats stats_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <istream>
 #include <ostream>
 
 #include "sds/bit_vector.h"
@@ -241,6 +242,9 @@ uint64_t DatatypeStore::SizeInBytes() const {
 
 void DatatypeStore::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&num_triples_), sizeof(num_triples_));
+  os.write(reinterpret_cast<const char*>(&num_pairs_), sizeof(num_pairs_));
+  os.write(reinterpret_cast<const char*>(&num_predicates_),
+           sizeof(num_predicates_));
   wt_p_.Serialize(os);
   bm_ps_.Serialize(os);
   wt_s_.Serialize(os);
@@ -253,6 +257,8 @@ void DatatypeStore::Serialize(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(dtype_index_.data()),
            static_cast<std::streamsize>(dtype_index_.size() *
                                         sizeof(uint16_t)));
+  const uint32_t num_entries = static_cast<uint32_t>(dtype_entries_.size());
+  os.write(reinterpret_cast<const char*>(&num_entries), sizeof(num_entries));
   for (const auto& [dt, lang] : dtype_entries_) {
     const uint32_t a = static_cast<uint32_t>(dt.size());
     const uint32_t b = static_cast<uint32_t>(lang.size());
@@ -261,6 +267,68 @@ void DatatypeStore::Serialize(std::ostream& os) const {
     os.write(reinterpret_cast<const char*>(&b), sizeof(b));
     os.write(lang.data(), b);
   }
+}
+
+Result<DatatypeStore> DatatypeStore::Deserialize(std::istream& is) {
+  DatatypeStore store;
+  is.read(reinterpret_cast<char*>(&store.num_triples_),
+          sizeof(store.num_triples_));
+  is.read(reinterpret_cast<char*>(&store.num_pairs_),
+          sizeof(store.num_pairs_));
+  is.read(reinterpret_cast<char*>(&store.num_predicates_),
+          sizeof(store.num_predicates_));
+  if (!is) return Status::IoError("DatatypeStore image truncated");
+  SEDGE_ASSIGN_OR_RETURN(store.wt_p_, sds::WaveletTree::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(store.bm_ps_,
+                         sds::SuccinctBitVector::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(store.wt_s_, sds::WaveletTree::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(store.bm_so_,
+                         sds::SuccinctBitVector::Deserialize(is));
+  uint64_t pool_size = 0;
+  is.read(reinterpret_cast<char*>(&pool_size), sizeof(pool_size));
+  if (!is) return Status::IoError("DatatypeStore pool header truncated");
+  store.lexical_pool_.resize(pool_size);
+  is.read(store.lexical_pool_.data(),
+          static_cast<std::streamsize>(pool_size));
+  SEDGE_ASSIGN_OR_RETURN(store.lexical_offsets_,
+                         sds::EliasFano::Deserialize(is));
+  store.dtype_index_.resize(store.num_triples_);
+  is.read(reinterpret_cast<char*>(store.dtype_index_.data()),
+          static_cast<std::streamsize>(store.dtype_index_.size() *
+                                       sizeof(uint16_t)));
+  uint32_t num_entries = 0;
+  is.read(reinterpret_cast<char*>(&num_entries), sizeof(num_entries));
+  if (!is || num_entries > 65535) {
+    return Status::IoError("DatatypeStore dtype table truncated");
+  }
+  store.dtype_entries_.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    uint32_t a = 0, b = 0;
+    std::string dt, lang;
+    is.read(reinterpret_cast<char*>(&a), sizeof(a));
+    if (!is) return Status::IoError("DatatypeStore dtype entry truncated");
+    dt.resize(a);
+    is.read(dt.data(), a);
+    is.read(reinterpret_cast<char*>(&b), sizeof(b));
+    if (!is) return Status::IoError("DatatypeStore dtype entry truncated");
+    lang.resize(b);
+    is.read(lang.data(), b);
+    store.dtype_entries_.emplace_back(std::move(dt), std::move(lang));
+  }
+  if (!is || store.lexical_offsets_.size() != store.num_triples_ + 1) {
+    return Status::IoError("DatatypeStore image malformed");
+  }
+  // The parsed-double cache is derived data — rebuild it rather than
+  // spending checkpoint bytes on it.
+  store.numeric_cache_.reserve(store.num_triples_);
+  for (uint64_t i = 0; i < store.num_triples_; ++i) {
+    const rdf::Term literal = store.LiteralAt(i);
+    store.numeric_cache_.push_back(
+        literal.IsNumericLiteral()
+            ? literal.AsDouble()
+            : std::numeric_limits<double>::quiet_NaN());
+  }
+  return store;
 }
 
 }  // namespace sedge::store

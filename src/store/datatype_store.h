@@ -95,6 +95,9 @@ class DatatypeStore {
 
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote, rebuilding the numeric cache (the
+  /// checkpoint restore path).
+  static Result<DatatypeStore> Deserialize(std::istream& is);
 
  private:
   std::optional<uint64_t> PredicatePos(uint64_t p) const;

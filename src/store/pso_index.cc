@@ -1,6 +1,7 @@
 #include "store/pso_index.h"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
 
 #include "sds/bit_vector.h"
@@ -210,6 +211,30 @@ void PsoIndex::Serialize(std::ostream& os) const {
   wt_s_.Serialize(os);
   bm_so_.Serialize(os);
   wt_o_.Serialize(os);
+}
+
+Result<PsoIndex> PsoIndex::Deserialize(std::istream& is) {
+  PsoIndex index;
+  is.read(reinterpret_cast<char*>(&index.num_triples_),
+          sizeof(index.num_triples_));
+  is.read(reinterpret_cast<char*>(&index.num_pairs_),
+          sizeof(index.num_pairs_));
+  is.read(reinterpret_cast<char*>(&index.num_predicates_),
+          sizeof(index.num_predicates_));
+  if (!is) return Status::IoError("PsoIndex image truncated");
+  SEDGE_ASSIGN_OR_RETURN(index.wt_p_, sds::WaveletTree::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(index.bm_ps_,
+                         sds::SuccinctBitVector::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(index.wt_s_, sds::WaveletTree::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(index.bm_so_,
+                         sds::SuccinctBitVector::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(index.wt_o_, sds::WaveletTree::Deserialize(is));
+  if (index.wt_p_.size() != index.num_predicates_ ||
+      index.wt_s_.size() != index.num_pairs_ ||
+      index.wt_o_.size() != index.num_triples_) {
+    return Status::IoError("PsoIndex layer sizes disagree with counters");
+  }
+  return index;
 }
 
 }  // namespace sedge::store

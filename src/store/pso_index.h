@@ -29,6 +29,7 @@
 
 #include "sds/succinct_bit_vector.h"
 #include "sds/wavelet_tree.h"
+#include "util/status.h"
 
 namespace sedge::store {
 
@@ -112,6 +113,8 @@ class PsoIndex {
 
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote (the checkpoint restore path).
+  static Result<PsoIndex> Deserialize(std::istream& is);
 
  private:
   uint64_t num_triples_ = 0;

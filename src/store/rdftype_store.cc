@@ -1,6 +1,7 @@
 #include "store/rdftype_store.h"
 
 #include <algorithm>
+#include <istream>
 #include <ostream>
 
 #include "util/logging.h"
@@ -97,6 +98,25 @@ void RdfTypeStore::Serialize(std::ostream& os) const {
     os.write(reinterpret_cast<const char*>(&s), sizeof(s));
     os.write(reinterpret_cast<const char*>(&c), sizeof(c));
   });
+}
+
+Result<RdfTypeStore> RdfTypeStore::Deserialize(std::istream& is) {
+  RdfTypeStore store;
+  uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) return Status::IoError("RdfTypeStore image truncated");
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t s = 0, c = 0;
+    is.read(reinterpret_cast<char*>(&s), sizeof(s));
+    is.read(reinterpret_cast<char*>(&c), sizeof(c));
+    if (!is) return Status::IoError("RdfTypeStore pair list truncated");
+    store.Add(s, c);
+  }
+  store.Finalize();
+  if (store.num_triples_ != count) {
+    return Status::IoError("RdfTypeStore pair list held duplicates");
+  }
+  return store;
 }
 
 }  // namespace sedge::store

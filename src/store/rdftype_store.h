@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "rbtree/rb_tree.h"
+#include "util/status.h"
 
 namespace sedge::store {
 
@@ -62,6 +63,8 @@ class RdfTypeStore {
 
   uint64_t SizeInBytes() const;
   void Serialize(std::ostream& os) const;
+  /// Reads back what Serialize wrote (the checkpoint restore path).
+  static Result<RdfTypeStore> Deserialize(std::istream& is);
 
  private:
   rbtree::RbTree<uint64_t, std::vector<uint64_t>> by_subject_;

@@ -1,0 +1,51 @@
+// StoreGeneration: a pinned snapshot of one base-store generation.
+//
+// The Database rebuilds its succinct base at every LoadData and every
+// compaction. Before this object existed, readers keyed cached state off a
+// raw `store_generation()` counter and executed against a bare TripleStore
+// pointer — which a concurrent background compaction could destroy mid
+// query. A StoreGeneration bundles the store with its generation number
+// behind a shared_ptr: the executor pins one for the duration of a query,
+// so generation swaps are a pointer exchange and old generations die only
+// when their last reader finishes.
+//
+// Pinning freezes *lifetime*, not content: the overlay of the pinned store
+// keeps receiving the (serialized) writes, exactly as queries between
+// write batches always saw them (see the concurrency contract in
+// store/delta/delta_set.h). What a pin guarantees is that the succinct
+// base underneath cannot be swapped away and freed while the query runs.
+
+#ifndef SEDGE_STORE_STORE_GENERATION_H_
+#define SEDGE_STORE_STORE_GENERATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "store/triple_store.h"
+
+namespace sedge::store {
+
+/// \brief One generation of the storage stack: the store plus the
+/// monotone build number of its succinct base.
+class StoreGeneration {
+ public:
+  StoreGeneration(std::shared_ptr<const TripleStore> store, uint64_t number)
+      : store_(std::move(store)), number_(number) {}
+
+  const TripleStore& store() const { return *store_; }
+  const std::shared_ptr<const TripleStore>& store_ptr() const {
+    return store_;
+  }
+  /// Bumped every time the succinct base is (re)built: LoadData and each
+  /// compaction swap.
+  uint64_t number() const { return number_; }
+
+ private:
+  std::shared_ptr<const TripleStore> store_;
+  uint64_t number_;
+};
+
+}  // namespace sedge::store
+
+#endif  // SEDGE_STORE_STORE_GENERATION_H_

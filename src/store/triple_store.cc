@@ -1,7 +1,9 @@
 #include "store/triple_store.h"
 
+#include <istream>
 #include <ostream>
 
+#include "rdf/triple_codec.h"
 #include "rdf/vocabulary.h"
 #include "util/logging.h"
 
@@ -13,6 +15,7 @@ Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
   SEDGE_ASSIGN_OR_RETURN(store.dict_,
                          litemat::Dictionary::Build(onto, data));
   litemat::Dictionary& dict = store.dict_;
+  auto base = std::make_shared<BaseLayouts>();
 
   std::vector<PsoIndex::Triple> object_triples;
   std::vector<DatatypeStore::Triple> datatype_triples;
@@ -32,7 +35,7 @@ Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
       SEDGE_CHECK(cid.has_value()) << "concept missing from dictionary: "
                                    << t.object.lexical();
       const uint32_t sid = dict.InstanceIdOrAssign(t.subject);
-      store.type_store_.Add(sid, *cid);
+      base->type_store.Add(sid, *cid);
       dict.RecordConceptOccurrence(*cid);
       dict.RecordInstanceOccurrence(sid);
       continue;
@@ -56,15 +59,28 @@ Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
     dict.RecordInstanceOccurrence(oid);
   }
 
-  store.type_store_.Finalize();
-  store.object_store_ = PsoIndex::Build(std::move(object_triples));
-  store.datatype_store_ = DatatypeStore::Build(std::move(datatype_triples));
+  base->type_store.Finalize();
+  base->object_store = PsoIndex::Build(std::move(object_triples));
+  base->datatype_store = DatatypeStore::Build(std::move(datatype_triples));
+  store.base_ = std::move(base);
   return store;
 }
 
 delta::DeltaOverlay& TripleStore::EnsureDelta() {
   if (delta_ == nullptr) delta_ = std::make_unique<delta::DeltaOverlay>();
   return *delta_;
+}
+
+std::unique_ptr<TripleStore> TripleStore::ForkForWrites() const {
+  auto fork = std::make_unique<TripleStore>();
+  fork->dict_ = dict_;   // deep copy: the fork keeps assigning instance ids
+  fork->base_ = base_;   // immutable layouts are shared, not copied
+  fork->skipped_ = skipped_;
+  if (delta_ != nullptr) {
+    delta_->Seal();  // copy sorted runs, not pending buffers
+    fork->delta_ = std::make_unique<delta::DeltaOverlay>(*delta_);
+  }
+  return fork;
 }
 
 Status TripleStore::Insert(const rdf::Triple& t) {
@@ -86,7 +102,7 @@ Status TripleStore::Insert(const rdf::Triple& t) {
     const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
     delta::TypeDelta& td = EnsureDelta().type();
     if (td.ContainsAdd(sid, *cid)) return Status::OK();
-    if (type_store_.Contains(sid, *cid)) {
+    if (base_->type_store.Contains(sid, *cid)) {
       td.EraseTombstone(sid, *cid);  // revive if deleted, else no-op
       return Status::OK();
     }
@@ -104,7 +120,7 @@ Status TripleStore::Insert(const rdf::Triple& t) {
     const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
     delta::DatatypeDelta& dd = EnsureDelta().datatype();
     if (dd.ContainsAdd(*pid, sid, t.object)) return Status::OK();
-    if (datatype_store_.Contains(*pid, sid, t.object)) {
+    if (base_->datatype_store.Contains(*pid, sid, t.object)) {
       dd.EraseTombstone(*pid, sid, t.object);
       return Status::OK();
     }
@@ -122,7 +138,7 @@ Status TripleStore::Insert(const rdf::Triple& t) {
   const uint32_t oid = dict_.InstanceIdOrAssign(t.object);
   delta::ObjectDelta& od = EnsureDelta().object();
   if (od.ContainsAdd(*pid, sid, oid)) return Status::OK();
-  if (object_store_.Contains(*pid, sid, oid)) {
+  if (base_->object_store.Contains(*pid, sid, oid)) {
     od.EraseTombstone(*pid, sid, oid);
     return Status::OK();
   }
@@ -146,7 +162,7 @@ Status TripleStore::Remove(const rdf::Triple& t) {
     if (!cid) return Status::OK();
     delta::TypeDelta& td = EnsureDelta().type();
     if (td.EraseAdd(*sid, *cid)) return Status::OK();
-    if (type_store_.Contains(*sid, *cid)) td.AddTombstone(*sid, *cid);
+    if (base_->type_store.Contains(*sid, *cid)) td.AddTombstone(*sid, *cid);
     return Status::OK();
   }
   if (t.object.is_literal()) {
@@ -154,7 +170,7 @@ Status TripleStore::Remove(const rdf::Triple& t) {
     if (!pid) return Status::OK();
     delta::DatatypeDelta& dd = EnsureDelta().datatype();
     if (dd.EraseAdd(*pid, *sid, t.object)) return Status::OK();
-    if (datatype_store_.Contains(*pid, *sid, t.object)) {
+    if (base_->datatype_store.Contains(*pid, *sid, t.object)) {
       dd.AddTombstone(*pid, *sid, t.object);
     }
     return Status::OK();
@@ -165,7 +181,7 @@ Status TripleStore::Remove(const rdf::Triple& t) {
   if (!oid) return Status::OK();
   delta::ObjectDelta& od = EnsureDelta().object();
   if (od.EraseAdd(*pid, *sid, *oid)) return Status::OK();
-  if (object_store_.Contains(*pid, *sid, *oid)) {
+  if (base_->object_store.Contains(*pid, *sid, *oid)) {
     od.AddTombstone(*pid, *sid, *oid);
   }
   return Status::OK();
@@ -174,7 +190,7 @@ Status TripleStore::Remove(const rdf::Triple& t) {
 rdf::Graph TripleStore::ExportGraph() const {
   rdf::Graph g;
   const delta::ObjectDelta* od = delta_ ? &delta_->object() : nullptr;
-  object_store_.ScanAll([&](uint64_t p, uint64_t s, uint64_t o) {
+  base_->object_store.ScanAll([&](uint64_t p, uint64_t s, uint64_t o) {
     if (od != nullptr && od->IsTombstoned(p, s, o)) return true;
     const auto iri = dict_.ObjectPropertyIri(p);
     SEDGE_CHECK(iri.has_value()) << "unknown object property " << p;
@@ -193,8 +209,8 @@ rdf::Graph TripleStore::ExportGraph() const {
   }
 
   const delta::DatatypeDelta* dd = delta_ ? &delta_->datatype() : nullptr;
-  datatype_store_.ScanAll([&](uint64_t p, uint64_t s, uint64_t pos) {
-    const rdf::Term literal = datatype_store_.LiteralAt(pos);
+  base_->datatype_store.ScanAll([&](uint64_t p, uint64_t s, uint64_t pos) {
+    const rdf::Term literal = base_->datatype_store.LiteralAt(pos);
     if (dd != nullptr && dd->HasTombstonesFor(p, s) &&
         dd->IsTombstoned(p, s, literal)) {
       return true;
@@ -215,7 +231,7 @@ rdf::Graph TripleStore::ExportGraph() const {
   }
 
   const delta::TypeDelta* td = delta_ ? &delta_->type() : nullptr;
-  type_store_.ForEach([&](uint64_t s, uint64_t c) {
+  base_->type_store.ForEach([&](uint64_t s, uint64_t c) {
     if (td != nullptr && td->IsTombstoned(s, c)) return;
     const auto iri = dict_.ConceptIri(c);
     SEDGE_CHECK(iri.has_value()) << "unknown concept " << c;
@@ -231,6 +247,94 @@ rdf::Graph TripleStore::ExportGraph() const {
     }
   }
   return g;
+}
+
+void TripleStore::CollectDeltaMutations(std::vector<rdf::Triple>* removes,
+                                        std::vector<rdf::Triple>* adds) const {
+  if (delta_ == nullptr) return;
+  const auto object_prop = [this](uint64_t p) {
+    const auto iri = dict_.ObjectPropertyIri(p);
+    SEDGE_CHECK(iri.has_value()) << "unknown object property " << p;
+    return rdf::Term::Iri(*iri);
+  };
+  const auto datatype_prop = [this](uint64_t p) {
+    const auto iri = dict_.DatatypePropertyIri(p);
+    SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << p;
+    return rdf::Term::Iri(*iri);
+  };
+  const auto concept_term = [this](uint64_t c) {
+    const auto iri = dict_.ConceptIri(c);
+    SEDGE_CHECK(iri.has_value()) << "unknown concept " << c;
+    return rdf::Term::Iri(*iri);
+  };
+  const auto instance = [this](uint64_t id) {
+    return dict_.InstanceTerm(static_cast<uint32_t>(id));
+  };
+
+  const delta::ObjectDelta& od = delta_->object();
+  for (const delta::IdTriple& t : od.dels().sorted()) {
+    removes->push_back({instance(t.s), object_prop(t.p), instance(t.o)});
+  }
+  for (const delta::IdTriple& t : od.adds().sorted()) {
+    adds->push_back({instance(t.s), object_prop(t.p), instance(t.o)});
+  }
+  const delta::DatatypeDelta& dd = delta_->datatype();
+  for (const delta::DtTriple& t : dd.dels().sorted()) {
+    removes->push_back({instance(t.s), datatype_prop(t.p), t.literal});
+  }
+  for (const delta::DtTriple& t : dd.adds().sorted()) {
+    adds->push_back({instance(t.s), datatype_prop(t.p), t.literal});
+  }
+  const delta::TypeDelta& td = delta_->type();
+  for (const delta::IdPair& t : td.dels_by_subject().sorted()) {
+    removes->push_back({instance(t.first), rdf::Term::Iri(rdf::kRdfType),
+                        concept_term(t.second)});
+  }
+  for (const delta::IdPair& t : td.adds_by_subject().sorted()) {
+    adds->push_back({instance(t.first), rdf::Term::Iri(rdf::kRdfType),
+                     concept_term(t.second)});
+  }
+}
+
+void TripleStore::SaveTo(std::ostream& os) const {
+  dict_.SaveTo(os);
+  base_->object_store.Serialize(os);
+  base_->datatype_store.Serialize(os);
+  base_->type_store.Serialize(os);
+  os.write(reinterpret_cast<const char*>(&skipped_), sizeof(skipped_));
+  // The overlay travels as decoded mutations: tombstones then adds. The
+  // restored store re-applies them through the ordinary write path, so
+  // the checkpoint never depends on the overlay's in-memory layout.
+  std::vector<rdf::Triple> removes;
+  std::vector<rdf::Triple> adds;
+  CollectDeltaMutations(&removes, &adds);
+  rdf::WriteTripleList(os, removes);
+  rdf::WriteTripleList(os, adds);
+}
+
+Result<TripleStore> TripleStore::LoadFrom(std::istream& is) {
+  TripleStore store;
+  SEDGE_ASSIGN_OR_RETURN(store.dict_, litemat::Dictionary::LoadFrom(is));
+  auto base = std::make_shared<BaseLayouts>();
+  SEDGE_ASSIGN_OR_RETURN(base->object_store, PsoIndex::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(base->datatype_store,
+                         DatatypeStore::Deserialize(is));
+  SEDGE_ASSIGN_OR_RETURN(base->type_store, RdfTypeStore::Deserialize(is));
+  store.base_ = std::move(base);
+  is.read(reinterpret_cast<char*>(&store.skipped_), sizeof(store.skipped_));
+  if (!is) return Status::IoError("TripleStore image truncated");
+  std::vector<rdf::Triple> removes;
+  std::vector<rdf::Triple> adds;
+  SEDGE_RETURN_NOT_OK(rdf::ReadTripleList(is, &removes));
+  SEDGE_RETURN_NOT_OK(rdf::ReadTripleList(is, &adds));
+  // skipped_ was saved after these mutations were first applied; keep it
+  // stable across the re-application (the counter is observability only).
+  const uint64_t skipped = store.skipped_;
+  for (const rdf::Triple& t : removes) SEDGE_RETURN_NOT_OK(store.Remove(t));
+  for (const rdf::Triple& t : adds) SEDGE_RETURN_NOT_OK(store.Insert(t));
+  store.skipped_ = skipped;
+  store.SealDelta();
+  return store;
 }
 
 std::optional<EncodedTerm> TripleStore::EncodeInstance(
@@ -267,9 +371,9 @@ rdf::Term TripleStore::DecodeTerm(const EncodedTerm& value) const {
 }
 
 void TripleStore::SerializeTriples(std::ostream& os) const {
-  object_store_.Serialize(os);
-  datatype_store_.Serialize(os);
-  type_store_.Serialize(os);
+  base_->object_store.Serialize(os);
+  base_->datatype_store.Serialize(os);
+  base_->type_store.Serialize(os);
 }
 
 }  // namespace sedge::store

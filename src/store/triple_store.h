@@ -5,15 +5,22 @@
 // incoming triple to the right layout, and offers encode/decode between
 // rdf::Term and EncodedTerm. This is what the SPARQL executor runs against;
 // applications usually interact with the higher-level sedge::Database.
+//
+// The succinct layouts are immutable once built and held behind a
+// shared_ptr, so a store can be forked for the background-compaction
+// handoff (ForkForWrites): the fork shares the base structures and gets
+// its own copies of the mutable state (dictionary + delta overlay), which
+// lets a compaction thread export the frozen original while writers keep
+// streaming into the fork.
 
 #ifndef SEDGE_STORE_TRIPLE_STORE_H_
 #define SEDGE_STORE_TRIPLE_STORE_H_
 
 #include <cstdint>
 #include <iosfwd>
-#include <optional>
-
 #include <memory>
+#include <optional>
+#include <vector>
 
 #include "litemat/dictionary.h"
 #include "ontology/ontology.h"
@@ -35,7 +42,7 @@ namespace sedge::store {
 /// the Database layer by rebuilding from ExportGraph().
 class TripleStore {
  public:
-  TripleStore() = default;
+  TripleStore() : base_(std::make_shared<const BaseLayouts>()) {}
 
   /// Encodes `data` against `onto` and builds all three layouts.
   /// Triples with non-IRI predicates, rdf:type triples with literal
@@ -46,9 +53,11 @@ class TripleStore {
 
   const litemat::Dictionary& dict() const { return dict_; }
   litemat::Dictionary& mutable_dict() { return dict_; }
-  const PsoIndex& object_store() const { return object_store_; }
-  const DatatypeStore& datatype_store() const { return datatype_store_; }
-  const RdfTypeStore& type_store() const { return type_store_; }
+  const PsoIndex& object_store() const { return base_->object_store; }
+  const DatatypeStore& datatype_store() const {
+    return base_->datatype_store;
+  }
+  const RdfTypeStore& type_store() const { return base_->type_store; }
 
   // -- Write path (delta overlay) -------------------------------------------
 
@@ -78,16 +87,35 @@ class TripleStore {
   /// back to terms — the input Compact() rebuilds from.
   rdf::Graph ExportGraph() const;
 
+  // -- Generation handoff (background compaction) ---------------------------
+
+  /// Returns a writable successor: the immutable base layouts are shared,
+  /// the dictionary and the delta overlay are deep-copied. After the
+  /// handoff the original must receive no further writes — a background
+  /// thread can then ExportGraph() it race-free while new mutations land
+  /// in the fork.
+  std::unique_ptr<TripleStore> ForkForWrites() const;
+
+  // -- Device checkpoint (io/checkpoint.cc) ---------------------------------
+
+  /// Serializes the full store — dictionary, the three succinct base
+  /// layouts, and the live overlay as decoded mutations — so
+  /// Database::Open can restore it without rebuilding from triples.
+  void SaveTo(std::ostream& os) const;
+  /// Restores what SaveTo wrote. Overlay mutations are re-applied through
+  /// the ordinary write path (idempotent, like WAL replay).
+  static Result<TripleStore> LoadFrom(std::istream& is);
+
   // -- Merged read views (what the executor scans) --------------------------
 
   delta::MergedObjectView object_view() const {
-    return {&object_store_, delta_ ? &delta_->object() : nullptr};
+    return {&base_->object_store, delta_ ? &delta_->object() : nullptr};
   }
   delta::MergedDatatypeView datatype_view() const {
-    return {&datatype_store_, delta_ ? &delta_->datatype() : nullptr};
+    return {&base_->datatype_store, delta_ ? &delta_->datatype() : nullptr};
   }
   delta::MergedTypeView type_view() const {
-    return {&type_store_, delta_ ? &delta_->type() : nullptr};
+    return {&base_->type_store, delta_ ? &delta_->type() : nullptr};
   }
 
   /// Literal accessors routing base pool positions and
@@ -104,8 +132,9 @@ class TripleStore {
 
   /// Distinct triples in the succinct base layouts only.
   uint64_t base_num_triples() const {
-    return object_store_.num_triples() + datatype_store_.num_triples() +
-           type_store_.num_triples();
+    return base_->object_store.num_triples() +
+           base_->datatype_store.num_triples() +
+           base_->type_store.num_triples();
   }
   /// Live triples across base and overlay.
   uint64_t num_triples() const {
@@ -127,8 +156,9 @@ class TripleStore {
 
   /// Triple layouts only, dictionary excluded (Figure 10).
   uint64_t TriplesSizeInBytes() const {
-    return object_store_.SizeInBytes() + datatype_store_.SizeInBytes() +
-           type_store_.SizeInBytes();
+    return base_->object_store.SizeInBytes() +
+           base_->datatype_store.SizeInBytes() +
+           base_->type_store.SizeInBytes();
   }
   /// Dictionary payload (Figure 9).
   uint64_t DictionarySizeInBytes() const { return dict_.SizeInBytes(); }
@@ -147,12 +177,22 @@ class TripleStore {
   void SerializeDictionary(std::ostream& os) const { dict_.Serialize(os); }
 
  private:
+  /// The immutable succinct layouts, shared across generation forks.
+  struct BaseLayouts {
+    PsoIndex object_store;
+    DatatypeStore datatype_store;
+    RdfTypeStore type_store;
+  };
+
   delta::DeltaOverlay& EnsureDelta();
+  /// Decodes the overlay into mutation lists: tombstones as removals,
+  /// overlay adds as insertions (order across the two lists is
+  /// irrelevant — the sets are disjoint by the overlay invariants).
+  void CollectDeltaMutations(std::vector<rdf::Triple>* removes,
+                             std::vector<rdf::Triple>* adds) const;
 
   litemat::Dictionary dict_;
-  PsoIndex object_store_;
-  DatatypeStore datatype_store_;
-  RdfTypeStore type_store_;
+  std::shared_ptr<const BaseLayouts> base_;
   std::unique_ptr<delta::DeltaOverlay> delta_;
   uint64_t skipped_ = 0;
 };

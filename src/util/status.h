@@ -25,6 +25,7 @@ enum class StatusCode : uint8_t {
   kOutOfRange,
   kUnsupported,
   kIoError,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -58,6 +59,9 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -67,6 +71,9 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
 
@@ -85,6 +92,7 @@ class Status {
       case StatusCode::kOutOfRange: return "OutOfRange";
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

@@ -1,0 +1,401 @@
+// Device-checkpoint lifecycle tests: the store must come back from
+// Database::Open(device) alone — succinct base deserialized from blocks,
+// overlay mutations re-applied, acknowledged WAL tail replayed — with no
+// application callback anywhere.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "io/block_device.h"
+#include "io/checkpoint.h"
+#include "io/failing_block_device.h"
+#include "rdf/vocabulary.h"
+#include "util/rng.h"
+#include "workloads/sensor_generator.h"
+
+namespace sedge {
+namespace {
+
+std::string Iri(const std::string& kind, uint64_t i) {
+  return "http://e.org/" + kind + std::to_string(i);
+}
+
+rdf::Graph SeedGraph() {
+  rdf::Graph seed;
+  const rdf::Term pin = rdf::Term::Iri("http://e.org/pin");
+  for (uint64_t p = 0; p < 3; ++p) {
+    seed.Add(pin, rdf::Term::Iri(Iri("p", p)), rdf::Term::Iri(Iri("o", 0)));
+  }
+  for (uint64_t p = 0; p < 2; ++p) {
+    seed.Add(pin, rdf::Term::Iri(Iri("dp", p)),
+             rdf::Term::Literal(std::to_string(p * 7)));
+  }
+  for (uint64_t c = 0; c < 3; ++c) {
+    seed.Add(pin, rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(Iri("C", c)));
+  }
+  Rng rng(99);
+  for (int i = 0; i < 150; ++i) {
+    const std::string s = Iri("s", rng.Uniform(20));
+    const uint64_t kind = rng.Uniform(4);
+    if (kind == 0) {
+      seed.Add(rdf::Term::Iri(s), rdf::Term::Iri(rdf::kRdfType),
+               rdf::Term::Iri(Iri("C", rng.Uniform(3))));
+    } else if (kind == 1) {
+      seed.Add(rdf::Term::Iri(s), rdf::Term::Iri(Iri("dp", rng.Uniform(2))),
+               rdf::Term::Literal(std::to_string(rng.Uniform(40))));
+    } else {
+      seed.Add(rdf::Term::Iri(s), rdf::Term::Iri(Iri("p", rng.Uniform(3))),
+               rdf::Term::Iri(Iri("o", rng.Uniform(20))));
+    }
+  }
+  return seed;
+}
+
+std::set<rdf::Triple> ToSet(const rdf::Graph& graph) {
+  return {graph.triples().begin(), graph.triples().end()};
+}
+
+std::vector<std::string> Queries() {
+  return {
+      "SELECT * WHERE { ?s <" + Iri("p", 0) + "> ?o }",
+      "SELECT * WHERE { ?s <" + Iri("dp", 1) + "> ?v }",
+      "SELECT * WHERE { ?s a <" + Iri("C", 1) + "> }",
+      "SELECT * WHERE { ?s <" + Iri("p", 1) + "> ?m . ?m <" + Iri("p", 2) +
+          "> ?o }",
+  };
+}
+
+Database::OpenOptions SmallWal() {
+  Database::OpenOptions options;
+  options.wal_capacity_blocks = 64;
+  return options;
+}
+
+void ExpectSameAnswers(const Database& a, const Database& b) {
+  for (const std::string& q : Queries()) {
+    const auto ra = a.QueryCount(q);
+    const auto rb = b.QueryCount(q);
+    ASSERT_TRUE(ra.ok()) << q;
+    ASSERT_TRUE(rb.ok()) << q;
+    EXPECT_EQ(ra.value(), rb.value()) << "disagreement on: " << q;
+  }
+}
+
+// Checkpoint round trip with a clean (empty) overlay: Open-from-device
+// equals the in-memory store, structure by structure.
+TEST(Checkpoint, RoundTripsACompactedStore) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  auto db = Database::Open(&device, SmallWal()).value();
+  db->set_reasoning(false);
+  db->set_compaction_ratio(0);
+  ASSERT_TRUE(db->LoadData(seed).ok());  // device mode: auto-checkpointed
+
+  auto reopened = Database::Open(&device, SmallWal()).value();
+  reopened->set_reasoning(false);
+  EXPECT_EQ(reopened->num_triples(), db->num_triples());
+  EXPECT_EQ(reopened->store_generation(), db->store_generation());
+  EXPECT_EQ(ToSet(reopened->store().ExportGraph()),
+            ToSet(db->store().ExportGraph()));
+  // Size accounting survives (the succinct structures really were
+  // deserialized, not rebuilt from triples with different stats).
+  EXPECT_EQ(reopened->store().TriplesSizeInBytes(),
+            db->store().TriplesSizeInBytes());
+  ExpectSameAnswers(*db, *reopened);
+}
+
+// Round trip with a LIVE overlay: the checkpoint carries the base image
+// plus the overlay as decoded mutations, and restores both.
+TEST(Checkpoint, RoundTripsALiveOverlay) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  auto db = Database::Open(&device, SmallWal()).value();
+  db->set_reasoning(false);
+  db->set_compaction_ratio(0);
+  ASSERT_TRUE(db->LoadData(seed).ok());
+
+  // Overlay content across all three layouts, including tombstones and a
+  // delta literal.
+  ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 2)),
+                                     rdf::Term::Iri(Iri("p", 1)),
+                                     rdf::Term::Iri(Iri("o", 19))})
+                  .ok());
+  ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 3)),
+                                     rdf::Term::Iri(Iri("dp", 0)),
+                                     rdf::Term::Literal("12345")})
+                  .ok());
+  ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 4)),
+                                     rdf::Term::Iri(rdf::kRdfType),
+                                     rdf::Term::Iri(Iri("C", 2))})
+                  .ok());
+  ASSERT_TRUE(db->Remove(seed.triples()[0]).ok());
+  ASSERT_TRUE(db->has_data());
+  ASSERT_TRUE(db->store().has_delta());
+
+  ASSERT_TRUE(db->Checkpoint().ok());
+  const uint64_t delta = db->delta_size();
+  ASSERT_GT(delta, 0u);
+
+  auto reopened = Database::Open(&device, SmallWal()).value();
+  reopened->set_reasoning(false);
+  EXPECT_EQ(reopened->num_triples(), db->num_triples());
+  EXPECT_EQ(ToSet(reopened->store().ExportGraph()),
+            ToSet(db->store().ExportGraph()));
+  ExpectSameAnswers(*db, *reopened);
+}
+
+// LoadData in device mode checkpoints the replacement base immediately:
+// acknowledged writes after a LoadData must replay onto the *new* base
+// after a crash, never onto a stale checkpoint (which would silently
+// recover a mixed state).
+TEST(Checkpoint, LoadDataIsDurableWithoutExplicitCheckpoint) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  std::set<rdf::Triple> expected;
+  {
+    auto db = Database::Open(&device, SmallWal()).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);
+    ASSERT_TRUE(db->LoadData(seed).ok());  // no explicit Checkpoint()
+    ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 11)),
+                                       rdf::Term::Iri(Iri("p", 0)),
+                                       rdf::Term::Iri(Iri("o", 11))})
+                    .ok());
+    expected = ToSet(db->store().ExportGraph());
+  }
+  auto recovered = Database::Open(&device, SmallWal()).value();
+  recovered->set_reasoning(false);
+  EXPECT_EQ(ToSet(recovered->store().ExportGraph()), expected);
+}
+
+// WAL replay on top of a checkpoint: writes after the last checkpoint live
+// only in the log; Open must replay exactly them.
+TEST(Checkpoint, ReplaysWalTailOnTopOfCheckpoint) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  std::set<rdf::Triple> expected;
+  {
+    auto db = Database::Open(&device, SmallWal()).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);
+    ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+    // Post-checkpoint tail: inserts and a remove, never checkpointed.
+    ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 5)),
+                                       rdf::Term::Iri(Iri("p", 2)),
+                                       rdf::Term::Iri(Iri("o", 7))})
+                    .ok());
+    ASSERT_TRUE(db->Remove(seed.triples()[2]).ok());
+    ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 6)),
+                                       rdf::Term::Iri(Iri("dp", 1)),
+                                       rdf::Term::Literal("777")})
+                    .ok());
+    expected = ToSet(db->store().ExportGraph());
+    // "Power cut": drop the database object; only the device survives.
+  }
+  auto recovered = Database::Open(&device, SmallWal()).value();
+  recovered->set_reasoning(false);
+  EXPECT_EQ(ToSet(recovered->store().ExportGraph()), expected);
+}
+
+// Compaction in device mode = fold + checkpoint + WAL truncation, all
+// self-contained. After a compaction, a reopen must see the folded state
+// even though the log was truncated.
+TEST(Checkpoint, CompactionCheckpointsAndTruncates) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  auto db = Database::Open(&device, SmallWal()).value();
+  db->set_reasoning(false);
+  db->set_compaction_ratio(0);
+  ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+  const uint64_t seq_before = db->storage()->sequence();
+  const uint64_t epoch_before = db->wal()->epoch();
+
+  ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 7)),
+                                     rdf::Term::Iri(Iri("p", 0)),
+                                     rdf::Term::Iri(Iri("o", 3))})
+                  .ok());
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_FALSE(db->store().has_delta());
+  EXPECT_GT(db->storage()->sequence(), seq_before) << "no checkpoint flip";
+  EXPECT_GT(db->wal()->epoch(), epoch_before) << "no WAL truncation";
+  EXPECT_EQ(db->wal()->ReplayableMutations().ValueOr(99), 0u);
+
+  auto reopened = Database::Open(&device, SmallWal()).value();
+  reopened->set_reasoning(false);
+  EXPECT_EQ(ToSet(reopened->store().ExportGraph()),
+            ToSet(db->store().ExportGraph()));
+}
+
+// Repeated reopens are idempotent: re-replaying whatever the log holds
+// onto the restored checkpoint must converge (records the checkpoint
+// already absorbed re-apply as no-ops).
+TEST(Checkpoint, RepeatedReopensAreIdempotent) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  std::set<rdf::Triple> expected;
+  {
+    auto db = Database::Open(&device, SmallWal()).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);
+    ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+    // A logged-but-never-checkpointed tail, replayed by every reopen.
+    ASSERT_TRUE(db->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 8)),
+                                       rdf::Term::Iri(Iri("p", 1)),
+                                       rdf::Term::Iri(Iri("o", 8))})
+                    .ok());
+    expected = ToSet(db->store().ExportGraph());
+  }
+  {
+    auto r1 = Database::Open(&device, SmallWal()).value();
+    r1->set_reasoning(false);
+    r1->set_compaction_ratio(0);  // keep the tail in the log
+    EXPECT_EQ(ToSet(r1->store().ExportGraph()), expected);
+  }
+  auto r2 = Database::Open(&device, SmallWal()).value();
+  r2->set_reasoning(false);
+  EXPECT_EQ(ToSet(r2->store().ExportGraph()), expected);
+}
+
+// A torn superblock flip (power cut during WriteCheckpoint) leaves the
+// previous checkpoint authoritative, and WAL replay on top of it restores
+// the acknowledged state.
+TEST(Checkpoint, TornSuperblockFlipFallsBackToPreviousCheckpoint) {
+  const rdf::Graph seed = SeedGraph();
+  // Plain pass first to count the device writes a full provisioning +
+  // one mutation + checkpoint consumes, so the failing pass can cut
+  // during the second checkpoint's superblock flip.
+  uint64_t writes_through_first_checkpoint = 0;
+  {
+    io::SimulatedBlockDevice probe;
+    auto db = Database::Open(&probe, SmallWal()).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);
+    ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+    writes_through_first_checkpoint = probe.stats().writes;
+  }
+
+  for (uint64_t extra = 1; extra <= 12; ++extra) {
+    io::FailingBlockDevice device(writes_through_first_checkpoint + extra,
+                                  /*torn_bytes=*/64);
+    auto opened = Database::Open(&device, SmallWal());
+    ASSERT_TRUE(opened.ok());
+    auto db = std::move(opened).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);
+    ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+
+    // Acknowledged mutation after the checkpoint...
+    const rdf::Triple extra_triple{rdf::Term::Iri(Iri("s", 9)),
+                                   rdf::Term::Iri(Iri("p", 2)),
+                                   rdf::Term::Iri(Iri("o", 9))};
+    const Status ins = db->Insert(extra_triple);
+    if (!ins.ok()) continue;  // budget landed inside the WAL sync — fine
+    const std::set<rdf::Triple> expected = ToSet(db->store().ExportGraph());
+
+    // ...then a second checkpoint that dies somewhere inside (payload or
+    // flip). Whatever happens, reopen must reach the acknowledged state.
+    (void)db->Checkpoint();
+    db.reset();
+
+    auto recovered = Database::Open(&device, SmallWal());
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    recovered.value()->set_reasoning(false);
+    EXPECT_EQ(ToSet(recovered.value()->store().ExportGraph()), expected)
+        << "cut at +" << extra;
+  }
+}
+
+// A power cut between first-format block allocation and the first
+// superblock write leaves all-zero slots; the device must stay
+// formattable (not brick behind "invalid layout" forever).
+TEST(Checkpoint, TornFirstFormatStaysFormattable) {
+  io::SimulatedBlockDevice device;
+  device.AllocateBlock();
+  device.AllocateBlock();  // slots allocated, superblock write never landed
+  auto db = Database::Open(&device, SmallWal());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_TRUE(db.value()->Insert(rdf::Triple{rdf::Term::Iri(Iri("s", 0)),
+                                             rdf::Term::Iri(Iri("p", 0)),
+                                             rdf::Term::Iri(Iri("o", 0))})
+                  .ok());
+}
+
+// The WAL region filling up forces a checkpoint + truncation on the write
+// path instead of an error: a stream of batches far larger than the
+// region must keep getting acknowledged, and every acknowledged batch
+// must survive a reopen.
+TEST(Checkpoint, FullWalRegionForcesCheckpointAndKeepsStreaming) {
+  const rdf::Graph seed = SeedGraph();
+  io::SimulatedBlockDevice device;
+  Database::OpenOptions options;
+  options.wal_capacity_blocks = 8;  // tiny: 6 record blocks
+  auto db = Database::Open(&device, options).value();
+  db->set_reasoning(false);
+  db->set_compaction_ratio(0);  // only the full region forces folds
+  ASSERT_TRUE(db->LoadData(seed).ok());  // auto-checkpointed
+  const uint64_t seq_before = db->storage()->sequence();
+
+  Rng rng(7);
+  for (int b = 0; b < 40; ++b) {
+    rdf::Graph batch;
+    for (int i = 0; i < 20; ++i) {
+      batch.Add(rdf::Term::Iri(Iri("s", rng.Uniform(30))),
+                rdf::Term::Iri(Iri("p", rng.Uniform(3))),
+                rdf::Term::Iri(Iri("o", rng.Uniform(30))));
+    }
+    ASSERT_TRUE(db->Insert(batch).ok()) << "batch " << b;
+  }
+  EXPECT_GT(db->storage()->sequence(), seq_before)
+      << "the full region never forced a checkpoint";
+
+  auto reopened = Database::Open(&device, options).value();
+  reopened->set_reasoning(false);
+  EXPECT_EQ(ToSet(reopened->store().ExportGraph()),
+            ToSet(db->store().ExportGraph()));
+}
+
+// Bootstrap ontology: a fresh device starts from the broadcast ontology;
+// after the first checkpoint the device is self-describing and the
+// bootstrap copy is no longer consulted.
+TEST(Checkpoint, BootstrapOntologySurvivesViaCheckpoint) {
+  const ontology::Ontology onto =
+      workloads::SensorGraphGenerator::BuildOntology();
+  workloads::SensorConfig config;
+  config.seed = 4242;
+
+  io::SimulatedBlockDevice device;
+  Database::OpenOptions options;
+  options.wal_capacity_blocks = 64;
+  options.bootstrap_ontology = onto;
+  uint64_t expected_triples = 0;
+  {
+    auto db = Database::Open(&device, options).value();
+    ASSERT_TRUE(
+        db->Insert(workloads::SensorGraphGenerator::GenerateTopology(config))
+            .ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    ASSERT_TRUE(
+        db->Insert(workloads::SensorGraphGenerator::GenerateObservationBatch(
+                       config, 0))
+            .ok());
+    expected_triples = db->num_triples();
+  }
+  // Reopen WITHOUT the bootstrap ontology: the checkpoint must carry it.
+  Database::OpenOptions bare;
+  bare.wal_capacity_blocks = 64;
+  auto recovered = Database::Open(&device, bare).value();
+  EXPECT_EQ(recovered->num_triples(), expected_triples);
+  const auto count = recovered->QueryCount(
+      "PREFIX sosa: <http://www.w3.org/ns/sosa/>\n"
+      "SELECT ?o WHERE { ?o a sosa:Observation }");
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(count.value(), 0u);
+}
+
+}  // namespace
+}  // namespace sedge

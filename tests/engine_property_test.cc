@@ -253,11 +253,11 @@ TEST(EngineAgreement, InterleavedWritesAndCompactionsAgree) {
 
 // Randomized durability property test: a random interleaving of inserts,
 // removes, compactions and close-and-reopen cycles, run against an
-// in-memory oracle set. The "deployment" persists only (a) a base snapshot
-// refreshed by the compaction callback and (b) the WAL device; every
-// reopen rebuilds from those two, and the recovered store must agree with
-// the oracle on the exported triple set AND on random BGP queries checked
-// against an independently rebuilt RDF4J-like reference.
+// in-memory oracle set. The "deployment" persists only the block device —
+// checkpoint extents plus the WAL region, no application callback; every
+// reopen restores from Database::Open alone, and the recovered store must
+// agree with the oracle on the exported triple set AND on random BGP
+// queries checked against an independently rebuilt RDF4J-like reference.
 TEST(WalDurability, RandomReopenCyclesMatchOracle) {
   Rng rng(20260730);
   const int kSubjects = 18;
@@ -295,25 +295,27 @@ TEST(WalDurability, RandomReopenCyclesMatchOracle) {
     seed.Add(pin, rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(Iri("C", c)));
   }
 
-  // What survives a "process exit": the WAL device and the app-persisted
-  // base snapshot. Everything else is rebuilt on reopen.
+  // What survives a "process exit": the block device alone — checkpoint
+  // extents + WAL region. Everything else is restored by Database::Open.
   io::SimulatedBlockDevice device;
-  rdf::Graph snapshot = seed;
 
   std::unique_ptr<Database> db;
-  std::unique_ptr<io::WriteAheadLog> wal;
+  bool provisioned = false;
   const auto reopen = [&]() {
-    db = std::make_unique<Database>();
-    ASSERT_TRUE(db->LoadData(snapshot).ok());
+    Database::OpenOptions options;
+    options.wal_capacity_blocks = 64;  // small region: exercise forced
+                                       // checkpoints on a full log too
+    auto opened = Database::Open(&device, std::move(options));
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    db = std::move(opened).value();
     db->set_reasoning(false);
     db->set_compaction_ratio(0.3);  // auto-compaction in the mix too
-    db->set_compaction_callback([&](const Database& d) {
-      snapshot = d.store().ExportGraph();
-      return Status::OK();
-    });
-    wal = std::make_unique<io::WriteAheadLog>(&device);
-    ASSERT_TRUE(wal->Open().ok());
-    ASSERT_TRUE(db->AttachWal(wal.get()).ok());
+    if (!provisioned) {
+      // First boot: install the seed base (device mode checkpoints the
+      // replacement base automatically — the provisioning step).
+      ASSERT_TRUE(db->LoadData(seed).ok());
+      provisioned = true;
+    }
   };
   reopen();
 
@@ -387,7 +389,7 @@ TEST(WalDurability, RandomReopenCyclesMatchOracle) {
     } else {
       // Close-and-reopen: the durability round trip under test.
       db.reset();  // "process exit" (clean: everything acked was synced)
-      wal.reset();
+
       reopen();
       ++reopens;
       check_against_oracle();
@@ -395,7 +397,7 @@ TEST(WalDurability, RandomReopenCyclesMatchOracle) {
   }
   // Final reopen so the property is exercised at the very end state too.
   db.reset();
-  wal.reset();
+
   reopen();
   ++reopens;
   check_against_oracle();

@@ -190,6 +190,122 @@ TEST(WalRecovery, RecoversExactlyAPrefixAtEveryCutPoint) {
   ASSERT_GT(cuts_exercised, 20);
 }
 
+// Batch atomicity: multi-triple batches are one Sync() each, sealed by a
+// commit marker. A power cut mid-sync may durably persist a *prefix* of a
+// batch's records — replay must never apply it. The sweep cuts the device
+// after every plausible write count and asserts the recovered state lands
+// exactly on a batch boundary: every acknowledged batch present, the
+// failed batch either fully recovered (its commit block made it just
+// before the cut) or fully absent, never split down the middle.
+TEST(WalRecovery, CutMidSyncNeverReplaysAPartialBatch) {
+  const rdf::Graph seed = SeedGraph();
+
+  // Multi-triple batches, each all-insert or all-remove so one batch is
+  // exactly one group-committed Sync(). Removes only ever target triples
+  // from strictly earlier batches, so the per-batch oracle is unambiguous.
+  struct Batch {
+    bool insert;
+    rdf::Graph graph;
+  };
+  std::vector<Batch> batches;
+  {
+    Rng rng(1313);
+    std::vector<rdf::Triple> pool;  // inserted in earlier batches
+    for (int b = 0; b < 10; ++b) {
+      Batch batch;
+      batch.insert = !(b % 3 == 2 && pool.size() >= 6);
+      // 40 records per batch: the frame stream spans several device
+      // blocks, so a cut can land with a strict prefix of the batch
+      // durable — the exact case the commit marker must make invisible.
+      if (batch.insert) {
+        for (int i = 0; i < 40; ++i) {
+          const std::string s = Iri("s", rng.Uniform(12));
+          rdf::Triple t;
+          const uint64_t kind = rng.Uniform(4);
+          if (kind == 0) {
+            t = {rdf::Term::Iri(s), rdf::Term::Iri(rdf::kRdfType),
+                 rdf::Term::Iri(Iri("C", rng.Uniform(3)))};
+          } else if (kind == 1) {
+            t = {rdf::Term::Iri(s), rdf::Term::Iri(Iri("dp", rng.Uniform(2))),
+                 rdf::Term::Literal(std::to_string(rng.Uniform(50)))};
+          } else {
+            t = {rdf::Term::Iri(s), rdf::Term::Iri(Iri("p", rng.Uniform(3))),
+                 rdf::Term::Iri(Iri("o", rng.Uniform(12)))};
+          }
+          batch.graph.Add(t);
+          pool.push_back(t);
+        }
+      } else {
+        for (int i = 0; i < 40; ++i) {
+          batch.graph.Add(pool[rng.Uniform(pool.size())]);
+        }
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  // Oracle: live set after each whole batch.
+  std::vector<std::set<rdf::Triple>> oracle;
+  {
+    std::set<rdf::Triple> live = ToSet(seed);
+    oracle.push_back(live);
+    for (const Batch& batch : batches) {
+      for (const rdf::Triple& t : batch.graph.triples()) {
+        if (batch.insert) {
+          live.insert(t);
+        } else {
+          live.erase(t);
+        }
+      }
+      oracle.push_back(live);
+    }
+  }
+
+  int cuts_exercised = 0;
+  for (const uint64_t torn_bytes : {0ULL, 17ULL, 1000ULL, 4096ULL}) {
+    for (uint64_t budget = 1; budget <= 40; budget += 2) {
+      io::FailingBlockDevice device(budget, torn_bytes);
+      io::WriteAheadLog wal(&device);
+      ASSERT_TRUE(wal.Open().ok());
+
+      Database db;
+      ASSERT_TRUE(db.LoadData(seed).ok());
+      db.set_reasoning(false);
+      db.set_compaction_ratio(0);
+      ASSERT_TRUE(db.AttachWal(&wal).ok());
+
+      size_t acked = 0;
+      for (const Batch& batch : batches) {
+        const Status st = batch.insert ? db.Insert(batch.graph)
+                                       : db.Remove(batch.graph);
+        if (!st.ok()) break;
+        ++acked;
+      }
+      if (acked == batches.size()) continue;  // budget never hit
+      ++cuts_exercised;
+
+      Database recovered;
+      io::WriteAheadLog reopened(&device);
+      Recover(seed, &reopened, &recovered);
+
+      const std::set<rdf::Triple> got =
+          ToSet(recovered.store().ExportGraph());
+      // Exactly two states are admissible after the cut: every acked
+      // batch is durable, and the single batch in flight is either fully
+      // recovered (its trailing commit block landed right before the
+      // cut, durable-but-unacknowledged) or fully absent — never split.
+      const bool admissible =
+          got == oracle[acked] || got == oracle[acked + 1];
+      ASSERT_TRUE(admissible)
+          << "budget " << budget << " torn " << torn_bytes << " acked "
+          << acked
+          << ": recovered state is not a committed-batch boundary "
+             "(partial batch replayed, or an acked batch was lost)";
+    }
+  }
+  ASSERT_GT(cuts_exercised, 15);
+}
+
 // Acceptance criterion: cut the log mid-record (a record spanning several
 // blocks, only the first of which lands) and prove the reopened Database
 // answers queries identically to the pre-crash state.
@@ -326,11 +442,11 @@ TEST(WalRecovery, CleanCutRecoversAllAcknowledgedBatches) {
             ToSet(db.store().ExportGraph()));
 }
 
-// Without a snapshot callback nothing persists the folded base, so
-// compaction must NOT truncate the log: recovery from the originally
-// loaded data plus the full log must still reach the post-compaction
-// state.
-TEST(WalRecovery, CompactionWithoutSnapshotCallbackKeepsLogComplete) {
+// In standalone-WAL mode (no checkpoint device) nothing persists the
+// folded base, so compaction must NOT truncate the log: recovery from the
+// originally loaded data plus the full log must still reach the
+// post-compaction state.
+TEST(WalRecovery, CompactionWithoutCheckpointDeviceKeepsLogComplete) {
   const rdf::Graph seed = SeedGraph();
   const std::vector<Mutation> script = MutationScript(/*seed=*/55, 30);
 
@@ -350,7 +466,7 @@ TEST(WalRecovery, CompactionWithoutSnapshotCallbackKeepsLogComplete) {
     if (i % 10 == 9) ASSERT_TRUE(db.Compact().ok());
   }
   EXPECT_EQ(wal.epoch(), epoch_before)
-      << "no snapshot hook -> compaction must not truncate";
+      << "no checkpoint device -> compaction must not truncate";
 
   Database recovered;
   io::WriteAheadLog reopened(&device);
