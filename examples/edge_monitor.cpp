@@ -8,6 +8,15 @@
 // reporting the memory the store occupies and when the overlay was folded
 // back into the succinct base by background auto-compaction.
 //
+// Schema evolution: two thirds into the stream a firmware update starts
+// shipping a sensor type and a measurement predicate the broadcast
+// ontology never declared. The provisional-vocabulary path accepts the
+// batch anyway (InsertReport says how much was deferred), the new terms
+// are queryable immediately by exact name, and the next background
+// compaction re-encodes them into the LiteMat hierarchies — after which
+// subsumption queries (owl:Thing below) cover them like any bootstrap
+// term.
+//
 // Durability loop: the whole store lives on ONE (simulated) SD card.
 // Database::Open lays out the device — superblocks, WAL region,
 // checkpoint extents — and from then on every batch is group-committed to
@@ -112,6 +121,15 @@ int main(int argc, char** argv) {
   int compactions = 0;
   uint64_t last_generation = db->store_generation();
   const int crash_at = batches / 2;
+  const int firmware_update_at = (2 * batches) / 3;
+  const char* const kVibrationClass = "http://engie.example/water/VibrationSensor";
+  const char* const kVibrationLevel = "http://engie.example/water/vibrationLevel";
+  const std::string vibration_query =
+      "SELECT ?s ?v WHERE { ?s a <" + std::string(kVibrationClass) +
+      "> ; <" + std::string(kVibrationLevel) + "> ?v }";
+  const std::string thing_query =
+      "SELECT ?s WHERE { ?s a <http://www.w3.org/2002/07/owl#Thing> }";
+  bool schema_demo_pending = false;
   for (int i = 0; i < batches; ++i) {
     if (i == crash_at && crash_at > 0) {
       // --- simulated power cut: the in-memory store evaporates; only the
@@ -137,6 +155,44 @@ int main(int argc, char** argv) {
       }
       last_generation = db->store_generation();
     }
+    if (i == firmware_update_at) {
+      // --- firmware update: a sensor type + predicate the ontology never
+      // declared starts reporting. Accepted provisionally, queryable at
+      // once; inference joins in after the next re-encode. ---
+      sedge::rdf::Graph novel;
+      for (int v = 0; v < 3; ++v) {
+        const sedge::rdf::Term sensor = sedge::rdf::Term::Iri(
+            "http://engie.example/water/vib" + std::to_string(v));
+        novel.Add(sensor,
+                  sedge::rdf::Term::Iri(
+                      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                  sedge::rdf::Term::Iri(kVibrationClass));
+        novel.Add(sensor, sedge::rdf::Term::Iri(kVibrationLevel),
+                  sedge::rdf::Term::Literal(std::to_string(40 + 3 * v)));
+      }
+      sedge::Database::InsertReport report;
+      if (const sedge::Status st = db->Insert(novel, &report); !st.ok()) {
+        std::fprintf(stderr, "firmware batch: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      const auto direct = db->QueryCount(vibration_query);
+      const auto things = db->QueryCount(thing_query);
+      if (!direct.ok() || !things.ok()) {
+        std::fprintf(stderr, "schema demo query failed\n");
+        return 1;
+      }
+      std::printf(
+          "batch %2d: FIRMWARE UPDATE -> %llu unseen-vocabulary triple(s) "
+          "accepted provisionally (%llu admissions logged to WAL);\n"
+          "          exact query finds %llu vibration sensor(s) "
+          "immediately; owl:Thing subsumption still covers %llu subjects "
+          "(inference deferred until the re-encode)\n",
+          i, static_cast<unsigned long long>(report.deferred_provisional),
+          static_cast<unsigned long long>(report.admitted_terms),
+          static_cast<unsigned long long>(direct.value()),
+          static_cast<unsigned long long>(things.value()));
+      schema_demo_pending = true;
+    }
     const sedge::rdf::Graph batch =
         sedge::workloads::SensorGraphGenerator::GenerateObservationBatch(
             config, i);
@@ -156,6 +212,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(db->num_triples()),
                   static_cast<unsigned long long>(db->checkpoint_sequence()),
                   static_cast<unsigned long long>(db->wal_epoch()));
+      if (schema_demo_pending &&
+          !db->snapshot()->store().has_pending_schema()) {
+        // The fold doubled as the epoch re-encode: the firmware update's
+        // vocabulary now sits in the LiteMat hierarchies.
+        const auto direct = db->QueryCount(vibration_query);
+        const auto things = db->QueryCount(thing_query);
+        if (direct.ok() && things.ok()) {
+          std::printf(
+              "batch %2d: re-encode folded the new vocabulary into LiteMat "
+              "-> owl:Thing subsumption now covers %llu subjects "
+              "(vibration sensors included); exact query still finds "
+              "%llu\n",
+              i, static_cast<unsigned long long>(things.value()),
+              static_cast<unsigned long long>(direct.value()));
+          schema_demo_pending = false;
+        }
+      }
     }
     for (const RegisteredQuery& q : queries) {
       const auto result = db->Query(q.sparql);

@@ -19,7 +19,9 @@ namespace {
 // (TripleStore::SaveTo). Integrity is the extent CRC's job
 // (io/checkpoint.cc); this layer only checks shape.
 constexpr char kImageMagic[8] = {'S', 'E', 'D', 'G', 'E', 'I', 'M', 'G'};
-constexpr uint32_t kImageVersion = 1;
+// v2: TripleStore images carry the provisional SchemaRegistry between the
+// base layouts and the overlay mutation lists.
+constexpr uint32_t kImageVersion = 2;
 
 /// Appends everything written to the stream to one external string — the
 /// checkpoint image is the whole database, so avoiding ostringstream's
@@ -151,15 +153,28 @@ uint64_t Database::delta_size() const {
 
 // ------------------------------------------------------------ write path
 
-Status Database::InsertTurtle(std::string_view text) {
+Status Database::InsertTurtle(std::string_view text, InsertReport* report) {
   SEDGE_ASSIGN_OR_RETURN(rdf::Graph graph, rdf::ParseTurtle(text));
-  return Insert(graph);
+  return Insert(graph, report);
 }
 
-Status Database::LogBatchLocked(io::WalRecordType type,
-                                const rdf::Triple* triples, size_t count) {
-  if (wal_ == nullptr || count == 0) return Status::OK();
+Status Database::LogBatchLocked(
+    io::WalRecordType type, const rdf::Triple* triples, size_t count,
+    const std::vector<store::schema::Admission>& admissions) {
+  if (wal_ == nullptr || (count == 0 && admissions.empty())) {
+    return Status::OK();
+  }
   const auto append_all = [&]() -> Status {
+    // Admissions lead their batch: replay restores the vocabulary before
+    // it re-applies the mutations that use it.
+    for (const store::schema::Admission& a : admissions) {
+      const Status st = wal_->AppendSchemaAdmit(
+          static_cast<uint8_t>(a.space), a.id, a.iri);
+      if (!st.ok()) {
+        wal_->DiscardPending();
+        return st;
+      }
+    }
     for (size_t i = 0; i < count; ++i) {
       const Status st = type == io::WalRecordType::kInsert
                             ? wal_->AppendInsert(triples[i])
@@ -205,31 +220,62 @@ void Database::RecordRelayLocked(bool insert, const rdf::Triple* triples,
   }
 }
 
-Status Database::Insert(const rdf::Graph& graph) {
-  std::lock_guard<std::mutex> lk(write_mu_);
-  SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
-  SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kInsert,
-                                     graph.triples().data(),
-                                     graph.triples().size()));
-  for (const rdf::Triple& t : graph.triples()) {
-    SEDGE_RETURN_NOT_OK(store_->Insert(t));
-    RecordRelayLocked(/*insert=*/true, &t, 1);
+Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
+                                   InsertReport* report) {
+  const uint64_t schema_before = store_->schema_registry().size();
+  // With a WAL, plan the batch's vocabulary admissions first so they can
+  // be logged — with the exact ids Insert will assign — ahead of the
+  // triples in the same group commit. Without one the extra
+  // classification pass buys nothing: Insert's own admission fallback
+  // assigns the identical ids.
+  if (wal_ != nullptr) {
+    const std::vector<store::schema::Admission> admissions =
+        store_->PlanAdmissions(triples, count);
+    SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kInsert, triples,
+                                       count, admissions));
+    for (const store::schema::Admission& a : admissions) {
+      SEDGE_RETURN_NOT_OK(store_->RestoreAdmission(a));
+    }
+  }
+  InsertReport local;
+  for (size_t i = 0; i < count; ++i) {
+    store::TripleStore::InsertOutcome outcome;
+    SEDGE_RETURN_NOT_OK(store_->Insert(triples[i], &outcome));
+    switch (outcome) {
+      case store::TripleStore::InsertOutcome::kApplied:
+        ++local.applied;
+        break;
+      case store::TripleStore::InsertOutcome::kProvisional:
+        ++local.deferred_provisional;
+        break;
+      case store::TripleStore::InsertOutcome::kRejected:
+        ++local.rejected;
+        break;
+    }
+    if (outcome != store::TripleStore::InsertOutcome::kRejected) {
+      RecordRelayLocked(/*insert=*/true, &triples[i], 1);
+    }
   }
   store_->SealDelta();
   write_generation_.fetch_add(1);
+  // Admissions either pre-installed from the WAL plan or made by Insert
+  // itself; the registry growth counts both the same way.
+  local.admitted_terms = store_->schema_registry().size() - schema_before;
+  if (report != nullptr) *report = local;
   return MaybeCompactLocked();
 }
 
-Status Database::Insert(const rdf::Triple& triple) {
+Status Database::Insert(const rdf::Graph& graph, InsertReport* report) {
   std::lock_guard<std::mutex> lk(write_mu_);
   SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
-  SEDGE_RETURN_NOT_OK(
-      LogBatchLocked(io::WalRecordType::kInsert, &triple, 1));
-  SEDGE_RETURN_NOT_OK(store_->Insert(triple));
-  RecordRelayLocked(/*insert=*/true, &triple, 1);
-  store_->SealDelta();
-  write_generation_.fetch_add(1);
-  return MaybeCompactLocked();
+  return InsertBatchLocked(graph.triples().data(), graph.triples().size(),
+                           report);
+}
+
+Status Database::Insert(const rdf::Triple& triple, InsertReport* report) {
+  std::lock_guard<std::mutex> lk(write_mu_);
+  SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+  return InsertBatchLocked(&triple, 1, report);
 }
 
 Status Database::RemoveTurtle(std::string_view text) {
@@ -273,10 +319,17 @@ Status Database::Compact() {
 }
 
 Status Database::CompactLocked() {
-  if (store_ == nullptr || !store_->has_delta()) return Status::OK();
+  // Pending provisional vocabulary alone also warrants a fold: the
+  // rebuild is the epoch re-encode that turns provisional ids into real
+  // LiteMat codes (and thereby switches inference on for those terms).
+  if (store_ == nullptr ||
+      (!store_->has_delta() && !store_->has_pending_schema())) {
+    return Status::OK();
+  }
   const rdf::Graph merged = store_->ExportGraph();
-  SEDGE_ASSIGN_OR_RETURN(store::TripleStore built,
-                         store::TripleStore::Build(onto_, merged));
+  SEDGE_ASSIGN_OR_RETURN(
+      store::TripleStore built,
+      store::TripleStore::Build(onto_, merged, &store_->schema_registry()));
   store_ = std::make_shared<store::TripleStore>(std::move(built));
   ++store_epoch_;  // supersedes any fold forked from the replaced store
   relay_.clear();
@@ -301,7 +354,10 @@ Status Database::CompactAsync() {
 }
 
 Status Database::CompactAsyncLocked() {
-  if (store_ == nullptr || !store_->has_delta()) return Status::OK();
+  if (store_ == nullptr ||
+      (!store_->has_delta() && !store_->has_pending_schema())) {
+    return Status::OK();
+  }
   if (compaction_running_.load()) return Status::OK();  // already folding
   if (worker_.joinable()) worker_.join();  // reap a finished worker
 
@@ -326,10 +382,14 @@ Status Database::CompactAsyncLocked() {
   worker_ = std::thread([this, ticket, frozen = std::move(frozen),
                          onto = std::move(onto)]() mutable {
     // Off the write path: O(n) export + succinct rebuild, against the
-    // frozen generation only.
+    // frozen generation only. The frozen registry's pending terms ride
+    // into the rebuild (the epoch re-encode) — copied out so the frozen
+    // store itself can be released before the build allocates.
     const rdf::Graph merged = frozen->ExportGraph();
+    const store::schema::SchemaRegistry pending = frozen->schema_registry();
     frozen.reset();
-    FinishCompaction(ticket, store::TripleStore::Build(onto, merged));
+    FinishCompaction(ticket,
+                     store::TripleStore::Build(onto, merged, &pending));
   });
   return Status::OK();
 }
@@ -431,6 +491,19 @@ Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
           ++applied;
           RecordRelayLocked(/*insert=*/false, &r.triple, 1);
           return store_->Remove(r.triple);
+        case io::WalRecordType::kSchemaAdmit: {
+          // Restore the admission with its logged id before the triples
+          // that use it re-apply. Idempotent over a checkpoint-restored
+          // registry that already knows the term.
+          if (r.admit_space >
+              static_cast<uint8_t>(
+                  store::schema::TermSpace::kDatatypeProperty)) {
+            return Status::IoError("WAL schema admission space malformed");
+          }
+          return store_->RestoreAdmission(
+              {static_cast<store::schema::TermSpace>(r.admit_space),
+               r.admit_id, r.admit_iri});
+        }
         case io::WalRecordType::kCompactEpoch:
           return Status::OK();  // informational marker
         case io::WalRecordType::kCommit:
@@ -553,6 +626,8 @@ void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
   stat_merge_join_delta_.fetch_add(s.merge_join_delta_extends,
                                    std::memory_order_relaxed);
   stat_row_.fetch_add(s.row_extends, std::memory_order_relaxed);
+  stat_provisional_.fetch_add(s.provisional_routes,
+                              std::memory_order_relaxed);
 }
 
 Result<sparql::QueryResult> Database::Query(std::string_view text) const {

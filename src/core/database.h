@@ -60,6 +60,7 @@
 #include "rdf/triple.h"
 #include "sparql/executor.h"
 #include "sparql/result_table.h"
+#include "store/schema/schema_registry.h"
 #include "store/store_generation.h"
 #include "store/triple_store.h"
 #include "util/status.h"
@@ -130,14 +131,31 @@ class Database {
 
   // -- Streaming writes (delta overlay) -------------------------------------
 
+  /// \brief Per-batch write accounting. The three outcome counters are
+  /// disjoint and sum to the batch size: `applied` triples were fully
+  /// LiteMat-encoded; `deferred_provisional` triples used at least one
+  /// provisional vocabulary term (queryable immediately, subsumption
+  /// inference deferred until the next compaction re-encode); `rejected`
+  /// triples were malformed and dropped. `admitted_terms` counts the new
+  /// vocabulary admissions this batch triggered.
+  struct InsertReport {
+    uint64_t applied = 0;
+    uint64_t deferred_provisional = 0;
+    uint64_t rejected = 0;
+    uint64_t admitted_terms = 0;
+  };
+
   /// Parses `text` and inserts every triple into the delta overlay. An
   /// empty database bootstraps an empty base store first, so a stream can
-  /// start from nothing. May trigger auto-compaction afterwards.
-  Status InsertTurtle(std::string_view text);
+  /// start from nothing. May trigger auto-compaction afterwards. Triples
+  /// with never-before-seen predicates or classes are accepted under
+  /// provisional ids (see store/schema/schema_registry.h); pass `report`
+  /// to learn how each triple of the batch fared.
+  Status InsertTurtle(std::string_view text, InsertReport* report = nullptr);
   /// Inserts every triple of `graph` into the delta overlay.
-  Status Insert(const rdf::Graph& graph);
+  Status Insert(const rdf::Graph& graph, InsertReport* report = nullptr);
   /// Inserts one triple.
-  Status Insert(const rdf::Triple& triple);
+  Status Insert(const rdf::Triple& triple, InsertReport* report = nullptr);
   /// Parses `text` and removes every triple (tombstoning base triples).
   Status RemoveTurtle(std::string_view text);
   /// Removes every triple of `graph`.
@@ -230,12 +248,15 @@ class Database {
     s.merge_join_delta_extends =
         stat_merge_join_delta_.load(std::memory_order_relaxed);
     s.row_extends = stat_row_.load(std::memory_order_relaxed);
+    s.provisional_routes =
+        stat_provisional_.load(std::memory_order_relaxed);
     return s;
   }
   void reset_query_stats() {
     stat_merge_join_.store(0, std::memory_order_relaxed);
     stat_merge_join_delta_.store(0, std::memory_order_relaxed);
     stat_row_.store(0, std::memory_order_relaxed);
+    stat_provisional_.store(0, std::memory_order_relaxed);
   }
 
   // -- Querying --------------------------------------------------------------
@@ -273,12 +294,22 @@ class Database {
   Status CompactAsyncLocked();
   Status CheckpointLocked();
   Status MaybeCompactLocked();
-  /// Appends one record per triple and group-commits with a single
-  /// Sync(). No-op without a WAL. Called before the mutations are
-  /// applied. A full WAL region (device mode) forces a checkpoint +
-  /// truncation, then retries the batch once.
+  /// Appends one record per admission, then one per triple, and
+  /// group-commits the whole batch with a single Sync() — the commit
+  /// marker covers vocabulary admissions and mutations atomically. No-op
+  /// without a WAL. Called before the mutations are applied. A full WAL
+  /// region (device mode) forces a checkpoint + truncation, then retries
+  /// the batch once.
   Status LogBatchLocked(io::WalRecordType type, const rdf::Triple* triples,
-                        size_t count);
+                        size_t count,
+                        const std::vector<store::schema::Admission>&
+                            admissions = {});
+  /// Plans a batch's vocabulary admissions, logs admissions + mutations
+  /// (one group commit), installs the admissions, applies the triples,
+  /// and fills `report`. The shared body of the Insert overloads;
+  /// requires write_mu_ and an existing store.
+  Status InsertBatchLocked(const rdf::Triple* triples, size_t count,
+                           InsertReport* report);
   /// Records applied mutations for the background fold's catch-up replay.
   void RecordRelayLocked(bool insert, const rdf::Triple* triples,
                          size_t count);
@@ -332,6 +363,7 @@ class Database {
   mutable std::atomic<uint64_t> stat_merge_join_{0};
   mutable std::atomic<uint64_t> stat_merge_join_delta_{0};
   mutable std::atomic<uint64_t> stat_row_{0};
+  mutable std::atomic<uint64_t> stat_provisional_{0};
 };
 
 }  // namespace sedge

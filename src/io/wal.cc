@@ -182,6 +182,15 @@ Status WriteAheadLog::AppendRemove(const rdf::Triple& triple) {
   return AppendRecord(WalRecordType::kRemove, rdf::EncodeTriple(triple));
 }
 
+Status WriteAheadLog::AppendSchemaAdmit(uint8_t space, uint64_t id,
+                                        const std::string& iri) {
+  std::string payload;
+  rdf::PutU8(payload, space);
+  rdf::PutU64(payload, id);
+  payload.append(iri);
+  return AppendRecord(WalRecordType::kSchemaAdmit, payload);
+}
+
 Status WriteAheadLog::AppendRecord(WalRecordType type,
                                    const std::string& payload) {
   if (!open_) return Status::Internal("WAL not open");
@@ -341,7 +350,10 @@ Status WriteAheadLog::Replay(
 Result<uint64_t> WriteAheadLog::ReplayableMutations() const {
   uint64_t count = 0;
   SEDGE_RETURN_NOT_OK(Replay([&](const WalReplayRecord& r) {
-    if (r.type != WalRecordType::kCompactEpoch) ++count;
+    if (r.type == WalRecordType::kInsert ||
+        r.type == WalRecordType::kRemove) {
+      ++count;
+    }
     return Status::OK();
   }));
   return count;
@@ -379,7 +391,7 @@ Status WriteAheadLog::ScanRecords(
     if (epoch != epoch_) break;
     if (seq != expected_seq) break;
     if (type < static_cast<uint8_t>(WalRecordType::kInsert) ||
-        type > static_cast<uint8_t>(WalRecordType::kCommit)) {
+        type > static_cast<uint8_t>(WalRecordType::kSchemaAdmit)) {
       break;
     }
     std::vector<uint8_t> framed(kFrameHeader - 4 + length);
@@ -398,6 +410,12 @@ Status WriteAheadLog::ScanRecords(
     } else if (record.type == WalRecordType::kCompactEpoch) {
       if (length != 8) break;
       record.base_triples = rdf::GetU64(payload);
+    } else if (record.type == WalRecordType::kSchemaAdmit) {
+      if (length < 1 + 8) break;
+      record.admit_space = payload[0];
+      record.admit_id = rdf::GetU64(payload + 1);
+      record.admit_iri.assign(reinterpret_cast<const char*>(payload) + 9,
+                              length - 9);
     } else if (!rdf::DecodeTriple(payload, length, &record.triple)) {
       break;  // CRC-valid but malformed — treat as end of prefix
     }

@@ -78,14 +78,26 @@ enum class WalRecordType : uint8_t {
   /// surfaced through Replay) — records after the last commit are an
   /// unacknowledged tail and are cut off.
   kCommit = 4,
+  /// Provisional vocabulary admission (store/schema/): an unknown
+  /// predicate or class admitted by a write batch, logged *before* the
+  /// batch's triples so replay restores the registry — with the exact
+  /// assigned id — before re-applying the mutations that use it. Payload:
+  /// u8 term space + u64 provisional id + IRI bytes. Purely additive to
+  /// the v2 frame format (old logs simply never contain it).
+  kSchemaAdmit = 5,
 };
 
 /// \brief One replayed record. `triple` is set for insert/remove;
-/// `base_triples` for compact-epoch markers.
+/// `base_triples` for compact-epoch markers; the `admit_*` fields for
+/// schema admissions (kept as raw wire fields so io stays independent of
+/// the store's schema types).
 struct WalReplayRecord {
   WalRecordType type;
   rdf::Triple triple;
   uint64_t base_triples = 0;
+  uint8_t admit_space = 0;
+  uint64_t admit_id = 0;
+  std::string admit_iri;
 };
 
 /// \brief Log-lifetime counters (DeviceStats counts blocks; these count
@@ -140,6 +152,10 @@ class WriteAheadLog {
   /// then DiscardPending() the batch (partial batches must never sync).
   Status AppendInsert(const rdf::Triple& triple);
   Status AppendRemove(const rdf::Triple& triple);
+  /// Buffers a provisional vocabulary admission (same durability rules;
+  /// appended ahead of the admitting batch's triple records).
+  Status AppendSchemaAdmit(uint8_t space, uint64_t id,
+                           const std::string& iri);
 
   /// Drops every buffered-but-unsynced record and rolls the sequence
   /// numbers back, as if the appends never happened. Used to abandon a

@@ -33,8 +33,11 @@ void SerializeHierarchy(std::ostream& os, const LiteMatHierarchy& h) {
 
 }  // namespace
 
-Result<Dictionary> Dictionary::Build(const ontology::Ontology& onto,
-                                     const rdf::Graph& data) {
+Result<Dictionary> Dictionary::Build(
+    const ontology::Ontology& onto, const rdf::Graph& data,
+    const std::vector<std::string>& extra_classes,
+    const std::vector<std::string>& extra_object_props,
+    const std::vector<std::string>& extra_datatype_props) {
   Dictionary dict;
 
   // Collect entities from the ontology, preserving its declaration order
@@ -72,6 +75,19 @@ Result<Dictionary> Dictionary::Build(const ontology::Ontology& onto,
     } else {
       if (known_object.insert(p).second) object_props.push_back(p);
     }
+  }
+
+  // Fold in extras (provisionally admitted vocabulary): terms the data no
+  // longer mentions — e.g. admitted and then removed again — still get a
+  // permanent LiteMat id, so their admission survives the re-encode.
+  for (const std::string& c : extra_classes) {
+    if (known_classes.insert(c).second) classes.push_back(c);
+  }
+  for (const std::string& p : extra_object_props) {
+    if (known_object.insert(p).second) object_props.push_back(p);
+  }
+  for (const std::string& p : extra_datatype_props) {
+    if (known_datatype.insert(p).second) datatype_props.push_back(p);
   }
 
   // Primary-parent maps drive the prefix codes.

@@ -44,7 +44,21 @@ class Dictionary {
   /// below the respective roots). Does not assign instance ids — those are
   /// assigned by the store build as triples are encoded.
   static Result<Dictionary> Build(const ontology::Ontology& onto,
-                                  const rdf::Graph& data);
+                                  const rdf::Graph& data) {
+    return Build(onto, data, {}, {}, {});
+  }
+
+  /// Same, additionally folding the `extra_*` entities in (the epoch
+  /// re-encode: terms a SchemaRegistry admitted provisionally since the
+  /// last build, in admission order). Extras the ontology or data already
+  /// mention are deduplicated; the rest attach below the respective roots
+  /// exactly like data-extended entities — afterwards the terms are
+  /// indistinguishable from bootstrap vocabulary.
+  static Result<Dictionary> Build(
+      const ontology::Ontology& onto, const rdf::Graph& data,
+      const std::vector<std::string>& extra_classes,
+      const std::vector<std::string>& extra_object_props,
+      const std::vector<std::string>& extra_datatype_props);
 
   // -- Concepts -------------------------------------------------------------
   const LiteMatHierarchy& concepts() const { return concepts_; }

@@ -111,19 +111,25 @@ class Executor::Estimator : public CardinalityEstimator {
       return store_->type_view().num_triples() + 1;
     }
     // Property counts, hierarchy-aggregated when reasoning (Section 5.1).
+    // Provisional predicates have no hierarchy entry or recorded
+    // statistics; their counts come straight off the merged views —
+    // judged per space, because one IRI can be dictionary-encoded in one
+    // property space and provisionally admitted in the other.
     uint64_t count = 0;
     uint64_t pairs = 0;
     if (reasoning_) {
-      count = dict.PropertyCountAggregated(p);
+      count = dict.PropertyCountAggregated(p);  // 0 outside the hierarchies
       pairs = count;  // refined below when the exact predicate is stored
     }
-    if (const auto id = dict.ObjectPropertyId(p)) {
-      if (!reasoning_) count += store_->object_view().CountForPredicate(*id);
+    if (const auto id = store_->ObjectPropertyIdOf(p)) {
+      if (!reasoning_ || store::schema::IsProvisionalId(*id)) {
+        count += store_->object_view().CountForPredicate(*id);
+      }
       pairs = std::max(pairs,
                        store_->object_view().CountSubjectsForPredicate(*id));
     }
-    if (const auto id = dict.DatatypePropertyId(p)) {
-      if (!reasoning_) {
+    if (const auto id = store_->DatatypePropertyIdOf(p)) {
+      if (!reasoning_ || store::schema::IsProvisionalId(*id)) {
         count += store_->datatype_view().CountForPredicate(*id);
       }
       pairs = std::max(
@@ -139,11 +145,7 @@ class Executor::Estimator : public CardinalityEstimator {
  private:
   std::optional<std::pair<uint64_t, uint64_t>> ConceptIntervalFor(
       const std::string& iri) const {
-    const auto& dict = store_->dict();
-    if (reasoning_) return dict.ConceptInterval(iri);
-    const auto id = dict.ConceptId(iri);
-    if (!id) return std::nullopt;
-    return std::make_pair(*id, *id + 1);
+    return store_->ConceptIntervalOf(iri, reasoning_);
   }
 
   const store::TripleStore* store_;
@@ -361,7 +363,7 @@ std::optional<uint64_t> ToConceptId(const store::TripleStore& store,
   }
   const rdf::Term t = decoder.Decode(v);
   if (!t.is_iri()) return std::nullopt;
-  return store.dict().ConceptId(t.lexical());
+  return store.ConceptIdOf(t.lexical());  // provisional concepts included
 }
 
 }  // namespace
@@ -370,7 +372,6 @@ Status Executor::ExtendTypeTp(const TriplePattern& tp, BindingTable* table) {
   const Slot s_slot = MakeSlot(tp.subject, *table);
   const Slot o_slot = MakeSlot(tp.object, *table);
   const store::delta::MergedTypeView type_view = store_->type_view();
-  const auto& dict = store_->dict();
 
   // Constant-object interval: the LiteMat rewriting (two shifts + add)
   // replaces the n+1 union sub-queries.
@@ -382,10 +383,15 @@ Status Executor::ExtendTypeTp(const TriplePattern& tp, BindingTable* table) {
   if (o_slot.is_const) {
     if (!o_slot.const_term->is_iri()) {
       table->rows.clear();
-    } else if (options_.reasoning) {
-      const_interval = dict.ConceptInterval(o_slot.const_term->lexical());
-    } else if (const auto id = dict.ConceptId(o_slot.const_term->lexical())) {
-      const_interval = std::make_pair(*id, *id + 1);
+    } else {
+      // Provisional concepts resolve to their leaf interval [id, id+1):
+      // queryable immediately, subsumption only after the re-encode.
+      const_interval = store_->ConceptIntervalOf(
+          o_slot.const_term->lexical(), options_.reasoning);
+      if (const_interval &&
+          store::schema::IsProvisionalId(const_interval->first)) {
+        ++stats_.provisional_routes;
+      }
     }
     if (!const_interval) table->rows.clear();
   }
@@ -499,32 +505,43 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
       o_slot.is_const && o_slot.const_term->is_literal();
   if (p_slot.is_const) {
     const std::string& p = p_slot.const_term->lexical();
-    // Object-property routes (skipped when the object is a literal).
+    // Object-property routes (skipped when the object is a literal). A
+    // provisional predicate's interval is its leaf [id, id+1): it becomes
+    // a single direct route — no inference expansion, no base probe (the
+    // overlay is the only place its triples can live pre-re-encode).
     if (!object_is_literal_const) {
-      if (options_.reasoning) {
-        if (const auto interval = dict.ObjectPropertyInterval(p)) {
+      if (const auto interval =
+              store_->ObjectPropertyIntervalOf(p, options_.reasoning)) {
+        if (store::schema::IsProvisionalId(interval->first)) {
+          const_routes.push_back({false, true, interval->first});
+          ++stats_.provisional_routes;
+        } else if (options_.reasoning) {
           store_->object_view().ForEachPredicateIn(
               interval->first, interval->second, [&](uint64_t pred) {
                 const_routes.push_back({false, true, pred});
               });
+        } else {
+          const_routes.push_back({false, true, interval->first});
         }
-      } else if (const auto id = dict.ObjectPropertyId(p)) {
-        const_routes.push_back({false, true, *id});
       }
     }
     // Datatype routes (skipped when the object is a bound resource).
     const bool object_is_resource_const =
         o_slot.is_const && !o_slot.const_term->is_literal();
     if (!object_is_resource_const) {
-      if (options_.reasoning) {
-        if (const auto interval = dict.DatatypePropertyInterval(p)) {
+      if (const auto interval =
+              store_->DatatypePropertyIntervalOf(p, options_.reasoning)) {
+        if (store::schema::IsProvisionalId(interval->first)) {
+          const_routes.push_back({false, false, interval->first});
+          ++stats_.provisional_routes;
+        } else if (options_.reasoning) {
           store_->datatype_view().ForEachPredicateIn(
               interval->first, interval->second, [&](uint64_t pred) {
                 const_routes.push_back({false, false, pred});
               });
+        } else {
+          const_routes.push_back({false, false, interval->first});
         }
-      } else if (const auto id = dict.DatatypePropertyId(p)) {
-        const_routes.push_back({false, false, *id});
       }
     }
   }
@@ -617,10 +634,10 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
         if (t.lexical() == rdf::kRdfType) {
           row_routes.push_back({true, false, 0});
         } else {
-          if (const auto id = dict.ObjectPropertyId(t.lexical())) {
+          if (const auto id = store_->ObjectPropertyIdOf(t.lexical())) {
             row_routes.push_back({false, true, *id});
           }
-          if (const auto id = dict.DatatypePropertyId(t.lexical())) {
+          if (const auto id = store_->DatatypePropertyIdOf(t.lexical())) {
             row_routes.push_back({false, false, *id});
           }
         }
@@ -659,7 +676,7 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
         std::optional<uint64_t> cid;
         if (o_slot.is_const) {
           if (!o_slot.const_term->is_iri()) continue;
-          const auto id = dict.ConceptId(o_slot.const_term->lexical());
+          const auto id = store_->ConceptIdOf(o_slot.const_term->lexical());
           if (!id) continue;
           cid = *id;
         } else if (bound_o != nullptr) {

@@ -49,6 +49,10 @@ struct ExecutorStats {
   uint64_t merge_join_delta_extends = 0;
   /// Regular-TP extensions that fell back to the row-by-row path.
   uint64_t row_extends = 0;
+  /// Scan routes resolved through the provisional SchemaRegistry (a
+  /// predicate or class admitted since the last re-encode) — the schema
+  /// bench's smoke check asserts these triples are actually served.
+  uint64_t provisional_routes = 0;
 };
 
 /// \brief Physical query engine over one TripleStore.

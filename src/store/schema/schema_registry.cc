@@ -1,0 +1,148 @@
+#include "store/schema/schema_registry.h"
+
+#include <istream>
+#include <ostream>
+
+namespace sedge::store::schema {
+namespace {
+
+void WriteStr(std::ostream& os, const std::string& s) {
+  const uint64_t n = s.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(s.data(), static_cast<std::streamsize>(n));
+}
+
+bool ReadStr(std::istream& is, std::string* out) {
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is || n > (1ULL << 20)) return false;  // IRIs are short; cap decode
+  out->resize(n);
+  is.read(out->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+uint64_t SchemaRegistry::Admit(Space* space, const std::string& iri) {
+  const auto it = space->by_name.find(iri);
+  if (it != space->by_name.end()) return it->second;
+  const uint64_t id = kProvisionalBit | space->next_index++;
+  space->by_name.emplace(iri, id);
+  space->by_id.emplace(id, iri);
+  return id;
+}
+
+Status SchemaRegistry::Restore(Space* space, const Admission& admission) {
+  if (!IsProvisionalId(admission.id)) {
+    return Status::Internal("schema admission id outside provisional region");
+  }
+  const auto by_name = space->by_name.find(admission.iri);
+  const auto by_id = space->by_id.find(admission.id);
+  if (by_name != space->by_name.end() || by_id != space->by_id.end()) {
+    // Already known (checkpoint-restored registry replaying its own WAL
+    // tail): a no-op if the pairing matches, a corruption signal if not.
+    if (by_name == space->by_name.end() || by_id == space->by_id.end() ||
+        by_name->second != admission.id || by_id->second != admission.iri) {
+      return Status::Internal("schema admission conflicts with registry: " +
+                              admission.iri);
+    }
+    return Status::OK();
+  }
+  space->by_name.emplace(admission.iri, admission.id);
+  space->by_id.emplace(admission.id, admission.iri);
+  const uint64_t index = admission.id & ~kProvisionalBit;
+  if (index >= space->next_index) space->next_index = index + 1;
+  return Status::OK();
+}
+
+Status SchemaRegistry::Restore(const Admission& admission) {
+  switch (admission.space) {
+    case TermSpace::kConcept:
+      return Restore(&concepts_, admission);
+    case TermSpace::kObjectProperty:
+      return Restore(&object_props_, admission);
+    case TermSpace::kDatatypeProperty:
+      return Restore(&datatype_props_, admission);
+  }
+  return Status::Internal("unreachable schema term space");
+}
+
+std::optional<uint64_t> SchemaRegistry::IdOf(const Space& space,
+                                             const std::string& iri) {
+  const auto it = space.by_name.find(iri);
+  if (it == space.by_name.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> SchemaRegistry::IriOf(const Space& space,
+                                                 uint64_t id) {
+  const auto it = space.by_id.find(id);
+  if (it == space.by_id.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SchemaRegistry::Names(const Space& space) {
+  std::vector<std::string> out;
+  out.reserve(space.by_id.size());
+  for (const auto& [id, name] : space.by_id) out.push_back(name);
+  return out;
+}
+
+uint64_t SchemaRegistry::SizeInBytes() const {
+  // Payload only (zero when empty): a compacted store's Figure-11
+  // footprint must stay exactly triples + dictionary.
+  uint64_t total = 0;
+  for (const Space* space : {&concepts_, &object_props_, &datatype_props_}) {
+    for (const auto& [id, name] : space->by_id) {
+      (void)id;
+      // Forward and reverse entries, same accounting convention as the
+      // LiteMat dictionaries.
+      total += 2 * (name.size() + sizeof(uint64_t) + 48);
+    }
+  }
+  return total;
+}
+
+void SchemaRegistry::SaveTo(std::ostream& os) const {
+  for (const Space* space : {&concepts_, &object_props_, &datatype_props_}) {
+    const uint64_t n = space->by_id.size();
+    os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    for (const auto& [id, name] : space->by_id) {
+      os.write(reinterpret_cast<const char*>(&id), sizeof(id));
+      WriteStr(os, name);
+    }
+    os.write(reinterpret_cast<const char*>(&space->next_index),
+             sizeof(space->next_index));
+  }
+}
+
+Result<SchemaRegistry> SchemaRegistry::LoadFrom(std::istream& is) {
+  SchemaRegistry registry;
+  for (Space* space : {&registry.concepts_, &registry.object_props_,
+                       &registry.datatype_props_}) {
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (!is) return Status::IoError("SchemaRegistry image truncated");
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t id = 0;
+      std::string name;
+      is.read(reinterpret_cast<char*>(&id), sizeof(id));
+      if (!is || !ReadStr(is, &name)) {
+        return Status::IoError("SchemaRegistry entry truncated");
+      }
+      if (!IsProvisionalId(id)) {
+        return Status::IoError("SchemaRegistry id outside provisional region");
+      }
+      if (!space->by_name.emplace(name, id).second ||
+          !space->by_id.emplace(id, std::move(name)).second) {
+        return Status::IoError("SchemaRegistry entries not unique");
+      }
+    }
+    is.read(reinterpret_cast<char*>(&space->next_index),
+            sizeof(space->next_index));
+    if (!is) return Status::IoError("SchemaRegistry image truncated");
+  }
+  return registry;
+}
+
+}  // namespace sedge::store::schema

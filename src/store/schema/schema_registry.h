@@ -1,0 +1,190 @@
+// Provisional vocabulary for schema growth under streaming writes.
+//
+// LiteMat prefix codes are assigned at build time (litemat/
+// hierarchy_encoding.h), so a streamed triple whose predicate or class was
+// never encoded used to be silently skipped — a correctness hole for the
+// edge scenario the paper targets, where long-lived sensors keep growing
+// their vocabulary. The SchemaRegistry closes it: an unknown predicate or
+// class is *admitted* on first use and assigned an id from a reserved
+// provisional region that no LiteMat hierarchy can ever produce (bit 63
+// set; hierarchies are capped at 63 bits). Triples using provisional ids
+// land in the delta overlay like any other write and are queryable
+// immediately — the executor routes a provisional term as a leaf (its
+// "interval" is [id, id+1), so no subsumption inference applies) — and the
+// next compaction folds every admitted term into a freshly rebuilt LiteMat
+// hierarchy, after which the term behaves exactly as if it had been in the
+// bootstrap ontology. See README "Schema evolution" for the full
+// visibility contract.
+//
+// Three independent provisional id spaces mirror the three LiteMat
+// hierarchies (concepts, object properties, datatype properties); like
+// their LiteMat counterparts, ids from different spaces may coincide.
+//
+// Durability: admissions are logged to the WAL (io::WalRecordType::
+// kSchemaAdmit) before the admitting batch's triples, and the whole
+// registry is serialized into every device checkpoint ahead of the overlay
+// mutations, so a restored store re-applies its overlay against the exact
+// ids it was built with. Restore() installs an id verbatim and is
+// idempotent, which makes WAL replay over a checkpoint-restored registry a
+// no-op for already-known terms.
+//
+// Concurrency: owned by TripleStore, mutated only on the single-writer
+// path (under Database's write lock) and deep-copied by ForkForWrites —
+// the same contract as the LiteMat dictionary.
+
+#ifndef SEDGE_STORE_SCHEMA_SCHEMA_REGISTRY_H_
+#define SEDGE_STORE_SCHEMA_SCHEMA_REGISTRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sedge::store::schema {
+
+/// Ids at or above this bit are provisional: every LiteMat hierarchy is
+/// normalized to at most 63 bits, so bit 63 is unreachable by prefix codes
+/// and LiteMat intervals [id, id + 2^k) can never cross into the region.
+inline constexpr uint64_t kProvisionalBit = 1ULL << 63;
+
+inline bool IsProvisionalId(uint64_t id) {
+  return (id & kProvisionalBit) != 0;
+}
+
+/// Which vocabulary space a term was admitted into (mirrors the three
+/// LiteMat hierarchies). Values are the WAL wire encoding — append only.
+enum class TermSpace : uint8_t {
+  kConcept = 0,
+  kObjectProperty = 1,
+  kDatatypeProperty = 2,
+};
+
+/// \brief One vocabulary admission: the fact that `iri` now owns
+/// provisional id `id` in `space`. This is what the WAL logs and what
+/// Database replays on recovery.
+struct Admission {
+  TermSpace space;
+  uint64_t id = 0;
+  std::string iri;
+};
+
+/// \brief Side dictionary of provisionally admitted terms, bidirectional
+/// per space. Empties out at every compaction (the rebuild folds the terms
+/// into the LiteMat hierarchies).
+class SchemaRegistry {
+ public:
+  SchemaRegistry() = default;
+
+  bool empty() const {
+    return concepts_.by_id.empty() && object_props_.by_id.empty() &&
+           datatype_props_.by_id.empty();
+  }
+  /// Terms currently admitted across all three spaces.
+  uint64_t size() const {
+    return concepts_.by_id.size() + object_props_.by_id.size() +
+           datatype_props_.by_id.size();
+  }
+
+  // -- Admission (single-writer path) ---------------------------------------
+
+  /// Returns the term's provisional id, admitting it first if unknown.
+  /// Idempotent; ids are assigned densely in admission order.
+  uint64_t AdmitConcept(const std::string& iri) {
+    return Admit(&concepts_, iri);
+  }
+  uint64_t AdmitObjectProperty(const std::string& iri) {
+    return Admit(&object_props_, iri);
+  }
+  uint64_t AdmitDatatypeProperty(const std::string& iri) {
+    return Admit(&datatype_props_, iri);
+  }
+
+  /// Installs an admission with its exact id — WAL replay and checkpoint
+  /// restore. Re-installing an identical admission is a no-op; a
+  /// conflicting one (same name, different id, or vice versa) is an
+  /// Internal error, because it means the log disagrees with the store.
+  Status Restore(const Admission& admission);
+
+  /// Carries `prior`'s id counters (not its entries) forward. The
+  /// compaction re-encode empties the registry but must never let later
+  /// admissions recycle ids the prior registry handed out: a standalone
+  /// WAL is never truncated, and two kSchemaAdmit records sharing an id
+  /// would collide on replay.
+  void InheritNextIndices(const SchemaRegistry& prior) {
+    concepts_.next_index =
+        std::max(concepts_.next_index, prior.concepts_.next_index);
+    object_props_.next_index =
+        std::max(object_props_.next_index, prior.object_props_.next_index);
+    datatype_props_.next_index = std::max(
+        datatype_props_.next_index, prior.datatype_props_.next_index);
+  }
+
+  // -- Lookup ---------------------------------------------------------------
+
+  std::optional<uint64_t> ConceptId(const std::string& iri) const {
+    return IdOf(concepts_, iri);
+  }
+  std::optional<uint64_t> ObjectPropertyId(const std::string& iri) const {
+    return IdOf(object_props_, iri);
+  }
+  std::optional<uint64_t> DatatypePropertyId(const std::string& iri) const {
+    return IdOf(datatype_props_, iri);
+  }
+  std::optional<std::string> ConceptIri(uint64_t id) const {
+    return IriOf(concepts_, id);
+  }
+  std::optional<std::string> ObjectPropertyIri(uint64_t id) const {
+    return IriOf(object_props_, id);
+  }
+  std::optional<std::string> DatatypePropertyIri(uint64_t id) const {
+    return IriOf(datatype_props_, id);
+  }
+
+  // -- Re-encode support ----------------------------------------------------
+
+  /// Admitted names per space, in id (= admission) order. The compaction
+  /// rebuild feeds these to litemat::Dictionary::Build as extra entities,
+  /// so even a term whose triples were all removed again survives the
+  /// re-encode with a real LiteMat id.
+  std::vector<std::string> ConceptNames() const { return Names(concepts_); }
+  std::vector<std::string> ObjectPropertyNames() const {
+    return Names(object_props_);
+  }
+  std::vector<std::string> DatatypePropertyNames() const {
+    return Names(datatype_props_);
+  }
+
+  // -- Checkpoint serialization ---------------------------------------------
+
+  uint64_t SizeInBytes() const;
+  void SaveTo(std::ostream& os) const;
+  static Result<SchemaRegistry> LoadFrom(std::istream& is);
+
+ private:
+  struct Space {
+    std::unordered_map<std::string, uint64_t> by_name;
+    std::map<uint64_t, std::string> by_id;  // id order == admission order
+    uint64_t next_index = 0;
+  };
+
+  static uint64_t Admit(Space* space, const std::string& iri);
+  static Status Restore(Space* space, const Admission& admission);
+  static std::optional<uint64_t> IdOf(const Space& space,
+                                      const std::string& iri);
+  static std::optional<std::string> IriOf(const Space& space, uint64_t id);
+  static std::vector<std::string> Names(const Space& space);
+
+  Space concepts_;
+  Space object_props_;
+  Space datatype_props_;
+};
+
+}  // namespace sedge::store::schema
+
+#endif  // SEDGE_STORE_SCHEMA_SCHEMA_REGISTRY_H_

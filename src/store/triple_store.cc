@@ -8,12 +8,44 @@
 #include "util/logging.h"
 
 namespace sedge::store {
+namespace {
+
+/// Which store layout a triple routes to — the single classification the
+/// write path, removal, and admission planning all share. Keeping it in
+/// one place is load-bearing: the WAL logs the admissions PlanAdmissions
+/// derives from this, and recovery only works if Insert admits exactly
+/// the same terms.
+enum class TripleKind : uint8_t { kMalformed, kType, kDatatype, kObject };
+
+TripleKind Classify(const rdf::Triple& t) {
+  if (!t.predicate.is_iri() || t.subject.is_literal()) {
+    return TripleKind::kMalformed;
+  }
+  if (t.predicate.lexical() == rdf::kRdfType) {
+    return t.object.is_iri() ? TripleKind::kType : TripleKind::kMalformed;
+  }
+  return t.object.is_literal() ? TripleKind::kDatatype : TripleKind::kObject;
+}
+
+}  // namespace
 
 Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
-                                       const rdf::Graph& data) {
+                                       const rdf::Graph& data,
+                                       const schema::SchemaRegistry* pending) {
   TripleStore store;
-  SEDGE_ASSIGN_OR_RETURN(store.dict_,
-                         litemat::Dictionary::Build(onto, data));
+  // The re-encode: provisionally admitted terms join the fresh LiteMat
+  // hierarchies as extra entities (below the roots unless the ontology
+  // knows them); the built store's own registry starts empty but keeps
+  // counting ids where the folded one stopped (WAL admission records
+  // must never share an id within one log lifetime).
+  SEDGE_ASSIGN_OR_RETURN(
+      store.dict_,
+      pending == nullptr
+          ? litemat::Dictionary::Build(onto, data)
+          : litemat::Dictionary::Build(onto, data, pending->ConceptNames(),
+                                       pending->ObjectPropertyNames(),
+                                       pending->DatatypePropertyNames()));
+  if (pending != nullptr) store.schema_.InheritNextIndices(*pending);
   litemat::Dictionary& dict = store.dict_;
   auto base = std::make_shared<BaseLayouts>();
 
@@ -73,8 +105,9 @@ delta::DeltaOverlay& TripleStore::EnsureDelta() {
 
 std::unique_ptr<TripleStore> TripleStore::ForkForWrites() const {
   auto fork = std::make_unique<TripleStore>();
-  fork->dict_ = dict_;   // deep copy: the fork keeps assigning instance ids
-  fork->base_ = base_;   // immutable layouts are shared, not copied
+  fork->dict_ = dict_;     // deep copy: the fork keeps assigning instance ids
+  fork->schema_ = schema_;  // and admitting provisional vocabulary
+  fork->base_ = base_;      // immutable layouts are shared, not copied
   fork->skipped_ = skipped_;
   if (delta_ != nullptr) {
     delta_->Seal();  // copy sorted runs, not pending buffers
@@ -83,90 +116,101 @@ std::unique_ptr<TripleStore> TripleStore::ForkForWrites() const {
   return fork;
 }
 
-Status TripleStore::Insert(const rdf::Triple& t) {
-  if (!t.predicate.is_iri() || t.subject.is_literal()) {
-    ++skipped_;
+Status TripleStore::Insert(const rdf::Triple& t, InsertOutcome* outcome) {
+  const auto report = [&](InsertOutcome o) {
+    if (outcome != nullptr) *outcome = o;
     return Status::OK();
-  }
+  };
   const std::string& p = t.predicate.lexical();
-  if (p == rdf::kRdfType) {
-    if (!t.object.is_iri()) {
+  switch (Classify(t)) {
+    case TripleKind::kMalformed:
       ++skipped_;
-      return Status::OK();
+      return report(InsertOutcome::kRejected);
+    case TripleKind::kType: {
+      // Schema-new concept: admit it provisionally (leaf id outside the
+      // LiteMat prefix space) instead of dropping the triple; the next
+      // compaction re-encode folds it into the hierarchy.
+      auto cid = dict_.ConceptId(t.object.lexical());
+      if (!cid) cid = schema_.ConceptId(t.object.lexical());
+      const bool provisional =
+          !cid.has_value() || schema::IsProvisionalId(*cid);
+      if (!cid) cid = schema_.AdmitConcept(t.object.lexical());
+      const InsertOutcome result =
+          provisional ? InsertOutcome::kProvisional : InsertOutcome::kApplied;
+      const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
+      delta::TypeDelta& td = EnsureDelta().type();
+      if (td.ContainsAdd(sid, *cid)) return report(result);
+      if (base_->type_store.Contains(sid, *cid)) {
+        td.EraseTombstone(sid, *cid);  // revive if deleted, else no-op
+        return report(result);
+      }
+      td.Add(sid, *cid);
+      if (!provisional) dict_.RecordConceptOccurrence(*cid);
+      dict_.RecordInstanceOccurrence(sid);
+      return report(result);
     }
-    const auto cid = dict_.ConceptId(t.object.lexical());
-    if (!cid) {  // schema-new concept: ids are fixed at build time
-      ++skipped_;
-      return Status::OK();
+    case TripleKind::kDatatype: {
+      auto pid = dict_.DatatypePropertyId(p);
+      if (!pid) pid = schema_.DatatypePropertyId(p);
+      const bool provisional =
+          !pid.has_value() || schema::IsProvisionalId(*pid);
+      if (!pid) pid = schema_.AdmitDatatypeProperty(p);
+      const InsertOutcome result =
+          provisional ? InsertOutcome::kProvisional : InsertOutcome::kApplied;
+      const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
+      delta::DatatypeDelta& dd = EnsureDelta().datatype();
+      if (dd.ContainsAdd(*pid, sid, t.object)) return report(result);
+      if (base_->datatype_store.Contains(*pid, sid, t.object)) {
+        dd.EraseTombstone(*pid, sid, t.object);
+        return report(result);
+      }
+      dd.Add(*pid, sid, t.object);
+      if (!provisional) dict_.RecordDatatypePropertyOccurrence(*pid);
+      dict_.RecordInstanceOccurrence(sid);
+      return report(result);
     }
-    const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
-    delta::TypeDelta& td = EnsureDelta().type();
-    if (td.ContainsAdd(sid, *cid)) return Status::OK();
-    if (base_->type_store.Contains(sid, *cid)) {
-      td.EraseTombstone(sid, *cid);  // revive if deleted, else no-op
-      return Status::OK();
-    }
-    td.Add(sid, *cid);
-    dict_.RecordConceptOccurrence(*cid);
-    dict_.RecordInstanceOccurrence(sid);
-    return Status::OK();
+    case TripleKind::kObject:
+      break;
   }
-  if (t.object.is_literal()) {
-    const auto pid = dict_.DatatypePropertyId(p);
-    if (!pid) {
-      ++skipped_;
-      return Status::OK();
-    }
-    const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
-    delta::DatatypeDelta& dd = EnsureDelta().datatype();
-    if (dd.ContainsAdd(*pid, sid, t.object)) return Status::OK();
-    if (base_->datatype_store.Contains(*pid, sid, t.object)) {
-      dd.EraseTombstone(*pid, sid, t.object);
-      return Status::OK();
-    }
-    dd.Add(*pid, sid, t.object);
-    dict_.RecordDatatypePropertyOccurrence(*pid);
-    dict_.RecordInstanceOccurrence(sid);
-    return Status::OK();
-  }
-  const auto pid = dict_.ObjectPropertyId(p);
-  if (!pid) {
-    ++skipped_;
-    return Status::OK();
-  }
+  auto pid = dict_.ObjectPropertyId(p);
+  if (!pid) pid = schema_.ObjectPropertyId(p);
+  const bool provisional = !pid.has_value() || schema::IsProvisionalId(*pid);
+  if (!pid) pid = schema_.AdmitObjectProperty(p);
+  const InsertOutcome result =
+      provisional ? InsertOutcome::kProvisional : InsertOutcome::kApplied;
   const uint32_t sid = dict_.InstanceIdOrAssign(t.subject);
   const uint32_t oid = dict_.InstanceIdOrAssign(t.object);
   delta::ObjectDelta& od = EnsureDelta().object();
-  if (od.ContainsAdd(*pid, sid, oid)) return Status::OK();
+  if (od.ContainsAdd(*pid, sid, oid)) return report(result);
   if (base_->object_store.Contains(*pid, sid, oid)) {
     od.EraseTombstone(*pid, sid, oid);
-    return Status::OK();
+    return report(result);
   }
   od.Add(*pid, sid, oid);
-  dict_.RecordObjectPropertyOccurrence(*pid);
+  if (!provisional) dict_.RecordObjectPropertyOccurrence(*pid);
   dict_.RecordInstanceOccurrence(sid);
   dict_.RecordInstanceOccurrence(oid);
-  return Status::OK();
+  return report(result);
 }
 
 Status TripleStore::Remove(const rdf::Triple& t) {
   // Removal never assigns ids: a triple with an unknown term cannot be
   // stored, so it is a no-op.
-  if (!t.predicate.is_iri() || t.subject.is_literal()) return Status::OK();
+  const TripleKind kind = Classify(t);
+  if (kind == TripleKind::kMalformed) return Status::OK();
   const auto sid = dict_.InstanceId(t.subject);
   if (!sid) return Status::OK();
   const std::string& p = t.predicate.lexical();
-  if (p == rdf::kRdfType) {
-    if (!t.object.is_iri()) return Status::OK();
-    const auto cid = dict_.ConceptId(t.object.lexical());
+  if (kind == TripleKind::kType) {
+    const auto cid = ConceptIdOf(t.object.lexical());
     if (!cid) return Status::OK();
     delta::TypeDelta& td = EnsureDelta().type();
     if (td.EraseAdd(*sid, *cid)) return Status::OK();
     if (base_->type_store.Contains(*sid, *cid)) td.AddTombstone(*sid, *cid);
     return Status::OK();
   }
-  if (t.object.is_literal()) {
-    const auto pid = dict_.DatatypePropertyId(p);
+  if (kind == TripleKind::kDatatype) {
+    const auto pid = DatatypePropertyIdOf(p);
     if (!pid) return Status::OK();
     delta::DatatypeDelta& dd = EnsureDelta().datatype();
     if (dd.EraseAdd(*pid, *sid, t.object)) return Status::OK();
@@ -175,7 +219,7 @@ Status TripleStore::Remove(const rdf::Triple& t) {
     }
     return Status::OK();
   }
-  const auto pid = dict_.ObjectPropertyId(p);
+  const auto pid = ObjectPropertyIdOf(p);
   if (!pid) return Status::OK();
   const auto oid = dict_.InstanceId(t.object);
   if (!oid) return Status::OK();
@@ -192,7 +236,7 @@ rdf::Graph TripleStore::ExportGraph() const {
   const delta::ObjectDelta* od = delta_ ? &delta_->object() : nullptr;
   base_->object_store.ScanAll([&](uint64_t p, uint64_t s, uint64_t o) {
     if (od != nullptr && od->IsTombstoned(p, s, o)) return true;
-    const auto iri = dict_.ObjectPropertyIri(p);
+    const auto iri = ObjectPropertyIriOf(p);
     SEDGE_CHECK(iri.has_value()) << "unknown object property " << p;
     g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)), rdf::Term::Iri(*iri),
           dict_.InstanceTerm(static_cast<uint32_t>(o)));
@@ -200,7 +244,7 @@ rdf::Graph TripleStore::ExportGraph() const {
   });
   if (od != nullptr) {
     for (const delta::IdTriple& t : od->adds().sorted()) {
-      const auto iri = dict_.ObjectPropertyIri(t.p);
+      const auto iri = ObjectPropertyIriOf(t.p);
       SEDGE_CHECK(iri.has_value()) << "unknown object property " << t.p;
       g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.s)),
             rdf::Term::Iri(*iri),
@@ -215,7 +259,7 @@ rdf::Graph TripleStore::ExportGraph() const {
         dd->IsTombstoned(p, s, literal)) {
       return true;
     }
-    const auto iri = dict_.DatatypePropertyIri(p);
+    const auto iri = DatatypePropertyIriOf(p);
     SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << p;
     g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)), rdf::Term::Iri(*iri),
           literal);
@@ -223,7 +267,7 @@ rdf::Graph TripleStore::ExportGraph() const {
   });
   if (dd != nullptr) {
     for (const delta::DtTriple& t : dd->adds().sorted()) {
-      const auto iri = dict_.DatatypePropertyIri(t.p);
+      const auto iri = DatatypePropertyIriOf(t.p);
       SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << t.p;
       g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.s)),
             rdf::Term::Iri(*iri), t.literal);
@@ -233,14 +277,14 @@ rdf::Graph TripleStore::ExportGraph() const {
   const delta::TypeDelta* td = delta_ ? &delta_->type() : nullptr;
   base_->type_store.ForEach([&](uint64_t s, uint64_t c) {
     if (td != nullptr && td->IsTombstoned(s, c)) return;
-    const auto iri = dict_.ConceptIri(c);
+    const auto iri = ConceptIriOf(c);
     SEDGE_CHECK(iri.has_value()) << "unknown concept " << c;
     g.Add(dict_.InstanceTerm(static_cast<uint32_t>(s)),
           rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(*iri));
   });
   if (td != nullptr) {
     for (const delta::IdPair& t : td->adds_by_concept().sorted()) {
-      const auto iri = dict_.ConceptIri(t.first);
+      const auto iri = ConceptIriOf(t.first);
       SEDGE_CHECK(iri.has_value()) << "unknown concept " << t.first;
       g.Add(dict_.InstanceTerm(static_cast<uint32_t>(t.second)),
             rdf::Term::Iri(rdf::kRdfType), rdf::Term::Iri(*iri));
@@ -253,17 +297,17 @@ void TripleStore::CollectDeltaMutations(std::vector<rdf::Triple>* removes,
                                         std::vector<rdf::Triple>* adds) const {
   if (delta_ == nullptr) return;
   const auto object_prop = [this](uint64_t p) {
-    const auto iri = dict_.ObjectPropertyIri(p);
+    const auto iri = ObjectPropertyIriOf(p);
     SEDGE_CHECK(iri.has_value()) << "unknown object property " << p;
     return rdf::Term::Iri(*iri);
   };
   const auto datatype_prop = [this](uint64_t p) {
-    const auto iri = dict_.DatatypePropertyIri(p);
+    const auto iri = DatatypePropertyIriOf(p);
     SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << p;
     return rdf::Term::Iri(*iri);
   };
   const auto concept_term = [this](uint64_t c) {
-    const auto iri = dict_.ConceptIri(c);
+    const auto iri = ConceptIriOf(c);
     SEDGE_CHECK(iri.has_value()) << "unknown concept " << c;
     return rdf::Term::Iri(*iri);
   };
@@ -302,6 +346,11 @@ void TripleStore::SaveTo(std::ostream& os) const {
   base_->datatype_store.Serialize(os);
   base_->type_store.Serialize(os);
   os.write(reinterpret_cast<const char*>(&skipped_), sizeof(skipped_));
+  // The provisional registry travels before the overlay mutations: the
+  // restore path re-applies the mutations through the ordinary write
+  // path, and re-admission against the restored registry is an idempotent
+  // lookup — provisional ids survive the round trip verbatim.
+  schema_.SaveTo(os);
   // The overlay travels as decoded mutations: tombstones then adds. The
   // restored store re-applies them through the ordinary write path, so
   // the checkpoint never depends on the overlay's in-memory layout.
@@ -323,6 +372,7 @@ Result<TripleStore> TripleStore::LoadFrom(std::istream& is) {
   store.base_ = std::move(base);
   is.read(reinterpret_cast<char*>(&store.skipped_), sizeof(store.skipped_));
   if (!is) return Status::IoError("TripleStore image truncated");
+  SEDGE_ASSIGN_OR_RETURN(store.schema_, schema::SchemaRegistry::LoadFrom(is));
   std::vector<rdf::Triple> removes;
   std::vector<rdf::Triple> adds;
   SEDGE_RETURN_NOT_OK(rdf::ReadTripleList(is, &removes));
@@ -349,17 +399,17 @@ rdf::Term TripleStore::DecodeTerm(const EncodedTerm& value) const {
     case ValueSpace::kInstance:
       return dict_.InstanceTerm(static_cast<uint32_t>(value.id));
     case ValueSpace::kConcept: {
-      const auto iri = dict_.ConceptIri(value.id);
+      const auto iri = ConceptIriOf(value.id);
       SEDGE_CHECK(iri.has_value()) << "unknown concept id " << value.id;
       return rdf::Term::Iri(*iri);
     }
     case ValueSpace::kObjectProperty: {
-      const auto iri = dict_.ObjectPropertyIri(value.id);
+      const auto iri = ObjectPropertyIriOf(value.id);
       SEDGE_CHECK(iri.has_value()) << "unknown object property " << value.id;
       return rdf::Term::Iri(*iri);
     }
     case ValueSpace::kDatatypeProperty: {
-      const auto iri = dict_.DatatypePropertyIri(value.id);
+      const auto iri = DatatypePropertyIriOf(value.id);
       SEDGE_CHECK(iri.has_value()) << "unknown datatype property " << value.id;
       return rdf::Term::Iri(*iri);
     }
@@ -368,6 +418,124 @@ rdf::Term TripleStore::DecodeTerm(const EncodedTerm& value) const {
   }
   SEDGE_CHECK(false) << "bad value space";
   return {};
+}
+
+// ------------------------------------------------- schema-aware lookups
+
+std::optional<uint64_t> TripleStore::ConceptIdOf(const std::string& iri) const {
+  if (const auto id = dict_.ConceptId(iri)) return id;
+  return schema_.ConceptId(iri);
+}
+
+std::optional<uint64_t> TripleStore::ObjectPropertyIdOf(
+    const std::string& iri) const {
+  if (const auto id = dict_.ObjectPropertyId(iri)) return id;
+  return schema_.ObjectPropertyId(iri);
+}
+
+std::optional<uint64_t> TripleStore::DatatypePropertyIdOf(
+    const std::string& iri) const {
+  if (const auto id = dict_.DatatypePropertyId(iri)) return id;
+  return schema_.DatatypePropertyId(iri);
+}
+
+std::optional<std::string> TripleStore::ConceptIriOf(uint64_t id) const {
+  if (schema::IsProvisionalId(id)) return schema_.ConceptIri(id);
+  return dict_.ConceptIri(id);
+}
+
+std::optional<std::string> TripleStore::ObjectPropertyIriOf(
+    uint64_t id) const {
+  if (schema::IsProvisionalId(id)) return schema_.ObjectPropertyIri(id);
+  return dict_.ObjectPropertyIri(id);
+}
+
+std::optional<std::string> TripleStore::DatatypePropertyIriOf(
+    uint64_t id) const {
+  if (schema::IsProvisionalId(id)) return schema_.DatatypePropertyIri(id);
+  return dict_.DatatypePropertyIri(id);
+}
+
+namespace {
+
+std::optional<std::pair<uint64_t, uint64_t>> LeafInterval(
+    std::optional<uint64_t> id) {
+  if (!id) return std::nullopt;
+  return std::make_pair(*id, *id + 1);
+}
+
+}  // namespace
+
+std::optional<std::pair<uint64_t, uint64_t>> TripleStore::ConceptIntervalOf(
+    const std::string& iri, bool reasoning) const {
+  if (reasoning) {
+    if (const auto interval = dict_.ConceptInterval(iri)) return interval;
+    // Provisional concepts are leaves until the re-encode: no inference.
+    return LeafInterval(schema_.ConceptId(iri));
+  }
+  return LeafInterval(ConceptIdOf(iri));
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+TripleStore::ObjectPropertyIntervalOf(const std::string& iri,
+                                      bool reasoning) const {
+  if (reasoning) {
+    if (const auto interval = dict_.ObjectPropertyInterval(iri)) {
+      return interval;
+    }
+    return LeafInterval(schema_.ObjectPropertyId(iri));
+  }
+  return LeafInterval(ObjectPropertyIdOf(iri));
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+TripleStore::DatatypePropertyIntervalOf(const std::string& iri,
+                                        bool reasoning) const {
+  if (reasoning) {
+    if (const auto interval = dict_.DatatypePropertyInterval(iri)) {
+      return interval;
+    }
+    return LeafInterval(schema_.DatatypePropertyId(iri));
+  }
+  return LeafInterval(DatatypePropertyIdOf(iri));
+}
+
+std::vector<schema::Admission> TripleStore::PlanAdmissions(
+    const rdf::Triple* triples, size_t count) const {
+  std::vector<schema::Admission> plan;
+  // Scratch copy so planned ids come out exactly as Insert will assign
+  // them (the registry is small — pending terms only — so the copy is
+  // cheap relative to the batch's WAL round trip).
+  schema::SchemaRegistry scratch = schema_;
+  for (size_t i = 0; i < count; ++i) {
+    const rdf::Triple& t = triples[i];
+    const std::string& p = t.predicate.lexical();
+    switch (Classify(t)) {
+      case TripleKind::kMalformed:
+        break;
+      case TripleKind::kType: {
+        const std::string& c = t.object.lexical();
+        if (!dict_.ConceptId(c) && !scratch.ConceptId(c)) {
+          plan.push_back(
+              {schema::TermSpace::kConcept, scratch.AdmitConcept(c), c});
+        }
+        break;
+      }
+      case TripleKind::kDatatype:
+        if (!dict_.DatatypePropertyId(p) && !scratch.DatatypePropertyId(p)) {
+          plan.push_back({schema::TermSpace::kDatatypeProperty,
+                          scratch.AdmitDatatypeProperty(p), p});
+        }
+        break;
+      case TripleKind::kObject:
+        if (!dict_.ObjectPropertyId(p) && !scratch.ObjectPropertyId(p)) {
+          plan.push_back({schema::TermSpace::kObjectProperty,
+                          scratch.AdmitObjectProperty(p), p});
+        }
+        break;
+    }
+  }
+  return plan;
 }
 
 void TripleStore::SerializeTriples(std::ostream& os) const {

@@ -9,9 +9,14 @@
 // The succinct layouts are immutable once built and held behind a
 // shared_ptr, so a store can be forked for the background-compaction
 // handoff (ForkForWrites): the fork shares the base structures and gets
-// its own copies of the mutable state (dictionary + delta overlay), which
-// lets a compaction thread export the frozen original while writers keep
-// streaming into the fork.
+// its own copies of the mutable state (dictionary + provisional schema
+// registry + delta overlay), which lets a compaction thread export the
+// frozen original while writers keep streaming into the fork.
+//
+// Vocabulary unknown to the LiteMat dictionary is not fixed anymore:
+// Insert admits new predicates/classes into the provisional
+// SchemaRegistry (store/schema/), and the compaction rebuild
+// (Build(..., pending)) re-encodes them into the hierarchies.
 
 #ifndef SEDGE_STORE_TRIPLE_STORE_H_
 #define SEDGE_STORE_TRIPLE_STORE_H_
@@ -31,6 +36,7 @@
 #include "store/encoded.h"
 #include "store/pso_index.h"
 #include "store/rdftype_store.h"
+#include "store/schema/schema_registry.h"
 #include "util/status.h"
 
 namespace sedge::store {
@@ -49,7 +55,18 @@ class TripleStore {
   /// objects, and similar malformed statements are counted in
   /// skipped_triples() rather than failing the build.
   static Result<TripleStore> Build(const ontology::Ontology& onto,
-                                   const rdf::Graph& data);
+                                   const rdf::Graph& data) {
+    return Build(onto, data, nullptr);
+  }
+
+  /// The epoch re-encode entry point: like Build above, but additionally
+  /// folds every term `pending` had admitted provisionally into the fresh
+  /// LiteMat hierarchies (litemat::Dictionary::Build extras) — even terms
+  /// whose triples were all removed again. The built store starts with an
+  /// empty registry: nothing is provisional after a re-encode.
+  static Result<TripleStore> Build(const ontology::Ontology& onto,
+                                   const rdf::Graph& data,
+                                   const schema::SchemaRegistry* pending);
 
   const litemat::Dictionary& dict() const { return dict_; }
   litemat::Dictionary& mutable_dict() { return dict_; }
@@ -61,14 +78,26 @@ class TripleStore {
 
   // -- Write path (delta overlay) -------------------------------------------
 
+  /// How one inserted triple was handled (the per-batch InsertReport at
+  /// the Database layer aggregates these).
+  enum class InsertOutcome : uint8_t {
+    kApplied,      // fully LiteMat-encoded (duplicates of live triples too)
+    kProvisional,  // accepted under ≥1 provisional id; inference deferred
+                   // until the next compaction re-encode
+    kRejected,     // malformed (non-IRI predicate, literal subject, ...)
+  };
+
   /// Inserts one triple into the delta overlay. Duplicates of live triples
-  /// are no-ops; deleting-then-reinserting revives the base triple.
-  /// Triples whose predicate/concept is unknown to the LiteMat dictionary
-  /// are counted in skipped_triples() (the hierarchy ids are fixed at
-  /// build time — schema growth requires a reload).
-  Status Insert(const rdf::Triple& t);
+  /// are no-ops; deleting-then-reinserting revives the base triple. A
+  /// predicate or class unknown to the LiteMat dictionary is admitted into
+  /// the provisional SchemaRegistry on first use (outcome kProvisional) —
+  /// the triple is queryable immediately; subsumption inference over the
+  /// new term starts after the next compaction re-encode. Only malformed
+  /// triples are rejected (counted in skipped_triples()).
+  Status Insert(const rdf::Triple& t, InsertOutcome* outcome = nullptr);
   /// Removes one triple: drops it from the overlay adds, or tombstones the
-  /// base triple. Removing an absent triple is a no-op.
+  /// base triple. Removing an absent triple is a no-op. Provisional terms
+  /// resolve like encoded ones; removal never admits vocabulary.
   Status Remove(const rdf::Triple& t);
 
   /// Seals the overlay's pending write buffers. The Database write methods
@@ -90,10 +119,10 @@ class TripleStore {
   // -- Generation handoff (background compaction) ---------------------------
 
   /// Returns a writable successor: the immutable base layouts are shared,
-  /// the dictionary and the delta overlay are deep-copied. After the
-  /// handoff the original must receive no further writes — a background
-  /// thread can then ExportGraph() it race-free while new mutations land
-  /// in the fork.
+  /// the dictionary, the provisional schema registry and the delta
+  /// overlay are deep-copied. After the handoff the original must receive
+  /// no further writes — a background thread can then ExportGraph() it
+  /// race-free while new mutations land in the fork.
   std::unique_ptr<TripleStore> ForkForWrites() const;
 
   // -- Device checkpoint (io/checkpoint.cc) ---------------------------------
@@ -142,7 +171,50 @@ class TripleStore {
     if (delta_) n += delta_->num_adds() - delta_->num_dels();
     return n;
   }
+  /// Malformed triples dropped by Build/Insert. Since the provisional
+  /// vocabulary landed, unknown predicates/classes are admitted rather
+  /// than skipped, so this counts shape errors only.
   uint64_t skipped_triples() const { return skipped_; }
+
+  // -- Dynamic schema (provisional vocabulary) ------------------------------
+
+  const schema::SchemaRegistry& schema_registry() const { return schema_; }
+  /// True when terms are awaiting the compaction re-encode; the Database
+  /// compaction paths trigger a rebuild on this even with an empty delta.
+  bool has_pending_schema() const { return !schema_.empty(); }
+
+  /// Dry run of the vocabulary admissions a batch would trigger, in
+  /// admission order with the ids Insert would assign. The Database write
+  /// path logs these to the WAL *before* applying the batch, then installs
+  /// them with RestoreAdmission so the log and the registry agree by
+  /// construction.
+  std::vector<schema::Admission> PlanAdmissions(const rdf::Triple* triples,
+                                                size_t count) const;
+  /// Installs one admission verbatim (WAL replay / planned-batch apply).
+  Status RestoreAdmission(const schema::Admission& admission) {
+    return schema_.Restore(admission);
+  }
+
+  // -- Schema-aware vocabulary lookups (LiteMat hierarchy first, then the
+  //    provisional registry). The executor routes through these so
+  //    provisional terms resolve exactly like encoded ones. --------------
+
+  std::optional<uint64_t> ConceptIdOf(const std::string& iri) const;
+  std::optional<uint64_t> ObjectPropertyIdOf(const std::string& iri) const;
+  std::optional<uint64_t> DatatypePropertyIdOf(const std::string& iri) const;
+  std::optional<std::string> ConceptIriOf(uint64_t id) const;
+  std::optional<std::string> ObjectPropertyIriOf(uint64_t id) const;
+  std::optional<std::string> DatatypePropertyIriOf(uint64_t id) const;
+
+  /// LiteMat subsumption interval of `iri`, or the leaf interval
+  /// [id, id+1) when `iri` is provisional (no inference before the
+  /// re-encode) or when reasoning is off. nullopt for unknown terms.
+  std::optional<std::pair<uint64_t, uint64_t>> ConceptIntervalOf(
+      const std::string& iri, bool reasoning) const;
+  std::optional<std::pair<uint64_t, uint64_t>> ObjectPropertyIntervalOf(
+      const std::string& iri, bool reasoning) const;
+  std::optional<std::pair<uint64_t, uint64_t>> DatatypePropertyIntervalOf(
+      const std::string& iri, bool reasoning) const;
 
   // -- Encode / decode ------------------------------------------------------
 
@@ -167,10 +239,13 @@ class TripleStore {
   uint64_t DeltaSizeInBytes() const {
     return delta_ ? delta_->SizeInBytes() : 0;
   }
-  /// Full in-memory footprint (Figure 11; plus the overlay when present).
+  /// Provisional vocabulary footprint (zero right after a re-encode).
+  uint64_t SchemaSizeInBytes() const { return schema_.SizeInBytes(); }
+  /// Full in-memory footprint (Figure 11; plus the overlay and the
+  /// provisional registry when present).
   uint64_t SizeInBytes() const {
     return TriplesSizeInBytes() + DictionarySizeInBytes() +
-           DeltaSizeInBytes();
+           DeltaSizeInBytes() + SchemaSizeInBytes();
   }
 
   void SerializeTriples(std::ostream& os) const;
@@ -192,6 +267,7 @@ class TripleStore {
                              std::vector<rdf::Triple>* adds) const;
 
   litemat::Dictionary dict_;
+  schema::SchemaRegistry schema_;
   std::shared_ptr<const BaseLayouts> base_;
   std::unique_ptr<delta::DeltaOverlay> delta_;
   uint64_t skipped_ = 0;

@@ -223,14 +223,69 @@ TEST_F(DeltaOverlay, WriteGenerationTracksBatches) {
   EXPECT_EQ(db_.write_generation(), w + 2);
 }
 
-TEST_F(DeltaOverlay, UnknownSchemaInsertIsSkipped) {
+TEST_F(DeltaOverlay, UnknownSchemaInsertIsDeferredProvisional) {
+  // A never-before-seen predicate no longer drops the triple: it is
+  // admitted provisionally, reported as deferred, and queryable at once.
   const uint64_t skipped = db_.store().skipped_triples();
+  Database::InsertReport report;
   ASSERT_TRUE(db_.Insert({rdf::Term::Iri(Iri("s", 0)),
                           rdf::Term::Iri("http://e.org/brand-new-pred"),
-                          rdf::Term::Iri(Iri("o", 10))})
+                          rdf::Term::Iri(Iri("o", 10))},
+                         &report)
                   .ok());
-  EXPECT_EQ(db_.store().skipped_triples(), skipped + 1);
-  EXPECT_EQ(db_.num_triples(), seed_.size());
+  EXPECT_EQ(report.applied, 0u);
+  EXPECT_EQ(report.deferred_provisional, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(report.admitted_terms, 1u);
+  EXPECT_EQ(db_.store().skipped_triples(), skipped);
+  EXPECT_EQ(db_.num_triples(), seed_.size() + 1);
+  EXPECT_TRUE(db_.store().has_pending_schema());
+  const auto hits = db_.QueryCount(
+      "SELECT * WHERE { ?s <http://e.org/brand-new-pred> ?o }");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value(), 1u);
+  // A second use of the predicate is no longer an admission.
+  ASSERT_TRUE(db_.Insert({rdf::Term::Iri(Iri("s", 1)),
+                          rdf::Term::Iri("http://e.org/brand-new-pred"),
+                          rdf::Term::Iri(Iri("o", 11))},
+                         &report)
+                  .ok());
+  EXPECT_EQ(report.deferred_provisional, 1u);
+  EXPECT_EQ(report.admitted_terms, 0u);
+}
+
+TEST_F(DeltaOverlay, InsertReportCountsAreDisjointAndComplete) {
+  rdf::Graph batch;
+  batch.Add(Obj(3, 0, 10));                             // known schema
+  batch.Add(Dt(3, 0, "5"));                             // known schema
+  batch.Add({rdf::Term::Iri(Iri("s", 3)),
+             rdf::Term::Iri("http://e.org/new-dp"),
+             rdf::Term::Literal("42")});                // novel datatype pred
+  batch.Add({rdf::Term::Iri(Iri("s", 3)), rdf::Term::Iri(rdf::kRdfType),
+             rdf::Term::Iri("http://e.org/NewClass")});  // novel class
+  batch.Add({rdf::Term::Literal("not-a-subject"),
+             rdf::Term::Iri(Iri("p", 0)), rdf::Term::Iri(Iri("o", 0))});
+  Database::InsertReport report;
+  ASSERT_TRUE(db_.Insert(batch, &report).ok());
+  EXPECT_EQ(report.applied, 2u);
+  EXPECT_EQ(report.deferred_provisional, 2u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.applied + report.deferred_provisional + report.rejected,
+            batch.size());
+  EXPECT_EQ(report.admitted_terms, 2u);
+
+  // After a compaction the vocabulary is re-encoded: the same triples
+  // would now count as plain applied duplicates.
+  ASSERT_TRUE(db_.Compact().ok());
+  EXPECT_FALSE(db_.store().has_pending_schema());
+  rdf::Graph again;
+  again.Add({rdf::Term::Iri(Iri("s", 4)),
+             rdf::Term::Iri("http://e.org/new-dp"),
+             rdf::Term::Literal("43")});
+  ASSERT_TRUE(db_.Insert(again, &report).ok());
+  EXPECT_EQ(report.applied, 1u);
+  EXPECT_EQ(report.deferred_provisional, 0u);
+  EXPECT_EQ(report.admitted_terms, 0u);
 }
 
 TEST(DeltaStreaming, StartsFromEmptyDatabase) {

@@ -524,6 +524,238 @@ TEST(EngineAgreementModes, MergeJoinAgreesWithRowPathUnderLiveDelta) {
   }
 }
 
+// Schema-evolution property test: a random stream that keeps minting
+// never-before-seen predicates and classes, interleaved with known-term
+// writes, removes, sync/async compactions (the epoch re-encode) and
+// device close-and-reopen cycles. At every checkpoint of the walk the
+// store must agree with a naive oracle — an RDF4J-like store rebuilt from
+// the live triple set — on random BGP queries that mix novel and
+// bootstrap vocabulary; after each compaction the re-encoded terms must
+// additionally answer reasoning (owl:Thing subsumption) queries exactly
+// like a from-scratch sedge build of the same data, i.e. identically to
+// bootstrap-ontology terms.
+TEST(SchemaEvolutionProperty, NovelVocabularyStreamMatchesOracle) {
+  Rng rng(20260731);
+  const int kSubjects = 16;
+  const int kKnownPreds = 3;
+  const int kKnownClasses = 3;
+  // The novel vocabulary pool grows as the walk mints terms; queries draw
+  // from the minted prefix so novel predicates appear in queries too.
+  int minted_preds = 0;
+  int minted_classes = 0;
+
+  ontology::Ontology onto;
+  for (int c = 0; c < kKnownClasses; ++c) {
+    onto.AddSubClassOf(Iri("C", c), rdf::kOwlThing);
+  }
+  for (int p = 0; p < kKnownPreds; ++p) {
+    onto.AddProperty(Iri("p", p), ontology::PropertyKind::kObject);
+  }
+  onto.AddProperty(Iri("dp", 0), ontology::PropertyKind::kDatatype);
+
+  const auto random_triple = [&]() -> rdf::Triple {
+    const std::string s = Iri("s", rng.Uniform(kSubjects));
+    const uint64_t kind = rng.Uniform(6);
+    const bool novel = rng.Bernoulli(0.3);
+    if (kind == 0) {
+      std::string c;
+      if (novel && rng.Bernoulli(0.5)) {
+        c = Iri("NC", minted_classes++);
+      } else if (novel && minted_classes > 0) {
+        c = Iri("NC", rng.Uniform(minted_classes));
+      } else {
+        c = Iri("C", rng.Uniform(kKnownClasses));
+      }
+      return {rdf::Term::Iri(s), rdf::Term::Iri(rdf::kRdfType),
+              rdf::Term::Iri(c)};
+    }
+    if (kind == 1) {
+      const std::string p =
+          novel ? Iri("ndp", rng.Uniform(3)) : Iri("dp", 0);
+      return {rdf::Term::Iri(s), rdf::Term::Iri(p),
+              rdf::Term::Literal(std::to_string(rng.Uniform(8)))};
+    }
+    std::string p;
+    if (novel && rng.Bernoulli(0.4)) {
+      p = Iri("np", minted_preds++);
+    } else if (novel && minted_preds > 0) {
+      p = Iri("np", rng.Uniform(minted_preds));
+    } else {
+      p = Iri("p", rng.Uniform(kKnownPreds));
+    }
+    return {rdf::Term::Iri(s), rdf::Term::Iri(p),
+            rdf::Term::Iri(Iri("o", rng.Uniform(12)))};
+  };
+
+  // Bootstrap base over the known vocabulary only.
+  rdf::Graph seed;
+  for (int p = 0; p < kKnownPreds; ++p) {
+    seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(Iri("p", p)),
+             rdf::Term::Iri(Iri("o", 0)));
+  }
+  seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(Iri("dp", 0)),
+           rdf::Term::Literal("0"));
+  for (int c = 0; c < kKnownClasses; ++c) {
+    seed.Add(rdf::Term::Iri(Iri("s", 0)), rdf::Term::Iri(rdf::kRdfType),
+             rdf::Term::Iri(Iri("C", c)));
+  }
+
+  // Only the device survives reopen cycles.
+  io::SimulatedBlockDevice device;
+  std::unique_ptr<Database> db;
+  bool provisioned = false;
+  const auto reopen = [&]() {
+    Database::OpenOptions options;
+    options.wal_capacity_blocks = 128;
+    options.bootstrap_ontology = onto;
+    auto opened = Database::Open(&device, options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    db = std::move(opened).value();
+    db->set_reasoning(false);
+    db->set_compaction_ratio(0);  // the walk owns the compaction points
+    if (!provisioned) {
+      ASSERT_TRUE(db->LoadData(seed).ok());
+      provisioned = true;
+    }
+  };
+  reopen();
+
+  std::set<rdf::Triple> oracle;
+  for (const rdf::Triple& t : seed.triples()) oracle.insert(t);
+
+  const auto random_query = [&]() {
+    std::string where;
+    const int tps = 1 + static_cast<int>(rng.Uniform(2));
+    for (int t = 0; t < tps; ++t) {
+      const std::string s = rng.Bernoulli(0.6)
+                                ? "?v" + std::to_string(rng.Uniform(2))
+                                : "<" + Iri("s", rng.Uniform(kSubjects)) + ">";
+      std::string p, o;
+      const uint64_t pk = rng.Uniform(4);
+      if (pk == 0) {
+        p = "<" + std::string(rdf::kRdfType) + ">";
+        const bool use_novel = minted_classes > 0 && rng.Bernoulli(0.5);
+        o = rng.Bernoulli(0.4)
+                ? "?v" + std::to_string(2 + rng.Uniform(2))
+                : (use_novel
+                       ? "<" + Iri("NC", rng.Uniform(minted_classes)) + ">"
+                       : "<" + Iri("C", rng.Uniform(kKnownClasses)) + ">");
+      } else if (pk == 1) {
+        p = rng.Bernoulli(0.5) ? "<" + Iri("dp", 0) + ">"
+                               : "<" + Iri("ndp", rng.Uniform(3)) + ">";
+        o = rng.Bernoulli(0.5) ? "?v" + std::to_string(2 + rng.Uniform(2))
+                               : "\"" + std::to_string(rng.Uniform(8)) + "\"";
+      } else {
+        const bool use_novel = minted_preds > 0 && rng.Bernoulli(0.5);
+        p = use_novel ? "<" + Iri("np", rng.Uniform(minted_preds)) + ">"
+                      : "<" + Iri("p", rng.Uniform(kKnownPreds)) + ">";
+        o = rng.Bernoulli(0.5) ? "?v" + std::to_string(2 + rng.Uniform(2))
+                               : "<" + Iri("o", rng.Uniform(12)) + ">";
+      }
+      where += s + " " + p + " " + o + " . ";
+    }
+    return "SELECT * WHERE { " + where + "}";
+  };
+
+  const auto check_against_oracle = [&]() {
+    ASSERT_EQ(db->num_triples(), oracle.size());
+    rdf::Graph live;
+    for (const rdf::Triple& t : oracle) live.Add(t);
+    baselines::Rdf4jLikeStore reference;
+    ASSERT_TRUE(reference.Build(live).ok());
+    baselines::BaselineEngine reference_engine(&reference);
+    for (int trial = 0; trial < 5; ++trial) {
+      const std::string sparql = random_query();
+      auto parsed = sparql::ParseQuery(sparql);
+      ASSERT_TRUE(parsed.ok()) << sparql;
+      const auto expected = reference_engine.ExecuteCount(parsed.value());
+      ASSERT_TRUE(expected.ok()) << sparql;
+      const auto got = db->QueryCount(sparql);
+      ASSERT_TRUE(got.ok()) << sparql << ": " << got.status().ToString();
+      ASSERT_EQ(got.value(), expected.value())
+          << "disagreement on: " << sparql;
+    }
+  };
+
+  // Reasoning check after a re-encode: the streamed store must answer
+  // subsumption queries exactly like a from-scratch sedge build (whose
+  // dictionary treats every term as bootstrap vocabulary).
+  const auto check_reasoning_against_fresh_build = [&]() {
+    // Terms admitted while a fold was in flight are still provisional —
+    // inference over them is deferred until *their* re-encode, so drain
+    // the registry before comparing reasoning answers.
+    while (db->store().has_pending_schema()) {
+      ASSERT_TRUE(db->Compact().ok());
+    }
+    rdf::Graph live;
+    for (const rdf::Triple& t : oracle) live.Add(t);
+    Database fresh;
+    fresh.LoadOntology(onto);
+    ASSERT_TRUE(fresh.LoadData(live).ok());
+    db->set_reasoning(true);
+    const std::string thing_query =
+        "SELECT ?s WHERE { ?s a <" + std::string(rdf::kOwlThing) + "> }";
+    const std::string top_query = "SELECT * WHERE { ?s <" +
+                                  std::string(rdf::kOwlTopObjectProperty) +
+                                  "> ?o }";
+    for (const std::string& q :
+         std::vector<std::string>{thing_query, top_query}) {
+      const auto got = db->QueryCount(q);
+      const auto want = fresh.QueryCount(q);
+      ASSERT_TRUE(got.ok() && want.ok()) << q;
+      ASSERT_EQ(got.value(), want.value())
+          << "post-re-encode reasoning disagreement on: " << q;
+    }
+    db->set_reasoning(false);
+  };
+
+  int compactions = 0;
+  int reopens = 0;
+  for (int step = 0; step < 320; ++step) {
+    const uint64_t dice = rng.Uniform(100);
+    if (dice < 55) {
+      const rdf::Triple t = random_triple();
+      ASSERT_TRUE(db->Insert(t).ok());
+      oracle.insert(t);
+    } else if (dice < 80) {
+      const rdf::Triple t = random_triple();
+      ASSERT_TRUE(db->Remove(t).ok());
+      oracle.erase(t);
+    } else if (dice < 87) {
+      // The epoch re-encode, riding the background-compaction fork/swap.
+      ASSERT_TRUE(db->CompactAsync().ok());
+      if (rng.Bernoulli(0.5)) {
+        const rdf::Triple t = random_triple();  // write during the fold
+        ASSERT_TRUE(db->Insert(t).ok());
+        oracle.insert(t);
+      }
+      ASSERT_TRUE(db->WaitForCompaction().ok());
+      ++compactions;
+      check_reasoning_against_fresh_build();
+    } else if (dice < 92) {
+      ASSERT_TRUE(db->Compact().ok());
+      ++compactions;
+      check_reasoning_against_fresh_build();
+    } else {
+      db.reset();  // power cut: device-only recovery
+
+      reopen();
+      ++reopens;
+      check_against_oracle();
+    }
+    if (step % 40 == 19) check_against_oracle();
+  }
+  db.reset();
+
+  reopen();
+  ++reopens;
+  check_against_oracle();
+  ASSERT_TRUE(db->Compact().ok());
+  check_reasoning_against_fresh_build();
+  ASSERT_GE(compactions, 10) << "rng drift: re-encode arm barely exercised";
+  ASSERT_GE(reopens, 10) << "rng drift: reopen arm barely exercised";
+}
+
 // Merge join on/off must agree on every random query too.
 TEST(EngineAgreementModes, MergeJoinAndOptimizerOnOffAgree) {
   Rng rng(99);
