@@ -208,6 +208,20 @@ inline void PrintJsonRecord(
   std::printf("}\n");
 }
 
+/// One JSONL record embedding a full metrics-registry snapshot under a
+/// `"metrics"` field:
+///   {"bench":"...","dataset":"...","metrics":{"counters":{...},...}}
+/// ExportJson() is itself one JSON object, so the line stays valid JSONL
+/// and scripted consumers can pick out e.g.
+/// .metrics.histograms["wal_sync_seconds"].p99.
+inline void PrintMetricsSnapshotRecord(const std::string& bench,
+                                       const std::string& dataset,
+                                       const obs::MetricsRegistry& registry) {
+  std::printf("{\"bench\":\"%s\",\"dataset\":\"%s\",\"metrics\":%s}\n",
+              bench.c_str(), dataset.c_str(),
+              registry.ExportJson().c_str());
+}
+
 }  // namespace sedge::bench
 
 #endif  // SEDGE_BENCH_BENCH_UTIL_H_

@@ -60,6 +60,65 @@ class StringSource : public std::streambuf {
 
 }  // namespace
 
+Database::Database() {
+  // Resolve every hot-path metric handle once; the registry hands out
+  // stable pointers, so recording later never touches its mutex.
+  met_.merge_join_extends =
+      metrics_.GetCounter("query_merge_join_extends_total");
+  met_.merge_join_delta_extends =
+      metrics_.GetCounter("query_merge_join_delta_extends_total");
+  met_.row_extends = metrics_.GetCounter("query_row_extends_total");
+  met_.provisional_routes =
+      metrics_.GetCounter("query_provisional_routes_total");
+  met_.queries_total = metrics_.GetCounter("queries_total");
+  met_.write_batches_total = metrics_.GetCounter("write_batches_total");
+  met_.triples_inserted_total =
+      metrics_.GetCounter("triples_inserted_total");
+  met_.triples_removed_total = metrics_.GetCounter("triples_removed_total");
+  met_.schema_admissions_total =
+      metrics_.GetCounter("schema_admissions_total");
+  met_.compactions_total = metrics_.GetCounter("compactions_total");
+  met_.async_compactions_total =
+      metrics_.GetCounter("async_compactions_total");
+  met_.checkpoints_total = metrics_.GetCounter("checkpoints_total");
+  met_.query_seconds = metrics_.GetHistogram("query_seconds");
+  met_.query_parse_seconds = metrics_.GetHistogram("query_parse_seconds");
+  met_.query_execute_seconds =
+      metrics_.GetHistogram("query_execute_seconds");
+  met_.insert_batch_seconds = metrics_.GetHistogram("insert_batch_seconds");
+  met_.compaction_fold_seconds =
+      metrics_.GetHistogram("compaction_fold_seconds");
+  met_.compaction_fork_seconds =
+      metrics_.GetHistogram("compaction_fork_seconds");
+  met_.compaction_relay_seconds =
+      metrics_.GetHistogram("compaction_relay_seconds");
+  met_.compaction_swap_seconds =
+      metrics_.GetHistogram("compaction_swap_seconds");
+  met_.compaction_fold_triples = metrics_.GetHistogram(
+      "compaction_fold_triples", obs::Histogram::Unit::kCount);
+  met_.checkpoint_seconds = metrics_.GetHistogram("checkpoint_seconds");
+  met_.checkpoint_serialize_seconds =
+      metrics_.GetHistogram("checkpoint_phase_seconds",
+                            obs::Histogram::Unit::kSeconds,
+                            "phase=\"serialize\"");
+  met_.checkpoint_wal_truncate_seconds =
+      metrics_.GetHistogram("checkpoint_phase_seconds",
+                            obs::Histogram::Unit::kSeconds,
+                            "phase=\"wal_truncate\"");
+  met_.delta_overlay_adds = metrics_.GetGauge("delta_overlay_adds");
+  met_.delta_overlay_tombstones =
+      metrics_.GetGauge("delta_overlay_tombstones");
+  met_.delta_overlay_entries = metrics_.GetGauge("delta_overlay_entries");
+  met_.delta_tombstone_ratio = metrics_.GetGauge("delta_tombstone_ratio");
+  met_.base_triples = metrics_.GetGauge("base_triples");
+  met_.store_generation = metrics_.GetGauge("store_generation");
+  met_.schema_provisional_terms =
+      metrics_.GetGauge("schema_provisional_terms");
+  // The overlay keeps one sorted run per layout/side; the gauge counts
+  // the non-empty ones (a fold drains them all back to zero).
+  metrics_.GetGauge("delta_overlay_runs");
+}
+
 Database::~Database() {
   std::thread worker;
   {
@@ -67,6 +126,10 @@ Database::~Database() {
     if (worker_.joinable()) worker = std::move(worker_);
   }
   if (worker.joinable()) worker.join();
+  // A borrowed WAL and the block device outlive this database — detach
+  // their handles into our dying registry.
+  if (wal_ != nullptr) wal_->set_metrics(nullptr);
+  if (device_ != nullptr) device_->set_metrics(nullptr);
 }
 
 // ------------------------------------------------------------------ setup
@@ -115,6 +178,7 @@ Status Database::LoadDataLocked(const rdf::Graph& graph) {
   recording_ = false;
   generation_number_.fetch_add(1);
   PublishSnapshotLocked();
+  UpdateStoreGaugesLocked();
   return Status::OK();
 }
 
@@ -128,6 +192,33 @@ void Database::PublishSnapshotLocked() {
       store_, generation_number_.load());
   std::lock_guard<std::mutex> lk(snap_mu_);
   gen_ = std::move(gen);
+}
+
+void Database::UpdateStoreGaugesLocked() {
+  if (store_ == nullptr) return;
+  const store::delta::DeltaOverlay* delta = store_->delta();
+  const uint64_t adds = delta != nullptr ? delta->num_adds() : 0;
+  const uint64_t dels = delta != nullptr ? delta->num_dels() : 0;
+  const uint64_t entries = adds + dels;
+  met_.delta_overlay_adds->Set(static_cast<double>(adds));
+  met_.delta_overlay_tombstones->Set(static_cast<double>(dels));
+  met_.delta_overlay_entries->Set(static_cast<double>(entries));
+  met_.delta_tombstone_ratio->Set(
+      entries > 0 ? static_cast<double>(dels) / static_cast<double>(entries)
+                  : 0.0);
+  int runs = 0;
+  if (delta != nullptr) {
+    runs += (delta->object().num_adds() > 0) + (delta->object().num_dels() > 0);
+    runs += (delta->datatype().num_adds() > 0) +
+            (delta->datatype().num_dels() > 0);
+    runs += (delta->type().num_adds() > 0) + (delta->type().num_dels() > 0);
+  }
+  metrics_.GetGauge("delta_overlay_runs")->Set(runs);
+  met_.base_triples->Set(static_cast<double>(store_->base_num_triples()));
+  met_.store_generation->Set(
+      static_cast<double>(generation_number_.load()));
+  met_.schema_provisional_terms->Set(
+      static_cast<double>(store_->schema_registry().size()));
 }
 
 std::shared_ptr<const store::StoreGeneration> Database::snapshot() const {
@@ -222,6 +313,7 @@ void Database::RecordRelayLocked(bool insert, const rdf::Triple* triples,
 
 Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
                                    InsertReport* report) {
+  obs::ScopedSpan batch_span(met_.insert_batch_seconds);
   const uint64_t schema_before = store_->schema_registry().size();
   // With a WAL, plan the batch's vocabulary admissions first so they can
   // be logged — with the exact ids Insert will assign — ahead of the
@@ -262,6 +354,12 @@ Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
   // itself; the registry growth counts both the same way.
   local.admitted_terms = store_->schema_registry().size() - schema_before;
   if (report != nullptr) *report = local;
+  met_.write_batches_total->Increment();
+  met_.triples_inserted_total->Add(local.applied +
+                                   local.deferred_provisional);
+  met_.schema_admissions_total->Add(local.admitted_terms);
+  UpdateStoreGaugesLocked();
+  batch_span.Stop();
   return MaybeCompactLocked();
 }
 
@@ -295,6 +393,9 @@ Status Database::Remove(const rdf::Graph& graph) {
   }
   store_->SealDelta();
   write_generation_.fetch_add(1);
+  met_.write_batches_total->Increment();
+  met_.triples_removed_total->Add(graph.triples().size());
+  UpdateStoreGaugesLocked();
   return MaybeCompactLocked();
 }
 
@@ -307,6 +408,9 @@ Status Database::Remove(const rdf::Triple& triple) {
   RecordRelayLocked(/*insert=*/false, &triple, 1);
   store_->SealDelta();
   write_generation_.fetch_add(1);
+  met_.write_batches_total->Increment();
+  met_.triples_removed_total->Increment();
+  UpdateStoreGaugesLocked();
   return MaybeCompactLocked();
 }
 
@@ -326,16 +430,23 @@ Status Database::CompactLocked() {
       (!store_->has_delta() && !store_->has_pending_schema())) {
     return Status::OK();
   }
+  obs::ScopedSpan fold_span(met_.compaction_fold_seconds);
   const rdf::Graph merged = store_->ExportGraph();
+  met_.compaction_fold_triples->RecordValue(merged.triples().size());
   SEDGE_ASSIGN_OR_RETURN(
       store::TripleStore built,
       store::TripleStore::Build(onto_, merged, &store_->schema_registry()));
+  fold_span.Stop();
+  obs::ScopedSpan swap_span(met_.compaction_swap_seconds);
   store_ = std::make_shared<store::TripleStore>(std::move(built));
   ++store_epoch_;  // supersedes any fold forked from the replaced store
   relay_.clear();
   recording_ = false;
   generation_number_.fetch_add(1);
   PublishSnapshotLocked();
+  swap_span.Stop();
+  met_.compactions_total->Increment();
+  UpdateStoreGaugesLocked();
   // Device mode: persist the fresh base before dropping the log records
   // that produced it. If we crash between the two, replaying the old
   // epoch onto the new checkpoint is an idempotent no-op, while the
@@ -364,11 +475,14 @@ Status Database::CompactAsyncLocked() {
   // Freeze: the current store stops receiving writes forever; new writes
   // land in a fork sharing the immutable base but owning copies of the
   // dictionary and overlay. Readers pinned to either see identical data.
+  obs::ScopedSpan fork_span(met_.compaction_fork_seconds);
   store_->SealDelta();
   std::shared_ptr<const store::TripleStore> frozen = store_;
   store_ = std::shared_ptr<store::TripleStore>(store_->ForkForWrites());
   const uint64_t ticket = ++store_epoch_;
   PublishSnapshotLocked();
+  fork_span.Stop();
+  met_.async_compactions_total->Increment();
 
   relay_.clear();
   recording_ = true;
@@ -385,11 +499,15 @@ Status Database::CompactAsyncLocked() {
     // frozen generation only. The frozen registry's pending terms ride
     // into the rebuild (the epoch re-encode) — copied out so the frozen
     // store itself can be released before the build allocates.
+    obs::ScopedSpan fold_span(met_.compaction_fold_seconds);
     const rdf::Graph merged = frozen->ExportGraph();
+    met_.compaction_fold_triples->RecordValue(merged.triples().size());
     const store::schema::SchemaRegistry pending = frozen->schema_registry();
     frozen.reset();
-    FinishCompaction(ticket,
-                     store::TripleStore::Build(onto, merged, &pending));
+    Result<store::TripleStore> built =
+        store::TripleStore::Build(onto, merged, &pending);
+    fold_span.Stop();
+    FinishCompaction(ticket, std::move(built));
   });
   return Status::OK();
 }
@@ -419,6 +537,7 @@ void Database::FinishCompaction(uint64_t ticket,
   // Catch-up: replay every write that landed while the rebuild ran. The
   // relay is short (bounded by the write rate times the rebuild time), so
   // this pause is nothing like the full fold.
+  obs::ScopedSpan relay_span(met_.compaction_relay_seconds);
   for (const RelayOp& op : relay_) {
     const Status st =
         op.insert ? fresh->Insert(op.triple) : fresh->Remove(op.triple);
@@ -431,12 +550,17 @@ void Database::FinishCompaction(uint64_t ticket,
   }
   fresh->SealDelta();
   relay_.clear();
+  relay_span.Stop();
 
   // The atomic generation swap.
+  obs::ScopedSpan swap_span(met_.compaction_swap_seconds);
   store_ = std::move(fresh);
   ++store_epoch_;
   generation_number_.fetch_add(1);
   PublishSnapshotLocked();
+  swap_span.Stop();
+  met_.compactions_total->Increment();
+  UpdateStoreGaugesLocked();
 
   // Durable epoch fence: checkpoint the swapped-in state (base + relay
   // overlay), then truncate the WAL. Writers are paused for the
@@ -513,8 +637,10 @@ Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
     }));
     store_->SealDelta();
     if (applied > 0) write_generation_.fetch_add(1);
+    UpdateStoreGaugesLocked();
   }
   wal_ = wal;
+  wal_->set_metrics(&metrics_);
   // The replayed overlay may already exceed the compaction trigger; fold
   // it now that truncation can record the fact in the log.
   return MaybeCompactLocked();
@@ -556,15 +682,22 @@ Status Database::CheckpointLocked() {
         "Checkpoint() needs a device-opened database (Database::Open)");
   }
   SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+  obs::ScopedSpan checkpoint_span(met_.checkpoint_seconds);
+  obs::ScopedSpan serialize_span(met_.checkpoint_serialize_seconds);
   const std::string image = SerializeImageLocked();
+  serialize_span.Stop();
+  // Extent-write and superblock-flip phases are timed inside the storage
+  // layer (CheckpointStorage::set_metrics).
   SEDGE_RETURN_NOT_OK(storage_->WriteCheckpoint(
       image, generation_number_.load(), store_->num_triples()));
   // The checkpoint image covers everything the log covered (base + live
   // overlay), so the epoch fence may advance: truncate, releasing the
   // region for new batches.
   if (wal_ != nullptr) {
+    obs::ScopedSpan truncate_span(met_.checkpoint_wal_truncate_seconds);
     SEDGE_RETURN_NOT_OK(wal_->Truncate(store_->num_triples()));
   }
+  met_.checkpoints_total->Increment();
   return Status::OK();
 }
 
@@ -599,7 +732,10 @@ Result<std::unique_ptr<Database>> Database::Open(
     io::SimulatedBlockDevice* device, OpenOptions options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->onto_ = std::move(options.bootstrap_ontology);
+  db->device_ = device;
+  device->set_metrics(&db->metrics_);
   db->storage_ = std::make_unique<io::CheckpointStorage>(device);
+  db->storage_->set_metrics(&db->metrics_);
   SEDGE_RETURN_NOT_OK(db->storage_->Open(options.wal_capacity_blocks));
   if (db->storage_->has_checkpoint()) {
     SEDGE_ASSIGN_OR_RETURN(const std::string image,
@@ -621,13 +757,11 @@ Result<std::unique_ptr<Database>> Database::Open(
 
 void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
   const sparql::ExecutorStats& s = executor.stats();
-  stat_merge_join_.fetch_add(s.merge_join_extends,
-                             std::memory_order_relaxed);
-  stat_merge_join_delta_.fetch_add(s.merge_join_delta_extends,
-                                   std::memory_order_relaxed);
-  stat_row_.fetch_add(s.row_extends, std::memory_order_relaxed);
-  stat_provisional_.fetch_add(s.provisional_routes,
-                              std::memory_order_relaxed);
+  met_.merge_join_extends->Add(s.merge_join_extends);
+  met_.merge_join_delta_extends->Add(s.merge_join_delta_extends);
+  met_.row_extends->Add(s.row_extends);
+  met_.provisional_routes->Add(s.provisional_routes);
+  met_.queries_total->Increment();
 }
 
 Result<sparql::QueryResult> Database::Query(std::string_view text) const {
@@ -635,9 +769,14 @@ Result<sparql::QueryResult> Database::Query(std::string_view text) const {
   if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
+  obs::ScopedSpan query_span(met_.query_seconds);
+  obs::ScopedSpan parse_span(met_.query_parse_seconds);
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  parse_span.Stop();
+  obs::ScopedSpan execute_span(met_.query_execute_seconds);
   sparql::Executor executor(snap, options_);
   auto result = executor.Execute(query);
+  execute_span.Stop();
   AccumulateQueryStats(executor);
   return result;
 }
@@ -647,12 +786,61 @@ Result<uint64_t> Database::QueryCount(std::string_view text) const {
   if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
+  obs::ScopedSpan query_span(met_.query_seconds);
+  obs::ScopedSpan parse_span(met_.query_parse_seconds);
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  parse_span.Stop();
+  obs::ScopedSpan execute_span(met_.query_execute_seconds);
   sparql::Executor executor(snap, options_);
   auto table = executor.ExecuteEncoded(query);
+  execute_span.Stop();
   AccumulateQueryStats(executor);
   SEDGE_RETURN_NOT_OK(table.status());
   return static_cast<uint64_t>(table.value().rows.size());
+}
+
+Result<obs::QueryProfile> Database::ExplainQuery(
+    std::string_view text) const {
+  const auto snap = snapshot();
+  if (snap == nullptr) {
+    return Status::InvalidArgument("no data loaded");
+  }
+  obs::QueryProfile profile;
+  profile.query.assign(text.data(), text.size());
+  profile.root.name = "query";
+  obs::ProfileTimer total_timer(&profile.root);
+
+  obs::ProfileNode* parse_node = profile.root.AddChild("parse");
+  obs::ProfileTimer parse_timer(parse_node);
+  SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
+  parse_timer.Stop();
+
+  // The execute stage runs the real pipeline (rows materialized, dedup
+  // and slicing applied) with the executor appending optimize + per-
+  // pattern children underneath.
+  obs::ProfileNode* execute_node = profile.root.AddChild("execute");
+  sparql::Executor executor(snap, options_);
+  executor.set_profile(execute_node);
+  obs::ProfileTimer execute_timer(execute_node);
+  SEDGE_ASSIGN_OR_RETURN(sparql::BindingTable table,
+                         executor.ExecuteEncoded(query));
+  execute_timer.Stop();
+  AccumulateQueryStats(executor);
+
+  profile.rows = table.rows.size();
+  const sparql::ExecutorStats& s = executor.stats();
+  execute_node->AddStat("rows", static_cast<int64_t>(table.rows.size()));
+  execute_node->AddStat("merge_join_extends",
+                        static_cast<int64_t>(s.merge_join_extends));
+  execute_node->AddStat(
+      "merge_join_delta_extends",
+      static_cast<int64_t>(s.merge_join_delta_extends));
+  execute_node->AddStat("row_extends",
+                        static_cast<int64_t>(s.row_extends));
+  execute_node->AddStat("provisional_routes",
+                        static_cast<int64_t>(s.provisional_routes));
+  total_timer.Stop();
+  return profile;
 }
 
 }  // namespace sedge

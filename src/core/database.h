@@ -56,6 +56,8 @@
 
 #include "io/checkpoint.h"
 #include "io/wal.h"
+#include "obs/metrics.h"
+#include "obs/query_profile.h"
 #include "ontology/ontology.h"
 #include "rdf/triple.h"
 #include "sparql/executor.h"
@@ -71,7 +73,7 @@ namespace sedge {
 /// optional self-contained durable lifecycle on a block device.
 class Database {
  public:
-  Database() = default;
+  Database();
   ~Database();
 
   Database(const Database&) = delete;
@@ -212,7 +214,10 @@ class Database {
   /// is silently cut off; only intact committed batches are applied.
   Status AttachWal(io::WriteAheadLog* wal, bool replay = true);
   /// Stops logging; the log itself is left untouched.
-  void DetachWal() { wal_ = nullptr; }
+  void DetachWal() {
+    if (wal_ != nullptr) wal_->set_metrics(nullptr);
+    wal_ = nullptr;
+  }
   io::WriteAheadLog* wal() const { return wal_; }
 
   // -- Generations -----------------------------------------------------------
@@ -240,23 +245,23 @@ class Database {
   /// Snapshot of the executor counters accumulated over every
   /// Query/QueryCount since the last reset. merge_join_delta_extends > 0
   /// proves the star-join fast path ran against a live overlay — the
-  /// bench smoke check asserts it. Atomics, because concurrent const
-  /// queries are part of the store's concurrency contract (delta_set.h).
+  /// bench smoke check asserts it. Backed by registry counters (relaxed
+  /// atomics), because concurrent const queries are part of the store's
+  /// concurrency contract (delta_set.h) and accumulation must stay
+  /// TSan-clean against CompactAsync readers.
   sparql::ExecutorStats query_stats() const {
     sparql::ExecutorStats s;
-    s.merge_join_extends = stat_merge_join_.load(std::memory_order_relaxed);
-    s.merge_join_delta_extends =
-        stat_merge_join_delta_.load(std::memory_order_relaxed);
-    s.row_extends = stat_row_.load(std::memory_order_relaxed);
-    s.provisional_routes =
-        stat_provisional_.load(std::memory_order_relaxed);
+    s.merge_join_extends = met_.merge_join_extends->value();
+    s.merge_join_delta_extends = met_.merge_join_delta_extends->value();
+    s.row_extends = met_.row_extends->value();
+    s.provisional_routes = met_.provisional_routes->value();
     return s;
   }
   void reset_query_stats() {
-    stat_merge_join_.store(0, std::memory_order_relaxed);
-    stat_merge_join_delta_.store(0, std::memory_order_relaxed);
-    stat_row_.store(0, std::memory_order_relaxed);
-    stat_provisional_.store(0, std::memory_order_relaxed);
+    met_.merge_join_extends->Reset();
+    met_.merge_join_delta_extends->Reset();
+    met_.row_extends->Reset();
+    met_.provisional_routes->Reset();
   }
 
   // -- Querying --------------------------------------------------------------
@@ -268,6 +273,22 @@ class Database {
 
   /// Number of solutions only (skips decode; benches use this).
   Result<uint64_t> QueryCount(std::string_view sparql) const;
+
+  /// Runs `sparql` like Query but returns its trace profile instead of
+  /// the solutions: a span tree through parse → optimize → route
+  /// selection → execution, with per-triple-pattern wall times, rows
+  /// produced, and merge-join vs. row-path attribution (see
+  /// obs/query_profile.h). Execution is real — rows are materialized and
+  /// counted — so profile timings reflect the production code path.
+  Result<obs::QueryProfile> ExplainQuery(std::string_view sparql) const;
+
+  // -- Observability ----------------------------------------------------------
+
+  /// The engine-wide metrics registry: WAL / checkpoint / compaction /
+  /// device / executor counters, gauges and latency histograms. Handles
+  /// obtained from it stay valid for the database's lifetime; exporters
+  /// (ExportJson / ExportPrometheus) may run concurrently with writes.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
 
   // -- Introspection ----------------------------------------------------------
 
@@ -324,8 +345,10 @@ class Database {
   /// Serializes the current state into a checkpoint image.
   std::string SerializeImageLocked() const;
 
-  /// Folds one executor's counters into query_stats_.
+  /// Folds one executor's counters into the registry (query_stats()).
   void AccumulateQueryStats(const sparql::Executor& executor) const;
+  /// Refreshes the overlay / base / schema gauges from the current store.
+  void UpdateStoreGaugesLocked();
 
   ontology::Ontology onto_;
   sparql::Executor::Options options_;
@@ -355,15 +378,53 @@ class Database {
   io::WriteAheadLog* wal_ = nullptr;
   std::unique_ptr<io::WriteAheadLog> owned_wal_;
   std::unique_ptr<io::CheckpointStorage> storage_;
+  // Device-mode only: kept so the destructor can detach the device's
+  // metric handles (the device outlives the registry they point into).
+  io::SimulatedBlockDevice* device_ = nullptr;
 
   double compaction_ratio_ = 0.25;
   std::atomic<uint64_t> generation_number_{0};
   std::atomic<uint64_t> write_generation_{0};
-  // Query is const; the counters are observability, not database state.
-  mutable std::atomic<uint64_t> stat_merge_join_{0};
-  mutable std::atomic<uint64_t> stat_merge_join_delta_{0};
-  mutable std::atomic<uint64_t> stat_row_{0};
-  mutable std::atomic<uint64_t> stat_provisional_{0};
+
+  // Query is const; metrics are observability, not database state. The
+  // registry outlives every component it instruments (WAL, storage,
+  // device attach through set_metrics and detach before destruction).
+  mutable obs::MetricsRegistry metrics_;
+  // Handles resolved once in the constructor; hot paths record through
+  // these without touching the registry mutex.
+  struct MetricHandles {
+    obs::Counter* merge_join_extends;
+    obs::Counter* merge_join_delta_extends;
+    obs::Counter* row_extends;
+    obs::Counter* provisional_routes;
+    obs::Counter* queries_total;
+    obs::Counter* write_batches_total;
+    obs::Counter* triples_inserted_total;
+    obs::Counter* triples_removed_total;
+    obs::Counter* schema_admissions_total;
+    obs::Counter* compactions_total;
+    obs::Counter* async_compactions_total;
+    obs::Counter* checkpoints_total;
+    obs::Histogram* query_seconds;
+    obs::Histogram* query_parse_seconds;
+    obs::Histogram* query_execute_seconds;
+    obs::Histogram* insert_batch_seconds;
+    obs::Histogram* compaction_fold_seconds;
+    obs::Histogram* compaction_fork_seconds;
+    obs::Histogram* compaction_relay_seconds;
+    obs::Histogram* compaction_swap_seconds;
+    obs::Histogram* compaction_fold_triples;
+    obs::Histogram* checkpoint_seconds;
+    obs::Histogram* checkpoint_serialize_seconds;
+    obs::Histogram* checkpoint_wal_truncate_seconds;
+    obs::Gauge* delta_overlay_adds;
+    obs::Gauge* delta_overlay_tombstones;
+    obs::Gauge* delta_overlay_entries;
+    obs::Gauge* delta_tombstone_ratio;
+    obs::Gauge* base_triples;
+    obs::Gauge* store_generation;
+    obs::Gauge* schema_provisional_terms;
+  } met_;
 };
 
 }  // namespace sedge

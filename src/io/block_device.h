@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace sedge::io {
@@ -59,15 +60,19 @@ class SimulatedBlockDevice {
   /// (zeroed, like any fresh block).
   void TrimBlocks(uint64_t new_num_blocks) {
     if (new_num_blocks >= blocks_.size()) return;
-    stats_.trimmed_blocks += blocks_.size() - new_num_blocks;
+    const uint64_t trimmed = blocks_.size() - new_num_blocks;
+    stats_.trimmed_blocks += trimmed;
+    if (trimmed_total_ != nullptr) trimmed_total_->Add(trimmed);
     blocks_.resize(new_num_blocks);
   }
 
   void ReadBlock(uint64_t id, uint8_t* out) {
     SEDGE_CHECK(id < blocks_.size()) << "read past device end";
+    obs::ScopedSpan span(read_latency_);
     SpinFor(read_latency_us_);
     std::memcpy(out, blocks_[id].get(), kBlockSize);
     ++stats_.reads;
+    if (reads_total_ != nullptr) reads_total_->Increment();
   }
 
   /// Returns false when the block did not (fully) reach stable storage —
@@ -75,10 +80,28 @@ class SimulatedBlockDevice {
   /// always succeeds. Durability-critical callers (the WAL) must check it.
   virtual bool WriteBlock(uint64_t id, const uint8_t* data) {
     SEDGE_CHECK(id < blocks_.size()) << "write past device end";
+    obs::ScopedSpan span(write_latency_);
     SpinFor(write_latency_us_);
     std::memcpy(blocks_[id].get(), data, kBlockSize);
     ++stats_.writes;
+    if (writes_total_ != nullptr) writes_total_->Increment();
     return true;
+  }
+
+  /// Attaches the device to a metrics registry: per-block read/write
+  /// latency histograms plus read/write/trim counters. Call before
+  /// concurrent use; a null registry detaches.
+  void set_metrics(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) {
+      read_latency_ = write_latency_ = nullptr;
+      reads_total_ = writes_total_ = trimmed_total_ = nullptr;
+      return;
+    }
+    read_latency_ = registry->GetHistogram("block_device_read_seconds");
+    write_latency_ = registry->GetHistogram("block_device_write_seconds");
+    reads_total_ = registry->GetCounter("block_device_reads_total");
+    writes_total_ = registry->GetCounter("block_device_writes_total");
+    trimmed_total_ = registry->GetCounter("block_device_trimmed_blocks_total");
   }
 
   const DeviceStats& stats() const { return stats_; }
@@ -95,6 +118,11 @@ class SimulatedBlockDevice {
   double write_latency_us_;
   std::vector<std::unique_ptr<uint8_t[]>> blocks_;
   DeviceStats stats_;
+  obs::Histogram* read_latency_ = nullptr;
+  obs::Histogram* write_latency_ = nullptr;
+  obs::Counter* reads_total_ = nullptr;
+  obs::Counter* writes_total_ = nullptr;
+  obs::Counter* trimmed_total_ = nullptr;
 };
 
 /// \brief Fixed-capacity LRU page cache in front of a SimulatedBlockDevice.

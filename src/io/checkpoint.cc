@@ -156,14 +156,17 @@ Status CheckpointStorage::WriteCheckpoint(const std::string& image,
       target.blocks = with_headroom;
     }
   }
-  for (uint64_t i = 0; i < needed; ++i) {
-    uint8_t block[kBlockSize] = {};
-    const uint64_t off = i * kBlockSize;
-    const uint64_t n =
-        std::min<uint64_t>(kBlockSize, image.size() - off);
-    std::memcpy(block, image.data() + off, n);
-    if (!device_->WriteBlock(target.start + i, block)) {
-      return Status::IoError("checkpoint payload write failed");
+  {
+    obs::ScopedSpan extent_span(extent_write_latency_);
+    for (uint64_t i = 0; i < needed; ++i) {
+      uint8_t block[kBlockSize] = {};
+      const uint64_t off = i * kBlockSize;
+      const uint64_t n =
+          std::min<uint64_t>(kBlockSize, image.size() - off);
+      std::memcpy(block, image.data() + off, n);
+      if (!device_->WriteBlock(target.start + i, block)) {
+        return Status::IoError("checkpoint payload write failed");
+      }
     }
   }
   target.payload_bytes = image.size();
@@ -180,7 +183,9 @@ Status CheckpointStorage::WriteCheckpoint(const std::string& image,
   ++seq_;
   extents_[seq_ % 2] = target;
   has_checkpoint_ = true;
+  obs::ScopedSpan flip_span(superblock_flip_latency_);
   const Status st = WriteSuperblock();
+  flip_span.Stop();
   if (!st.ok()) {
     // Roll the in-memory state back so a failed flip does not leave the
     // manager believing in a superblock the device never stored. (The
@@ -218,6 +223,21 @@ Result<std::string> CheckpointStorage::ReadCheckpoint() const {
     return Status::IoError("checkpoint image failed CRC validation");
   }
   return image;
+}
+
+void CheckpointStorage::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    extent_write_latency_ = superblock_flip_latency_ = nullptr;
+    return;
+  }
+  extent_write_latency_ =
+      registry->GetHistogram("checkpoint_phase_seconds",
+                             obs::Histogram::Unit::kSeconds,
+                             "phase=\"extent_write\"");
+  superblock_flip_latency_ =
+      registry->GetHistogram("checkpoint_phase_seconds",
+                             obs::Histogram::Unit::kSeconds,
+                             "phase=\"superblock_flip\"");
 }
 
 }  // namespace sedge::io

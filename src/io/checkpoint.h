@@ -74,6 +74,10 @@ class CheckpointStorage {
   /// Reads and CRC-verifies the active checkpoint image.
   Result<std::string> ReadCheckpoint() const;
 
+  /// Attaches phase-latency histograms (`checkpoint_phase_seconds` with
+  /// phase="extent_write" / phase="superblock_flip"). Null detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   static constexpr uint64_t kSuperblockSlots = 2;
 
@@ -96,6 +100,8 @@ class CheckpointStorage {
   uint64_t seq_ = 0;  // extents_[seq_ % 2] holds the active image
   uint64_t wal_capacity_ = 0;
   Extent extents_[2];
+  obs::Histogram* extent_write_latency_ = nullptr;
+  obs::Histogram* superblock_flip_latency_ = nullptr;
 };
 
 }  // namespace sedge::io

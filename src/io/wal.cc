@@ -200,6 +200,7 @@ Status WriteAheadLog::AppendRecord(WalRecordType type,
     // literal. The caller owns the batch and must DiscardPending().
     return Status::InvalidArgument("WAL record over 1 MiB; rejected");
   }
+  obs::ScopedSpan append_span(append_latency_);
 
   std::string frame;
   frame.reserve(kFrameHeader + payload.size());
@@ -218,6 +219,10 @@ Status WriteAheadLog::AppendRecord(WalRecordType type,
   ++pending_records_;
   ++stats_.records_appended;
   stats_.bytes_appended += crc_bytes.size() + frame.size();
+  if (records_total_ != nullptr) {
+    records_total_->Increment();
+    bytes_total_->Add(crc_bytes.size() + frame.size());
+  }
   return Status::OK();
 }
 
@@ -235,6 +240,8 @@ Status WriteAheadLog::Sync() {
   if (!open_) return Status::Internal("WAL not open");
   if (failed_) return Status::IoError("WAL device failed");
   if (pending_.empty()) return Status::OK();
+  // Group-commit latency: the whole batch rides this one device flush.
+  obs::ScopedSpan sync_span(sync_latency_);
 
   // Region capacity check, commit marker included, *before* anything is
   // written or the batch's records are mutated: on ResourceExhausted the
@@ -281,6 +288,7 @@ Status WriteAheadLog::Sync() {
       return Status::IoError("WAL sync failed: block write lost");
     }
     ++stats_.blocks_written;
+    if (blocks_total_ != nullptr) blocks_total_->Increment();
   }
 
   tail_block_ += total / kBlockSize;
@@ -291,6 +299,7 @@ Status WriteAheadLog::Sync() {
   pending_.clear();
   pending_records_ = 0;
   ++stats_.syncs;
+  if (syncs_total_ != nullptr) syncs_total_->Increment();
   return Status::OK();
 }
 
@@ -309,6 +318,7 @@ Status WriteAheadLog::Truncate(uint64_t base_triples) {
   std::fill(tail_buf_.begin(), tail_buf_.end(), 0);
   next_seq_ = 0;
   ++stats_.truncations;
+  if (truncations_total_ != nullptr) truncations_total_->Increment();
 
   std::string payload;
   rdf::PutU64(payload, base_triples);
@@ -439,6 +449,22 @@ Status WriteAheadLog::ScanRecords(
     }
   }
   return Status::OK();
+}
+
+void WriteAheadLog::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    append_latency_ = sync_latency_ = nullptr;
+    records_total_ = bytes_total_ = blocks_total_ = nullptr;
+    syncs_total_ = truncations_total_ = nullptr;
+    return;
+  }
+  append_latency_ = registry->GetHistogram("wal_append_seconds");
+  sync_latency_ = registry->GetHistogram("wal_sync_seconds");
+  records_total_ = registry->GetCounter("wal_records_appended_total");
+  bytes_total_ = registry->GetCounter("wal_bytes_appended_total");
+  blocks_total_ = registry->GetCounter("wal_blocks_written_total");
+  syncs_total_ = registry->GetCounter("wal_syncs_total");
+  truncations_total_ = registry->GetCounter("wal_truncations_total");
 }
 
 }  // namespace sedge::io

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "io/block_device.h"
+#include "obs/metrics.h"
 #include "rdf/triple.h"
 #include "util/status.h"
 
@@ -197,6 +198,11 @@ class WriteAheadLog {
   uint64_t pending_records() const { return pending_records_; }
   const WalStats& stats() const { return stats_; }
 
+  /// Attaches the log to a metrics registry: append/sync (group-commit)
+  /// latency histograms plus record/byte/block/truncation counters. A null
+  /// registry detaches.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   Status AppendRecord(WalRecordType type, const std::string& payload);
   Status WriteHeader();
@@ -229,6 +235,15 @@ class WriteAheadLog {
   std::vector<uint8_t> pending_;
   uint64_t pending_records_ = 0;
   WalStats stats_;
+
+  // Cached metric handles (null = not attached to a registry).
+  obs::Histogram* append_latency_ = nullptr;
+  obs::Histogram* sync_latency_ = nullptr;
+  obs::Counter* records_total_ = nullptr;
+  obs::Counter* bytes_total_ = nullptr;
+  obs::Counter* blocks_total_ = nullptr;
+  obs::Counter* syncs_total_ = nullptr;
+  obs::Counter* truncations_total_ = nullptr;
 };
 
 }  // namespace sedge::io

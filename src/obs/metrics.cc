@@ -1,0 +1,243 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sedge::obs {
+namespace {
+
+// Highest set bit position (0-based); precondition v != 0.
+int HighestBit(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %.9g keeps nanosecond resolution on second-valued metrics while staying
+  // compact for counts; JSON and Prometheus both accept this form.
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(uint64_t ticks) {
+  if (ticks < static_cast<uint64_t>(kSub)) return static_cast<int>(ticks);
+  const int h = HighestBit(ticks);
+  const int group = h - kSubBits + 1;
+  const int sub = static_cast<int>((ticks >> (h - kSubBits)) & (kSub - 1));
+  return group * kSub + sub;
+}
+
+uint64_t Histogram::BucketLowerTicks(int index) {
+  if (index >= kBuckets) return UINT64_MAX;
+  if (index < kSub) return static_cast<uint64_t>(index);
+  const int group = index / kSub;
+  const int sub = index % kSub;
+  return static_cast<uint64_t>(kSub + sub) << (group - 1);
+}
+
+void Histogram::RecordTicks(uint64_t ticks) {
+  buckets_[BucketIndex(ticks)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ticks_.fetch_add(ticks, std::memory_order_relaxed);
+  uint64_t seen = max_ticks_.load(std::memory_order_relaxed);
+  while (ticks > seen && !max_ticks_.compare_exchange_weak(
+                             seen, ticks, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double clamped = std::min(std::max(p, 0.0), 100.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(clamped / 100.0 *
+                                                  static_cast<double>(total)));
+  rank = std::min(std::max<uint64_t>(rank, 1), total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      const uint64_t lower = BucketLowerTicks(i);
+      const uint64_t upper = BucketLowerTicks(i + 1);
+      uint64_t mid = lower + (upper - lower) / 2;
+      // The top bucket's midpoint can overshoot badly; the recorded max is a
+      // tighter representative for tail percentiles.
+      mid = std::min(mid, max_ticks_.load(std::memory_order_relaxed));
+      const double ticks = static_cast<double>(mid);
+      return unit_ == Unit::kSeconds ? ticks * 1e-9 : ticks;
+    }
+  }
+  return max();
+}
+
+std::vector<Histogram::BucketSnapshot> Histogram::SnapshotNonEmpty() const {
+  std::vector<BucketSnapshot> out;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    cumulative += n;
+    out.push_back({BucketLowerTicks(i + 1), cumulative});
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ticks_.store(0, std::memory_order_relaxed);
+  max_ticks_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Histogram::Unit unit,
+                                         const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(unit);
+  return slot.get();
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find({name, label});
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const std::string& label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find({name, label});
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const std::string& label)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find({name, label});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  const auto json_key = [](const Key& key) {
+    return key.label.empty() ? key.name : key.name + "{" + key.label + "}";
+  };
+  for (const auto& [key, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(json_key(key)) +
+           "\":" + std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(json_key(key)) +
+           "\":" + FormatDouble(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(json_key(key)) + "\":{";
+    out += "\"count\":" + std::to_string(histogram->count());
+    out += ",\"sum\":" + FormatDouble(histogram->sum());
+    out += ",\"p50\":" + FormatDouble(histogram->Percentile(50));
+    out += ",\"p90\":" + FormatDouble(histogram->Percentile(90));
+    out += ",\"p99\":" + FormatDouble(histogram->Percentile(99));
+    out += ",\"max\":" + FormatDouble(histogram->max());
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const auto emit_type = [&out](const std::string& name, const char* type,
+                                std::string* last_typed) {
+    if (*last_typed == name) return;
+    *last_typed = name;
+    out += "# TYPE " + name + " " + type + "\n";
+  };
+  std::string last_typed;
+  for (const auto& [key, counter] : counters_) {
+    emit_type(key.name, "counter", &last_typed);
+    out += key.name;
+    if (!key.label.empty()) out += "{" + key.label + "}";
+    out += " " + std::to_string(counter->value()) + "\n";
+  }
+  last_typed.clear();
+  for (const auto& [key, gauge] : gauges_) {
+    emit_type(key.name, "gauge", &last_typed);
+    out += key.name;
+    if (!key.label.empty()) out += "{" + key.label + "}";
+    out += " " + FormatDouble(gauge->value()) + "\n";
+  }
+  last_typed.clear();
+  for (const auto& [key, histogram] : histograms_) {
+    emit_type(key.name, "histogram", &last_typed);
+    const std::string label_prefix =
+        key.label.empty() ? std::string() : key.label + ",";
+    const double scale =
+        histogram->unit() == Histogram::Unit::kSeconds ? 1e-9 : 1.0;
+    for (const auto& bucket : histogram->SnapshotNonEmpty()) {
+      out += key.name + "_bucket{" + label_prefix + "le=\"" +
+             FormatDouble(static_cast<double>(bucket.upper_ticks) * scale) +
+             "\"} " + std::to_string(bucket.cumulative_count) + "\n";
+    }
+    out += key.name + "_bucket{" + label_prefix + "le=\"+Inf\"} " +
+           std::to_string(histogram->count()) + "\n";
+    out += key.name + "_sum";
+    if (!key.label.empty()) out += "{" + key.label + "}";
+    out += " " + FormatDouble(histogram->sum()) + "\n";
+    out += key.name + "_count";
+    if (!key.label.empty()) out += "{" + key.label + "}";
+    out += " " + std::to_string(histogram->count()) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sedge::obs

@@ -1,0 +1,246 @@
+// Unified observability substrate: a registry of named counters, gauges, and
+// log-scale latency histograms, plus RAII trace spans that feed them.
+//
+// Design constraints, in order:
+//   1. Recording on hot paths must be wait-free and cache-friendly: counters
+//      and histogram buckets are relaxed atomics; no locks, no allocation.
+//   2. Metric handles are stable pointers — call-sites resolve a handle once
+//      (registry lookup under a mutex) and record through it forever.
+//   3. Readers (exporters) run concurrently with writers and tolerate torn
+//      snapshots across buckets; each individual cell is itself atomic, so
+//      the export is a consistent-enough view for monitoring purposes.
+//
+// Compile-time kill switch: building with -DSEDGE_OBS_DISABLED compiles out
+// every timer (no clock reads) and histogram record. Counters and gauges stay
+// live — they are single relaxed atomic ops, and engine-level statistics
+// (`Database::query_stats()`, CI smoke gates) depend on them in both builds.
+// The CI overhead gate compares the two builds to bound instrumentation cost.
+
+#ifndef SEDGE_OBS_METRICS_H_
+#define SEDGE_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sedge::obs {
+
+/// \brief Monotonically increasing relaxed-atomic counter.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief Last-write-wins instantaneous value (overlay sizes, ratios).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Lock-free log-scale histogram with p50/p90/p99/max extraction.
+///
+/// Values are recorded as non-negative integer "ticks" (nanoseconds for
+/// kSeconds histograms, raw units for kCount histograms) into log2-octave
+/// buckets with 8 linear sub-buckets per octave, bounding the relative
+/// quantization error of any reported percentile to ~12.5%. All cells are
+/// relaxed atomics; Record() is three atomic RMWs plus a bounded CAS loop
+/// for the max.
+class Histogram {
+ public:
+  enum class Unit : uint8_t {
+    kSeconds,  // recorded in seconds, stored as nanosecond ticks
+    kCount,    // recorded and stored as raw units (sizes, row counts)
+  };
+
+  explicit Histogram(Unit unit) : unit_(unit) {}
+
+  static constexpr int kSubBits = 3;                    // 8 sub-buckets/octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kBuckets = (64 - kSubBits + 1) * kSub;
+
+  Unit unit() const { return unit_; }
+
+  /// Records a duration in seconds (kSeconds histograms).
+  void RecordSeconds(double seconds) {
+#ifndef SEDGE_OBS_DISABLED
+    RecordTicks(seconds <= 0.0 ? 0
+                               : static_cast<uint64_t>(seconds * 1e9 + 0.5));
+#else
+    (void)seconds;
+#endif
+  }
+
+  /// Records a raw value (kCount histograms).
+  void RecordValue(uint64_t v) {
+#ifndef SEDGE_OBS_DISABLED
+    RecordTicks(v);
+#else
+    (void)v;
+#endif
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Sum of recorded values in the histogram's natural unit (seconds for
+  /// kSeconds, raw units for kCount).
+  double sum() const {
+    const double ticks =
+        static_cast<double>(sum_ticks_.load(std::memory_order_relaxed));
+    return unit_ == Unit::kSeconds ? ticks * 1e-9 : ticks;
+  }
+
+  /// Largest recorded value in the natural unit.
+  double max() const {
+    const double ticks =
+        static_cast<double>(max_ticks_.load(std::memory_order_relaxed));
+    return unit_ == Unit::kSeconds ? ticks * 1e-9 : ticks;
+  }
+
+  /// Value at percentile p (0 < p <= 100) in the natural unit, interpolated
+  /// to the midpoint of the containing bucket. Returns 0 when empty.
+  double Percentile(double p) const;
+
+  /// Lower bound (inclusive) of bucket `index` in ticks.
+  static uint64_t BucketLowerTicks(int index);
+
+  /// Non-empty (lower_bound_ticks_exclusive_upper, cumulative_count) pairs in
+  /// ascending order — the raw material for the Prometheus exporter.
+  struct BucketSnapshot {
+    uint64_t upper_ticks;       // exclusive upper bound of the bucket
+    uint64_t cumulative_count;  // observations <= upper bound
+  };
+  std::vector<BucketSnapshot> SnapshotNonEmpty() const;
+
+  void Reset();
+
+ private:
+  void RecordTicks(uint64_t ticks);
+  static int BucketIndex(uint64_t ticks);
+
+  const Unit unit_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ticks_{0};
+  std::atomic<uint64_t> max_ticks_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// \brief Named metric registry with stable handles and text exporters.
+///
+/// Lookup (Get*) takes a mutex and is meant for initialization paths; the
+/// returned pointers stay valid for the registry's lifetime and are the
+/// hot-path interface. A metric's identity is its name plus an optional
+/// Prometheus-style label pair (e.g. GetHistogram("checkpoint_phase_seconds",
+/// Unit::kSeconds, "phase=\"serialize\"")).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name, const std::string& label = "");
+  Gauge* GetGauge(const std::string& name, const std::string& label = "");
+  Histogram* GetHistogram(const std::string& name,
+                          Histogram::Unit unit = Histogram::Unit::kSeconds,
+                          const std::string& label = "");
+
+  /// Returns the counter/gauge/histogram if it exists, else nullptr. Never
+  /// creates — useful for tests and snapshot printers that must not disturb
+  /// the metric namespace.
+  const Counter* FindCounter(const std::string& name,
+                             const std::string& label = "") const;
+  const Gauge* FindGauge(const std::string& name,
+                         const std::string& label = "") const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const std::string& label = "") const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
+  /// {"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"max":..}}}.
+  std::string ExportJson() const;
+
+  /// Prometheus text exposition format. Histograms emit sparse cumulative
+  /// `_bucket{le="..."}` lines (non-empty buckets plus +Inf) with `_sum` and
+  /// `_count`; kSeconds histograms report `le` boundaries in seconds.
+  std::string ExportPrometheus() const;
+
+ private:
+  struct Key {
+    std::string name;
+    std::string label;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return label < o.label;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief RAII timer feeding a latency histogram on destruction.
+///
+/// Null histogram means "not instrumented" and the span is inert. Under
+/// SEDGE_OBS_DISABLED no clock is read at all.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Histogram* h) : histogram_(h) {
+#ifndef SEDGE_OBS_DISABLED
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+#endif
+  }
+  ~ScopedSpan() { Stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records now instead of at scope exit; returns the elapsed seconds
+  /// (0 when inert or already stopped).
+  double Stop() {
+#ifndef SEDGE_OBS_DISABLED
+    if (histogram_ == nullptr) return 0.0;
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    histogram_->RecordSeconds(seconds);
+    histogram_ = nullptr;
+    return seconds;
+#else
+    return 0.0;
+#endif
+  }
+
+ private:
+  Histogram* histogram_;
+#ifndef SEDGE_OBS_DISABLED
+  std::chrono::steady_clock::time_point start_;
+#endif
+};
+
+#define SEDGE_OBS_CONCAT_INNER(a, b) a##b
+#define SEDGE_OBS_CONCAT(a, b) SEDGE_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into the named kSeconds histogram of `registry`
+/// (a MetricsRegistry*, may be null). Resolves the handle per call — fine for
+/// cold paths; hot paths should cache a Histogram* and use ScopedSpan.
+#define SEDGE_SPAN(registry, name)                                       \
+  ::sedge::obs::ScopedSpan SEDGE_OBS_CONCAT(sedge_span_, __LINE__)(      \
+      (registry) != nullptr                                              \
+          ? (registry)->GetHistogram((name),                             \
+                                     ::sedge::obs::Histogram::Unit::kSeconds) \
+          : nullptr)
+
+}  // namespace sedge::obs
+
+#endif  // SEDGE_OBS_METRICS_H_

@@ -1,0 +1,105 @@
+#include "obs/query_profile.h"
+
+#include <cstdio>
+
+namespace sedge::obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void RenderText(const ProfileNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", node.seconds * 1e3);
+  *out += node.name;
+  if (!node.detail.empty()) *out += " " + node.detail;
+  *out += "  [" + std::string(buf);
+  for (const auto& [key, value] : node.stats) {
+    *out += ", " + key + "=" + std::to_string(value);
+  }
+  *out += "]\n";
+  for (const auto& child : node.children) {
+    RenderText(*child, depth + 1, out);
+  }
+}
+
+void RenderJson(const ProfileNode& node, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", node.seconds);
+  *out += "{\"name\":\"" + JsonEscape(node.name) + "\"";
+  if (!node.detail.empty()) {
+    *out += ",\"detail\":\"" + JsonEscape(node.detail) + "\"";
+  }
+  *out += ",\"seconds\":" + std::string(buf);
+  if (!node.stats.empty()) {
+    *out += ",\"stats\":{";
+    bool first = true;
+    for (const auto& [key, value] : node.stats) {
+      if (!first) *out += ",";
+      first = false;
+      *out += "\"" + JsonEscape(key) + "\":" + std::to_string(value);
+    }
+    *out += "}";
+  }
+  if (!node.children.empty()) {
+    *out += ",\"children\":[";
+    bool first = true;
+    for (const auto& child : node.children) {
+      if (!first) *out += ",";
+      first = false;
+      RenderJson(*child, out);
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+int64_t ProfileNode::StatOr(const std::string& key, int64_t fallback) const {
+  for (const auto& [k, v] : stats) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const ProfileNode* ProfileNode::Find(const std::string& target) const {
+  if (name == target) return this;
+  for (const auto& child : children) {
+    if (const ProfileNode* found = child->Find(target)) return found;
+  }
+  return nullptr;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  RenderText(root, 0, &out);
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"rows\":" + std::to_string(rows) + ",\"profile\":";
+  RenderJson(root, &out);
+  out += "}";
+  return out;
+}
+
+}  // namespace sedge::obs

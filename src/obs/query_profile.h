@@ -1,0 +1,91 @@
+// Per-query trace profiles: a span tree recorded through parse → optimize →
+// route selection → execution, with per-triple-pattern rows produced and
+// merge-join vs. row-path attribution. This is the Figure 7-14 measurement
+// vocabulary of the paper turned into a first-class API: every stage the
+// paper costs out by hand is a named node here.
+//
+// Profiles are single-threaded scratch state owned by one query evaluation;
+// unlike MetricsRegistry they are not thread-safe and not retained by the
+// engine — `Database::ExplainQuery()` builds one and hands it to the caller.
+
+#ifndef SEDGE_OBS_QUERY_PROFILE_H_
+#define SEDGE_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace sedge::obs {
+
+/// \brief One node in a query's span tree.
+struct ProfileNode {
+  std::string name;     // stage label: "parse", "execute", "tp", ...
+  std::string detail;   // human-readable payload (e.g. the triple pattern)
+  double seconds = 0;   // wall time attributed to this node
+  std::vector<std::pair<std::string, int64_t>> stats;  // rows, extends, ...
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  ProfileNode* AddChild(std::string child_name) {
+    children.push_back(std::make_unique<ProfileNode>());
+    children.back()->name = std::move(child_name);
+    return children.back().get();
+  }
+
+  void AddStat(std::string key, int64_t value) {
+    stats.emplace_back(std::move(key), value);
+  }
+
+  /// First stat value recorded under `key`, or `fallback` if absent.
+  int64_t StatOr(const std::string& key, int64_t fallback) const;
+
+  /// Depth-first search for the first descendant (including this node) with
+  /// the given name; nullptr when absent.
+  const ProfileNode* Find(const std::string& target) const;
+};
+
+/// \brief A completed query profile: the span tree plus identity metadata.
+struct QueryProfile {
+  std::string query;   // original SPARQL text
+  uint64_t rows = 0;   // result cardinality
+  ProfileNode root;    // root span ("query"), children are the stages
+
+  /// Indented human-readable rendering (one node per line, times in ms).
+  std::string ToString() const;
+
+  /// Nested JSON object mirroring the span tree.
+  std::string ToJson() const;
+};
+
+/// \brief RAII helper timing a ProfileNode's `seconds` field.
+///
+/// Tolerates a null node (profiling disabled) at zero cost beyond a branch.
+class ProfileTimer {
+ public:
+  explicit ProfileTimer(ProfileNode* node) : node_(node) {
+    if (node_ != nullptr) timer_.Restart();
+  }
+  ~ProfileTimer() { Stop(); }
+
+  ProfileTimer(const ProfileTimer&) = delete;
+  ProfileTimer& operator=(const ProfileTimer&) = delete;
+
+  double Stop() {
+    if (node_ == nullptr) return 0.0;
+    const double seconds = timer_.ElapsedSeconds();
+    node_->seconds += seconds;
+    node_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  ProfileNode* node_;
+  WallTimer timer_;
+};
+
+}  // namespace sedge::obs
+
+#endif  // SEDGE_OBS_QUERY_PROFILE_H_

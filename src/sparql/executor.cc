@@ -297,11 +297,68 @@ Result<BindingTable> Executor::EvaluateGroup(const GroupPattern& group) {
   return table;
 }
 
+namespace {
+
+std::string TermOrVarToString(const TermOrVar& tv) {
+  if (IsVar(tv)) return "?" + AsVar(tv).name;
+  return AsTerm(tv).ToNTriples();
+}
+
+std::string PatternToString(const TriplePattern& tp) {
+  return TermOrVarToString(tp.subject) + " " +
+         TermOrVarToString(tp.predicate) + " " +
+         TermOrVarToString(tp.object);
+}
+
+}  // namespace
+
 Result<BindingTable> Executor::EvaluateBgp(
     const std::vector<TriplePattern>& triples) {
   BindingTable table = BindingTable::Unit();
-  for (const size_t idx : PlanOrder(triples)) {
-    SEDGE_RETURN_NOT_OK(ExtendWithTp(triples[idx], &table));
+  std::vector<size_t> order;
+  if (profile_ != nullptr) {
+    obs::ProfileNode* optimize = profile_->AddChild("optimize");
+    obs::ProfileTimer plan_timer(optimize);
+    order = PlanOrder(triples);
+    plan_timer.Stop();
+    optimize->AddStat("patterns", static_cast<int64_t>(triples.size()));
+  } else {
+    order = PlanOrder(triples);
+  }
+  for (const size_t idx : order) {
+    const TriplePattern& tp = triples[idx];
+    if (profile_ == nullptr) {
+      SEDGE_RETURN_NOT_OK(ExtendWithTp(tp, &table));
+    } else {
+      obs::ProfileNode* node = profile_->AddChild("tp");
+      node->detail = PatternToString(tp);
+      tp_node_ = node;
+      const ExecutorStats before = stats_;
+      obs::ProfileTimer tp_timer(node);
+      const Status st = ExtendWithTp(tp, &table);
+      tp_timer.Stop();
+      tp_node_ = nullptr;
+      SEDGE_RETURN_NOT_OK(st);
+      // Path attribution: which physical strategy served this extension.
+      const uint64_t merge_join =
+          stats_.merge_join_extends - before.merge_join_extends;
+      const uint64_t row = stats_.row_extends - before.row_extends;
+      node->name += IsTypePredicate(tp.predicate) ? "/type"
+                    : merge_join > 0              ? "/merge_join"
+                    : row > 0                     ? "/row"
+                                                  : "/empty";
+      node->AddStat("rows_out", static_cast<int64_t>(table.rows.size()));
+      node->AddStat("merge_join_extends", static_cast<int64_t>(merge_join));
+      node->AddStat(
+          "merge_join_delta_extends",
+          static_cast<int64_t>(stats_.merge_join_delta_extends -
+                               before.merge_join_delta_extends));
+      node->AddStat("row_extends", static_cast<int64_t>(row));
+      node->AddStat(
+          "provisional_routes",
+          static_cast<int64_t>(stats_.provisional_routes -
+                               before.provisional_routes));
+    }
     if (table.rows.empty()) break;  // no solutions can appear later
   }
   return table;
@@ -544,6 +601,12 @@ Status Executor::ExtendRegularTp(const TriplePattern& tp,
         }
       }
     }
+  }
+
+  if (tp_node_ != nullptr) {
+    // Route selection outcome: how many concrete predicate scans the
+    // (possibly reasoning-expanded) pattern resolved to.
+    tp_node_->AddStat("routes", static_cast<int64_t>(const_routes.size()));
   }
 
   // Merge-join fast path: subject-bound star extension over concrete

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/query_profile.h"
 #include "sparql/ast.h"
 #include "sparql/expression.h"
 #include "sparql/result_table.h"
@@ -92,6 +93,15 @@ class Executor {
   /// Counters for the extensions this executor ran so far.
   const ExecutorStats& stats() const { return stats_; }
 
+  /// Attaches a trace profile node for the next Execute*: evaluation
+  /// appends an "optimize" child (join-order planning time) plus one
+  /// "tp/<path>" child per triple-pattern extension — path is merge_join,
+  /// row, or type; stats carry routes considered and rows produced. Nested
+  /// groups (unions) append flat under the same node. Null disables
+  /// tracing (the default; tracing is per-query scratch state, so a traced
+  /// executor must not be shared across threads).
+  void set_profile(obs::ProfileNode* profile) { profile_ = profile; }
+
  private:
   class Decoder;
   class Estimator;
@@ -132,6 +142,8 @@ class Executor {
   const store::TripleStore* store_;
   Options options_;
   ExecutorStats stats_;
+  obs::ProfileNode* profile_ = nullptr;
+  obs::ProfileNode* tp_node_ = nullptr;  // current pattern's span, if traced
   std::unique_ptr<Decoder> decoder_;
   std::unique_ptr<ExpressionEvaluator> evaluator_;
   std::vector<rdf::Term> computed_pool_;

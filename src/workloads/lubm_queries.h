@@ -52,6 +52,16 @@ class LubmQueries {
 
   /// All 26 queries in paper order.
   static std::vector<QuerySpec> All(const rdf::Graph& graph);
+
+  /// The classic LUBM benchmark queries Q1-Q14 (Guo, Pan, Heflin 2005),
+  /// adapted to this generator's vocabulary: constants (a graduate
+  /// course, professors, a department, a university) are picked
+  /// deterministically from `graph`, and the two constructs the
+  /// generator's ontology lacks map to their standard equivalents (Chair
+  /// becomes a headOf join, hasAlumnus becomes degreeFrom reasoning).
+  /// Queries whose answers need subsumption (Q4-Q10, Q13) carry
+  /// reasoning=true. Ids are "Q1".."Q14".
+  static std::vector<QuerySpec> Standard14(const rdf::Graph& graph);
 };
 
 }  // namespace sedge::workloads
