@@ -1,0 +1,279 @@
+// Edge serve: a minimal network front end over serve::QueryService.
+//
+// One process = one edge store + a line-delimited TCP endpoint:
+//
+//   $ ./build/edge_serve 8765 &
+//   $ printf 'SELECT ?o WHERE { ?o a <http://www.w3.org/ns/sosa/Observation> }\n' | nc localhost 8765
+//   <one tab-separated N-Triples row per solution>
+//   # rows=160 generation=1 writes=0 cache_hit=0
+//
+// Protocol: each request is one line. A SPARQL SELECT returns its
+// solutions (one row per line, terms tab-separated, UNBOUND for unbound
+// cells) followed by a `# rows=... generation=... writes=...` trailer;
+// the literal line `!metrics` returns the engine's full Prometheus
+// exposition (the serve_* series included) terminated by `# end`; parse
+// and execution errors come back as a single `# error: ...` line. Every
+// connection gets its own thread, but all of them funnel into the
+// service's bounded admission queue — overload shows up as an explicit
+// `# error: ResourceExhausted ...` trailer, not an unbounded tail.
+//
+// The store serves the Section 4 sensor deployment (topology + a stream
+// of observation batches) and keeps a writer loop alive in the
+// background, so clients see snapshot-isolated results while batches
+// land and background folds swap generations underneath them.
+//
+// `--selftest` starts the server on an ephemeral port, runs a loopback
+// client through a query / live-write / query-again / !metrics sequence,
+// and exits non-zero on any mismatch — the examples CI target can run it
+// headless.
+//
+//   $ ./build/edge_serve [port] [--readers N] [--selftest]
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "serve/query_service.h"
+#include "workloads/sensor_generator.h"
+
+namespace {
+
+using sedge::serve::QueryService;
+
+/// Reads one '\n'-terminated line from `fd` into `line` (newline
+/// stripped). Returns false on EOF/error with nothing buffered.
+bool ReadLine(int fd, std::string* buffer, std::string* line) {
+  for (;;) {
+    const size_t pos = buffer->find('\n');
+    if (pos != std::string::npos) {
+      line->assign(*buffer, 0, pos);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      buffer->erase(0, pos + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return false;
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string RenderResponse(const QueryService::Response& resp) {
+  if (!resp.status.ok()) {
+    return "# error: " + resp.status.ToString() + "\n";
+  }
+  std::string out;
+  for (const auto& row : resp.result.rows) {
+    std::string r;
+    for (const auto& cell : row) {
+      if (!r.empty()) r += '\t';
+      r += cell.has_value() ? cell->ToNTriples() : "UNBOUND";
+    }
+    out += r;
+    out += '\n';
+  }
+  out += "# rows=" + std::to_string(resp.rows) +
+         " generation=" + std::to_string(resp.generation) +
+         " writes=" + std::to_string(resp.writes) +
+         " cache_hit=" + (resp.plan_cache_hit ? "1" : "0") + "\n";
+  return out;
+}
+
+void ServeConnection(int fd, sedge::Database* db, QueryService* service) {
+  std::string buffer;
+  std::string line;
+  while (ReadLine(fd, &buffer, &line)) {
+    if (line.empty()) continue;
+    if (line == "!metrics") {
+      if (!WriteAll(fd, db->metrics().ExportPrometheus()) ||
+          !WriteAll(fd, "# end\n")) {
+        break;
+      }
+      continue;
+    }
+    if (!WriteAll(fd, RenderResponse(service->Execute(line)))) break;
+  }
+  ::close(fd);
+}
+
+int Fail(const char* what) {
+  std::fprintf(stderr, "edge_serve: %s: %s\n", what, std::strerror(errno));
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sedge;
+
+  int port = 8765;
+  int readers = 4;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      readers = std::atoi(argv[++i]);
+    } else {
+      port = std::atoi(argv[i]);
+    }
+  }
+  if (selftest) port = 0;  // ephemeral
+
+  // The Section 4 sensor deployment: broadcast ontology, station/sensor
+  // topology, and a first day of observations.
+  workloads::SensorConfig cfg;
+  cfg.stations = 4;
+  cfg.sensors_per_station = 4;
+  cfg.observations_per_sensor = 10;
+  Database db;
+  db.LoadOntology(workloads::SensorGraphGenerator::BuildOntology());
+  {
+    rdf::Graph graph = workloads::SensorGraphGenerator::GenerateTopology(cfg);
+    graph.Merge(
+        workloads::SensorGraphGenerator::GenerateObservationBatch(cfg, 0));
+    const Status st = db.LoadData(graph);
+    if (!st.ok()) {
+      std::fprintf(stderr, "edge_serve: load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  serve::ServeOptions options;
+  options.readers = readers;
+  serve::QueryService service(&db, options);
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Fail("bind");
+  }
+  if (::listen(listen_fd, 16) < 0) return Fail("listen");
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port = ntohs(addr.sin_port);
+  std::printf("edge_serve: %d reader(s) on 127.0.0.1:%d "
+              "(one SPARQL SELECT per line; \"!metrics\" for Prometheus)\n",
+              readers, port);
+
+  // The writer lane: a background loop streaming observation batches so
+  // the endpoint demonstrates reads concurrent with writes and folds.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    int batch = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Status st = db.Insert(
+          workloads::SensorGraphGenerator::GenerateObservationBatch(cfg,
+                                                                    batch));
+      if (!st.ok()) {
+        std::fprintf(stderr, "edge_serve: insert: %s\n",
+                     st.ToString().c_str());
+        break;
+      }
+      ++batch;
+      if (batch % 8 == 0 && !db.compaction_in_flight()) {
+        (void)db.CompactAsync();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  });
+
+  std::vector<std::thread> connections;
+  std::thread acceptor([&] {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // listen socket closed: shutting down
+      connections.emplace_back(ServeConnection, fd, &db, &service);
+    }
+  });
+
+  int rc = 0;
+  if (selftest) {
+    // Loopback client: query, watch a live write land, scrape metrics.
+    const auto connect_fd = [&] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      return fd;
+    };
+    const std::string count_query =
+        "SELECT ?o WHERE { ?o a <http://www.w3.org/ns/sosa/Observation> }\n";
+    const int fd = connect_fd();
+    std::string buffer;
+    std::string line;
+    const auto rows_of = [&]() -> long {
+      long rows = -1;
+      while (ReadLine(fd, &buffer, &line)) {
+        if (line.rfind("# error", 0) == 0) return -1;
+        if (line.rfind("# rows=", 0) == 0) {
+          rows = std::atol(line.c_str() + 7);
+          break;
+        }
+      }
+      return rows;
+    };
+    WriteAll(fd, count_query);
+    const long before = rows_of();
+    // The background writer inserts a batch every 250 ms; within a few
+    // seconds the observation count must grow.
+    long after = before;
+    for (int i = 0; i < 40 && after <= before; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      WriteAll(fd, count_query);
+      after = rows_of();
+    }
+    WriteAll(fd, "!metrics\n");
+    bool saw_serve_series = false;
+    while (ReadLine(fd, &buffer, &line) && line != "# end") {
+      if (line.rfind("serve_requests_total", 0) == 0) {
+        saw_serve_series = true;
+      }
+    }
+    ::close(fd);
+    const bool ok = before > 0 && after > before && saw_serve_series;
+    std::printf("selftest: %ld observations, %ld after live writes, "
+                "serve_* series %s -> %s\n",
+                before, after, saw_serve_series ? "exported" : "MISSING",
+                ok ? "OK" : "FAILED");
+    rc = ok ? 0 : 1;
+  } else {
+    acceptor.join();  // foreground server: run until killed
+  }
+
+  stop.store(true);
+  // shutdown() (not just close()) wakes the thread blocked in accept().
+  ::shutdown(listen_fd, SHUT_RDWR);
+  ::close(listen_fd);
+  if (acceptor.joinable()) acceptor.join();
+  for (std::thread& t : connections) t.join();
+  writer.join();
+  service.Shutdown();
+  (void)db.WaitForCompaction();
+  return rc;
+}

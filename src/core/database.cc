@@ -81,11 +81,15 @@ Database::Database() {
   met_.async_compactions_total =
       metrics_.GetCounter("async_compactions_total");
   met_.checkpoints_total = metrics_.GetCounter("checkpoints_total");
+  met_.isolation_forks_total =
+      metrics_.GetCounter("snapshot_isolation_forks_total");
   met_.query_seconds = metrics_.GetHistogram("query_seconds");
   met_.query_parse_seconds = metrics_.GetHistogram("query_parse_seconds");
   met_.query_execute_seconds =
       metrics_.GetHistogram("query_execute_seconds");
   met_.insert_batch_seconds = metrics_.GetHistogram("insert_batch_seconds");
+  met_.isolation_fork_seconds =
+      metrics_.GetHistogram("snapshot_isolation_fork_seconds");
   met_.compaction_fold_seconds =
       metrics_.GetHistogram("compaction_fold_seconds");
   met_.compaction_fork_seconds =
@@ -189,9 +193,25 @@ Status Database::EnsureStoreLocked() {
 
 void Database::PublishSnapshotLocked() {
   auto gen = std::make_shared<const store::StoreGeneration>(
-      store_, generation_number_.load());
+      store_, generation_number_.load(), write_generation_.load());
+  // Readers may pin store_ through gen_ from here on; under snapshot
+  // isolation the next write batch must fork before mutating it.
+  store_shared_ = true;
   std::lock_guard<std::mutex> lk(snap_mu_);
   gen_ = std::move(gen);
+}
+
+void Database::EnsureWritableStoreLocked() {
+  if (!snapshot_isolation_ || !store_shared_ || store_ == nullptr) return;
+  // Same mechanics as the compaction fork: the succinct base is shared,
+  // the dictionary / schema registry / sealed overlay runs are copied.
+  // store_epoch_ stays untouched — an in-flight background fold remains
+  // valid, because this batch lands in its relay and is replayed onto the
+  // fresh base before the swap.
+  obs::ScopedSpan fork_span(met_.isolation_fork_seconds);
+  store_ = std::shared_ptr<store::TripleStore>(store_->ForkForWrites());
+  store_shared_ = false;
+  met_.isolation_forks_total->Increment();
 }
 
 void Database::UpdateStoreGaugesLocked() {
@@ -314,6 +334,7 @@ void Database::RecordRelayLocked(bool insert, const rdf::Triple* triples,
 Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
                                    InsertReport* report) {
   obs::ScopedSpan batch_span(met_.insert_batch_seconds);
+  EnsureWritableStoreLocked();
   const uint64_t schema_before = store_->schema_registry().size();
   // With a WAL, plan the batch's vocabulary admissions first so they can
   // be logged — with the exact ids Insert will assign — ahead of the
@@ -358,6 +379,10 @@ Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
   met_.triples_inserted_total->Add(local.applied +
                                    local.deferred_provisional);
   met_.schema_admissions_total->Add(local.admitted_terms);
+  // Snapshot isolation: the batch is complete and sealed — publish it as
+  // the new frozen generation (readers pinned to the previous one are
+  // untouched; the next batch forks again).
+  if (snapshot_isolation_) PublishSnapshotLocked();
   UpdateStoreGaugesLocked();
   batch_span.Stop();
   return MaybeCompactLocked();
@@ -387,6 +412,7 @@ Status Database::Remove(const rdf::Graph& graph) {
   SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kRemove,
                                      graph.triples().data(),
                                      graph.triples().size()));
+  EnsureWritableStoreLocked();
   for (const rdf::Triple& t : graph.triples()) {
     SEDGE_RETURN_NOT_OK(store_->Remove(t));
     RecordRelayLocked(/*insert=*/false, &t, 1);
@@ -395,6 +421,7 @@ Status Database::Remove(const rdf::Graph& graph) {
   write_generation_.fetch_add(1);
   met_.write_batches_total->Increment();
   met_.triples_removed_total->Add(graph.triples().size());
+  if (snapshot_isolation_) PublishSnapshotLocked();
   UpdateStoreGaugesLocked();
   return MaybeCompactLocked();
 }
@@ -404,12 +431,14 @@ Status Database::Remove(const rdf::Triple& triple) {
   if (store_ == nullptr) return Status::OK();
   SEDGE_RETURN_NOT_OK(
       LogBatchLocked(io::WalRecordType::kRemove, &triple, 1));
+  EnsureWritableStoreLocked();
   SEDGE_RETURN_NOT_OK(store_->Remove(triple));
   RecordRelayLocked(/*insert=*/false, &triple, 1);
   store_->SealDelta();
   write_generation_.fetch_add(1);
   met_.write_batches_total->Increment();
   met_.triples_removed_total->Increment();
+  if (snapshot_isolation_) PublishSnapshotLocked();
   UpdateStoreGaugesLocked();
   return MaybeCompactLocked();
 }
@@ -604,6 +633,7 @@ Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
   std::lock_guard<std::mutex> lk(write_mu_);
   if (replay) {
     SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
+    EnsureWritableStoreLocked();
     uint64_t applied = 0;
     SEDGE_RETURN_NOT_OK(wal->Replay([&](const io::WalReplayRecord& r) {
       switch (r.type) {
@@ -637,6 +667,7 @@ Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
     }));
     store_->SealDelta();
     if (applied > 0) write_generation_.fetch_add(1);
+    if (snapshot_isolation_) PublishSnapshotLocked();
     UpdateStoreGaugesLocked();
   }
   wal_ = wal;

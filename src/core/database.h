@@ -242,6 +242,30 @@ class Database {
   void set_optimizer(bool on) { options_.use_optimizer = on; }
   const sparql::Executor::Options& options() const { return options_; }
 
+  // -- Concurrent reads ------------------------------------------------------
+
+  /// Snapshot isolation for concurrent readers (default off). When on,
+  /// every write batch mutates a private fork of the store and publishes
+  /// it as a new frozen generation, so a snapshot() pinned by any thread
+  /// is immutable for its whole lifetime: readers execute with no locking
+  /// and never observe a half-applied batch. serve::QueryService switches
+  /// this on for its database. The cost is a per-batch dictionary +
+  /// overlay-run copy on the (single) writer lane; leave it off for
+  /// single-threaded batch loads. Turning it on does not retroactively
+  /// freeze the currently published generation — it takes effect at the
+  /// next write batch.
+  void set_snapshot_isolation(bool on) {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    snapshot_isolation_ = on;
+    // The published generation may alias the writable store; treat it as
+    // shared so the next batch forks instead of mutating it in place.
+    if (on) store_shared_ = true;
+  }
+  bool snapshot_isolation() const {
+    std::lock_guard<std::mutex> lk(write_mu_);
+    return snapshot_isolation_;
+  }
+
   /// Snapshot of the executor counters accumulated over every
   /// Query/QueryCount since the last reset. merge_join_delta_extends > 0
   /// proves the star-join fast path ran against a live overlay — the
@@ -290,6 +314,13 @@ class Database {
   /// (ExportJson / ExportPrometheus) may run concurrently with writes.
   obs::MetricsRegistry& metrics() const { return metrics_; }
 
+  /// Folds one executor's counters into query_stats(). For callers that
+  /// run their own Executor against a pinned snapshot() (the
+  /// serve::QueryService reader threads do, to reuse cached plans) but
+  /// still want the database-wide stats to cover those queries. All
+  /// counters are relaxed atomics — safe from any thread.
+  void AccumulateQueryStats(const sparql::Executor& executor) const;
+
   // -- Introspection ----------------------------------------------------------
 
   bool has_data() const { return snapshot() != nullptr; }
@@ -310,6 +341,12 @@ class Database {
 
   // All *Locked methods require write_mu_ held.
   Status EnsureStoreLocked();
+  /// Snapshot isolation: if the current store may be pinned by readers
+  /// (it was published), replaces store_ with a private fork before the
+  /// caller mutates it. The fork does NOT bump store_epoch_ — an
+  /// in-flight background fold stays valid, its relay replay covers the
+  /// batches applied to forks. No-op when isolation is off.
+  void EnsureWritableStoreLocked();
   Status LoadDataLocked(const rdf::Graph& graph);
   Status CompactLocked();
   Status CompactAsyncLocked();
@@ -345,8 +382,6 @@ class Database {
   /// Serializes the current state into a checkpoint image.
   std::string SerializeImageLocked() const;
 
-  /// Folds one executor's counters into the registry (query_stats()).
-  void AccumulateQueryStats(const sparql::Executor& executor) const;
   /// Refreshes the overlay / base / schema gauges from the current store.
   void UpdateStoreGaugesLocked();
 
@@ -367,6 +402,11 @@ class Database {
   std::vector<RelayOp> relay_;
   bool recording_ = false;
   bool async_compaction_ = false;
+  // Snapshot-isolation mode (write_mu_): store_shared_ marks that store_
+  // is (or may be) pinned by readers via the published generation, so the
+  // next write batch must fork before mutating.
+  bool snapshot_isolation_ = false;
+  bool store_shared_ = false;
   // Bumped on every store_ replacement. A background fold captures the
   // value right after installing its fork and swaps only if it still
   // matches — a LoadData (or sync fold) that replaced the store in the
@@ -405,10 +445,12 @@ class Database {
     obs::Counter* compactions_total;
     obs::Counter* async_compactions_total;
     obs::Counter* checkpoints_total;
+    obs::Counter* isolation_forks_total;
     obs::Histogram* query_seconds;
     obs::Histogram* query_parse_seconds;
     obs::Histogram* query_execute_seconds;
     obs::Histogram* insert_batch_seconds;
+    obs::Histogram* isolation_fork_seconds;
     obs::Histogram* compaction_fold_seconds;
     obs::Histogram* compaction_fork_seconds;
     obs::Histogram* compaction_relay_seconds;

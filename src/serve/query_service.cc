@@ -1,0 +1,252 @@
+#include "serve/query_service.h"
+
+#include <locale>
+#include <utility>
+
+#include "sparql/executor.h"
+#include "sparql/sparql_parser.h"
+
+namespace sedge::serve {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point from,
+                      std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+// libstdc++'s ctype<char>::narrow()/widen() lazily fill per-facet cache
+// tables without synchronization; the first concurrent use from two
+// reader threads (e.g. std::regex compilation for a FILTER) is a data
+// race on those tables. Touch every char once before the pool starts so
+// the tables are fully built and read-only afterwards.
+void WarmCtypeCaches() {
+  static const bool warmed = [] {
+    const std::ctype<char>& ct =
+        std::use_facet<std::ctype<char>>(std::locale());
+    for (int c = 0; c < 256; ++c) {
+      ct.narrow(static_cast<char>(c), '\0');
+      ct.widen(static_cast<char>(c));
+    }
+    return true;
+  }();
+  (void)warmed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- PlanCache
+
+std::shared_ptr<const QueryService::CachedPlan> QueryService::PlanCache::
+    Lookup(uint64_t generation, const std::string& text) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!initialized_ || generation != generation_) {
+    // A base swap re-encoded ids and changed cardinalities; every cached
+    // order is stale at once. (The very first fill is not an
+    // invalidation.)
+    if (initialized_ && !plans_.empty()) invalidations_->Increment();
+    plans_.clear();
+    generation_ = generation;
+    initialized_ = true;
+    return nullptr;
+  }
+  const auto it = plans_.find(text);
+  return it != plans_.end() ? it->second : nullptr;
+}
+
+void QueryService::PlanCache::Store(uint64_t generation,
+                                    const std::string& text,
+                                    std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!initialized_ || generation != generation_) return;  // raced a swap
+  if (plans_.size() >= kMaxEntries) return;  // bounded; keep the hot set
+  plans_.emplace(text, std::move(plan));
+}
+
+// -------------------------------------------------------------- QueryService
+
+QueryService::QueryService(Database* db, ServeOptions options)
+    : db_(db), options_(options) {
+  obs::MetricsRegistry& reg = db_->metrics();
+  met_.admitted_total = reg.GetCounter("serve_requests_total");
+  met_.rejected_total = reg.GetCounter("serve_rejected_total");
+  met_.completed_total = reg.GetCounter("serve_completed_total");
+  met_.errors_total = reg.GetCounter("serve_errors_total");
+  met_.plan_cache_hits_total = reg.GetCounter("serve_plan_cache_hits_total");
+  met_.plan_cache_misses_total =
+      reg.GetCounter("serve_plan_cache_misses_total");
+  met_.plan_cache_invalidations_total =
+      reg.GetCounter("serve_plan_cache_invalidations_total");
+  met_.request_seconds = reg.GetHistogram("serve_request_seconds");
+  met_.queue_wait_seconds = reg.GetHistogram("serve_queue_wait_seconds");
+  met_.execute_seconds = reg.GetHistogram("serve_execute_seconds");
+  met_.queue_depth = reg.GetGauge("serve_queue_depth");
+  met_.readers = reg.GetGauge("serve_readers");
+  cache_ = std::make_unique<PlanCache>(met_.plan_cache_invalidations_total);
+
+  // Readers pin snapshots from arbitrary threads; the writer must stop
+  // mutating published stores.
+  db_->set_snapshot_isolation(true);
+  WarmCtypeCaches();
+
+  const int readers = options_.readers > 0 ? options_.readers : 1;
+  met_.readers->Set(readers);
+  workers_.reserve(static_cast<size_t>(readers));
+  for (int i = 0; i < readers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<QueryService::Response> QueryService::Submit(std::string sparql) {
+  Request req;
+  req.text = std::move(sparql);
+  std::future<Response> future = req.promise.get_future();
+  Status reject;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) {
+      reject = Status::Unavailable("query service is shut down");
+    } else if (queue_.size() >= options_.queue_depth) {
+      reject = Status::ResourceExhausted(
+          "admission queue full (depth " +
+          std::to_string(options_.queue_depth) + ")");
+    } else {
+      req.admitted = Clock::now();
+      queue_.push_back(std::move(req));
+      met_.admitted_total->Increment();
+      met_.queue_depth->Set(static_cast<double>(queue_.size()));
+      cv_.notify_one();
+      return future;
+    }
+  }
+  met_.rejected_total->Increment();
+  Response resp;
+  resp.status = std::move(reject);
+  req.promise.set_value(std::move(resp));
+  return future;
+}
+
+QueryService::Response QueryService::Execute(std::string sparql) {
+  return Submit(std::move(sparql)).get();
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+    paused_ = false;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+size_t QueryService::queue_size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        return stopping_ || (!paused_ && !queue_.empty());
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        continue;               // spurious wake while paused
+      }
+      // stopping_ drains the queue before the workers exit: every
+      // admitted request gets a real response.
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      met_.queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    Serve(std::move(req));
+  }
+}
+
+void QueryService::Serve(Request req) {
+  const Clock::time_point picked_up = Clock::now();
+  met_.queue_wait_seconds->RecordSeconds(
+      SecondsBetween(req.admitted, picked_up));
+
+  Response resp;
+  const std::shared_ptr<const store::StoreGeneration> snap = db_->snapshot();
+  if (snap == nullptr) {
+    resp.status = Status::InvalidArgument("no data loaded");
+  } else {
+    resp.generation = snap->number();
+    resp.writes = snap->writes();
+    std::shared_ptr<const CachedPlan> plan =
+        cache_->Lookup(snap->number(), req.text);
+    if (plan != nullptr) {
+      resp.plan_cache_hit = true;
+      met_.plan_cache_hits_total->Increment();
+    } else {
+      met_.plan_cache_misses_total->Increment();
+      Result<sparql::Query> parsed = sparql::ParseQuery(req.text);
+      if (!parsed.ok()) {
+        resp.status = parsed.status();
+      } else {
+        CachedPlan built{std::move(parsed).value(), {}};
+        // Plan against this worker's pinned snapshot: the estimator reads
+        // the same frozen store the order will be cached for.
+        const sparql::Executor planner(snap, db_->options());
+        built.order = planner.PlanOrder(built.query.where.triples);
+        plan = std::make_shared<const CachedPlan>(std::move(built));
+        cache_->Store(snap->number(), req.text, plan);
+      }
+    }
+    if (resp.status.ok()) {
+      sparql::Executor executor(snap, db_->options());
+      executor.set_plan_hint(&plan->order);
+      if (options_.decode_results) {
+        Result<sparql::QueryResult> result = executor.Execute(plan->query);
+        if (result.ok()) {
+          resp.result = std::move(result).value();
+          resp.rows = resp.result.size();
+        } else {
+          resp.status = result.status();
+        }
+      } else {
+        Result<sparql::BindingTable> table =
+            executor.ExecuteEncoded(plan->query);
+        if (table.ok()) {
+          resp.rows = table.value().rows.size();
+        } else {
+          resp.status = table.status();
+        }
+      }
+      db_->AccumulateQueryStats(executor);
+    }
+  }
+
+  const Clock::time_point done = Clock::now();
+  met_.execute_seconds->RecordSeconds(SecondsBetween(picked_up, done));
+  met_.request_seconds->RecordSeconds(SecondsBetween(req.admitted, done));
+  (resp.status.ok() ? met_.completed_total : met_.errors_total)->Increment();
+  req.promise.set_value(std::move(resp));
+}
+
+}  // namespace sedge::serve

@@ -1,0 +1,198 @@
+// serve::QueryService — the concurrent read front end of SuccinctEdge.
+//
+// The paper evaluates a single-threaded store; the production north star
+// is many simultaneous readers. This service puts a thread pool of N
+// reader threads in front of one Database:
+//
+//   - every request pins a StoreGeneration snapshot and executes against
+//     it with a private Executor, so readers never share mutable state
+//     with each other, with the (single) writer lane, or with a
+//     background compaction swap. The service switches the database into
+//     snapshot isolation (Database::set_snapshot_isolation): each write
+//     batch publishes a new frozen generation, so a pinned snapshot is
+//     immutable — batch-consistent reads with zero read-side locking;
+//   - admission is a bounded FIFO queue (ServeOptions::queue_depth).
+//     When it is full, Submit() resolves immediately with
+//     StatusCode::kResourceExhausted — backpressure the caller can see,
+//     instead of an unbounded latency tail;
+//   - parsed queries and their join orders are cached per generation
+//     (keyed on the query text, invalidated wholesale when the base
+//     generation swaps under Compact()/CompactAsync()), so steady-state
+//     requests skip the parser and the estimator walk;
+//   - per-request latency lands in Database::metrics() as the `serve_*`
+//     series (admission/queue-wait/execute histograms, admitted/rejected/
+//     completed/error counters, plan-cache hit/miss/invalidation
+//     counters, queue-depth and reader-count gauges), next to the engine
+//     metrics the registry already exports.
+//
+// Lifecycle: construct → Submit()/Execute() from any number of client
+// threads → Shutdown() (stops admission, drains every queued request,
+// joins the readers; the destructor calls it too). Pause()/Resume() hold
+// the readers idle while keeping admission open — an operational quiesce
+// valve the tests also use to fill the queue deterministically.
+
+#ifndef SEDGE_SERVE_QUERY_SERVICE_H_
+#define SEDGE_SERVE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "obs/metrics.h"
+#include "sparql/ast.h"
+#include "sparql/result_table.h"
+#include "util/status.h"
+
+namespace sedge::serve {
+
+struct ServeOptions {
+  /// Reader threads. The writer is whatever thread calls the Database's
+  /// write methods — the service adds no writer of its own.
+  int readers = 4;
+  /// Bounded admission queue depth; a full queue rejects with
+  /// kResourceExhausted.
+  size_t queue_depth = 128;
+  /// Decode result terms (Response::result). Off: only Response::rows is
+  /// filled (count-style benches skip the dictionary decode).
+  bool decode_results = true;
+};
+
+/// \brief Thread-pool SPARQL read service over pinned generation
+/// snapshots. All public methods are thread-safe.
+class QueryService {
+ public:
+  struct Response {
+    Status status = Status::OK();
+    /// Decoded solutions (empty when decode_results is off or on error).
+    sparql::QueryResult result;
+    /// Solution count (also filled when decoding is off).
+    uint64_t rows = 0;
+    /// The pinned snapshot's base build number and write-batch watermark
+    /// (StoreGeneration::number()/writes()): which state this response
+    /// is consistent with.
+    uint64_t generation = 0;
+    uint64_t writes = 0;
+    /// Whether the plan cache served the parsed query + join order.
+    bool plan_cache_hit = false;
+  };
+
+  /// Switches `db` into snapshot isolation and starts the reader pool.
+  /// `db` must outlive the service.
+  explicit QueryService(Database* db, ServeOptions options = ServeOptions());
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one SPARQL SELECT for execution. The future resolves with
+  /// the response; admission failures (queue full → kResourceExhausted,
+  /// after Shutdown → kUnavailable) resolve it immediately.
+  std::future<Response> Submit(std::string sparql);
+
+  /// Submit + wait. Closed-loop clients (benches, the TCP endpoint) use
+  /// this; rejection statuses come back like any other response.
+  Response Execute(std::string sparql);
+
+  /// Holds the readers idle after their current request; admission stays
+  /// open, so the queue fills (and rejects) deterministically.
+  void Pause();
+  void Resume();
+
+  /// Stops admission, drains every already-admitted request, joins the
+  /// readers. Idempotent; implied by the destructor. A paused service is
+  /// resumed first so the drain cannot deadlock.
+  void Shutdown();
+
+  /// Requests admitted but not yet picked up by a reader.
+  size_t queue_size() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// A parsed query plus the join order computed for one generation.
+  /// Shared-immutable: workers execute straight off the cached AST.
+  struct CachedPlan {
+    sparql::Query query;
+    std::vector<size_t> order;
+  };
+
+  /// Per-generation plan cache. One generation's plans are alive at a
+  /// time: the first lookup tagged with a newer base generation clears
+  /// the map (the swap re-encoded ids, so cardinality estimates and
+  /// interval routes no longer describe the data).
+  class PlanCache {
+   public:
+    explicit PlanCache(obs::Counter* invalidations)
+        : invalidations_(invalidations) {}
+
+    std::shared_ptr<const CachedPlan> Lookup(uint64_t generation,
+                                             const std::string& text);
+    /// Inserts unless the cache has moved past `generation` (a worker
+    /// that raced a swap must not poison the new generation's cache).
+    void Store(uint64_t generation, const std::string& text,
+               std::shared_ptr<const CachedPlan> plan);
+
+   private:
+    static constexpr size_t kMaxEntries = 4096;
+
+    std::mutex mu_;
+    uint64_t generation_ = 0;
+    bool initialized_ = false;
+    std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
+        plans_;
+    obs::Counter* invalidations_;
+  };
+
+  struct Request {
+    std::string text;
+    std::promise<Response> promise;
+    Clock::time_point admitted;
+  };
+
+  void WorkerLoop();
+  /// Executes one admitted request end to end and fulfills its promise.
+  void Serve(Request req);
+
+  Database* db_;
+  const ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool paused_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  std::unique_ptr<PlanCache> cache_;
+
+  // serve_* handles resolved once from db->metrics().
+  struct Met {
+    obs::Counter* admitted_total;
+    obs::Counter* rejected_total;
+    obs::Counter* completed_total;
+    obs::Counter* errors_total;
+    obs::Counter* plan_cache_hits_total;
+    obs::Counter* plan_cache_misses_total;
+    obs::Counter* plan_cache_invalidations_total;
+    obs::Histogram* request_seconds;     // admission → response
+    obs::Histogram* queue_wait_seconds;  // admission → worker pickup
+    obs::Histogram* execute_seconds;     // pickup → response
+    obs::Gauge* queue_depth;
+    obs::Gauge* readers;
+  } met_;
+};
+
+}  // namespace sedge::serve
+
+#endif  // SEDGE_SERVE_QUERY_SERVICE_H_

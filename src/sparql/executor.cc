@@ -316,7 +316,13 @@ Result<BindingTable> Executor::EvaluateBgp(
     const std::vector<TriplePattern>& triples) {
   BindingTable table = BindingTable::Unit();
   std::vector<size_t> order;
-  if (profile_ != nullptr) {
+  // A cached plan covers the top-level BGP only; consume the hint so a
+  // nested group (union alternative) never inherits a foreign order.
+  const std::vector<size_t>* hint = plan_hint_;
+  plan_hint_ = nullptr;
+  if (hint != nullptr && hint->size() == triples.size()) {
+    order = *hint;
+  } else if (profile_ != nullptr) {
     obs::ProfileNode* optimize = profile_->AddChild("optimize");
     obs::ProfileTimer plan_timer(optimize);
     order = PlanOrder(triples);

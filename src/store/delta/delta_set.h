@@ -12,7 +12,12 @@
 // buffer at the end of every batch (TripleStore::SealDelta, called by the
 // Database write methods). Read-side sorted()/Seal() calls therefore find
 // the buffer empty and mutate nothing, so concurrent const queries stay
-// safe exactly as they were on the immutable base store.
+// safe exactly as they were on the immutable base store. Queries racing
+// *individual write batches* need one more ingredient: under
+// Database::set_snapshot_isolation (the serve::QueryService mode) the
+// writer mutates a private fork and publishes it as a new frozen
+// generation per batch, so a pinned store's DeltaSets are never written
+// again — concurrent readers touch only sealed, immutable runs.
 
 #ifndef SEDGE_STORE_DELTA_DELTA_SET_H_
 #define SEDGE_STORE_DELTA_DELTA_SET_H_

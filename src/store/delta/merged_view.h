@@ -29,6 +29,13 @@
 // Views are value types holding two pointers; create them per query, do
 // not store them across writes. Cursors additionally pin run slices, so
 // they follow the same rule.
+//
+// Thread sharing: every accessor on these views is const and reads only
+// the base layouts plus *sealed* overlay runs (DeltaSet::sorted() on a
+// sealed set is a pure read — see the contract in delta_set.h). Any number
+// of threads may therefore drive views/cursors over the same pinned
+// StoreGeneration concurrently; the serve::QueryService reader pool does
+// exactly that.
 
 #ifndef SEDGE_STORE_DELTA_MERGED_VIEW_H_
 #define SEDGE_STORE_DELTA_MERGED_VIEW_H_

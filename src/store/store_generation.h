@@ -9,11 +9,26 @@
 // so generation swaps are a pointer exchange and old generations die only
 // when their last reader finishes.
 //
-// Pinning freezes *lifetime*, not content: the overlay of the pinned store
-// keeps receiving the (serialized) writes, exactly as queries between
-// write batches always saw them (see the concurrency contract in
-// store/delta/delta_set.h). What a pin guarantees is that the succinct
-// base underneath cannot be swapped away and freed while the query runs.
+// What a pin freezes depends on the database's write mode:
+//
+//  - Default (single-threaded callers): pinning freezes *lifetime*, not
+//    content. The overlay of the pinned store keeps receiving the
+//    (serialized) writes, exactly as queries between write batches always
+//    saw them (see the concurrency contract in store/delta/delta_set.h).
+//  - Snapshot isolation (Database::set_snapshot_isolation, which the
+//    serve::QueryService turns on): every write batch mutates a private
+//    fork and publishes it as a *new* generation, so a published store is
+//    never touched again. Pinning then freezes content too — concurrent
+//    readers see an immutable batch-consistent state, with no read-side
+//    locking at all.
+//
+// `writes()` is the write-batch watermark at publish time. Under snapshot
+// isolation it identifies the pinned *content*: two snapshots of the same
+// data lineage with equal watermarks hold the same logical triple set even
+// if a compaction swap re-encoded the physical layout between them (the
+// concurrent-serve property test keys its single-threaded oracle off
+// this). Across LoadData/RestoreImage resets the watermark is meaningless
+// for content comparison — it identifies states only within one lineage.
 
 #ifndef SEDGE_STORE_STORE_GENERATION_H_
 #define SEDGE_STORE_STORE_GENERATION_H_
@@ -27,11 +42,13 @@
 namespace sedge::store {
 
 /// \brief One generation of the storage stack: the store plus the
-/// monotone build number of its succinct base.
+/// monotone build number of its succinct base and the write-batch
+/// watermark it was published at.
 class StoreGeneration {
  public:
-  StoreGeneration(std::shared_ptr<const TripleStore> store, uint64_t number)
-      : store_(std::move(store)), number_(number) {}
+  StoreGeneration(std::shared_ptr<const TripleStore> store, uint64_t number,
+                  uint64_t writes = 0)
+      : store_(std::move(store)), number_(number), writes_(writes) {}
 
   const TripleStore& store() const { return *store_; }
   const std::shared_ptr<const TripleStore>& store_ptr() const {
@@ -40,10 +57,14 @@ class StoreGeneration {
   /// Bumped every time the succinct base is (re)built: LoadData and each
   /// compaction swap.
   uint64_t number() const { return number_; }
+  /// Database::write_generation() at publish time — the number of write
+  /// batches this snapshot's content includes (see the header comment).
+  uint64_t writes() const { return writes_; }
 
  private:
   std::shared_ptr<const TripleStore> store_;
   uint64_t number_;
+  uint64_t writes_;
 };
 
 }  // namespace sedge::store

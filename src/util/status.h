@@ -26,6 +26,9 @@ enum class StatusCode : uint8_t {
   kUnsupported,
   kIoError,
   kResourceExhausted,
+  /// The component rejecting the call is shutting down (or not running):
+  /// retrying the same call on a live instance would succeed.
+  kUnavailable,
   kInternal,
 };
 
@@ -62,6 +65,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -74,6 +80,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsUnsupported() const { return code_ == StatusCode::kUnsupported; }
 
@@ -93,6 +100,7 @@ class Status {
       case StatusCode::kUnsupported: return "Unsupported";
       case StatusCode::kIoError: return "IoError";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnavailable: return "Unavailable";
       case StatusCode::kInternal: return "Internal";
     }
     return "Unknown";

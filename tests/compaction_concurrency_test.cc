@@ -6,8 +6,11 @@
 // with each other and with the whole background fold (freeze, export,
 // rebuild, relay catch-up, swap); writes are serialized by the Database
 // and may also overlap the fold. Queries are not raced against individual
-// write batches — that pairing is outside the store's single-writer seal
-// contract (see store/delta/delta_set.h) and unchanged by this PR.
+// write batches *here* — these tests run without snapshot isolation, so
+// that pairing stays outside the single-writer seal contract (see
+// store/delta/delta_set.h). The snapshot-isolation mode that makes it
+// safe is exercised by concurrent_serve_property_test.cc and
+// query_service_test.cc.
 
 #include <atomic>
 #include <chrono>
