@@ -46,7 +46,6 @@ class BaselineStore {
   virtual uint64_t num_triples() const = 0;
 
   const TermDictionary& dict() const { return dict_; }
-  TermDictionary& mutable_dict() { return dict_; }
 
   /// Index/triple storage bytes, dictionary excluded (Figure 10).
   virtual uint64_t StorageSizeInBytes() const = 0;

@@ -126,12 +126,16 @@ Database::Database() {
 Database::~Database() {
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lk(write_mu_);
+    util::MutexLock lk(&write_mu_);
     if (worker_.joinable()) worker = std::move(worker_);
   }
   if (worker.joinable()) worker.join();
   // A borrowed WAL and the block device outlive this database — detach
-  // their handles into our dying registry.
+  // their handles into our dying registry. Under the lock: destruction
+  // concurrent with an API call is a caller bug, but a stale unlocked
+  // read here could detach a WAL some racing DetachWal already swapped
+  // out, and the lock costs nothing on this cold path.
+  util::MutexLock lk(&write_mu_);
   if (wal_ != nullptr) wal_->set_metrics(nullptr);
   if (device_ != nullptr) device_->set_metrics(nullptr);
 }
@@ -149,7 +153,7 @@ Status Database::LoadOntologyTurtle(std::string_view text) {
 void Database::LoadOntology(ontology::Ontology onto) {
   // write_mu_, not just convention: the background fold's checkpoint
   // serializes onto_ on the worker thread under this lock.
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   onto_ = std::move(onto);
 }
 
@@ -161,7 +165,7 @@ Status Database::LoadDataTurtle(std::string_view text) {
 Status Database::LoadData(const rdf::Graph& graph) {
   // A full reload supersedes whatever a background fold was building.
   SEDGE_RETURN_NOT_OK(WaitForCompaction());
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   SEDGE_RETURN_NOT_OK(LoadDataLocked(graph));
   // Device mode: the replacement base must be durable immediately —
   // otherwise later acknowledged WAL writes would replay onto the *old*
@@ -197,7 +201,7 @@ void Database::PublishSnapshotLocked() {
   // Readers may pin store_ through gen_ from here on; under snapshot
   // isolation the next write batch must fork before mutating it.
   store_shared_ = true;
-  std::lock_guard<std::mutex> lk(snap_mu_);
+  util::MutexLock lk(&snap_mu_);
   gen_ = std::move(gen);
 }
 
@@ -242,8 +246,13 @@ void Database::UpdateStoreGaugesLocked() {
 }
 
 std::shared_ptr<const store::StoreGeneration> Database::snapshot() const {
-  std::lock_guard<std::mutex> lk(snap_mu_);
+  util::MutexLock lk(&snap_mu_);
   return gen_;
+}
+
+Database::ReadView Database::AcquireReadView() const {
+  util::MutexLock lk(&snap_mu_);
+  return {gen_, options_};
 }
 
 const store::TripleStore& Database::store() const {
@@ -276,6 +285,9 @@ Status Database::LogBatchLocked(
     return Status::OK();
   }
   const auto append_all = [&]() -> Status {
+    // The analysis is function-local and a lambda is its own function:
+    // re-assert the lock the enclosing *Locked method already holds.
+    write_mu_.AssertHeld();
     // Admissions lead their batch: replay restores the vocabulary before
     // it re-applies the mutations that use it.
     for (const store::schema::Admission& a : admissions) {
@@ -389,14 +401,14 @@ Status Database::InsertBatchLocked(const rdf::Triple* triples, size_t count,
 }
 
 Status Database::Insert(const rdf::Graph& graph, InsertReport* report) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
   return InsertBatchLocked(graph.triples().data(), graph.triples().size(),
                            report);
 }
 
 Status Database::Insert(const rdf::Triple& triple, InsertReport* report) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
   return InsertBatchLocked(&triple, 1, report);
 }
@@ -407,7 +419,7 @@ Status Database::RemoveTurtle(std::string_view text) {
 }
 
 Status Database::Remove(const rdf::Graph& graph) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   if (store_ == nullptr) return Status::OK();  // nothing stored
   SEDGE_RETURN_NOT_OK(LogBatchLocked(io::WalRecordType::kRemove,
                                      graph.triples().data(),
@@ -427,7 +439,7 @@ Status Database::Remove(const rdf::Graph& graph) {
 }
 
 Status Database::Remove(const rdf::Triple& triple) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   if (store_ == nullptr) return Status::OK();
   SEDGE_RETURN_NOT_OK(
       LogBatchLocked(io::WalRecordType::kRemove, &triple, 1));
@@ -447,7 +459,7 @@ Status Database::Remove(const rdf::Triple& triple) {
 
 Status Database::Compact() {
   SEDGE_RETURN_NOT_OK(WaitForCompaction());
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   return CompactLocked();
 }
 
@@ -489,7 +501,7 @@ Status Database::CompactLocked() {
 }
 
 Status Database::CompactAsync() {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   return CompactAsyncLocked();
 }
 
@@ -543,7 +555,7 @@ Status Database::CompactAsyncLocked() {
 
 void Database::FinishCompaction(uint64_t ticket,
                                 Result<store::TripleStore> built) {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   if (store_epoch_ != ticket) {
     // The store this fold forked from was replaced (LoadData or a sync
     // fold) while the rebuild ran — the result describes a dataset that
@@ -604,11 +616,11 @@ void Database::FinishCompaction(uint64_t ticket,
 Status Database::WaitForCompaction() {
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lk(write_mu_);
+    util::MutexLock lk(&write_mu_);
     if (worker_.joinable()) worker = std::move(worker_);
   }
   if (worker.joinable()) worker.join();
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   const Status st = compaction_error_;
   compaction_error_ = Status::OK();
   return st;
@@ -630,12 +642,13 @@ Status Database::MaybeCompactLocked() {
 
 Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
   SEDGE_CHECK(wal != nullptr && wal->open()) << "AttachWal needs an open WAL";
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   if (replay) {
     SEDGE_RETURN_NOT_OK(EnsureStoreLocked());
     EnsureWritableStoreLocked();
     uint64_t applied = 0;
     SEDGE_RETURN_NOT_OK(wal->Replay([&](const io::WalReplayRecord& r) {
+      write_mu_.AssertHeld();  // lambda: re-assert AttachWal's lock
       switch (r.type) {
         case io::WalRecordType::kInsert:
           ++applied;
@@ -679,17 +692,17 @@ Status Database::AttachWal(io::WriteAheadLog* wal, bool replay) {
 
 Status Database::Checkpoint() {
   SEDGE_RETURN_NOT_OK(WaitForCompaction());
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   return CheckpointLocked();
 }
 
 uint64_t Database::checkpoint_sequence() const {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   return storage_ != nullptr ? storage_->sequence() : 0;
 }
 
 uint64_t Database::wal_epoch() const {
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
   return wal_ != nullptr ? wal_->epoch() : 0;
 }
 
@@ -749,10 +762,16 @@ Status Database::RestoreImage(const std::string& image) {
   SEDGE_RETURN_NOT_OK(rdf::ReadTripleList(is, &onto_triples));
   rdf::Graph onto_graph;
   for (rdf::Triple& t : onto_triples) onto_graph.Add(std::move(t));
-  SEDGE_ASSIGN_OR_RETURN(onto_, ontology::Ontology::FromGraph(onto_graph));
+  // Parse into locals outside the lock; install everything — ontology
+  // included — under it. The old code assigned onto_ before locking,
+  // which raced a background fold's SerializeImageLocked reading it on
+  // the worker thread.
+  SEDGE_ASSIGN_OR_RETURN(ontology::Ontology restored_onto,
+                         ontology::Ontology::FromGraph(onto_graph));
   SEDGE_ASSIGN_OR_RETURN(store::TripleStore restored,
                          store::TripleStore::LoadFrom(is));
-  std::lock_guard<std::mutex> lk(write_mu_);
+  util::MutexLock lk(&write_mu_);
+  onto_ = std::move(restored_onto);
   store_ = std::make_shared<store::TripleStore>(std::move(restored));
   generation_number_.store(std::max<uint64_t>(generation, 1));
   PublishSnapshotLocked();
@@ -761,26 +780,41 @@ Status Database::RestoreImage(const std::string& image) {
 
 Result<std::unique_ptr<Database>> Database::Open(
     io::SimulatedBlockDevice* device, OpenOptions options) {
+  // No thread can see `db` yet, but write_mu_ is scoped around each setup
+  // stage anyway: std::mutex is not recursive, and RestoreImage/AttachWal
+  // below take the lock themselves.
   auto db = std::unique_ptr<Database>(new Database());
-  db->onto_ = std::move(options.bootstrap_ontology);
-  db->device_ = device;
-  device->set_metrics(&db->metrics_);
-  db->storage_ = std::make_unique<io::CheckpointStorage>(device);
-  db->storage_->set_metrics(&db->metrics_);
-  SEDGE_RETURN_NOT_OK(db->storage_->Open(options.wal_capacity_blocks));
-  if (db->storage_->has_checkpoint()) {
-    SEDGE_ASSIGN_OR_RETURN(const std::string image,
-                           db->storage_->ReadCheckpoint());
+  std::string image;
+  bool restore = false;
+  {
+    util::MutexLock lk(&db->write_mu_);
+    db->onto_ = std::move(options.bootstrap_ontology);
+    db->device_ = device;
+    device->set_metrics(&db->metrics_);
+    db->storage_ = std::make_unique<io::CheckpointStorage>(device);
+    db->storage_->set_metrics(&db->metrics_);
+    SEDGE_RETURN_NOT_OK(db->storage_->Open(options.wal_capacity_blocks));
+    if (db->storage_->has_checkpoint()) {
+      SEDGE_ASSIGN_OR_RETURN(image, db->storage_->ReadCheckpoint());
+      restore = true;
+    }
+  }
+  if (restore) {
     SEDGE_RETURN_NOT_OK(db->RestoreImage(image));
   }
-  db->owned_wal_ = std::make_unique<io::WriteAheadLog>(
-      device, db->storage_->wal_region_start(),
-      db->storage_->wal_capacity_blocks());
-  SEDGE_RETURN_NOT_OK(db->owned_wal_->Open());
+  io::WriteAheadLog* wal = nullptr;
+  {
+    util::MutexLock lk(&db->write_mu_);
+    db->owned_wal_ = std::make_unique<io::WriteAheadLog>(
+        device, db->storage_->wal_region_start(),
+        db->storage_->wal_capacity_blocks());
+    SEDGE_RETURN_NOT_OK(db->owned_wal_->Open());
+    wal = db->owned_wal_.get();
+  }
   // Replay the acknowledged tail on top of the restored checkpoint
   // (idempotent: records the checkpoint already absorbed re-apply as
   // no-ops) and start logging through the owned WAL.
-  SEDGE_RETURN_NOT_OK(db->AttachWal(db->owned_wal_.get(), /*replay=*/true));
+  SEDGE_RETURN_NOT_OK(db->AttachWal(wal, /*replay=*/true));
   return db;
 }
 
@@ -796,7 +830,8 @@ void Database::AccumulateQueryStats(const sparql::Executor& executor) const {
 }
 
 Result<sparql::QueryResult> Database::Query(std::string_view text) const {
-  const auto snap = snapshot();
+  const ReadView view = AcquireReadView();
+  const auto& snap = view.snap;
   if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
@@ -805,7 +840,7 @@ Result<sparql::QueryResult> Database::Query(std::string_view text) const {
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   parse_span.Stop();
   obs::ScopedSpan execute_span(met_.query_execute_seconds);
-  sparql::Executor executor(snap, options_);
+  sparql::Executor executor(snap, view.options);
   auto result = executor.Execute(query);
   execute_span.Stop();
   AccumulateQueryStats(executor);
@@ -813,7 +848,8 @@ Result<sparql::QueryResult> Database::Query(std::string_view text) const {
 }
 
 Result<uint64_t> Database::QueryCount(std::string_view text) const {
-  const auto snap = snapshot();
+  const ReadView view = AcquireReadView();
+  const auto& snap = view.snap;
   if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
@@ -822,7 +858,7 @@ Result<uint64_t> Database::QueryCount(std::string_view text) const {
   SEDGE_ASSIGN_OR_RETURN(sparql::Query query, sparql::ParseQuery(text));
   parse_span.Stop();
   obs::ScopedSpan execute_span(met_.query_execute_seconds);
-  sparql::Executor executor(snap, options_);
+  sparql::Executor executor(snap, view.options);
   auto table = executor.ExecuteEncoded(query);
   execute_span.Stop();
   AccumulateQueryStats(executor);
@@ -832,7 +868,8 @@ Result<uint64_t> Database::QueryCount(std::string_view text) const {
 
 Result<obs::QueryProfile> Database::ExplainQuery(
     std::string_view text) const {
-  const auto snap = snapshot();
+  const ReadView view = AcquireReadView();
+  const auto& snap = view.snap;
   if (snap == nullptr) {
     return Status::InvalidArgument("no data loaded");
   }
@@ -850,7 +887,7 @@ Result<obs::QueryProfile> Database::ExplainQuery(
   // and slicing applied) with the executor appending optimize + per-
   // pattern children underneath.
   obs::ProfileNode* execute_node = profile.root.AddChild("execute");
-  sparql::Executor executor(snap, options_);
+  sparql::Executor executor(snap, view.options);
   executor.set_profile(execute_node);
   obs::ProfileTimer execute_timer(execute_node);
   SEDGE_ASSIGN_OR_RETURN(sparql::BindingTable table,

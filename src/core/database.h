@@ -48,7 +48,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -65,9 +64,13 @@
 #include "store/schema/schema_registry.h"
 #include "store/store_generation.h"
 #include "store/triple_store.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sedge {
+
+class ThreadSafetyProbe;  // negative-compilation harness (tests/)
 
 /// \brief In-memory, self-indexed, reasoning-enabled RDF store with an
 /// optional self-contained durable lifecycle on a block device.
@@ -107,29 +110,36 @@ class Database {
   /// Serializes the full current state (ontology, dictionary, succinct
   /// base, live overlay) to the device and truncates the WAL. Requires a
   /// device-opened database; called automatically at every compaction.
-  Status Checkpoint();
+  Status Checkpoint() SEDGE_EXCLUDES(write_mu_);
 
-  const io::CheckpointStorage* storage() const { return storage_.get(); }
+  /// Control-thread convenience (tests, examples): the checkpoint
+  /// bookkeeping itself is only ever mutated under write_mu_ on the write
+  /// path, so poke it only while no write/fold can be in flight — or use
+  /// checkpoint_sequence()/wal_epoch(), which synchronize.
+  const io::CheckpointStorage* storage() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    return storage_.get();
+  }
 
   /// Superblock flips so far (0 without a device) / current WAL epoch
   /// (0 without a log). Synchronized with the background fold's
   /// checkpoint + truncation, unlike poking storage()/wal() directly.
-  uint64_t checkpoint_sequence() const;
-  uint64_t wal_epoch() const;
+  uint64_t checkpoint_sequence() const SEDGE_EXCLUDES(write_mu_);
+  uint64_t wal_epoch() const SEDGE_EXCLUDES(write_mu_);
 
   // -- Setup ----------------------------------------------------------------
 
   /// Parses and installs the ontology (Turtle / N-Triples).
-  Status LoadOntologyTurtle(std::string_view text);
+  Status LoadOntologyTurtle(std::string_view text) SEDGE_EXCLUDES(write_mu_);
   /// Installs an already-built ontology. Serialized against the write
   /// path (a background fold's checkpoint reads the ontology under the
   /// same lock).
-  void LoadOntology(ontology::Ontology onto);
+  void LoadOntology(ontology::Ontology onto) SEDGE_EXCLUDES(write_mu_);
 
   /// Parses `text` and (re)builds the store for that graph.
-  Status LoadDataTurtle(std::string_view text);
+  Status LoadDataTurtle(std::string_view text) SEDGE_EXCLUDES(write_mu_);
   /// (Re)builds the store from `graph`.
-  Status LoadData(const rdf::Graph& graph);
+  Status LoadData(const rdf::Graph& graph) SEDGE_EXCLUDES(write_mu_);
 
   // -- Streaming writes (delta overlay) -------------------------------------
 
@@ -153,17 +163,20 @@ class Database {
   /// with never-before-seen predicates or classes are accepted under
   /// provisional ids (see store/schema/schema_registry.h); pass `report`
   /// to learn how each triple of the batch fared.
-  Status InsertTurtle(std::string_view text, InsertReport* report = nullptr);
+  Status InsertTurtle(std::string_view text, InsertReport* report = nullptr)
+      SEDGE_EXCLUDES(write_mu_);
   /// Inserts every triple of `graph` into the delta overlay.
-  Status Insert(const rdf::Graph& graph, InsertReport* report = nullptr);
+  Status Insert(const rdf::Graph& graph, InsertReport* report = nullptr)
+      SEDGE_EXCLUDES(write_mu_);
   /// Inserts one triple.
-  Status Insert(const rdf::Triple& triple, InsertReport* report = nullptr);
+  Status Insert(const rdf::Triple& triple, InsertReport* report = nullptr)
+      SEDGE_EXCLUDES(write_mu_);
   /// Parses `text` and removes every triple (tombstoning base triples).
-  Status RemoveTurtle(std::string_view text);
+  Status RemoveTurtle(std::string_view text) SEDGE_EXCLUDES(write_mu_);
   /// Removes every triple of `graph`.
-  Status Remove(const rdf::Graph& graph);
+  Status Remove(const rdf::Graph& graph) SEDGE_EXCLUDES(write_mu_);
   /// Removes one triple.
-  Status Remove(const rdf::Triple& triple);
+  Status Remove(const rdf::Triple& triple) SEDGE_EXCLUDES(write_mu_);
 
   // -- Compaction -----------------------------------------------------------
 
@@ -171,7 +184,7 @@ class Database {
   /// (stop-the-world on the write path), then checkpoints + truncates the
   /// WAL in device mode. Waits for any in-flight background fold first.
   /// No-op without an overlay.
-  Status Compact();
+  Status Compact() SEDGE_EXCLUDES(write_mu_);
 
   /// Background fold: freezes the current overlay and hands it (with the
   /// shared immutable base) to a rebuild thread, while new writes land in
@@ -179,10 +192,10 @@ class Database {
   /// atomic generation swap. Returns immediately; a fold already in
   /// flight makes this a no-op. Errors surface via WaitForCompaction()
   /// (or the next Compact()).
-  Status CompactAsync();
+  Status CompactAsync() SEDGE_EXCLUDES(write_mu_);
 
   /// Joins an in-flight background fold (if any) and returns its result.
-  Status WaitForCompaction();
+  Status WaitForCompaction() SEDGE_EXCLUDES(write_mu_);
 
   /// True while a background fold is rebuilding.
   bool compaction_in_flight() const { return compaction_running_.load(); }
@@ -190,13 +203,23 @@ class Database {
   /// Routes auto-compaction through CompactAsync() instead of the
   /// synchronous fold (default off: deterministic folds for batch-style
   /// callers; streaming deployments switch it on to keep writes flowing
-  /// during rebuilds).
-  void set_async_compaction(bool on) { async_compaction_ = on; }
+  /// during rebuilds). Serialized with the write path: MaybeCompactLocked
+  /// consults the flag at the end of every batch.
+  void set_async_compaction(bool on) SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    async_compaction_ = on;
+  }
 
   /// Overlay-size / base-size ratio that triggers auto-compaction after a
   /// write batch (default 0.25; set 0 to disable automatic compaction).
-  void set_compaction_ratio(double ratio) { compaction_ratio_ = ratio; }
-  double compaction_ratio() const { return compaction_ratio_; }
+  void set_compaction_ratio(double ratio) SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    compaction_ratio_ = ratio;
+  }
+  double compaction_ratio() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    return compaction_ratio_;
+  }
 
   // -- Durability (standalone write-ahead log) -------------------------------
   //
@@ -212,20 +235,31 @@ class Database {
   /// re-applies every acknowledged record in the log to the store —
   /// reopen-after-crash. A torn or corrupt log tail (power cut mid-write)
   /// is silently cut off; only intact committed batches are applied.
-  Status AttachWal(io::WriteAheadLog* wal, bool replay = true);
-  /// Stops logging; the log itself is left untouched.
-  void DetachWal() {
+  Status AttachWal(io::WriteAheadLog* wal, bool replay = true)
+      SEDGE_EXCLUDES(write_mu_);
+  /// Stops logging; the log itself is left untouched. Serialized with the
+  /// write path — a background fold's checkpoint may be truncating the
+  /// log under write_mu_ at this very moment.
+  void DetachWal() SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
     if (wal_ != nullptr) wal_->set_metrics(nullptr);
     wal_ = nullptr;
   }
-  io::WriteAheadLog* wal() const { return wal_; }
+  /// Control-thread convenience, like storage(): the returned log is
+  /// mutated under write_mu_ by every write batch, so inspect it only
+  /// while no write/fold can be in flight (or use wal_epoch()).
+  io::WriteAheadLog* wal() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    return wal_;
+  }
 
   // -- Generations -----------------------------------------------------------
 
   /// The current generation snapshot (store + base build number), or null
   /// before any data is loaded. Readers pin it for however long they need
   /// consistent lifetime guarantees; Query does this internally.
-  std::shared_ptr<const store::StoreGeneration> snapshot() const;
+  std::shared_ptr<const store::StoreGeneration> snapshot() const
+      SEDGE_EXCLUDES(snap_mu_);
 
   /// Bumped every time the succinct base is (re)built: LoadData and each
   /// compaction swap. Shorthand for snapshot()->number().
@@ -237,10 +271,27 @@ class Database {
 
   // -- Execution switches (defaults match the paper's system) ---------------
 
-  void set_reasoning(bool on) { options_.reasoning = on; }
-  void set_merge_join(bool on) { options_.merge_join = on; }
-  void set_optimizer(bool on) { options_.use_optimizer = on; }
-  const sparql::Executor::Options& options() const { return options_; }
+  // The switches live under snap_mu_ (not write_mu_: the writer lock is
+  // held across checkpoint I/O, and queries must not stall behind it) and
+  // options() hands out a copy, so a toggle concurrent with a running
+  // query gives that query one coherent option set — before or after,
+  // never a torn mix.
+  void set_reasoning(bool on) SEDGE_EXCLUDES(snap_mu_) {
+    util::MutexLock lk(&snap_mu_);
+    options_.reasoning = on;
+  }
+  void set_merge_join(bool on) SEDGE_EXCLUDES(snap_mu_) {
+    util::MutexLock lk(&snap_mu_);
+    options_.merge_join = on;
+  }
+  void set_optimizer(bool on) SEDGE_EXCLUDES(snap_mu_) {
+    util::MutexLock lk(&snap_mu_);
+    options_.use_optimizer = on;
+  }
+  sparql::Executor::Options options() const SEDGE_EXCLUDES(snap_mu_) {
+    util::MutexLock lk(&snap_mu_);
+    return options_;
+  }
 
   // -- Concurrent reads ------------------------------------------------------
 
@@ -254,15 +305,15 @@ class Database {
   /// single-threaded batch loads. Turning it on does not retroactively
   /// freeze the currently published generation — it takes effect at the
   /// next write batch.
-  void set_snapshot_isolation(bool on) {
-    std::lock_guard<std::mutex> lk(write_mu_);
+  void set_snapshot_isolation(bool on) SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
     snapshot_isolation_ = on;
     // The published generation may alias the writable store; treat it as
     // shared so the next batch forks instead of mutating it in place.
     if (on) store_shared_ = true;
   }
-  bool snapshot_isolation() const {
-    std::lock_guard<std::mutex> lk(write_mu_);
+  bool snapshot_isolation() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
     return snapshot_isolation_;
   }
 
@@ -293,10 +344,12 @@ class Database {
   /// Parses, optimizes and executes a SPARQL SELECT query against a
   /// pinned generation snapshot (safe against concurrent compaction
   /// swaps).
-  Result<sparql::QueryResult> Query(std::string_view sparql) const;
+  Result<sparql::QueryResult> Query(std::string_view sparql) const
+      SEDGE_EXCLUDES(snap_mu_);
 
   /// Number of solutions only (skips decode; benches use this).
-  Result<uint64_t> QueryCount(std::string_view sparql) const;
+  Result<uint64_t> QueryCount(std::string_view sparql) const
+      SEDGE_EXCLUDES(snap_mu_);
 
   /// Runs `sparql` like Query but returns its trace profile instead of
   /// the solutions: a span tree through parse → optimize → route
@@ -304,7 +357,8 @@ class Database {
   /// produced, and merge-join vs. row-path attribution (see
   /// obs/query_profile.h). Execution is real — rows are materialized and
   /// counted — so profile timings reflect the production code path.
-  Result<obs::QueryProfile> ExplainQuery(std::string_view sparql) const;
+  Result<obs::QueryProfile> ExplainQuery(std::string_view sparql) const
+      SEDGE_EXCLUDES(snap_mu_);
 
   // -- Observability ----------------------------------------------------------
 
@@ -330,28 +384,49 @@ class Database {
   /// may be in flight, pin snapshot() and read through it instead (a
   /// swap would otherwise free the store behind this reference).
   const store::TripleStore& store() const;
-  const ontology::Ontology& ontology() const { return onto_; }
+  /// Copy of the installed ontology. By value: the live object is
+  /// re-serialized by a background fold's checkpoint on the worker
+  /// thread, so a reference could be read while LoadOntology replaces it.
+  ontology::Ontology ontology() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    return onto_;
+  }
   uint64_t num_triples() const;
 
  private:
+  // The negcompile harness (tests/thread_safety_negcompile/) reaches the
+  // guarded fields through this friend to prove unguarded access is a
+  // compile error; nothing in the engine defines or uses it.
+  friend class ::sedge::ThreadSafetyProbe;
+
   struct RelayOp {
     bool insert;
     rdf::Triple triple;
   };
 
-  // All *Locked methods require write_mu_ held.
-  Status EnsureStoreLocked();
+  /// One coherent read-side view: the pinned generation and the executor
+  /// options that were current at the same instant, taken under one
+  /// snap_mu_ critical section. Query/QueryCount/ExplainQuery start here.
+  struct ReadView {
+    std::shared_ptr<const store::StoreGeneration> snap;
+    sparql::Executor::Options options;
+  };
+  ReadView AcquireReadView() const SEDGE_EXCLUDES(snap_mu_);
+
+  // The *Locked helpers required write_mu_ by comment since PR 4; the
+  // REQUIRES annotations make the compiler hold callers to it.
+  Status EnsureStoreLocked() SEDGE_REQUIRES(write_mu_);
   /// Snapshot isolation: if the current store may be pinned by readers
   /// (it was published), replaces store_ with a private fork before the
   /// caller mutates it. The fork does NOT bump store_epoch_ — an
   /// in-flight background fold stays valid, its relay replay covers the
   /// batches applied to forks. No-op when isolation is off.
-  void EnsureWritableStoreLocked();
-  Status LoadDataLocked(const rdf::Graph& graph);
-  Status CompactLocked();
-  Status CompactAsyncLocked();
-  Status CheckpointLocked();
-  Status MaybeCompactLocked();
+  void EnsureWritableStoreLocked() SEDGE_REQUIRES(write_mu_);
+  Status LoadDataLocked(const rdf::Graph& graph) SEDGE_REQUIRES(write_mu_);
+  Status CompactLocked() SEDGE_REQUIRES(write_mu_);
+  Status CompactAsyncLocked() SEDGE_REQUIRES(write_mu_);
+  Status CheckpointLocked() SEDGE_REQUIRES(write_mu_);
+  Status MaybeCompactLocked() SEDGE_REQUIRES(write_mu_);
   /// Appends one record per admission, then one per triple, and
   /// group-commits the whole batch with a single Sync() — the commit
   /// marker covers vocabulary admissions and mutations atomically. No-op
@@ -361,68 +436,84 @@ class Database {
   Status LogBatchLocked(io::WalRecordType type, const rdf::Triple* triples,
                         size_t count,
                         const std::vector<store::schema::Admission>&
-                            admissions = {});
+                            admissions = {}) SEDGE_REQUIRES(write_mu_);
   /// Plans a batch's vocabulary admissions, logs admissions + mutations
   /// (one group commit), installs the admissions, applies the triples,
   /// and fills `report`. The shared body of the Insert overloads;
   /// requires write_mu_ and an existing store.
   Status InsertBatchLocked(const rdf::Triple* triples, size_t count,
-                           InsertReport* report);
+                           InsertReport* report) SEDGE_REQUIRES(write_mu_);
   /// Records applied mutations for the background fold's catch-up replay.
   void RecordRelayLocked(bool insert, const rdf::Triple* triples,
-                         size_t count);
-  /// Publishes store_ as the current StoreGeneration.
-  void PublishSnapshotLocked();
+                         size_t count) SEDGE_REQUIRES(write_mu_);
+  /// Publishes store_ as the current StoreGeneration (briefly takes
+  /// snap_mu_ inside — the one place the two locks nest).
+  void PublishSnapshotLocked() SEDGE_REQUIRES(write_mu_)
+      SEDGE_EXCLUDES(snap_mu_);
   /// Background-thread completion: catch-up relay, swap, checkpoint.
   /// `ticket` is the store epoch the fold forked at; a mismatch means
   /// the fold was superseded and its result is discarded.
-  void FinishCompaction(uint64_t ticket, Result<store::TripleStore> built);
+  void FinishCompaction(uint64_t ticket, Result<store::TripleStore> built)
+      SEDGE_EXCLUDES(write_mu_);
   /// Restores ontology + store + generation from a checkpoint image.
-  Status RestoreImage(const std::string& image);
+  Status RestoreImage(const std::string& image) SEDGE_EXCLUDES(write_mu_);
   /// Serializes the current state into a checkpoint image.
-  std::string SerializeImageLocked() const;
+  std::string SerializeImageLocked() const SEDGE_REQUIRES(write_mu_);
 
   /// Refreshes the overlay / base / schema gauges from the current store.
-  void UpdateStoreGaugesLocked();
+  void UpdateStoreGaugesLocked() SEDGE_REQUIRES(write_mu_);
 
-  ontology::Ontology onto_;
-  sparql::Executor::Options options_;
+  // Lock hierarchy (docs/locking.md): write_mu_ serializes the write /
+  // compaction / durability path; snap_mu_ covers only the published
+  // generation + executor options and is acquired inside write_mu_ by
+  // PublishSnapshotLocked — never the other way around.
+  mutable util::Mutex write_mu_ SEDGE_ACQUIRED_BEFORE(snap_mu_);
+  mutable util::Mutex snap_mu_;
+
+  ontology::Ontology onto_ SEDGE_GUARDED_BY(write_mu_);
+  sparql::Executor::Options options_ SEDGE_GUARDED_BY(snap_mu_);
 
   // Current writable store and its published snapshot. store_ is guarded
   // by write_mu_; gen_ by snap_mu_ (readers only ever touch gen_).
-  std::shared_ptr<store::TripleStore> store_;
-  std::shared_ptr<const store::StoreGeneration> gen_;
-  mutable std::mutex snap_mu_;
-  mutable std::mutex write_mu_;
+  std::shared_ptr<store::TripleStore> store_ SEDGE_GUARDED_BY(write_mu_)
+      SEDGE_PT_GUARDED_BY(write_mu_);
+  std::shared_ptr<const store::StoreGeneration> gen_
+      SEDGE_GUARDED_BY(snap_mu_);
 
   // Background compaction state (write_mu_ unless noted).
-  std::thread worker_;
+  std::thread worker_ SEDGE_GUARDED_BY(write_mu_);
   std::atomic<bool> compaction_running_{false};
-  Status compaction_error_;
-  std::vector<RelayOp> relay_;
-  bool recording_ = false;
-  bool async_compaction_ = false;
+  Status compaction_error_ SEDGE_GUARDED_BY(write_mu_);
+  std::vector<RelayOp> relay_ SEDGE_GUARDED_BY(write_mu_);
+  bool recording_ SEDGE_GUARDED_BY(write_mu_) = false;
+  bool async_compaction_ SEDGE_GUARDED_BY(write_mu_) = false;
   // Snapshot-isolation mode (write_mu_): store_shared_ marks that store_
   // is (or may be) pinned by readers via the published generation, so the
   // next write batch must fork before mutating.
-  bool snapshot_isolation_ = false;
-  bool store_shared_ = false;
+  bool snapshot_isolation_ SEDGE_GUARDED_BY(write_mu_) = false;
+  bool store_shared_ SEDGE_GUARDED_BY(write_mu_) = false;
   // Bumped on every store_ replacement. A background fold captures the
   // value right after installing its fork and swaps only if it still
   // matches — a LoadData (or sync fold) that replaced the store in the
   // meantime supersedes the fold, whose result is then discarded.
-  uint64_t store_epoch_ = 0;
+  uint64_t store_epoch_ SEDGE_GUARDED_BY(write_mu_) = 0;
 
   // Durability plumbing. In device mode owned_wal_/storage_ are owned and
-  // wal_ aliases owned_wal_; in standalone mode wal_ is borrowed.
-  io::WriteAheadLog* wal_ = nullptr;
-  std::unique_ptr<io::WriteAheadLog> owned_wal_;
-  std::unique_ptr<io::CheckpointStorage> storage_;
+  // wal_ aliases owned_wal_; in standalone mode wal_ is borrowed. The
+  // log / checkpoint objects are single-writer with no lock of their own
+  // (io/wal.h): PT_GUARDED_BY(write_mu_) is what makes "the WAL epoch
+  // fence advances only under the writer lock" a compile-time rule.
+  io::WriteAheadLog* wal_ SEDGE_GUARDED_BY(write_mu_)
+      SEDGE_PT_GUARDED_BY(write_mu_) = nullptr;
+  std::unique_ptr<io::WriteAheadLog> owned_wal_ SEDGE_GUARDED_BY(write_mu_)
+      SEDGE_PT_GUARDED_BY(write_mu_);
+  std::unique_ptr<io::CheckpointStorage> storage_
+      SEDGE_GUARDED_BY(write_mu_) SEDGE_PT_GUARDED_BY(write_mu_);
   // Device-mode only: kept so the destructor can detach the device's
   // metric handles (the device outlives the registry they point into).
-  io::SimulatedBlockDevice* device_ = nullptr;
+  io::SimulatedBlockDevice* device_ SEDGE_GUARDED_BY(write_mu_) = nullptr;
 
-  double compaction_ratio_ = 0.25;
+  double compaction_ratio_ SEDGE_GUARDED_BY(write_mu_) = 0.25;
   std::atomic<uint64_t> generation_number_{0};
   std::atomic<uint64_t> write_generation_{0};
 

@@ -40,6 +40,13 @@ namespace sedge::io {
 
 /// \brief Superblock + extent manager for checkpoints sharing a block
 /// device with the WAL. Single-writer, like the rest of the store.
+///
+/// Concurrency contract: no internal lock — externally synchronized by
+/// the owner, exactly like WriteAheadLog (io/wal.h). Database keeps its
+/// `storage_` handle SEDGE_PT_GUARDED_BY(write_mu_), so every
+/// WriteCheckpoint/ReadCheckpoint/sequence() in the engine is
+/// compiler-checked to run under the writer lock (checkpoint + WAL
+/// truncation form one epoch fence there).
 class CheckpointStorage {
  public:
   explicit CheckpointStorage(SimulatedBlockDevice* device)

@@ -120,6 +120,15 @@ struct WalStats {
 /// Single-writer like the rest of the store. The device outlives the log;
 /// several WriteAheadLog objects may be opened on one device over time
 /// (reopen-after-crash), but never concurrently.
+///
+/// Concurrency contract: the log carries NO lock of its own — it is
+/// externally synchronized by its owner. In the engine that owner is
+/// Database, whose `wal_` pointer is SEDGE_PT_GUARDED_BY(write_mu_): the
+/// thread-safety analysis rejects any Append/Sync/Truncate/epoch() reached
+/// without the writer lock, which is what makes "the epoch fence advances
+/// only under write_mu_" a compile-time rule rather than a comment.
+/// Standalone holders (tests, benches) get the same single-writer duty by
+/// this contract, not by the compiler.
 class WriteAheadLog {
  public:
   /// Owns blocks [region_start, region_start + capacity_blocks) of

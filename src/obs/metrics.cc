@@ -109,7 +109,7 @@ void Histogram::Reset() {
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = counters_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -117,7 +117,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = gauges_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
@@ -126,7 +126,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          Histogram::Unit unit,
                                          const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto& slot = histograms_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Histogram>(unit);
   return slot.get();
@@ -134,14 +134,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 const Counter* MetricsRegistry::FindCounter(const std::string& name,
                                             const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = counters_.find({name, label});
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* MetricsRegistry::FindGauge(const std::string& name,
                                         const std::string& label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = gauges_.find({name, label});
   return it == gauges_.end() ? nullptr : it->second.get();
 }
@@ -149,13 +149,13 @@ const Gauge* MetricsRegistry::FindGauge(const std::string& name,
 const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
                                                 const std::string& label)
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   const auto it = histograms_.find({name, label});
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::string out = "{\"counters\":{";
   bool first = true;
   const auto json_key = [](const Key& key) {
@@ -194,7 +194,7 @@ std::string MetricsRegistry::ExportJson() const {
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::string out;
   const auto emit_type = [&out](const std::string& name, const char* type,
                                 std::string* last_typed) {

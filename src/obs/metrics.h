@@ -24,9 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace sedge::obs {
 
@@ -148,30 +150,36 @@ class Histogram {
 /// Unit::kSeconds, "phase=\"serialize\"")).
 class MetricsRegistry {
  public:
-  Counter* GetCounter(const std::string& name, const std::string& label = "");
-  Gauge* GetGauge(const std::string& name, const std::string& label = "");
+  Counter* GetCounter(const std::string& name, const std::string& label = "")
+      SEDGE_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& label = "")
+      SEDGE_EXCLUDES(mu_);
   Histogram* GetHistogram(const std::string& name,
                           Histogram::Unit unit = Histogram::Unit::kSeconds,
-                          const std::string& label = "");
+                          const std::string& label = "")
+      SEDGE_EXCLUDES(mu_);
 
   /// Returns the counter/gauge/histogram if it exists, else nullptr. Never
   /// creates — useful for tests and snapshot printers that must not disturb
   /// the metric namespace.
   const Counter* FindCounter(const std::string& name,
-                             const std::string& label = "") const;
+                             const std::string& label = "") const
+      SEDGE_EXCLUDES(mu_);
   const Gauge* FindGauge(const std::string& name,
-                         const std::string& label = "") const;
+                         const std::string& label = "") const
+      SEDGE_EXCLUDES(mu_);
   const Histogram* FindHistogram(const std::string& name,
-                                 const std::string& label = "") const;
+                                 const std::string& label = "") const
+      SEDGE_EXCLUDES(mu_);
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{name:
   /// {"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"max":..}}}.
-  std::string ExportJson() const;
+  std::string ExportJson() const SEDGE_EXCLUDES(mu_);
 
   /// Prometheus text exposition format. Histograms emit sparse cumulative
   /// `_bucket{le="..."}` lines (non-empty buckets plus +Inf) with `_sum` and
   /// `_count`; kSeconds histograms report `le` boundaries in seconds.
-  std::string ExportPrometheus() const;
+  std::string ExportPrometheus() const SEDGE_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -183,10 +191,15 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  // The registry lock guards only the name → handle maps (lookup and
+  // export walks). Recording through a handle is lock-free by design —
+  // the pointees are relaxed atomics and the unique_ptrs pin them for the
+  // registry's lifetime.
+  mutable util::Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ SEDGE_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ SEDGE_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      SEDGE_GUARDED_BY(mu_);
 };
 
 /// \brief RAII timer feeding a latency histogram on destruction.

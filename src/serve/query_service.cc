@@ -39,7 +39,7 @@ void WarmCtypeCaches() {
 
 std::shared_ptr<const QueryService::CachedPlan> QueryService::PlanCache::
     Lookup(uint64_t generation, const std::string& text) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   if (!initialized_ || generation != generation_) {
     // A base swap re-encoded ids and changed cardinalities; every cached
     // order is stale at once. (The very first fill is not an
@@ -57,7 +57,7 @@ std::shared_ptr<const QueryService::CachedPlan> QueryService::PlanCache::
 void QueryService::PlanCache::Store(uint64_t generation,
                                     const std::string& text,
                                     std::shared_ptr<const CachedPlan> plan) {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   if (!initialized_ || generation != generation_) return;  // raced a swap
   if (plans_.size() >= kMaxEntries) return;  // bounded; keep the hot set
   plans_.emplace(text, std::move(plan));
@@ -105,7 +105,7 @@ std::future<QueryService::Response> QueryService::Submit(std::string sparql) {
   std::future<Response> future = req.promise.get_future();
   Status reject;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     if (stopping_) {
       reject = Status::Unavailable("query service is shut down");
     } else if (queue_.size() >= options_.queue_depth) {
@@ -117,7 +117,7 @@ std::future<QueryService::Response> QueryService::Submit(std::string sparql) {
       queue_.push_back(std::move(req));
       met_.admitted_total->Increment();
       met_.queue_depth->Set(static_cast<double>(queue_.size()));
-      cv_.notify_one();
+      cv_.NotifyOne();
       return future;
     }
   }
@@ -133,34 +133,34 @@ QueryService::Response QueryService::Execute(std::string sparql) {
 }
 
 void QueryService::Pause() {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   paused_ = true;
 }
 
 void QueryService::Resume() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     paused_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void QueryService::Shutdown() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    util::MutexLock lk(&mu_);
     stopping_ = true;
     paused_ = false;
     workers.swap(workers_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers) {
     if (w.joinable()) w.join();
   }
 }
 
 size_t QueryService::queue_size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  util::MutexLock lk(&mu_);
   return queue_.size();
 }
 
@@ -168,10 +168,12 @@ void QueryService::WorkerLoop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] {
-        return stopping_ || (!paused_ && !queue_.empty());
-      });
+      util::MutexLock lk(&mu_);
+      // Predicate inlined (not a lambda) so the analysis sees every
+      // guarded read under the lock it is checking.
+      while (!stopping_ && (paused_ || queue_.empty())) {
+        cv_.Wait(&mu_);
+      }
       if (queue_.empty()) {
         if (stopping_) return;  // drained
         continue;               // spurious wake while paused
@@ -198,6 +200,9 @@ void QueryService::Serve(Request req) {
   } else {
     resp.generation = snap->number();
     resp.writes = snap->writes();
+    // One coherent copy of the execution switches for the whole request
+    // (options() locks; plan and execution must agree on the toggles).
+    const sparql::Executor::Options exec_options = db_->options();
     std::shared_ptr<const CachedPlan> plan =
         cache_->Lookup(snap->number(), req.text);
     if (plan != nullptr) {
@@ -212,14 +217,14 @@ void QueryService::Serve(Request req) {
         CachedPlan built{std::move(parsed).value(), {}};
         // Plan against this worker's pinned snapshot: the estimator reads
         // the same frozen store the order will be cached for.
-        const sparql::Executor planner(snap, db_->options());
+        const sparql::Executor planner(snap, exec_options);
         built.order = planner.PlanOrder(built.query.where.triples);
         plan = std::make_shared<const CachedPlan>(std::move(built));
         cache_->Store(snap->number(), req.text, plan);
       }
     }
     if (resp.status.ok()) {
-      sparql::Executor executor(snap, db_->options());
+      sparql::Executor executor(snap, exec_options);
       executor.set_plan_hint(&plan->order);
       if (options_.decode_results) {
         Result<sparql::QueryResult> result = executor.Execute(plan->query);

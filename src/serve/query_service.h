@@ -35,12 +35,10 @@
 #define SEDGE_SERVE_QUERY_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,7 +48,9 @@
 #include "obs/metrics.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sedge::serve {
 
@@ -96,7 +96,7 @@ class QueryService {
   /// Enqueues one SPARQL SELECT for execution. The future resolves with
   /// the response; admission failures (queue full → kResourceExhausted,
   /// after Shutdown → kUnavailable) resolve it immediately.
-  std::future<Response> Submit(std::string sparql);
+  std::future<Response> Submit(std::string sparql) SEDGE_EXCLUDES(mu_);
 
   /// Submit + wait. Closed-loop clients (benches, the TCP endpoint) use
   /// this; rejection statuses come back like any other response.
@@ -104,16 +104,16 @@ class QueryService {
 
   /// Holds the readers idle after their current request; admission stays
   /// open, so the queue fills (and rejects) deterministically.
-  void Pause();
-  void Resume();
+  void Pause() SEDGE_EXCLUDES(mu_);
+  void Resume() SEDGE_EXCLUDES(mu_);
 
   /// Stops admission, drains every already-admitted request, joins the
   /// readers. Idempotent; implied by the destructor. A paused service is
   /// resumed first so the drain cannot deadlock.
-  void Shutdown();
+  void Shutdown() SEDGE_EXCLUDES(mu_);
 
   /// Requests admitted but not yet picked up by a reader.
-  size_t queue_size() const;
+  size_t queue_size() const SEDGE_EXCLUDES(mu_);
 
   const ServeOptions& options() const { return options_; }
 
@@ -137,20 +137,23 @@ class QueryService {
         : invalidations_(invalidations) {}
 
     std::shared_ptr<const CachedPlan> Lookup(uint64_t generation,
-                                             const std::string& text);
+                                             const std::string& text)
+        SEDGE_EXCLUDES(mu_);
     /// Inserts unless the cache has moved past `generation` (a worker
     /// that raced a swap must not poison the new generation's cache).
     void Store(uint64_t generation, const std::string& text,
-               std::shared_ptr<const CachedPlan> plan);
+               std::shared_ptr<const CachedPlan> plan) SEDGE_EXCLUDES(mu_);
 
    private:
+    friend class ::sedge::ThreadSafetyProbe;
+
     static constexpr size_t kMaxEntries = 4096;
 
-    std::mutex mu_;
-    uint64_t generation_ = 0;
-    bool initialized_ = false;
+    util::Mutex mu_;
+    uint64_t generation_ SEDGE_GUARDED_BY(mu_) = 0;
+    bool initialized_ SEDGE_GUARDED_BY(mu_) = false;
     std::unordered_map<std::string, std::shared_ptr<const CachedPlan>>
-        plans_;
+        plans_ SEDGE_GUARDED_BY(mu_);
     obs::Counter* invalidations_;
   };
 
@@ -160,19 +163,23 @@ class QueryService {
     Clock::time_point admitted;
   };
 
-  void WorkerLoop();
+  friend class ::sedge::ThreadSafetyProbe;
+
+  void WorkerLoop() SEDGE_EXCLUDES(mu_);
   /// Executes one admitted request end to end and fulfills its promise.
   void Serve(Request req);
 
   Database* db_;
   const ServeOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool paused_ = false;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  // mu_ is a leaf in the engine's lock hierarchy: nothing else is
+  // acquired while it is held (Serve runs outside it entirely).
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<Request> queue_ SEDGE_GUARDED_BY(mu_);
+  bool paused_ SEDGE_GUARDED_BY(mu_) = false;
+  bool stopping_ SEDGE_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ SEDGE_GUARDED_BY(mu_);
 
   std::unique_ptr<PlanCache> cache_;
 

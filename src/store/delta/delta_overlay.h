@@ -105,7 +105,7 @@ class ObjectDelta {
   uint64_t num_adds() const { return adds_.size(); }
   uint64_t num_dels() const { return dels_.size(); }
 
-  void Seal() const {
+  void Seal() {
     adds_.Seal();
     dels_.Seal();
   }
@@ -157,7 +157,7 @@ class DatatypeDelta {
   uint64_t num_adds() const { return adds_.size(); }
   uint64_t num_dels() const { return dels_.size(); }
 
-  void Seal() const {
+  void Seal() {
     adds_.Seal();
     dels_.Seal();
   }
@@ -215,7 +215,7 @@ class TypeDelta {
   uint64_t num_adds() const { return adds_sc_.size(); }
   uint64_t num_dels() const { return dels_sc_.size(); }
 
-  void Seal() const {
+  void Seal() {
     adds_sc_.Seal();
     adds_cs_.Seal();
     dels_sc_.Seal();
@@ -270,9 +270,10 @@ class DeltaOverlay {
   const TypeDelta& type() const { return type_; }
 
   /// Seals every pending write buffer into its sorted run. The write path
-  /// calls this at the end of each batch so the read side never mutates —
-  /// see the concurrency contract in delta_set.h.
-  void Seal() const {
+  /// calls this at the end of each batch; non-const, so a const (frozen)
+  /// overlay cannot be sealed from a read path — see the concurrency
+  /// contract in delta_set.h.
+  void Seal() {
     object_.Seal();
     datatype_.Seal();
     type_.Seal();

@@ -10,14 +10,20 @@
 //
 // Concurrency contract: single writer, and the write path seals the
 // buffer at the end of every batch (TripleStore::SealDelta, called by the
-// Database write methods). Read-side sorted()/Seal() calls therefore find
-// the buffer empty and mutate nothing, so concurrent const queries stay
-// safe exactly as they were on the immutable base store. Queries racing
-// *individual write batches* need one more ingredient: under
-// Database::set_snapshot_isolation (the serve::QueryService mode) the
-// writer mutates a private fork and publishes it as a new frozen
-// generation per batch, so a pinned store's DeltaSets are never written
-// again — concurrent readers touch only sealed, immutable runs.
+// Database write methods). Read-side sorted()/EqualRange() calls on a
+// published store therefore find the buffer empty and mutate nothing, so
+// concurrent const queries stay safe exactly as they were on the
+// immutable base store. That used to be convention, enforced by `mutable`
+// members and a const Seal(); it is now structural: Seal() is a writer
+// operation (non-const), and the const read accessors CHECK the set is
+// sealed instead of quietly sealing it — a read path that could mutate a
+// frozen generation no longer compiles, and an unsealed publish dies
+// loudly instead of racing. Queries racing *individual write batches*
+// need one more ingredient: under Database::set_snapshot_isolation (the
+// serve::QueryService mode) the writer mutates a private fork and
+// publishes it as a new frozen generation per batch, so a pinned store's
+// DeltaSets are never written again — concurrent readers touch only
+// sealed, immutable runs.
 
 #ifndef SEDGE_STORE_DELTA_DELTA_SET_H_
 #define SEDGE_STORE_DELTA_DELTA_SET_H_
@@ -25,6 +31,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <vector>
+
+#include "util/logging.h"
 
 namespace sedge::store::delta {
 
@@ -70,8 +78,10 @@ class DeltaSet {
     return false;
   }
 
-  /// Merges the pending buffer into the sorted run (idempotent).
-  void Seal() const {
+  /// Merges the pending buffer into the sorted run (idempotent). Writer
+  /// API: deliberately non-const, so a const (read-side) view of a frozen
+  /// generation cannot reach it.
+  void Seal() {
     if (pending_.empty()) return;
     std::sort(pending_.begin(), pending_.end(), less_);
     const size_t mid = run_.size();
@@ -83,17 +93,23 @@ class DeltaSet {
                        less_);
   }
 
-  /// The full sorted run; seals first. Range scans lower_bound into this.
+  bool sealed() const { return pending_.empty(); }
+
+  /// The full sorted run. Requires a sealed set (every Database write
+  /// batch ends in SealDelta): range scans must never mutate a published
+  /// store, so an unsealed read is a fatal bug, not an implicit seal.
   const std::vector<T>& sorted() const {
-    Seal();
+    SEDGE_CHECK(pending_.empty())
+        << "DeltaSet range read before Seal(): read paths may not mutate";
     return run_;
   }
 
   /// [first, last) pointers into the sorted run whose elements compare
   /// equal to `key` under the heterogeneous comparator `cmp` (which must
   /// accept both (T, Key) and (Key, T), as lower/upper_bound require).
-  /// Seals first — this is the run exposure the merged views and the
-  /// executor's delta-aware merge-join cursors slice predicates out of.
+  /// Requires a sealed set (via sorted()) — this is the run exposure the
+  /// merged views and the executor's delta-aware merge-join cursors slice
+  /// predicates out of.
   template <typename Key, typename Cmp>
   std::pair<const T*, const T*> EqualRange(const Key& key,
                                            const Cmp& cmp) const {
@@ -123,8 +139,8 @@ class DeltaSet {
     return !less_(a, b) && !less_(b, a);
   }
 
-  mutable std::vector<T> run_;      // sorted, unique
-  mutable std::vector<T> pending_;  // unsorted write tail
+  std::vector<T> run_;      // sorted, unique
+  std::vector<T> pending_;  // unsorted write tail
   Less less_;
 };
 

@@ -22,6 +22,13 @@
 //    readers see an immutable batch-consistent state, with no read-side
 //    locking at all.
 //
+// The view is deep-const and the compiler holds the line: the snapshot
+// holds a shared_ptr<const TripleStore>, and every mutating store
+// operation — overlay writes, Seal()/SealDelta(), ForkForWrites() — is a
+// non-const member, so no read path reachable from a pinned generation
+// can mutate the frozen state. (The DeltaSet read accessors additionally
+// CHECK the overlay is sealed; see store/delta/delta_set.h.)
+//
 // `writes()` is the write-batch watermark at publish time. Under snapshot
 // isolation it identifies the pinned *content*: two snapshots of the same
 // data lineage with equal watermarks hold the same logical triple set even

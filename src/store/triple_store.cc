@@ -103,7 +103,7 @@ delta::DeltaOverlay& TripleStore::EnsureDelta() {
   return *delta_;
 }
 
-std::unique_ptr<TripleStore> TripleStore::ForkForWrites() const {
+std::unique_ptr<TripleStore> TripleStore::ForkForWrites() {
   auto fork = std::make_unique<TripleStore>();
   fork->dict_ = dict_;     // deep copy: the fork keeps assigning instance ids
   fork->schema_ = schema_;  // and admitting provisional vocabulary

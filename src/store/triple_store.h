@@ -69,7 +69,6 @@ class TripleStore {
                                    const schema::SchemaRegistry* pending);
 
   const litemat::Dictionary& dict() const { return dict_; }
-  litemat::Dictionary& mutable_dict() { return dict_; }
   const PsoIndex& object_store() const { return base_->object_store; }
   const DatatypeStore& datatype_store() const {
     return base_->datatype_store;
@@ -102,8 +101,10 @@ class TripleStore {
 
   /// Seals the overlay's pending write buffers. The Database write methods
   /// call this after every batch; it is what keeps concurrent const
-  /// queries mutation-free (see delta_set.h).
-  void SealDelta() const {
+  /// queries mutation-free (see delta_set.h). Writer API — non-const, so
+  /// the deep-const view a published StoreGeneration exposes cannot reach
+  /// it, and a read path that tried to seal would not compile.
+  void SealDelta() {
     if (delta_) delta_->Seal();
   }
 
@@ -122,8 +123,10 @@ class TripleStore {
   /// the dictionary, the provisional schema registry and the delta
   /// overlay are deep-copied. After the handoff the original must receive
   /// no further writes — a background thread can then ExportGraph() it
-  /// race-free while new mutations land in the fork.
-  std::unique_ptr<TripleStore> ForkForWrites() const;
+  /// race-free while new mutations land in the fork. Writer API (it seals
+  /// the overlay before copying), hence non-const: a frozen generation's
+  /// const view cannot fork.
+  std::unique_ptr<TripleStore> ForkForWrites();
 
   // -- Device checkpoint (io/checkpoint.cc) ---------------------------------
 

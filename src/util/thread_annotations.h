@@ -1,0 +1,109 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap the capability attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so the engine's
+// locking invariants are checked at compile time — on every build, for
+// every interleaving — instead of only by whichever schedules the TSan CI
+// job happens to hit. Annotated code builds with
+// `-Wthread-safety -Werror=thread-safety` under Clang (the CMake toolchain
+// adds the flags automatically); under GCC and every other compiler the
+// macros expand to nothing, so the annotations can never affect codegen or
+// portability.
+//
+// The annotation surface of the engine (see docs/locking.md for the lock
+// hierarchy):
+//   - fields protected by a lock carry SEDGE_GUARDED_BY(mu) (or
+//     SEDGE_PT_GUARDED_BY(mu) for the pointee behind a pointer);
+//   - `*Locked` helper methods carry SEDGE_REQUIRES(mu) — the doc-only
+//     "requires write_mu_ held" comments of PRs 4–7, now machine-checked;
+//   - public entry points that take a lock internally carry
+//     SEDGE_EXCLUDES(mu) so re-entry deadlocks are compile errors;
+//   - the annotated wrappers in util/mutex.h carry the
+//     SEDGE_CAPABILITY / SEDGE_SCOPED_CAPABILITY / acquire / release set.
+//
+// tests/thread_safety_negcompile/ keeps the layer itself honest: tiny
+// translation units that access guarded state without the lock and must
+// FAIL to compile (ctest PASS_REGULAR_EXPRESSION on the thread-safety
+// diagnostic), so a silently broken macro or a dropped annotation is a
+// test failure, not a quiet regression.
+
+#ifndef SEDGE_UTIL_THREAD_ANNOTATIONS_H_
+#define SEDGE_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SEDGE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define SEDGE_THREAD_ANNOTATION__(x)  // no-op on non-Clang compilers
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define SEDGE_CAPABILITY(x) SEDGE_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define SEDGE_SCOPED_CAPABILITY SEDGE_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding the given capability.
+#define SEDGE_GUARDED_BY(x) SEDGE_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The data *pointed to* by this field may only be accessed while holding
+/// the given capability (the pointer itself is covered by SEDGE_GUARDED_BY).
+#define SEDGE_PT_GUARDED_BY(x) SEDGE_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering edges (checked under -Wthread-safety-beta; documentation
+/// value under the default analysis).
+#define SEDGE_ACQUIRED_BEFORE(...) \
+  SEDGE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define SEDGE_ACQUIRED_AFTER(...) \
+  SEDGE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry
+/// and does not release it.
+#define SEDGE_REQUIRES(...) \
+  SEDGE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define SEDGE_REQUIRES_SHARED(...) \
+  SEDGE_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.
+#define SEDGE_ACQUIRE(...) \
+  SEDGE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define SEDGE_ACQUIRE_SHARED(...) \
+  SEDGE_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (exclusive / shared / either).
+#define SEDGE_RELEASE(...) \
+  SEDGE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define SEDGE_RELEASE_SHARED(...) \
+  SEDGE_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define SEDGE_RELEASE_GENERIC(...) \
+  SEDGE_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; the first argument is the return value
+/// that means success.
+#define SEDGE_TRY_ACQUIRE(...) \
+  SEDGE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define SEDGE_TRY_ACQUIRE_SHARED(...) \
+  SEDGE_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function may not be called while holding the capability (it acquires it
+/// internally — re-entry would self-deadlock on a non-recursive mutex).
+#define SEDGE_EXCLUDES(...) SEDGE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime no-op that tells the analysis the capability is held — for call
+/// paths the static analysis cannot follow.
+#define SEDGE_ASSERT_CAPABILITY(x) \
+  SEDGE_THREAD_ANNOTATION__(assert_capability(x))
+#define SEDGE_ASSERT_SHARED_CAPABILITY(x) \
+  SEDGE_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the given capability.
+#define SEDGE_RETURN_CAPABILITY(x) SEDGE_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Opts a function out of the analysis entirely. Reserved for code that is
+/// correct for reasons the analysis cannot express (e.g. CondVar::Wait
+/// handing the native mutex to std::condition_variable); every use needs a
+/// comment saying why.
+#define SEDGE_NO_THREAD_SAFETY_ANALYSIS \
+  SEDGE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // SEDGE_UTIL_THREAD_ANNOTATIONS_H_

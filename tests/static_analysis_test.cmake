@@ -1,0 +1,51 @@
+# Negative-compilation harness for the thread-safety annotations.
+#
+# Each TU in tests/thread_safety_negcompile/ (except positive_control.cc)
+# contains exactly one deliberate lock-discipline violation and MUST be
+# rejected by Clang's Thread Safety Analysis. The tests invoke the
+# compiler front end directly (-fsyntax-only: no codegen, no linking —
+# the probes befriend private engine state and never need to run) and
+# assert that the diagnostic output mentions "thread-safety".
+#
+# PASS_REGULAR_EXPRESSION rather than WILL_FAIL on purpose: WILL_FAIL
+# would count ANY compile failure as a pass — a bitrotted include or a
+# renamed field would keep the test green while proving nothing. By
+# matching the warning-flag text we only pass when the rejection comes
+# from the analysis itself.
+#
+# positive_control.cc is the inverse: the same probes with locks held
+# correctly, which must compile CLEANLY under the same flags. It guards
+# against over-eager flags or a broken include path silently making the
+# negative tests "pass".
+#
+# Clang-only: GCC does not implement the analysis (the SEDGE_* macros
+# no-op there), so the harness registers nothing under GCC. CI runs a
+# Clang flavour, so the gate is always exercised before merge.
+
+if(NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(STATUS "Thread-safety negcompile tests skipped (need Clang, "
+                 "have ${CMAKE_CXX_COMPILER_ID})")
+  return()
+endif()
+
+set(SEDGE_NEGCOMPILE_FLAGS
+    -std=c++17 -fsyntax-only -Wthread-safety -Werror=thread-safety
+    -I${CMAKE_CURRENT_SOURCE_DIR}/src)
+
+set(SEDGE_NEGCOMPILE_DIR ${CMAKE_CURRENT_SOURCE_DIR}/tests/thread_safety_negcompile)
+
+file(GLOB SEDGE_NEGCOMPILE_SOURCES CONFIGURE_DEPENDS
+     ${SEDGE_NEGCOMPILE_DIR}/*.cc)
+
+foreach(probe_src ${SEDGE_NEGCOMPILE_SOURCES})
+  get_filename_component(probe_name ${probe_src} NAME_WE)
+  add_test(NAME negcompile_${probe_name}
+           COMMAND ${CMAKE_CXX_COMPILER} ${SEDGE_NEGCOMPILE_FLAGS}
+                   ${probe_src})
+  if(probe_name STREQUAL "positive_control")
+    # Must compile cleanly — default pass-on-exit-0 semantics.
+  else()
+    set_tests_properties(negcompile_${probe_name} PROPERTIES
+                         PASS_REGULAR_EXPRESSION "thread-safety")
+  endif()
+endforeach()

@@ -1,0 +1,31 @@
+// Negative-compilation probe: the annotation layer itself.
+//
+// A minimal struct with one SEDGE_GUARDED_BY field — if Clang's
+// -Wthread-safety rejects the unguarded write below, the macro layer in
+// util/thread_annotations.h is actually expanding to live attributes
+// (and not silently no-op'ing, which would green-light every other
+// probe for the wrong reason).
+//
+// MUST NOT COMPILE under Clang with -Werror=thread-safety.
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Guarded {
+  sedge::util::Mutex mu;
+  int value SEDGE_GUARDED_BY(mu) = 0;
+};
+
+int WriteWithoutLock(Guarded& g) {
+  g.value = 42;  // guarded-by violation: mu is not held
+  return g.value;
+}
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return WriteWithoutLock(g);
+}

@@ -1,0 +1,27 @@
+// Negative-compilation probe: Database writer state.
+//
+// store_epoch_ is the writer-lane fork/swap epoch; it is read by
+// FinishCompaction to detect that a synchronous swap raced the
+// background fold, so an unguarded access is exactly the class of bug
+// the annotations exist to reject. ThreadSafetyProbe is befriended by
+// Database solely so these probes can name private fields.
+//
+// MUST NOT COMPILE under Clang with -Werror=thread-safety.
+
+#include "core/database.h"
+
+namespace sedge {
+
+class ThreadSafetyProbe {
+ public:
+  static uint64_t ReadEpochWithoutLock(Database& db) {
+    return db.store_epoch_;  // guarded-by violation: write_mu_ not held
+  }
+};
+
+}  // namespace sedge
+
+int main() {
+  sedge::Database db;
+  return static_cast<int>(sedge::ThreadSafetyProbe::ReadEpochWithoutLock(db));
+}

@@ -1,0 +1,44 @@
+// Positive control for the negative-compilation harness.
+//
+// Identical shape to the three violation probes, but with the locks
+// held correctly — this TU MUST compile cleanly under the exact flags
+// that reject the others. If this one ever fails, the harness is
+// broken (wrong include path, over-eager flags), not the engine, and
+// the "rejected" results of the sibling tests mean nothing.
+
+#include "core/database.h"
+#include "io/wal.h"
+#include "serve/query_service.h"
+
+namespace sedge {
+
+class ThreadSafetyProbe {
+ public:
+  static uint64_t ReadEpochLocked(Database& db) {
+    util::MutexLock lk(&db.write_mu_);
+    return db.store_epoch_;
+  }
+
+  static size_t ReadQueueLocked(serve::QueryService& svc) {
+    util::MutexLock lk(&svc.mu_);
+    return svc.queue_.size();
+  }
+
+  static uint64_t ReadWalEpochLocked(Database& db) {
+    util::MutexLock lk(&db.write_mu_);
+    return db.wal_ != nullptr ? db.wal_->epoch() : 0;
+  }
+};
+
+}  // namespace sedge
+
+int main() {
+  sedge::Database db;
+  uint64_t acc = sedge::ThreadSafetyProbe::ReadEpochLocked(db);
+  acc += sedge::ThreadSafetyProbe::ReadWalEpochLocked(db);
+  {
+    sedge::serve::QueryService svc(&db);
+    acc += sedge::ThreadSafetyProbe::ReadQueueLocked(svc);
+  }
+  return static_cast<int>(acc);
+}

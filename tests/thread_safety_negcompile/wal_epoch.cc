@@ -1,0 +1,31 @@
+// Negative-compilation probe: WAL epoch fence.
+//
+// The WriteAheadLog has no lock of its own (see the concurrency
+// contract in io/wal.h); "the epoch fence only advances under the
+// writer lock" is enforced structurally by PT_GUARDED_BY(write_mu_) on
+// Database::wal_ — dereferencing the pointer without write_mu_ must be
+// rejected, which is what makes the contract compile-time-checked
+// rather than a comment.
+//
+// MUST NOT COMPILE under Clang with -Werror=thread-safety.
+
+#include "core/database.h"
+#include "io/wal.h"
+
+namespace sedge {
+
+class ThreadSafetyProbe {
+ public:
+  static uint64_t ReadWalEpochWithoutLock(Database& db) {
+    // Two violations in one statement: reading the guarded pointer
+    // field, then dereferencing the pt-guarded pointee.
+    return db.wal_->epoch();
+  }
+};
+
+}  // namespace sedge
+
+int main() {
+  sedge::Database db;
+  return static_cast<int>(sedge::ThreadSafetyProbe::ReadWalEpochWithoutLock(db));
+}
