@@ -3,11 +3,56 @@
 // Reproduces: SuccinctEdge outperforms across the board, with the
 // disk-based stores paying block reads and the in-memory stores converging
 // as answer sets grow towards 16K tuples.
+//
+// --smoke: CI A/B gate on truncated LUBM — every query's SuccinctEdge
+// answer count must equal the in-memory baseline's (the batched succinct
+// kernels feeding the executor must not change results). Exit 1 on any
+// mismatch; emits one JSONL record per query.
+
+#include <cstring>
 
 #include "bench/bench_util.h"
 #include "workloads/lubm_queries.h"
 
-int main() {
+namespace {
+
+int RunSmoke() {
+  using namespace sedge;
+  rdf::Graph graph = bench::LubmFull();
+  graph.Truncate(10000);
+  const ontology::Ontology onto = workloads::LubmGenerator::BuildOntology();
+  bench::QueryBench qb(graph, onto);
+
+  bool ok = true;
+  for (const auto& spec : workloads::LubmQueries::SingleP()) {
+    auto parsed = sparql::ParseQuery(spec.sparql);
+    SEDGE_CHECK(parsed.ok());
+    uint64_t sedge_count = 0;
+    const double ms =
+        qb.TimeSedge(spec.sparql, /*reasoning=*/false, &sedge_count);
+    uint64_t base_count = 0;
+    qb.TimeBaseline(qb.stores().front().get(), parsed.value(), &base_count);
+    bench::PrintJsonRecord("fig12_p_scan_smoke", spec.id,
+                           {{"sedge_ms", ms},
+                            {"count", static_cast<double>(sedge_count)},
+                            {"baseline_count",
+                             static_cast<double>(base_count)}});
+    if (sedge_count != base_count) {
+      std::fprintf(stderr, "SMOKE FAIL: %s count %llu != baseline %llu\n",
+                   spec.id.c_str(),
+                   static_cast<unsigned long long>(sedge_count),
+                   static_cast<unsigned long long>(base_count));
+      ok = false;
+    }
+  }
+  if (ok) std::printf("smoke ok: all scan counts match the baseline\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
   using namespace sedge;
   const rdf::Graph& graph = bench::LubmFull();
   const ontology::Ontology onto = workloads::LubmGenerator::BuildOntology();

@@ -61,6 +61,14 @@ class StringSource : public std::streambuf {
 }  // namespace
 
 Database::Database() {
+  {
+    // Parallel rebuilds by default on multi-core hosts; capped at 4 — the
+    // build has three layout tasks plus per-structure fan-out, and edge
+    // targets rarely benefit beyond that.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    util::MutexLock lk(&write_mu_);
+    build_threads_ = static_cast<int>(std::min(4u, hw));
+  }
   // Resolve every hot-path metric handle once; the registry hands out
   // stable pointers, so recording later never touches its mutex.
   met_.merge_join_extends =
@@ -177,9 +185,25 @@ Status Database::LoadData(const rdf::Graph& graph) {
   return Status::OK();
 }
 
+util::ThreadPool* Database::BuildPoolLocked() {
+  if (build_threads_ <= 1) return nullptr;
+  const size_t want = static_cast<size_t>(build_threads_);
+  if (pool_ == nullptr || pool_->num_threads() != want) {
+    // Never replace a pool a background fold may still be running tasks
+    // on; the stale size (or a null pool → sequential build) is used for
+    // this fold and corrected at the next one.
+    if (compaction_running_.load()) return pool_.get();
+    pool_ = std::make_unique<util::ThreadPool>(want);
+  }
+  return pool_.get();
+}
+
 Status Database::LoadDataLocked(const rdf::Graph& graph) {
-  SEDGE_ASSIGN_OR_RETURN(store::TripleStore store,
-                         store::TripleStore::Build(onto_, graph));
+  SEDGE_ASSIGN_OR_RETURN(
+      store::TripleStore store,
+      store::TripleStore::Build(
+          onto_, graph, nullptr,
+          store::TripleStore::BuildHooks{BuildPoolLocked(), &metrics_}));
   store_ = std::make_shared<store::TripleStore>(std::move(store));
   ++store_epoch_;  // supersedes any fold forked from the replaced store
   relay_.clear();
@@ -476,7 +500,9 @@ Status Database::CompactLocked() {
   met_.compaction_fold_triples->RecordValue(merged.triples().size());
   SEDGE_ASSIGN_OR_RETURN(
       store::TripleStore built,
-      store::TripleStore::Build(onto_, merged, &store_->schema_registry()));
+      store::TripleStore::Build(
+          onto_, merged, &store_->schema_registry(),
+          store::TripleStore::BuildHooks{BuildPoolLocked(), &metrics_}));
   fold_span.Stop();
   obs::ScopedSpan swap_span(met_.compaction_swap_seconds);
   store_ = std::make_shared<store::TripleStore>(std::move(built));
@@ -527,6 +553,12 @@ Status Database::CompactAsyncLocked() {
 
   relay_.clear();
   recording_ = true;
+  // Raw pointer captured under write_mu_ before the fold is marked
+  // running (so lazy creation still happens); BuildPoolLocked and
+  // set_build_threads never destroy the pool while this fold is running
+  // (compaction_running_), and ~Database joins the worker before members
+  // are destroyed.
+  util::ThreadPool* pool = BuildPoolLocked();
   // compaction_error_ is deliberately NOT reset here: a previous fold's
   // failure (e.g. a durable-checkpoint error) stays pending until
   // WaitForCompaction() consumes it, even if auto-compaction kicks off
@@ -534,7 +566,7 @@ Status Database::CompactAsyncLocked() {
   compaction_running_.store(true);
 
   ontology::Ontology onto = onto_;  // the worker must not race LoadOntology
-  worker_ = std::thread([this, ticket, frozen = std::move(frozen),
+  worker_ = std::thread([this, ticket, pool, frozen = std::move(frozen),
                          onto = std::move(onto)]() mutable {
     // Off the write path: O(n) export + succinct rebuild, against the
     // frozen generation only. The frozen registry's pending terms ride
@@ -545,8 +577,9 @@ Status Database::CompactAsyncLocked() {
     met_.compaction_fold_triples->RecordValue(merged.triples().size());
     const store::schema::SchemaRegistry pending = frozen->schema_registry();
     frozen.reset();
-    Result<store::TripleStore> built =
-        store::TripleStore::Build(onto, merged, &pending);
+    Result<store::TripleStore> built = store::TripleStore::Build(
+        onto, merged, &pending,
+        store::TripleStore::BuildHooks{pool, &metrics_});
     fold_span.Stop();
     FinishCompaction(ticket, std::move(built));
   });

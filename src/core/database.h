@@ -67,6 +67,7 @@
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/thread_annotations.h"
+#include "util/thread_pool.h"
 
 namespace sedge {
 
@@ -208,6 +209,24 @@ class Database {
   void set_async_compaction(bool on) SEDGE_EXCLUDES(write_mu_) {
     util::MutexLock lk(&write_mu_);
     async_compaction_ = on;
+  }
+
+  /// Worker threads for the compaction rebuild (default: min(4, hardware
+  /// concurrency)). With >= 2, the succinct base build runs its layout
+  /// finalizations as parallel pool tasks (see TripleStore::BuildHooks);
+  /// 0 or 1 forces the sequential build. A resize while a background fold
+  /// is rebuilding takes effect at the next fold.
+  void set_build_threads(int n) SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    build_threads_ = n < 1 ? 1 : n;
+    if (!compaction_running_.load() && pool_ != nullptr &&
+        pool_->num_threads() != static_cast<size_t>(build_threads_)) {
+      pool_.reset();  // rebuilt lazily at the next fold
+    }
+  }
+  int build_threads() const SEDGE_EXCLUDES(write_mu_) {
+    util::MutexLock lk(&write_mu_);
+    return build_threads_;
   }
 
   /// Overlay-size / base-size ratio that triggers auto-compaction after a
@@ -463,6 +482,11 @@ class Database {
   /// Refreshes the overlay / base / schema gauges from the current store.
   void UpdateStoreGaugesLocked() SEDGE_REQUIRES(write_mu_);
 
+  /// The build pool for parallel compaction rebuilds, created lazily (and
+  /// resized lazily: never while a background fold may be running tasks on
+  /// it). Returns null when build_threads_ <= 1 — the sequential build.
+  util::ThreadPool* BuildPoolLocked() SEDGE_REQUIRES(write_mu_);
+
   // Lock hierarchy (docs/locking.md): write_mu_ serializes the write /
   // compaction / durability path; snap_mu_ covers only the published
   // generation + executor options and is acquired inside write_mu_ by
@@ -482,6 +506,13 @@ class Database {
 
   // Background compaction state (write_mu_ unless noted).
   std::thread worker_ SEDGE_GUARDED_BY(write_mu_);
+  // Build pool for parallel rebuilds. The unique_ptr is guarded: it is
+  // created/reset only under write_mu_ while no fold is in flight; the
+  // fold worker uses a raw ThreadPool* captured under the lock (the pool
+  // itself is internally synchronized). The destructor joins worker_
+  // before members are destroyed, so the pool outlives every user.
+  std::unique_ptr<util::ThreadPool> pool_ SEDGE_GUARDED_BY(write_mu_);
+  int build_threads_ SEDGE_GUARDED_BY(write_mu_) = 1;
   std::atomic<bool> compaction_running_{false};
   Status compaction_error_ SEDGE_GUARDED_BY(write_mu_);
   std::vector<RelayOp> relay_ SEDGE_GUARDED_BY(write_mu_);

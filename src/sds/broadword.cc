@@ -1,0 +1,51 @@
+#include "sds/broadword.h"
+
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+#include <x86intrin.h>
+#endif
+
+namespace sedge::sds::broadword {
+
+namespace detail {
+
+namespace {
+
+bool DetectBmi2() {
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+  return __builtin_cpu_supports("bmi2");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+std::atomic<bool> g_use_bmi2{DetectBmi2()};
+
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+__attribute__((target("bmi2"))) uint64_t SelectInWordBmi2(uint64_t word,
+                                                          uint64_t k) {
+  // Deposit a single bit at the k-th set position of word, then locate it.
+  return static_cast<uint64_t>(
+      __builtin_ctzll(_pdep_u64(1ULL << (k - 1), word)));
+}
+#endif
+
+}  // namespace detail
+
+bool UsingBmi2Select() {
+  return detail::g_use_bmi2.load(std::memory_order_relaxed);
+}
+
+void ForcePortableSelectForTest(bool force) {
+  bool enable = false;
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+  if (!force) enable = __builtin_cpu_supports("bmi2");
+#else
+  (void)force;
+#endif
+  detail::g_use_bmi2.store(force ? false : enable,
+                           std::memory_order_relaxed);
+}
+
+}  // namespace sedge::sds::broadword

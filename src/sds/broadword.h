@@ -1,0 +1,68 @@
+// Broadword / bit-manipulation kernels shared by the succinct structures.
+//
+// The single hot primitive is in-word select: position of the k-th set bit
+// of a 64-bit word. On x86-64 with BMI2 this is one PDEP + TZCNT; the
+// portable fallback clears k-1 lowest set bits. Which one runs is decided
+// once at startup from CPUID (runtime dispatch, so one binary serves both
+// edge-class and server-class cores); tests can force the portable path to
+// cover both implementations on the same machine.
+
+#ifndef SEDGE_SDS_BROADWORD_H_
+#define SEDGE_SDS_BROADWORD_H_
+
+#include <atomic>
+#include <cstdint>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SEDGE_BROADWORD_HAVE_BMI2_TARGET 1
+#else
+#define SEDGE_BROADWORD_HAVE_BMI2_TARGET 0
+#endif
+
+namespace sedge::sds::broadword {
+
+namespace detail {
+
+// Dispatch state: CPUID answer at startup, possibly overridden by
+// ForcePortableSelectForTest. Relaxed — a stale read merely picks the
+// other, equally correct implementation.
+extern std::atomic<bool> g_use_bmi2;
+
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+// Defined in broadword.cc with __attribute__((target("bmi2"))) so the
+// rest of the tree compiles without -mbmi2; only called when CPUID says
+// the instructions exist.
+uint64_t SelectInWordBmi2(uint64_t word, uint64_t k);
+#endif
+
+}  // namespace detail
+
+/// Position (0-based) of the k-th (1-based, k <= popcount) set bit of
+/// `word` — portable implementation, always available.
+inline uint64_t SelectInWordPortable(uint64_t word, uint64_t k) {
+  for (uint64_t i = 1; i < k; ++i) word &= word - 1;  // clear k-1 lowest ones
+  return static_cast<uint64_t>(__builtin_ctzll(word));
+}
+
+/// Position (0-based) of the k-th (1-based) set bit of `word`, dispatched
+/// to PDEP+TZCNT when the CPU has BMI2.
+inline uint64_t SelectInWord(uint64_t word, uint64_t k) {
+#if SEDGE_BROADWORD_HAVE_BMI2_TARGET
+  if (detail::g_use_bmi2.load(std::memory_order_relaxed)) {
+    return detail::SelectInWordBmi2(word, k);
+  }
+#endif
+  return SelectInWordPortable(word, k);
+}
+
+/// True when select currently dispatches to the BMI2 path (bench reporting
+/// and the oracle property test use this to label runs).
+bool UsingBmi2Select();
+
+/// Forces (true) or un-forces (false) the portable in-word select so tests
+/// exercise both paths on one machine. Un-forcing restores the CPUID answer.
+void ForcePortableSelectForTest(bool force);
+
+}  // namespace sedge::sds::broadword
+
+#endif  // SEDGE_SDS_BROADWORD_H_

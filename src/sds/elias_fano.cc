@@ -33,17 +33,41 @@ EliasFano::EliasFano(const std::vector<uint64_t>& values)
 }
 
 uint64_t EliasFano::NextGeq(uint64_t x) const {
-  uint64_t lo = 0;
-  uint64_t hi = size_;
-  while (lo < hi) {
-    const uint64_t mid = lo + (hi - lo) / 2;
-    if (Access(mid) < x) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
+  if (size_ == 0) return 0;
+  // Block-skip on the high bits: the zeros of `high_` delimit buckets
+  // (bucket h holds the elements whose high part is h), so one Select0
+  // jumps straight to x's bucket and only that bucket's low bits are
+  // compared. The split keeps buckets at ~2 elements on average, so the
+  // scan is O(1) expected instead of the former O(log n) Access chain.
+  const uint64_t hx = x >> low_bits_;
+  const uint64_t num_buckets = high_.zeros();  // max high part + 1
+  if (hx >= num_buckets) return size_;         // x beyond the universe
+  const uint64_t start_pos = (hx == 0) ? 0 : high_.Select0(hx) + 1;
+  const uint64_t i = start_pos - hx;  // elements in buckets below hx
+  if (i >= size_) return size_;
+  if (low_bits_ == 0) return i;  // value == high part, bucket start is >= x
+  const uint64_t end_pos = high_.Select0(hx + 1);
+  const uint64_t m = end_pos - start_pos;  // elements inside bucket hx
+  const uint64_t xlow = x & ((1ULL << low_bits_) - 1);
+  // First element of the bucket whose low part is >= xlow; the lows of one
+  // bucket are sorted, so a short linear scan (or a binary search for the
+  // rare dense bucket) finds it.
+  uint64_t t = 0;
+  if (m <= 16) {
+    while (t < m && low_.Get(i + t) < xlow) ++t;
+  } else {
+    uint64_t hi = m;
+    while (t < hi) {
+      const uint64_t mid = t + (hi - t) / 2;
+      if (low_.Get(i + mid) < xlow) {
+        t = mid + 1;
+      } else {
+        hi = mid;
+      }
     }
   }
-  return lo;
+  // Exhausted bucket: the next element (if any) has a larger high part.
+  return i + t;
 }
 
 uint64_t EliasFano::SizeInBytes() const {

@@ -37,8 +37,9 @@ class EliasFano {
   }
   uint64_t operator[](uint64_t i) const { return Access(i); }
 
-  /// Index of the first element >= x, or size() if none (binary search on
-  /// the high bits; O(log n)).
+  /// Index of the first element >= x, or size() if none. Block-skip scan:
+  /// one Select0 on the high bits jumps to x's bucket, then only that
+  /// bucket's low bits are compared — O(1) expected.
   uint64_t NextGeq(uint64_t x) const;
 
   uint64_t SizeInBytes() const;

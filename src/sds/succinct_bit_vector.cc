@@ -1,19 +1,12 @@
 #include "sds/succinct_bit_vector.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 
+#include "sds/broadword.h"
+
 namespace sedge::sds {
-
-namespace {
-
-// Position (0-based) of the k-th set bit inside `word`, k in [1, popcount].
-inline uint64_t SelectInWord(uint64_t word, uint64_t k) {
-  for (uint64_t i = 1; i < k; ++i) word &= word - 1;  // clear k-1 lowest ones
-  return __builtin_ctzll(word);
-}
-
-}  // namespace
 
 SuccinctBitVector::SuccinctBitVector(const BitVector& bits)
     : size_(bits.size()), words_(bits.words()) {
@@ -91,6 +84,114 @@ uint64_t SuccinctBitVector::Rank1(uint64_t i) const {
   return rank;
 }
 
+void SuccinctBitVector::Rank1Batch(const uint64_t* positions, size_t n,
+                                   uint64_t* out) const {
+  const uint64_t words_per_block = kBlockBits / 64;
+  const uint64_t words_per_super = kSuperblockBits / 64;
+  const uint64_t num_words = words_.size();
+  // Cached prefix: ones before bit cached_word*64. kNoWord marks it cold.
+  constexpr uint64_t kNoWord = ~0ULL;
+  uint64_t cached_word = kNoWord;
+  uint64_t cached_rank = 0;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t i = positions[j];
+    SEDGE_DCHECK(i <= size_);
+    if (j + 1 < n) {
+      const uint64_t nw = positions[j + 1] >> 6;
+      if (nw < num_words) {
+        __builtin_prefetch(&words_[nw]);
+        __builtin_prefetch(&superblock_ranks_[nw / words_per_super]);
+        __builtin_prefetch(&block_ranks_[nw / words_per_block]);
+      }
+    }
+    if (i == 0) {
+      out[j] = 0;
+      continue;
+    }
+    const uint64_t word = i >> 6;
+    if (word >= num_words) {
+      out[j] = ones_;
+      continue;
+    }
+    if (word != cached_word) {
+      if (cached_word != kNoWord && word > cached_word &&
+          word - cached_word <= 2 * words_per_block) {
+        // Short forward hop: extend the cached prefix word by word rather
+        // than re-deriving it from the directories.
+        for (uint64_t w = cached_word; w < word; ++w) {
+          cached_rank += WordPopcount(w);
+        }
+      } else {
+        cached_rank = superblock_ranks_[word / words_per_super] +
+                      block_ranks_[word / words_per_block];
+        for (uint64_t w = (word / words_per_block) * words_per_block; w < word;
+             ++w) {
+          cached_rank += WordPopcount(w);
+        }
+      }
+      cached_word = word;
+    }
+    const uint64_t offset = i & 63;
+    out[j] = cached_rank +
+             (offset != 0
+                  ? __builtin_popcountll(words_[word] & ((1ULL << offset) - 1))
+                  : 0);
+  }
+}
+
+void SuccinctBitVector::Select1Batch(const uint64_t* ks, size_t n,
+                                     uint64_t* out) const {
+  const uint64_t num_words = words_.size();
+  // Cache the word holding the previous answer plus the ones before it;
+  // a sorted run of ks mostly resolves within the same word or the next
+  // few, skipping the directory search entirely.
+  constexpr uint64_t kNoWord = ~0ULL;
+  uint64_t cached_word = kNoWord;
+  uint64_t cached_found = 0;  // ones before bit cached_word*64
+  uint64_t cached_pop = 0;    // popcount of words_[cached_word]
+  const uint64_t max_walk = 2 * (kBlockBits / 64);
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t k = ks[j];
+    SEDGE_DCHECK(k >= 1);
+    if (k >= ones_ + 1) {
+      SEDGE_DCHECK(k == ones_ + 1);
+      out[j] = size_;  // sentinel (see header)
+      continue;
+    }
+    bool resolved = false;
+    if (cached_word != kNoWord && k > cached_found) {
+      uint64_t w = cached_word;
+      uint64_t found = cached_found;
+      uint64_t pop = cached_pop;
+      for (uint64_t steps = 0; steps <= max_walk; ++steps) {
+        if (k <= found + pop) {
+          out[j] = w * 64 + broadword::SelectInWord(words_[w], k - found);
+          cached_word = w;
+          cached_found = found;
+          cached_pop = pop;
+          resolved = true;
+          break;
+        }
+        found += pop;
+        if (++w >= num_words) break;
+        pop = WordPopcount(w);
+      }
+    }
+    if (resolved) continue;
+    // Cold or far probe: full directory select, then re-prime the cache
+    // from the answer word.
+    const uint64_t p = SelectImpl<true>(k);
+    out[j] = p;
+    cached_word = p >> 6;
+    cached_pop = WordPopcount(cached_word);
+    cached_found =
+        k - __builtin_popcountll(words_[cached_word] &
+                                 (((p & 63) == 63)
+                                      ? ~0ULL
+                                      : ((1ULL << ((p & 63) + 1)) - 1)));
+  }
+}
+
 template <bool kOnes>
 uint64_t SuccinctBitVector::SelectImpl(uint64_t k) const {
   const uint64_t total = kOnes ? ones_ : zeros();
@@ -100,37 +201,61 @@ uint64_t SuccinctBitVector::SelectImpl(uint64_t k) const {
 
   const auto& samples = kOnes ? select1_samples_ : select0_samples_;
   const uint64_t sample_index = (k - 1) / kSelectSample;
-  uint64_t pos = samples[sample_index];
-  uint64_t found = sample_index * kSelectSample;  // bits of this kind before pos
+  const uint64_t pos = samples[sample_index];
 
-  // Scan words from the sampled position. The sample guarantees at most
-  // kSelectSample bits of this kind between pos and the answer.
-  uint64_t w = pos >> 6;
-  // Bits of this kind in words_[w] before the in-word offset of pos.
-  {
-    const uint64_t offset = pos & 63;
-    uint64_t word = kOnes ? words_[w] : ~words_[w];
-    word &= ~((offset == 0) ? 0ULL : ((1ULL << offset) - 1));
-    uint64_t count = __builtin_popcountll(word);
-    // Mask out the bits beyond size_ in the final word for zeros.
-    if (!kOnes && w == words_.size() - 1 && (size_ & 63) != 0) {
-      word &= (1ULL << (size_ & 63)) - 1;
-      count = __builtin_popcountll(word);
+  const uint64_t words_per_block = kBlockBits / 64;
+  const uint64_t blocks_per_super = kSuperblockBits / kBlockBits;
+
+  // Count of this kind strictly before the start of a *real* superblock /
+  // block is exact: a real superblock (one with at least one payload word)
+  // starts at a bit position < size_, so for zeros the count is simply
+  // start - ones-before-start. The end sentinel is never consulted.
+
+  // 1. Binary-search the superblock directory for the superblock holding
+  //    the k-th bit. The sample bounds the search from below.
+  const uint64_t num_supers = superblock_ranks_.size() - 1;
+  uint64_t lo = pos / kSuperblockBits;
+  uint64_t hi = num_supers - 1;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo + 1) / 2;
+    const uint64_t before = kOnes
+                                ? superblock_ranks_[mid]
+                                : mid * kSuperblockBits - superblock_ranks_[mid];
+    if (before < k) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
     }
-    if (found + count >= k) {
-      return w * 64 + SelectInWord(word, k - found);
-    }
-    found += count;
-    ++w;
   }
-  for (; w < words_.size(); ++w) {
+  const uint64_t s = lo;
+  uint64_t found = kOnes ? superblock_ranks_[s]
+                         : s * kSuperblockBits - superblock_ranks_[s];
+
+  // 2. Hop blocks inside the superblock by their directory popcounts.
+  uint64_t b = s * blocks_per_super;
+  const uint64_t block_end =
+      std::min((s + 1) * blocks_per_super, static_cast<uint64_t>(block_ranks_.size()));
+  while (b + 1 < block_end) {
+    const uint64_t ones_before_next = superblock_ranks_[s] + block_ranks_[b + 1];
+    const uint64_t before_next =
+        kOnes ? ones_before_next : (b + 1) * kBlockBits - ones_before_next;
+    if (before_next >= k) break;
+    found = before_next;
+    ++b;
+  }
+
+  // 3. At most words-per-block popcounts, then the in-word select.
+  uint64_t w = b * words_per_block;
+  const uint64_t word_end =
+      std::min((b + 1) * words_per_block, static_cast<uint64_t>(words_.size()));
+  for (; w < word_end; ++w) {
     uint64_t word = kOnes ? words_[w] : ~words_[w];
     if (!kOnes && w == words_.size() - 1 && (size_ & 63) != 0) {
       word &= (1ULL << (size_ & 63)) - 1;
     }
     const uint64_t count = __builtin_popcountll(word);
     if (found + count >= k) {
-      return w * 64 + SelectInWord(word, k - found);
+      return w * 64 + broadword::SelectInWord(word, k - found);
     }
     found += count;
   }

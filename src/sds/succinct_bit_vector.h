@@ -6,11 +6,20 @@
 // Rank directory: two levels — cumulative 64-bit counts per 2048-bit
 // superblock plus 16-bit relative counts per 256-bit block (~9.4% overhead).
 // Select: positions of every 4096th one (and zero) are sampled; queries
-// binary-search the rank directory between samples, then scan words.
+// binary-search the superblock directory between samples, hop blocks by
+// their popcounts, and finish with an in-word select (PDEP under BMI2,
+// runtime-dispatched — see sds/broadword.h).
+//
+// Batched variants (Rank1Batch / Select1Batch) take a sorted run of
+// probes and share one directory walk across the run: consecutive probes
+// landing in the same or a nearby word reuse the cached word-prefix rank
+// instead of re-deriving it, and the next probe's word and directory
+// lines are prefetched while the current one is counted.
 
 #ifndef SEDGE_SDS_SUCCINCT_BIT_VECTOR_H_
 #define SEDGE_SDS_SUCCINCT_BIT_VECTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -43,6 +52,16 @@ class SuccinctBitVector {
   uint64_t Rank1(uint64_t i) const;
   /// S.Rank(i, 0): number of zeros in positions [0, i).
   uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Batched rank over a sorted (non-decreasing) position run:
+  /// out[j] = Rank1(positions[j]). One superblock/block walk is shared
+  /// across the run. Unsorted input is still correct, just not faster.
+  void Rank1Batch(const uint64_t* positions, size_t n, uint64_t* out) const;
+
+  /// Batched select over a sorted (non-decreasing) run of ks:
+  /// out[j] = Select1(ks[j]), sentinel ones()+1 allowed. Consecutive ks
+  /// resolving to the same or a nearby word skip the directory search.
+  void Select1Batch(const uint64_t* ks, size_t n, uint64_t* out) const;
 
   /// S.Select(k, 1): 0-based position of the k-th one, k in [1, ones].
   /// As a sentinel, Select1(ones + 1) returns size() — this closes the final

@@ -94,6 +94,178 @@ uint64_t WaveletTree::Rank(uint64_t i, uint64_t c) const {
   return i - b;
 }
 
+void WaveletTree::RankBatch(const uint64_t* positions, size_t n, uint64_t c,
+                            uint64_t* out) const {
+  if (n == 0) return;
+  if (c > max_value_ || size_ == 0) {
+    std::fill_n(out, n, 0);
+    return;
+  }
+  // The whole run descends the c-path together. Each level needs the node
+  // boundaries (two scalar ranks) plus Rank1 of every position — one
+  // batched walk, since the remap into the child is monotone and keeps a
+  // sorted run sorted.
+  std::vector<uint64_t> pos(positions, positions + n);
+  std::vector<uint64_t> r1(n);
+  uint64_t b = 0;
+  uint64_t e = size_;
+  for (uint8_t l = 0; l < height_; ++l) {
+    const SuccinctBitVector& bv = levels_[l];
+    const uint64_t rank1_b = bv.Rank1(b);
+    const uint64_t rank1_e = bv.Rank1(e);
+    const uint64_t z = (e - b) - (rank1_e - rank1_b);
+    bv.Rank1Batch(pos.data(), n, r1.data());
+    if (((c >> (height_ - 1 - l)) & 1ULL) == 0) {
+      const uint64_t rank0_b = b - rank1_b;
+      for (size_t j = 0; j < n; ++j) pos[j] = b + (pos[j] - r1[j]) - rank0_b;
+      e = b + z;
+    } else {
+      for (size_t j = 0; j < n; ++j) pos[j] = b + z + (r1[j] - rank1_b);
+      b = b + z;
+    }
+    if (b == e) {  // symbol absent below this node
+      std::fill_n(out, n, 0);
+      return;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) out[j] = pos[j] - b;
+}
+
+void WaveletTree::AccessBatch(const uint64_t* positions, size_t n,
+                              uint64_t* out) const {
+  if (n == 0) return;
+  // Levelwise grouped descent: elements of one node stay contiguous, and
+  // emitting each node's left-child elements before its right-child
+  // elements keeps the global position array ascending at every level —
+  // so one Rank1Batch per level serves every element, and the two
+  // node-boundary ranks are paid once per node instead of once per element.
+  struct Group {
+    uint64_t node_b, node_e;
+    size_t begin, end;  // element index range [begin, end) in pos/idx
+  };
+  std::vector<uint64_t> pos(positions, positions + n);
+  std::vector<uint64_t> next_pos(n);
+  std::vector<size_t> idx(n);
+  std::vector<size_t> next_idx(n);
+  for (size_t j = 0; j < n; ++j) {
+    idx[j] = j;
+    out[j] = 0;
+  }
+  std::vector<Group> groups = {{0, size_, 0, n}};
+  std::vector<Group> next_groups;
+  std::vector<uint64_t> r1(n);
+  for (uint8_t l = 0; l < height_; ++l) {
+    const SuccinctBitVector& bv = levels_[l];
+    bv.Rank1Batch(pos.data(), n, r1.data());
+    next_groups.clear();
+    size_t outp = 0;
+    for (const Group& g : groups) {
+      const uint64_t rank1_nb = bv.Rank1(g.node_b);
+      const uint64_t rank1_ne = bv.Rank1(g.node_e);
+      const uint64_t z = (g.node_e - g.node_b) - (rank1_ne - rank1_nb);
+      const uint64_t rank0_nb = g.node_b - rank1_nb;
+      const size_t left_begin = outp;
+      for (size_t j = g.begin; j < g.end; ++j) {
+        if (!bv.Access(pos[j])) {
+          next_pos[outp] = g.node_b + (pos[j] - r1[j]) - rank0_nb;
+          next_idx[outp] = idx[j];
+          ++outp;
+        }
+      }
+      const size_t left_end = outp;
+      for (size_t j = g.begin; j < g.end; ++j) {
+        if (bv.Access(pos[j])) {
+          out[idx[j]] |= 1ULL << (height_ - 1 - l);
+          next_pos[outp] = g.node_b + z + (r1[j] - rank1_nb);
+          next_idx[outp] = idx[j];
+          ++outp;
+        }
+      }
+      if (left_end > left_begin) {
+        next_groups.push_back({g.node_b, g.node_b + z, left_begin, left_end});
+      }
+      if (outp > left_end) {
+        next_groups.push_back({g.node_b + z, g.node_e, left_end, outp});
+      }
+    }
+    pos.swap(next_pos);
+    idx.swap(next_idx);
+    groups.swap(next_groups);
+  }
+}
+
+void WaveletTree::RankPairBatch(uint64_t a, uint64_t b,
+                                const uint64_t* symbols, size_t n,
+                                uint64_t* lo, uint64_t* hi) const {
+  if (n == 0) return;
+  SEDGE_DCHECK(a <= b);
+  SEDGE_DCHECK(b <= size_);
+  if (size_ == 0) {
+    std::fill_n(lo, n, 0);
+    std::fill_n(hi, n, 0);
+    return;
+  }
+  // path[l] is the state *entering* level l: the node interval and the two
+  // query endpoints mapped into it. Consecutive symbols share the top of
+  // the path down to their first differing bit, so only the tail below the
+  // common prefix is re-descended.
+  struct Level {
+    uint64_t node_b, node_e, qa, qb;
+  };
+  std::vector<Level> path(static_cast<size_t>(height_) + 1);
+  path[0] = {0, size_, a, b};
+  uint64_t prev_c = 0;
+  uint8_t valid_depth = 0;  // entries of path valid below index 0
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t c = symbols[j];
+    if (c > max_value_) {
+      lo[j] = 0;
+      hi[j] = 0;
+      continue;
+    }
+    uint8_t start = 0;
+    if (valid_depth > 0) {
+      const uint64_t diff = c ^ prev_c;
+      uint8_t shared = height_;  // identical symbol: reuse the whole path
+      if (diff != 0) {
+        // Bit (height_-1-l) is consumed at level l, so the paths agree on
+        // all levels strictly above the one using the highest differing bit.
+        const int msb = 63 - __builtin_clzll(diff);
+        shared = (msb >= height_) ? 0 : static_cast<uint8_t>(height_ - 1 - msb);
+      }
+      start = std::min<uint8_t>(valid_depth, shared);
+    }
+    for (uint8_t l = start; l < height_; ++l) {
+      const Level& cur = path[l];
+      if (cur.node_b == cur.node_e) {  // symbol absent below this node
+        path[l + 1] = {cur.node_b, cur.node_b, cur.node_b, cur.node_b};
+        continue;
+      }
+      const SuccinctBitVector& bv = levels_[l];
+      const uint64_t rank1_nb = bv.Rank1(cur.node_b);
+      const uint64_t rank1_ne = bv.Rank1(cur.node_e);
+      const uint64_t z = (cur.node_e - cur.node_b) - (rank1_ne - rank1_nb);
+      const uint64_t rank1_qa = bv.Rank1(cur.qa);
+      const uint64_t rank1_qb = bv.Rank1(cur.qb);
+      if (((c >> (height_ - 1 - l)) & 1ULL) == 0) {
+        const uint64_t rank0_nb = cur.node_b - rank1_nb;
+        path[l + 1] = {cur.node_b, cur.node_b + z,
+                       cur.node_b + (cur.qa - rank1_qa) - rank0_nb,
+                       cur.node_b + (cur.qb - rank1_qb) - rank0_nb};
+      } else {
+        path[l + 1] = {cur.node_b + z, cur.node_e,
+                       cur.node_b + z + (rank1_qa - rank1_nb),
+                       cur.node_b + z + (rank1_qb - rank1_nb)};
+      }
+    }
+    const Level& leaf = path[height_];
+    lo[j] = leaf.qa - leaf.node_b;
+    hi[j] = leaf.qb - leaf.node_b;
+    prev_c = c;
+    valid_depth = height_;
+  }
+}
+
 uint64_t WaveletTree::Select(uint64_t k, uint64_t c) const {
   SEDGE_DCHECK(k >= 1);
   // Walk down recording the node start and the branch taken per level.

@@ -20,6 +20,7 @@
 #ifndef SEDGE_SDS_WAVELET_TREE_H_
 #define SEDGE_SDS_WAVELET_TREE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -50,6 +51,27 @@ class WaveletTree {
 
   /// S.Rank(i, c): occurrences of value c in positions [0, i).
   uint64_t Rank(uint64_t i, uint64_t c) const;
+
+  /// Batched Rank for one symbol: out[j] = Rank(positions[j], c). The whole
+  /// position run is carried down the c-path together — one batched bitmap
+  /// rank per level instead of per-element descents. Sorted input keeps the
+  /// run sorted at every level (the per-level remap is monotone), which is
+  /// what makes the underlying Rank1Batch walk cheap.
+  void RankBatch(const uint64_t* positions, size_t n, uint64_t c,
+                 uint64_t* out) const;
+
+  /// Batched Access: out[j] = Access(positions[j]). Positions descend the
+  /// tree level by level in node groups (left children emitted before right
+  /// children per node), so node-boundary ranks are amortized across every
+  /// element in a node and each level issues one batched bitmap rank.
+  void AccessBatch(const uint64_t* positions, size_t n, uint64_t* out) const;
+
+  /// Batched Rank pairs for a fixed position range and a sorted symbol run:
+  /// lo[j] = Rank(a, symbols[j]), hi[j] = Rank(b, symbols[j]). Consecutive
+  /// symbols reuse the descent path down to their first differing bit, so
+  /// dense ascending runs (merge-join probes) pay O(1) levels per symbol.
+  void RankPairBatch(uint64_t a, uint64_t b, const uint64_t* symbols, size_t n,
+                     uint64_t* lo, uint64_t* hi) const;
 
   /// S.Select(k, c): 0-based position of the k-th occurrence of c, k >= 1.
   /// Requires k <= Rank(size, c).

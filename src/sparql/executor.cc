@@ -889,6 +889,20 @@ bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
     return table->rows[a][s_slot.col].id < table->rows[b][s_slot.col].id;
   });
 
+  // The distinct sorted subjects and each sorted row's window index,
+  // computed once and shared by every route: each cursor precomputes all
+  // its per-subject windows in one batched pass (SeekBatch), so the
+  // per-row cost drops to an O(1) window switch instead of a virtual
+  // Seek + wavelet descent per distinct subject per route.
+  std::vector<uint64_t> subjects;
+  std::vector<size_t> row_window(order.size());
+  subjects.reserve(order.size());
+  for (size_t r = 0; r < order.size(); ++r) {
+    const uint64_t s = table->rows[order[r]][s_slot.col].id;
+    if (subjects.empty() || subjects.back() != s) subjects.push_back(s);
+    row_window[r] = subjects.size() - 1;
+  }
+
   const auto emit = [&](size_t row_idx, const EncodedTerm* o_val) {
     std::vector<EncodedTerm> extended = table->rows[row_idx];
     extended.resize(out.vars.size(), kUnboundValue);
@@ -903,12 +917,13 @@ bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
       if (const_literal) continue;  // literal never matches a resource
       auto cursor = pso.OpenRun(route.pred);
       if (!cursor.valid()) continue;
-      uint64_t cached_s = ~0ULL;
-      for (const size_t idx : order) {
-        const uint64_t s = table->rows[idx][s_slot.col].id;
-        if (s != cached_s) {
-          cursor.Seek(s);
-          cached_s = s;
+      cursor.SeekBatch(subjects.data(), subjects.size());
+      size_t cur_window = ~size_t{0};
+      for (size_t r = 0; r < order.size(); ++r) {
+        const size_t idx = order[r];
+        if (row_window[r] != cur_window) {
+          cur_window = row_window[r];
+          cursor.SelectWindow(cur_window);
         }
         if (!cursor.has_current()) continue;
         if (const_oid) {
@@ -928,12 +943,13 @@ bool Executor::TryMergeJoinExtend(const TriplePattern& tp,
     if (const_oid) continue;  // resource never matches a literal
     auto cursor = dts.OpenRun(route.pred);
     if (!cursor.valid()) continue;
-    uint64_t cached_s = ~0ULL;
-    for (const size_t idx : order) {
-      const uint64_t s = table->rows[idx][s_slot.col].id;
-      if (s != cached_s) {
-        cursor.Seek(s);
-        cached_s = s;
+    cursor.SeekBatch(subjects.data(), subjects.size());
+    size_t cur_window = ~size_t{0};
+    for (size_t r = 0; r < order.size(); ++r) {
+      const size_t idx = order[r];
+      if (row_window[r] != cur_window) {
+        cur_window = row_window[r];
+        cursor.SelectWindow(cur_window);
       }
       if (!cursor.has_current()) continue;
       cursor.ForEachLiteral([&](uint64_t pos) {

@@ -9,10 +9,12 @@
 
 #include "sds/bit_vector.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sedge::store {
 
-DatatypeStore DatatypeStore::Build(std::vector<Triple> triples) {
+DatatypeStore DatatypeStore::Build(std::vector<Triple> triples,
+                                   util::ThreadPool* pool) {
   DatatypeStore store;
   std::sort(triples.begin(), triples.end(),
             [](const Triple& a, const Triple& b) {
@@ -66,11 +68,15 @@ DatatypeStore DatatypeStore::Build(std::vector<Triple> triples) {
 
   store.num_pairs_ = subjects.size();
   store.num_predicates_ = predicates.size();
-  store.wt_p_ = sds::WaveletTree(predicates);
-  store.bm_ps_ = sds::SuccinctBitVector(bm_ps);
-  store.wt_s_ = sds::WaveletTree(subjects);
-  store.bm_so_ = sds::SuccinctBitVector(bm_so);
-  store.lexical_offsets_ = sds::EliasFano(offsets);
+  // Disjoint inputs into disjoint members: safe as independent pool tasks.
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&] { store.wt_p_ = sds::WaveletTree(predicates); });
+  tasks.emplace_back([&] { store.bm_ps_ = sds::SuccinctBitVector(bm_ps); });
+  tasks.emplace_back([&] { store.wt_s_ = sds::WaveletTree(subjects); });
+  tasks.emplace_back([&] { store.bm_so_ = sds::SuccinctBitVector(bm_so); });
+  tasks.emplace_back(
+      [&] { store.lexical_offsets_ = sds::EliasFano(offsets); });
+  util::RunParallel(pool, std::move(tasks));
   return store;
 }
 
@@ -212,6 +218,23 @@ std::pair<uint64_t, uint64_t> DatatypeStore::FindPairForSubject(
   if (before == upto) return {from, from};
   const uint64_t q = wt_s_.Select(before + 1, s);
   return {q, q + 1};
+}
+
+void DatatypeStore::FindPairsForSubjects(
+    uint64_t from, uint64_t to, const uint64_t* subjects, size_t n,
+    std::pair<uint64_t, uint64_t>* out) const {
+  if (n == 0) return;
+  std::vector<uint64_t> lo(n);
+  std::vector<uint64_t> hi(n);
+  wt_s_.RankPairBatch(from, to, subjects, n, lo.data(), hi.data());
+  for (size_t j = 0; j < n; ++j) {
+    if (lo[j] == hi[j]) {
+      out[j] = {from, from};
+    } else {
+      const uint64_t q = wt_s_.Select(lo[j] + 1, subjects[j]);
+      out[j] = {q, q + 1};
+    }
+  }
 }
 
 uint64_t DatatypeStore::CountForPredicate(uint64_t p) const {

@@ -14,6 +14,7 @@
 #ifndef SEDGE_STORE_DATATYPE_STORE_H_
 #define SEDGE_STORE_DATATYPE_STORE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -25,6 +26,10 @@
 #include "sds/elias_fano.h"
 #include "sds/succinct_bit_vector.h"
 #include "sds/wavelet_tree.h"
+
+namespace sedge::util {
+class ThreadPool;
+}  // namespace sedge::util
 
 namespace sedge::store {
 
@@ -41,7 +46,14 @@ class DatatypeStore {
 
   DatatypeStore() = default;
 
-  static DatatypeStore Build(std::vector<Triple> triples);
+  static DatatypeStore Build(std::vector<Triple> triples) {
+    return Build(std::move(triples), nullptr);
+  }
+  /// Like Build above, but constructs the five independent succinct
+  /// structures (WT_p, BM_ps, WT_s, BM_so, Elias-Fano offsets) as parallel
+  /// pool tasks. A null pool degrades to the sequential build.
+  static DatatypeStore Build(std::vector<Triple> triples,
+                             util::ThreadPool* pool);
 
   uint64_t num_triples() const { return num_triples_; }
 
@@ -86,6 +98,11 @@ class DatatypeStore {
   /// Pair indices [first, last) holding subject `s` within [from, to).
   std::pair<uint64_t, uint64_t> FindPairForSubject(uint64_t from, uint64_t to,
                                                    uint64_t s) const;
+  /// Batched FindPairForSubject over a sorted subject run (see
+  /// PsoIndex::FindPairsForSubjects).
+  void FindPairsForSubjects(uint64_t from, uint64_t to,
+                            const uint64_t* subjects, size_t n,
+                            std::pair<uint64_t, uint64_t>* out) const;
   /// Literal-position range [begin, end) of the (p, s) pair at `pair_idx`.
   std::pair<uint64_t, uint64_t> ObjectRange(uint64_t pair_idx) const;
 

@@ -236,6 +236,53 @@ void MergedObjectView::RunCursor::Seek(uint64_t s) {
   while (cur_del_e_ < del_e_ && cur_del_e_->s == s) ++cur_del_e_;
 }
 
+void MergedObjectView::RunCursor::SeekBatch(const uint64_t* subjects,
+                                            size_t n) {
+  windows_.clear();
+  windows_.resize(n);
+  if (base_ != nullptr) {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs(n);
+    base_->FindPairsForSubjects(pair_from_, pair_end_, subjects, n,
+                                pairs.data());
+    for (size_t j = 0; j < n; ++j) {
+      windows_[j].qb = pairs[j].first;
+      windows_[j].qe = pairs[j].second;
+    }
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      windows_[j].qb = windows_[j].qe = 0;
+    }
+  }
+  // One monotone sweep over the overlay slices serves every subject.
+  const IdTriple* a = add_b_;
+  const IdTriple* d = del_b_;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t s = subjects[j];
+    while (a < add_e_ && a->s < s) ++a;
+    const IdTriple* ae = a;
+    while (ae < add_e_ && ae->s == s) ++ae;
+    windows_[j].add_b = a;
+    windows_[j].add_e = ae;
+    while (d < del_e_ && d->s < s) ++d;
+    const IdTriple* de = d;
+    while (de < del_e_ && de->s == s) ++de;
+    windows_[j].del_b = d;
+    windows_[j].del_e = de;
+  }
+  add_b_ = a;  // monotone advance, matching the scalar Seek discipline
+  del_b_ = d;
+}
+
+void MergedObjectView::RunCursor::SelectWindow(size_t j) {
+  const Window& w = windows_[j];
+  cur_qb_ = w.qb;
+  cur_qe_ = w.qe;
+  cur_add_b_ = w.add_b;
+  cur_add_e_ = w.add_e;
+  cur_del_b_ = w.del_b;
+  cur_del_e_ = w.del_e;
+}
+
 bool MergedObjectView::RunCursor::ContainsObject(uint64_t o) const {
   const auto by_object = [](const IdTriple& t, uint64_t k) { return t.o < k; };
   const IdTriple* add = std::lower_bound(cur_add_b_, cur_add_e_, o, by_object);
@@ -496,6 +543,52 @@ void MergedDatatypeView::RunCursor::Seek(uint64_t s) {
   cur_del_b_ = del_b_;
   cur_del_e_ = del_b_;
   while (cur_del_e_ < del_e_ && cur_del_e_->s == s) ++cur_del_e_;
+}
+
+void MergedDatatypeView::RunCursor::SeekBatch(const uint64_t* subjects,
+                                              size_t n) {
+  windows_.clear();
+  windows_.resize(n);
+  if (base_ != nullptr) {
+    std::vector<std::pair<uint64_t, uint64_t>> pairs(n);
+    base_->FindPairsForSubjects(pair_from_, pair_end_, subjects, n,
+                                pairs.data());
+    for (size_t j = 0; j < n; ++j) {
+      windows_[j].qb = pairs[j].first;
+      windows_[j].qe = pairs[j].second;
+    }
+  } else {
+    for (size_t j = 0; j < n; ++j) {
+      windows_[j].qb = windows_[j].qe = 0;
+    }
+  }
+  const DtTriple* a = add_b_;
+  const DtTriple* d = del_b_;
+  for (size_t j = 0; j < n; ++j) {
+    const uint64_t s = subjects[j];
+    while (a < add_e_ && a->s < s) ++a;
+    const DtTriple* ae = a;
+    while (ae < add_e_ && ae->s == s) ++ae;
+    windows_[j].add_b = a;
+    windows_[j].add_e = ae;
+    while (d < del_e_ && d->s < s) ++d;
+    const DtTriple* de = d;
+    while (de < del_e_ && de->s == s) ++de;
+    windows_[j].del_b = d;
+    windows_[j].del_e = de;
+  }
+  add_b_ = a;
+  del_b_ = d;
+}
+
+void MergedDatatypeView::RunCursor::SelectWindow(size_t j) {
+  const Window& w = windows_[j];
+  cur_qb_ = w.qb;
+  cur_qe_ = w.qe;
+  cur_add_b_ = w.add_b;
+  cur_add_e_ = w.add_e;
+  cur_del_b_ = w.del_b;
+  cur_del_e_ = w.del_e;
 }
 
 

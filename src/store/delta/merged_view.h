@@ -40,10 +40,12 @@
 #ifndef SEDGE_STORE_DELTA_MERGED_VIEW_H_
 #define SEDGE_STORE_DELTA_MERGED_VIEW_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "rdf/term.h"
 #include "store/datatype_store.h"
@@ -75,6 +77,17 @@ class MergedObjectView {
     /// Positions the cursor at subject `s` (>= every previously sought
     /// subject). Idempotent for a repeated subject.
     void Seek(uint64_t s);
+
+    /// Batch variant: precomputes the windows for a sorted run of distinct
+    /// subjects (each >= every previously sought subject) in one pass —
+    /// one batched base lookup (FindPairsForSubjects) plus one linear
+    /// overlay sweep. SelectWindow(j) then makes the j-th subject current
+    /// in O(1), so a whole binding column pays one descent run instead of
+    /// one virtual-dispatch Seek per row.
+    void SeekBatch(const uint64_t* subjects, size_t n);
+    /// Makes precomputed window j (the j-th subject passed to SeekBatch)
+    /// current. Windows may be selected repeatedly and in any order.
+    void SelectWindow(size_t j);
 
     /// Whether the sought subject has any base pair or delta adds. May
     /// report true when every triple is tombstoned — ForEachObject then
@@ -132,6 +145,13 @@ class MergedObjectView {
     const IdTriple* del_e_ = nullptr;
     const IdTriple* cur_del_b_ = nullptr;
     const IdTriple* cur_del_e_ = nullptr;
+
+    // Precomputed per-subject windows from SeekBatch.
+    struct Window {
+      uint64_t qb, qe;
+      const IdTriple *add_b, *add_e, *del_b, *del_e;
+    };
+    std::vector<Window> windows_;
   };
 
   /// Opens a merge-join cursor over predicate `p`'s merged run.
@@ -175,6 +195,13 @@ class MergedDatatypeView {
     /// Positions at subject `s`; subjects must be non-decreasing across
     /// calls (monotone advance).
     void Seek(uint64_t s);
+
+    /// Batch variant mirroring MergedObjectView::RunCursor::SeekBatch:
+    /// precomputes windows for a sorted distinct subject run; SelectWindow
+    /// then switches between them in O(1).
+    void SeekBatch(const uint64_t* subjects, size_t n);
+    /// Makes precomputed window j current (any order, repeatable).
+    void SelectWindow(size_t j);
 
     /// Whether the sought subject has any base pair or delta adds (may be
     /// true with everything tombstoned; ForEachLiteral then emits
@@ -238,6 +265,13 @@ class MergedDatatypeView {
     const DtTriple* del_e_ = nullptr;
     const DtTriple* cur_del_b_ = nullptr;
     const DtTriple* cur_del_e_ = nullptr;
+
+    // Precomputed per-subject windows from SeekBatch.
+    struct Window {
+      uint64_t qb, qe;
+      const DtTriple *add_b, *add_e, *del_b, *del_e;
+    };
+    std::vector<Window> windows_;
   };
 
   /// Opens a merge-join cursor over predicate `p`'s merged run.

@@ -6,10 +6,11 @@
 
 #include "sds/bit_vector.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sedge::store {
 
-PsoIndex PsoIndex::Build(std::vector<Triple> triples) {
+PsoIndex PsoIndex::Build(std::vector<Triple> triples, util::ThreadPool* pool) {
   PsoIndex index;
   std::sort(triples.begin(), triples.end(),
             [](const Triple& a, const Triple& b) {
@@ -45,11 +46,15 @@ PsoIndex PsoIndex::Build(std::vector<Triple> triples) {
 
   index.num_pairs_ = subjects.size();
   index.num_predicates_ = predicates.size();
-  index.wt_p_ = sds::WaveletTree(predicates);
-  index.bm_ps_ = sds::SuccinctBitVector(bm_ps);
-  index.wt_s_ = sds::WaveletTree(subjects);
-  index.bm_so_ = sds::SuccinctBitVector(bm_so);
-  index.wt_o_ = sds::WaveletTree(objects);
+  // The five succinct structures are built from disjoint inputs into
+  // disjoint members, so they can be constructed as independent pool tasks.
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&] { index.wt_p_ = sds::WaveletTree(predicates); });
+  tasks.emplace_back([&] { index.bm_ps_ = sds::SuccinctBitVector(bm_ps); });
+  tasks.emplace_back([&] { index.wt_s_ = sds::WaveletTree(subjects); });
+  tasks.emplace_back([&] { index.bm_so_ = sds::SuccinctBitVector(bm_so); });
+  tasks.emplace_back([&] { index.wt_o_ = sds::WaveletTree(objects); });
+  util::RunParallel(pool, std::move(tasks));
   return index;
 }
 
@@ -181,6 +186,23 @@ std::pair<uint64_t, uint64_t> PsoIndex::FindPairForSubject(uint64_t from,
   if (before == upto) return {from, from};
   const uint64_t q = wt_s_.Select(before + 1, s);
   return {q, q + 1};
+}
+
+void PsoIndex::FindPairsForSubjects(uint64_t from, uint64_t to,
+                                    const uint64_t* subjects, size_t n,
+                                    std::pair<uint64_t, uint64_t>* out) const {
+  if (n == 0) return;
+  std::vector<uint64_t> lo(n);
+  std::vector<uint64_t> hi(n);
+  wt_s_.RankPairBatch(from, to, subjects, n, lo.data(), hi.data());
+  for (size_t j = 0; j < n; ++j) {
+    if (lo[j] == hi[j]) {
+      out[j] = {from, from};
+    } else {
+      const uint64_t q = wt_s_.Select(lo[j] + 1, subjects[j]);
+      out[j] = {q, q + 1};
+    }
+  }
 }
 
 uint64_t PsoIndex::ObjectAt(uint64_t io) const { return wt_o_.Access(io); }

@@ -21,6 +21,7 @@
 #ifndef SEDGE_STORE_PSO_INDEX_H_
 #define SEDGE_STORE_PSO_INDEX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -30,6 +31,10 @@
 #include "sds/succinct_bit_vector.h"
 #include "sds/wavelet_tree.h"
 #include "util/status.h"
+
+namespace sedge::util {
+class ThreadPool;
+}  // namespace sedge::util
 
 namespace sedge::store {
 
@@ -47,7 +52,13 @@ class PsoIndex {
   PsoIndex() = default;
 
   /// Builds from an arbitrary-order triple list (duplicates are removed).
-  static PsoIndex Build(std::vector<Triple> triples);
+  static PsoIndex Build(std::vector<Triple> triples) {
+    return Build(std::move(triples), nullptr);
+  }
+  /// Like Build above, but constructs the five independent succinct
+  /// structures (WT_p, BM_ps, WT_s, BM_so, WT_o) as parallel pool tasks.
+  /// A null pool degrades to the sequential build.
+  static PsoIndex Build(std::vector<Triple> triples, util::ThreadPool* pool);
 
   uint64_t num_triples() const { return num_triples_; }
   uint64_t num_pairs() const { return num_pairs_; }
@@ -104,6 +115,14 @@ class PsoIndex {
   /// the subject layer (binary search on the sorted run).
   std::pair<uint64_t, uint64_t> FindPairForSubject(uint64_t from, uint64_t to,
                                                    uint64_t s) const;
+  /// Batched FindPairForSubject over a sorted (ascending) subject run:
+  /// out[j] = FindPairForSubject(from, to, subjects[j]). One wavelet-tree
+  /// descent is shared across consecutive subjects (see
+  /// WaveletTree::RankPairBatch), which is what lets the merge join
+  /// amortize its per-probe cost.
+  void FindPairsForSubjects(uint64_t from, uint64_t to,
+                            const uint64_t* subjects, size_t n,
+                            std::pair<uint64_t, uint64_t>* out) const;
   /// Object id at object-layer position `io`.
   uint64_t ObjectAt(uint64_t io) const;
   /// Positions [first, last) holding object `o` within the sorted object

@@ -3,9 +3,11 @@
 #include <istream>
 #include <ostream>
 
+#include "obs/metrics.h"
 #include "rdf/triple_codec.h"
 #include "rdf/vocabulary.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sedge::store {
 namespace {
@@ -31,20 +33,24 @@ TripleKind Classify(const rdf::Triple& t) {
 
 Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
                                        const rdf::Graph& data,
-                                       const schema::SchemaRegistry* pending) {
+                                       const schema::SchemaRegistry* pending,
+                                       const BuildHooks& hooks) {
   TripleStore store;
-  // The re-encode: provisionally admitted terms join the fresh LiteMat
-  // hierarchies as extra entities (below the roots unless the ontology
-  // knows them); the built store's own registry starts empty but keeps
-  // counting ids where the folded one stopped (WAL admission records
-  // must never share an id within one log lifetime).
-  SEDGE_ASSIGN_OR_RETURN(
-      store.dict_,
-      pending == nullptr
-          ? litemat::Dictionary::Build(onto, data)
-          : litemat::Dictionary::Build(onto, data, pending->ConceptNames(),
-                                       pending->ObjectPropertyNames(),
-                                       pending->DatatypePropertyNames()));
+  {
+    // The re-encode: provisionally admitted terms join the fresh LiteMat
+    // hierarchies as extra entities (below the roots unless the ontology
+    // knows them); the built store's own registry starts empty but keeps
+    // counting ids where the folded one stopped (WAL admission records
+    // must never share an id within one log lifetime).
+    SEDGE_SPAN(hooks.metrics, "compaction_build_dict_seconds");
+    SEDGE_ASSIGN_OR_RETURN(
+        store.dict_,
+        pending == nullptr
+            ? litemat::Dictionary::Build(onto, data)
+            : litemat::Dictionary::Build(onto, data, pending->ConceptNames(),
+                                         pending->ObjectPropertyNames(),
+                                         pending->DatatypePropertyNames()));
+  }
   if (pending != nullptr) store.schema_.InheritNextIndices(*pending);
   litemat::Dictionary& dict = store.dict_;
   auto base = std::make_shared<BaseLayouts>();
@@ -91,9 +97,24 @@ Result<TripleStore> TripleStore::Build(const ontology::Ontology& onto,
     dict.RecordInstanceOccurrence(oid);
   }
 
-  base->type_store.Finalize();
-  base->object_store = PsoIndex::Build(std::move(object_triples));
-  base->datatype_store = DatatypeStore::Build(std::move(datatype_triples));
+  // The three layouts partition the triples (PSO object partitions,
+  // datatype partitions, rdf:type pairs) and write disjoint BaseLayouts
+  // members — each finalization is an independent build task.
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([&base, &hooks] {
+    SEDGE_SPAN(hooks.metrics, "compaction_build_type_seconds");
+    base->type_store.Finalize();
+  });
+  tasks.emplace_back([&base, &hooks, &object_triples] {
+    SEDGE_SPAN(hooks.metrics, "compaction_build_pso_seconds");
+    base->object_store = PsoIndex::Build(std::move(object_triples), hooks.pool);
+  });
+  tasks.emplace_back([&base, &hooks, &datatype_triples] {
+    SEDGE_SPAN(hooks.metrics, "compaction_build_datatype_seconds");
+    base->datatype_store =
+        DatatypeStore::Build(std::move(datatype_triples), hooks.pool);
+  });
+  util::RunParallel(hooks.pool, std::move(tasks));
   store.base_ = std::move(base);
   return store;
 }

@@ -39,6 +39,14 @@
 #include "store/schema/schema_registry.h"
 #include "util/status.h"
 
+namespace sedge::obs {
+class MetricsRegistry;
+}  // namespace sedge::obs
+
+namespace sedge::util {
+class ThreadPool;
+}  // namespace sedge::util
+
 namespace sedge::store {
 
 /// \brief Encoded store for one RDF graph instance: an immutable succinct
@@ -66,7 +74,24 @@ class TripleStore {
   /// empty registry: nothing is provisional after a re-encode.
   static Result<TripleStore> Build(const ontology::Ontology& onto,
                                    const rdf::Graph& data,
-                                   const schema::SchemaRegistry* pending);
+                                   const schema::SchemaRegistry* pending) {
+    return Build(onto, data, pending, BuildHooks{});
+  }
+
+  /// Optional build parallelism and instrumentation. The dictionary fold
+  /// and the classification loop stay sequential (both mutate the
+  /// dictionary); with a pool, the three layout finalizations run as
+  /// parallel tasks and the PSO/datatype builds fan their succinct
+  /// constructions out further. With a registry, each build stage records
+  /// a `compaction_build_*_seconds` span.
+  struct BuildHooks {
+    util::ThreadPool* pool = nullptr;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+  static Result<TripleStore> Build(const ontology::Ontology& onto,
+                                   const rdf::Graph& data,
+                                   const schema::SchemaRegistry* pending,
+                                   const BuildHooks& hooks);
 
   const litemat::Dictionary& dict() const { return dict_; }
   const PsoIndex& object_store() const { return base_->object_store; }

@@ -1,0 +1,153 @@
+// Small fixed-size worker pool for fork-join build parallelism.
+//
+// Scope: the compaction rebuild (TripleStore::Build) fans its independent
+// succinct-structure constructions out here — per-layout tasks (PSO index,
+// datatype store, rdf:type store) and the per-column constructions inside
+// each. Tasks are plain std::function<void()>; exceptions are not caught —
+// build tasks must not throw (engine invariant failures SEDGE_CHECK-abort).
+//
+// Locking (docs/locking.md): `mu_` is a leaf lock guarding only the task
+// queue and the stop flag. Task bodies run with no pool lock held, and the
+// pool never calls anything that takes an engine lock while holding mu_.
+// The pool is multi-producer by design: a synchronous Compact() can submit
+// work while a still-running CompactAsync() fold worker is draining its
+// own tasks, so RunParallel gives every call site its own completion state
+// instead of a pool-wide barrier.
+
+#ifndef SEDGE_UTIL_THREAD_POOL_H_
+#define SEDGE_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace sedge {
+class ThreadSafetyProbe;  // negative-compilation harness (tests/)
+}  // namespace sedge
+
+namespace sedge::util {
+
+/// \brief Fixed-size worker pool. Submit() is thread-safe; the destructor
+/// drains the queue (every submitted task runs) and joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() SEDGE_EXCLUDES(mu_) {
+    {
+      MutexLock lk(&mu_);
+      stopping_ = true;
+    }
+    cv_.NotifyAll();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Multi-producer safe.
+  void Submit(std::function<void()> task) SEDGE_EXCLUDES(mu_) {
+    {
+      MutexLock lk(&mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.NotifyOne();
+  }
+
+ private:
+  friend class ::sedge::ThreadSafetyProbe;
+
+  void WorkerLoop() SEDGE_EXCLUDES(mu_) {
+    for (;;) {
+      std::function<void()> task;
+      {
+        MutexLock lk(&mu_);
+        while (queue_.empty() && !stopping_) cv_.Wait(&mu_);
+        if (queue_.empty()) return;  // stopping, queue drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  Mutex mu_;  // leaf: guards only the queue and the stop flag
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SEDGE_GUARDED_BY(mu_);
+  bool stopping_ SEDGE_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Fork-join helper: runs `tasks` to completion using `pool` workers plus
+/// the calling thread, and returns once every task has finished. A null
+/// pool (or a single task) degrades to a plain sequential loop, so build
+/// code can be written once and parallelized by configuration.
+///
+/// Each call owns its completion state (shared_ptr'd into the helper
+/// closures), so overlapping RunParallel calls from different threads —
+/// e.g. a sync fold racing an async fold worker — share one pool safely.
+inline void RunParallel(ThreadPool* pool,
+                        std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (pool == nullptr || pool->num_threads() == 0 || tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  struct State {
+    Mutex mu;
+    CondVar cv;
+    std::vector<std::function<void()>> tasks;
+    size_t next SEDGE_GUARDED_BY(mu) = 0;  // first unclaimed task
+    size_t done SEDGE_GUARDED_BY(mu) = 0;  // finished tasks
+  };
+  auto state = std::make_shared<State>();
+  state->tasks = std::move(tasks);
+  const size_t n = state->tasks.size();
+
+  // Claims and runs one task; false when none are left to claim.
+  const auto run_one = [](const std::shared_ptr<State>& st) {
+    std::function<void()>* task = nullptr;
+    {
+      MutexLock lk(&st->mu);
+      if (st->next >= st->tasks.size()) return false;
+      task = &st->tasks[st->next++];
+    }
+    (*task)();
+    {
+      MutexLock lk(&st->mu);
+      ++st->done;
+      if (st->done == st->tasks.size()) st->cv.NotifyAll();
+    }
+    return true;
+  };
+
+  const size_t helpers = std::min(pool->num_threads(), n - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state, run_one] {
+      while (run_one(state)) {
+      }
+    });
+  }
+  while (run_one(state)) {
+  }
+  MutexLock lk(&state->mu);
+  while (state->done < n) state->cv.Wait(&state->mu);
+}
+
+}  // namespace sedge::util
+
+#endif  // SEDGE_UTIL_THREAD_POOL_H_

@@ -240,6 +240,71 @@ TEST(CompactionConcurrency, ReadersPinSnapshotsAcrossGenerationSwaps) {
   EXPECT_GT(db.store_generation(), 1u) << "no generation ever swapped";
 }
 
+// The parallel rebuild under live writes: with >= 2 build threads the
+// folds fan their layout/structure constructions out to the shared build
+// pool. Auto-compaction stays synchronous here while a dedicated thread
+// kicks background folds, so a sync CompactLocked rebuild (on a writer
+// thread, under write_mu_) genuinely overlaps a still-running async fold
+// worker's rebuild — the multi-producer pool contract, exercised under
+// the ThreadSanitizer CI job. The final state must match a serial oracle
+// that never compacted and never parallelized.
+TEST(CompactionConcurrency, ParallelBuildUnderLiveWritesMatchesSerialOracle) {
+  const rdf::Graph seed = SeedGraph(300);
+  const std::vector<Mutation> script_a = MutationScript(4046, "sa", 250);
+  const std::vector<Mutation> script_b = MutationScript(4047, "sb", 250);
+
+  Database db;
+  db.set_build_threads(3);  // parallel rebuilds even on small CI hosts
+  ASSERT_TRUE(db.LoadData(seed).ok());
+  db.set_reasoning(false);
+  // Aggressive synchronous auto-compaction: writer batches fold inline
+  // (parallel build on the writer thread) while the compactor thread
+  // keeps background folds in flight on the same pool.
+  db.set_compaction_ratio(0.05);
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> async_folds{0};
+  std::thread compactor([&]() {
+    while (!writers_done.load()) {
+      ASSERT_TRUE(db.CompactAsync().ok());
+      ++async_folds;
+      std::this_thread::yield();
+    }
+  });
+
+  const auto run_script = [&](const std::vector<Mutation>& script) {
+    for (const Mutation& m : script) {
+      const Status st =
+          m.insert ? db.Insert(m.triple) : db.Remove(m.triple);
+      ASSERT_TRUE(st.ok());
+    }
+  };
+  std::thread w1(run_script, std::cref(script_a));
+  std::thread w2(run_script, std::cref(script_b));
+  w1.join();
+  w2.join();
+  writers_done.store(true);
+  compactor.join();
+  ASSERT_TRUE(db.WaitForCompaction().ok());
+  ASSERT_TRUE(db.Compact().ok());
+  ASSERT_GT(async_folds.load(), 0);
+  EXPECT_FALSE(db.store().has_delta());
+
+  Database oracle;  // sequential build, no folds
+  ASSERT_TRUE(oracle.LoadData(seed).ok());
+  oracle.set_reasoning(false);
+  oracle.set_compaction_ratio(0);
+  for (const auto* script : {&script_a, &script_b}) {
+    for (const Mutation& m : *script) {
+      ASSERT_TRUE(
+          (m.insert ? oracle.Insert(m.triple) : oracle.Remove(m.triple))
+              .ok());
+    }
+  }
+  EXPECT_EQ(ToSet(db.store().ExportGraph()),
+            ToSet(oracle.store().ExportGraph()));
+}
+
 // Device mode under background folds: checkpoints + truncations happen on
 // the worker thread; after the dust settles a reopen must reproduce the
 // exact final state.

@@ -1,0 +1,199 @@
+// Oracle property tests for the batched succinct kernels: every batch
+// API must return exactly what a scalar loop over the same inputs
+// returns, across bit densities chosen to stress word and directory
+// boundaries, and on BOTH in-word select implementations (the dispatched
+// BMI2 path and the portable fallback — forced via
+// ForcePortableSelectForTest so one machine covers both).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sds/bit_vector.h"
+#include "sds/broadword.h"
+#include "sds/elias_fano.h"
+#include "sds/succinct_bit_vector.h"
+#include "sds/wavelet_tree.h"
+#include "util/rng.h"
+
+namespace sedge::sds {
+namespace {
+
+using sedge::Rng;
+
+/// Runs `body` once on the startup-dispatched select path and once with
+/// the portable fallback forced, restoring dispatch afterwards.
+template <typename Body>
+void OnBothSelectPaths(const Body& body) {
+  body();
+  broadword::ForcePortableSelectForTest(true);
+  ASSERT_FALSE(broadword::UsingBmi2Select());
+  body();
+  broadword::ForcePortableSelectForTest(false);
+}
+
+TEST(Broadword, SelectInWordPathsAgree) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t word = rng.Next() | 1;  // at least one set bit
+    const uint64_t pop = static_cast<uint64_t>(__builtin_popcountll(word));
+    for (uint64_t k = 1; k <= pop; ++k) {
+      const uint64_t portable = broadword::SelectInWordPortable(word, k);
+      EXPECT_EQ(broadword::SelectInWord(word, k), portable)
+          << "word=" << word << " k=" << k;
+    }
+  }
+}
+
+// Densities stressing the directory: empty/full words, exact block and
+// superblock boundaries, and the sparse/dense extremes of real bitmaps.
+const std::pair<uint64_t, double> kBitVectorShapes[] = {
+    {0, 0.5},      {1, 1.0},      {64, 0.5},     {65, 0.02},
+    {256, 0.5},    {2048, 0.5},   {2049, 0.97},  {5000, 0.0},
+    {5000, 1.0},   {100000, 0.001}, {100000, 0.5}, {100000, 0.999},
+};
+
+BitVector RandomBits(uint64_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  BitVector bits(n);
+  for (uint64_t i = 0; i < n; ++i) bits.Set(i, rng.Bernoulli(density));
+  return bits;
+}
+
+/// A sorted, possibly-duplicated probe run in [0, limit] — the shape the
+/// merge join feeds the batch kernels.
+std::vector<uint64_t> SortedProbes(uint64_t limit, size_t count,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> probes(count);
+  for (auto& p : probes) p = rng.Uniform(limit + 1);
+  std::sort(probes.begin(), probes.end());
+  return probes;
+}
+
+TEST(SuccinctBitVectorBatch, RankBatchMatchesScalarLoop) {
+  for (const auto& [n, density] : kBitVectorShapes) {
+    const SuccinctBitVector sbv(RandomBits(n, density, n + 11));
+    const std::vector<uint64_t> probes = SortedProbes(n, 300, n + 13);
+    std::vector<uint64_t> batched(probes.size());
+    sbv.Rank1Batch(probes.data(), probes.size(), batched.data());
+    for (size_t j = 0; j < probes.size(); ++j) {
+      ASSERT_EQ(batched[j], sbv.Rank1(probes[j]))
+          << "n=" << n << " density=" << density << " probe=" << probes[j];
+    }
+  }
+}
+
+TEST(SuccinctBitVectorBatch, SelectBatchMatchesScalarLoopBothPaths) {
+  OnBothSelectPaths([] {
+    for (const auto& [n, density] : kBitVectorShapes) {
+      const SuccinctBitVector sbv(RandomBits(n, density, n + 17));
+      if (sbv.ones() == 0) continue;
+      // Sorted ks including duplicates and the sentinel ones()+1.
+      std::vector<uint64_t> ks = SortedProbes(sbv.ones() - 1, 300, n + 19);
+      for (auto& k : ks) ++k;  // ranks are 1-based
+      ks.push_back(sbv.ones() + 1);
+      std::vector<uint64_t> batched(ks.size());
+      sbv.Select1Batch(ks.data(), ks.size(), batched.data());
+      for (size_t j = 0; j < ks.size(); ++j) {
+        ASSERT_EQ(batched[j], sbv.Select1(ks[j]))
+            << "n=" << n << " density=" << density << " k=" << ks[j];
+      }
+    }
+  });
+}
+
+std::vector<uint64_t> RandomSymbols(size_t count, uint64_t alphabet,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> symbols(count);
+  for (auto& s : symbols) s = rng.Uniform(alphabet);
+  return symbols;
+}
+
+const std::pair<size_t, uint64_t> kWaveletShapes[] = {
+    {1, 1}, {100, 2}, {1000, 7}, {5000, 64}, {20000, 1000},
+};
+
+TEST(WaveletTreeBatch, RankBatchMatchesScalarLoop) {
+  for (const auto& [count, alphabet] : kWaveletShapes) {
+    const WaveletTree wt(RandomSymbols(count, alphabet, count + 23));
+    const std::vector<uint64_t> probes = SortedProbes(count, 200, count + 29);
+    for (uint64_t c : {uint64_t{0}, alphabet / 2, alphabet - 1}) {
+      std::vector<uint64_t> batched(probes.size());
+      wt.RankBatch(probes.data(), probes.size(), c, batched.data());
+      for (size_t j = 0; j < probes.size(); ++j) {
+        ASSERT_EQ(batched[j], wt.Rank(probes[j], c))
+            << "count=" << count << " c=" << c << " probe=" << probes[j];
+      }
+    }
+  }
+}
+
+TEST(WaveletTreeBatch, AccessBatchMatchesScalarLoop) {
+  for (const auto& [count, alphabet] : kWaveletShapes) {
+    const WaveletTree wt(RandomSymbols(count, alphabet, count + 31));
+    const std::vector<uint64_t> probes =
+        SortedProbes(count - 1, 200, count + 37);
+    std::vector<uint64_t> batched(probes.size());
+    wt.AccessBatch(probes.data(), probes.size(), batched.data());
+    for (size_t j = 0; j < probes.size(); ++j) {
+      ASSERT_EQ(batched[j], wt.Access(probes[j]))
+          << "count=" << count << " probe=" << probes[j];
+    }
+  }
+}
+
+TEST(WaveletTreeBatch, RankPairBatchMatchesScalarLoopBothPaths) {
+  OnBothSelectPaths([] {
+    for (const auto& [count, alphabet] : kWaveletShapes) {
+      const WaveletTree wt(RandomSymbols(count, alphabet, count + 41));
+      Rng rng(count + 43);
+      const uint64_t a = rng.Uniform(count);
+      const uint64_t b = a + rng.Uniform(count - a + 1);
+      // Sorted symbol run including out-of-alphabet probes past
+      // max_value() (the merge join asks about subjects the run lacks).
+      std::vector<uint64_t> symbols = SortedProbes(alphabet + 2, 200, count);
+      std::vector<uint64_t> lo(symbols.size()), hi(symbols.size());
+      wt.RankPairBatch(a, b, symbols.data(), symbols.size(), lo.data(),
+                       hi.data());
+      for (size_t j = 0; j < symbols.size(); ++j) {
+        const uint64_t c = symbols[j];
+        const uint64_t want_lo = c > wt.max_value() ? 0 : wt.Rank(a, c);
+        const uint64_t want_hi = c > wt.max_value() ? 0 : wt.Rank(b, c);
+        ASSERT_EQ(lo[j], want_lo) << "count=" << count << " c=" << c;
+        ASSERT_EQ(hi[j], want_hi) << "count=" << count << " c=" << c;
+      }
+    }
+  });
+}
+
+TEST(EliasFanoBatch, NextGeqMatchesBinarySearchOracle) {
+  OnBothSelectPaths([] {
+    for (const uint64_t count : {size_t{0}, size_t{1}, size_t{100},
+                                 size_t{5000}}) {
+      Rng rng(count + 47);
+      std::vector<uint64_t> values(count);
+      uint64_t v = 0;
+      for (auto& x : values) {
+        v += rng.Uniform(50);  // duplicates (gap 0) included
+        x = v;
+      }
+      const EliasFano ef(values);
+      const uint64_t limit = count == 0 ? 10 : values.back() + 10;
+      for (int trial = 0; trial < 300; ++trial) {
+        const uint64_t x = rng.Uniform(limit + 1);
+        const auto it = std::lower_bound(values.begin(), values.end(), x);
+        const uint64_t want =
+            static_cast<uint64_t>(it - values.begin());
+        ASSERT_EQ(ef.NextGeq(x), want) << "count=" << count << " x=" << x;
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sedge::sds

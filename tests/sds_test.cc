@@ -117,6 +117,32 @@ TEST(SuccinctBitVector, AllZeros) {
   EXPECT_EQ(sbv.Select1(1), 1000u);  // sentinel for k = ones+1 = 1
 }
 
+TEST(SuccinctBitVector, SelectAtDirectoryBoundaries) {
+  // Ones exactly at block (256) and superblock (2048) starts, stressing
+  // the directory-hop select: the binary search must land on the last
+  // superblock with before(s) < k even when the answer IS the boundary
+  // bit, and the sentinel must survive a bit in the final word.
+  const uint64_t n = 3 * 2048 + 5;
+  BitVector bits(n);
+  std::vector<uint64_t> ones;
+  for (uint64_t p = 0; p < n; p += 256) {
+    bits.Set(p, true);
+    ones.push_back(p);
+  }
+  bits.Set(n - 1, true);
+  ones.push_back(n - 1);
+  SuccinctBitVector sbv(bits);
+  for (uint64_t k = 1; k <= ones.size(); ++k) {
+    ASSERT_EQ(sbv.Select1(k), ones[k - 1]) << "k=" << k;
+  }
+  EXPECT_EQ(sbv.Select1(ones.size() + 1), n);  // sentinel
+  // Select0 across the same boundaries: zeros are everything else.
+  EXPECT_EQ(sbv.Select0(1), 1u);
+  EXPECT_EQ(sbv.Select0(255), 255u);  // last zero before the boundary one
+  EXPECT_EQ(sbv.Select0(256), 257u);  // hops over the block-boundary one
+  EXPECT_EQ(sbv.Select0(sbv.size() - sbv.ones() + 1), n);  // sentinel
+}
+
 TEST(SuccinctBitVector, PaperFigure5PsBitmap) {
   // Figure 5: PS bitmap "100100..." — p1 owns subjects {s1,s2,s4}, p2 the
   // rest. '1' starts a predicate's subject run.

@@ -1,0 +1,27 @@
+// Negative-compilation probe: the build pool's task queue.
+//
+// ThreadPool::queue_ is SEDGE_GUARDED_BY(mu_) — the pool is shared by
+// the synchronous compaction path and the async fold worker, so every
+// producer must go through Submit(), which takes the leaf lock. This
+// probe reaches the queue through the ThreadSafetyProbe friend without
+// holding mu_, which -Wthread-safety must reject.
+//
+// MUST NOT COMPILE under Clang with -Werror=thread-safety.
+
+#include "util/thread_pool.h"
+
+namespace sedge {
+
+class ThreadSafetyProbe {
+ public:
+  static size_t UnguardedQueueDepth(util::ThreadPool& pool) {
+    return pool.queue_.size();  // guarded-by violation: mu_ is not held
+  }
+};
+
+}  // namespace sedge
+
+int main() {
+  sedge::util::ThreadPool pool(1);
+  return static_cast<int>(sedge::ThreadSafetyProbe::UnguardedQueueDepth(pool));
+}

@@ -10,6 +10,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace sedge {
@@ -249,6 +250,69 @@ TEST(SharedMutex, ReadersShareWritersExclude) {
   // Not asserted (scheduling-dependent), but typically > 1: readers did
   // overlap while writers stayed mutually excluded.
   (void)max_concurrent_readers;
+}
+
+TEST(ThreadPool, DestructorDrainsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    util::ThreadPool pool(3);
+    EXPECT_EQ(pool.num_threads(), 3u);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // the destructor runs the backlog before joining
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(RunParallel, CompletesAllTasksAndSupportsNesting) {
+  util::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(16);
+  std::vector<std::function<void()>> outer;
+  for (size_t i = 0; i < 4; ++i) {
+    outer.emplace_back([&hits, &pool, i] {
+      // Nested fork-join on the same pool — the compaction build shape
+      // (per-layout tasks fanning out per-structure tasks).
+      std::vector<std::function<void()>> inner;
+      for (size_t j = 0; j < 4; ++j) {
+        inner.emplace_back([&hits, i, j] { hits[i * 4 + j].fetch_add(1); });
+      }
+      util::RunParallel(&pool, std::move(inner));
+    });
+  }
+  util::RunParallel(&pool, std::move(outer));
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunParallel, NullPoolRunsSequentially) {
+  int calls = 0;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.emplace_back([&calls] { ++calls; });  // not atomic: must be serial
+  }
+  util::RunParallel(nullptr, std::move(tasks));
+  EXPECT_EQ(calls, 8);
+  util::RunParallel(nullptr, {});  // empty task list is a no-op
+}
+
+TEST(RunParallel, OverlappingCallsFromTwoProducers) {
+  // Two threads fork-joining on one shared pool concurrently — the sync
+  // Compact() vs. async fold-worker overlap RunParallel must survive.
+  util::ThreadPool pool(2);
+  std::atomic<int> total{0};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < 2; ++t) {
+    producers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 50; ++round) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 6; ++i) {
+          tasks.emplace_back([&total] { total.fetch_add(1); });
+        }
+        util::RunParallel(&pool, std::move(tasks));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(total.load(), 2 * 50 * 6);
 }
 
 }  // namespace
