@@ -1,0 +1,216 @@
+// Distributed LUBM bench: coordinator QPS and query-latency percentiles
+// at K = 1 -> 2 -> 4 subject-hash shards, with a live writer lane
+// streaming sensor observation batches through the partitioner and
+// per-shard background folds in flight the whole time.
+//
+// Correctness rides along exactly as in bench_concurrent_serve: the
+// query mix (LUBM S11-S15 fixed-predicate scans plus the M1-M5 BGPs)
+// touches none of the sensor vocabulary the writer inserts, so every
+// response must report the row count computed on a single-store oracle
+// before the run started — at any write watermark, across any shard's
+// re-encode epoch. A mismatch means a torn multi-shard pin, a broken
+// term-map reconciliation, or a lost routed write.
+//
+// Per-K the JSONL row carries QPS, p50/p99/max from dist_query_seconds,
+// the pushdown ratio (join edges evaluated on-shard vs total), the
+// coordinator join time share, fan-out, term-map churn, and shard skew.
+//
+// `--smoke` shortens the window and exits non-zero unless, for every K,
+//   (a) every response matched the oracle count,
+//   (b) the pushdown ratio is nonzero (the stars actually ran on-shard),
+//   (c) writer batches and at least one async fold completed during the
+//       window — i.e. the cell was truly concurrent, not quiesced.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "dist/coordinator.h"
+#include "workloads/lubm_queries.h"
+
+int main(int argc, char** argv) {
+  using namespace sedge;
+
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  rdf::Graph base = bench::LubmFull();
+  base.Truncate(10000);
+  const ontology::Ontology onto = workloads::LubmGenerator::BuildOntology();
+
+  std::vector<workloads::QuerySpec> mix = workloads::LubmQueries::SingleP();
+  for (workloads::QuerySpec& m : workloads::LubmQueries::Multi(base)) {
+    mix.push_back(std::move(m));
+  }
+
+  // Single-store oracle counts, computed once up front: the writer's
+  // sensor vocabulary is disjoint from every query in the mix, so these
+  // stay invariant for the whole run.
+  std::vector<uint64_t> expected;
+  {
+    Database oracle;
+    oracle.set_reasoning(false);
+    oracle.LoadOntology(onto);
+    SEDGE_CHECK(oracle.LoadData(base).ok());
+    expected.reserve(mix.size());
+    for (const workloads::QuerySpec& spec : mix) {
+      const auto r = oracle.QueryCount(spec.sparql);
+      SEDGE_CHECK(r.ok()) << spec.id << ": " << r.status().ToString();
+      expected.push_back(r.value());
+    }
+  }
+
+  workloads::SensorConfig sensor_cfg;
+  sensor_cfg.stations = 2;
+  sensor_cfg.sensors_per_station = 2;
+  sensor_cfg.observations_per_sensor = 2;
+
+  const double window_ms = smoke ? 400.0 : 1200.0;
+  constexpr int kClients = 2;
+
+  std::printf("=== Distributed LUBM (%zu triples, %zu-query mix, %.0f ms "
+              "window, live sensor writer + per-shard async folds) ===\n",
+              base.size(), mix.size(), window_ms);
+  bench::PrintRow("shards", {"qps", "p50 ms", "p99 ms", "pushdown",
+                             "join ms p50", "batches", "folds", "bad rows"});
+
+  bool smoke_ok = true;
+  for (const int shards : {1, 2, 4}) {
+    dist::CoordinatorOptions opts;
+    opts.partition.shards = shards;
+    dist::Coordinator coord(opts);
+    coord.set_reasoning(false);
+    coord.set_snapshot_isolation(true);
+    coord.set_async_compaction(true);
+    coord.set_compaction_ratio(0.0);  // the writer lane kicks folds itself
+    coord.LoadOntology(onto);
+    SEDGE_CHECK(coord.LoadData(base).ok());
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> mismatches{0};
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        size_t q = static_cast<size_t>(c) % mix.size();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto r = coord.QueryCount(mix[q].sparql);
+          SEDGE_CHECK(r.ok()) << mix[q].id << ": " << r.status().ToString();
+          if (r.value() != expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          completed.fetch_add(1, std::memory_order_relaxed);
+          q = (q + 1) % mix.size();
+        }
+      });
+    }
+
+    // Writer lane: routed observation batches (novel vocabulary, admitted
+    // provisionally on whichever shards the subjects land), with a
+    // background fold kicked on a rotating shard every third batch, so
+    // per-shard re-encode epochs roll mid-run.
+    uint64_t batches = 0;
+    uint64_t folds = 0;
+    WallTimer window;
+    while (window.ElapsedMillis() < window_ms) {
+      const rdf::Graph batch =
+          workloads::SensorGraphGenerator::GenerateObservationBatch(
+              sensor_cfg, static_cast<int>(batches));
+      SEDGE_CHECK(coord.Insert(batch).ok());
+      ++batches;
+      if (batches % 3 == 0) {
+        const int target = static_cast<int>(folds) % shards;
+        if (!coord.shard(target).compaction_in_flight()) {
+          SEDGE_CHECK(coord.CompactShardAsync(target).ok());
+          ++folds;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+    const double elapsed_ms = window.ElapsedMillis();
+    SEDGE_CHECK(coord.WaitForCompactions().ok());
+
+    const auto& m = coord.metrics();
+    const obs::Histogram* lat = m.FindHistogram("dist_query_seconds");
+    const obs::Histogram* join = m.FindHistogram("dist_join_seconds");
+    const obs::Histogram* fanout = m.FindHistogram("dist_fanout_shards");
+    const double qps =
+        static_cast<double>(completed.load()) / (elapsed_ms * 1e-3);
+    const double p50_ms = lat->Percentile(50) * 1e3;
+    const double p99_ms = lat->Percentile(99) * 1e3;
+    const double pushdown = m.FindGauge("dist_pushdown_ratio")->value();
+
+    char label[16];
+    std::snprintf(label, sizeof(label), "%d", shards);
+    bench::PrintRow(
+        label,
+        {bench::FormatMs(qps), bench::FormatMs(p50_ms),
+         bench::FormatMs(p99_ms), bench::FormatMs(pushdown),
+         bench::FormatMs(join->Percentile(50) * 1e3),
+         std::to_string(batches), std::to_string(folds),
+         std::to_string(mismatches.load())});
+    bench::PrintJsonRecord(
+        "dist_lubm", "K=" + std::to_string(shards),
+        {{"shards", static_cast<double>(shards)},
+         {"clients", static_cast<double>(kClients)},
+         {"qps", qps},
+         {"p50_ms", p50_ms},
+         {"p99_ms", p99_ms},
+         {"max_ms", lat->max() * 1e3},
+         {"completed", static_cast<double>(completed.load())},
+         {"mismatches", static_cast<double>(mismatches.load())},
+         {"pushdown_ratio", pushdown},
+         {"join_p50_ms", join->Percentile(50) * 1e3},
+         {"join_seconds_total", join->sum()},
+         {"fanout_mean",
+          fanout->count() > 0
+              ? fanout->sum() / static_cast<double>(fanout->count())
+              : 0.0},
+         {"subqueries",
+          static_cast<double>(m.FindCounter("dist_subqueries_total")->value())},
+         {"union_dedup_rows",
+          static_cast<double>(
+              m.FindCounter("dist_union_dedup_rows_total")->value())},
+         {"term_map_terms", m.FindGauge("dist_term_map_terms")->value()},
+         {"term_map_refreshes",
+          m.FindGauge("dist_term_map_refreshes")->value()},
+         {"shard_skew", m.FindGauge("dist_shard_skew")->value()},
+         {"writer_batches", static_cast<double>(batches)},
+         {"async_folds", static_cast<double>(folds)}});
+
+    if (smoke) {
+      if (mismatches.load() != 0) {
+        std::printf("SMOKE FAIL K=%d: %llu response(s) diverged from the "
+                    "single-store oracle under live writes\n",
+                    shards,
+                    static_cast<unsigned long long>(mismatches.load()));
+        smoke_ok = false;
+      }
+      if (pushdown <= 0.0) {
+        std::printf("SMOKE FAIL K=%d: pushdown ratio is zero — star "
+                    "groups never evaluated on-shard\n",
+                    shards);
+        smoke_ok = false;
+      }
+      if (batches == 0 || folds == 0 || completed.load() == 0) {
+        std::printf("SMOKE FAIL K=%d: cell was not concurrent (batches=%llu "
+                    "folds=%llu completed=%llu)\n",
+                    shards, static_cast<unsigned long long>(batches),
+                    static_cast<unsigned long long>(folds),
+                    static_cast<unsigned long long>(completed.load()));
+        smoke_ok = false;
+      }
+    }
+  }
+
+  if (smoke) {
+    if (!smoke_ok) return 1;
+    std::printf("SMOKE OK: K=1/2/4 all matched the single-store oracle "
+                "under live routed writes and per-shard folds, with "
+                "nonzero pushdown\n");
+  }
+  return 0;
+}

@@ -22,12 +22,19 @@
 // background, so clients see snapshot-isolated results while batches
 // land and background folds swap generations underneath them.
 //
+// `--shards K` serves the same deployment through a ShardedDatabase: K
+// subject-hash shards behind the cloud-edge coordinator, queries
+// decomposed and fanned out per shard, writes routed through the
+// partitioner. `!metrics` then exports the coordinator registry — the
+// dist_* series (fan-out, pushdown ratio, join path, skew) next to the
+// same serve_* series.
+//
 // `--selftest` starts the server on an ephemeral port, runs a loopback
 // client through a query / live-write / query-again / !metrics sequence,
 // and exits non-zero on any mismatch — the examples CI target can run it
-// headless.
+// headless (in both single-store and --shards modes).
 //
-//   $ ./build/edge_serve [port] [--readers N] [--selftest]
+//   $ ./build/edge_serve [port] [--readers N] [--shards K] [--selftest]
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -43,6 +50,8 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/sharded_database.h"
+#include "obs/metrics.h"
 #include "serve/query_service.h"
 #include "workloads/sensor_generator.h"
 
@@ -99,13 +108,14 @@ std::string RenderResponse(const QueryService::Response& resp) {
   return out;
 }
 
-void ServeConnection(int fd, sedge::Database* db, QueryService* service) {
+void ServeConnection(int fd, sedge::obs::MetricsRegistry* metrics,
+                     QueryService* service) {
   std::string buffer;
   std::string line;
   while (ReadLine(fd, &buffer, &line)) {
     if (line.empty()) continue;
     if (line == "!metrics") {
-      if (!WriteAll(fd, db->metrics().ExportPrometheus()) ||
+      if (!WriteAll(fd, metrics->ExportPrometheus()) ||
           !WriteAll(fd, "# end\n")) {
         break;
       }
@@ -128,12 +138,15 @@ int main(int argc, char** argv) {
 
   int port = 8765;
   int readers = 4;
+  int shards = 0;  // 0 = single store; K > 0 = coordinator over K shards
   bool selftest = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--selftest") == 0) {
       selftest = true;
     } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
       readers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else {
       port = std::atoi(argv[i]);
     }
@@ -141,27 +154,41 @@ int main(int argc, char** argv) {
   if (selftest) port = 0;  // ephemeral
 
   // The Section 4 sensor deployment: broadcast ontology, station/sensor
-  // topology, and a first day of observations.
+  // topology, and a first day of observations — loaded into either one
+  // edge store or a K-shard coordinator.
   workloads::SensorConfig cfg;
   cfg.stations = 4;
   cfg.sensors_per_station = 4;
   cfg.observations_per_sensor = 10;
-  Database db;
-  db.LoadOntology(workloads::SensorGraphGenerator::BuildOntology());
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ShardedDatabase> sharded;
+  if (shards > 0) {
+    sharded = std::make_unique<ShardedDatabase>(shards);
+    sharded->LoadOntology(workloads::SensorGraphGenerator::BuildOntology());
+  } else {
+    db = std::make_unique<Database>();
+    db->LoadOntology(workloads::SensorGraphGenerator::BuildOntology());
+  }
   {
     rdf::Graph graph = workloads::SensorGraphGenerator::GenerateTopology(cfg);
     graph.Merge(
         workloads::SensorGraphGenerator::GenerateObservationBatch(cfg, 0));
-    const Status st = db.LoadData(graph);
+    const Status st =
+        sharded != nullptr ? sharded->LoadData(graph) : db->LoadData(graph);
     if (!st.ok()) {
       std::fprintf(stderr, "edge_serve: load: %s\n", st.ToString().c_str());
       return 1;
     }
   }
+  obs::MetricsRegistry& metrics =
+      sharded != nullptr ? sharded->metrics() : db->metrics();
 
   serve::ServeOptions options;
   options.readers = readers;
-  serve::QueryService service(&db, options);
+  auto service =
+      sharded != nullptr
+          ? std::make_unique<serve::QueryService>(sharded.get(), options)
+          : std::make_unique<serve::QueryService>(db.get(), options);
 
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) return Fail("socket");
@@ -179,27 +206,40 @@ int main(int argc, char** argv) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port = ntohs(addr.sin_port);
-  std::printf("edge_serve: %d reader(s) on 127.0.0.1:%d "
+  std::printf("edge_serve: %d reader(s)%s on 127.0.0.1:%d "
               "(one SPARQL SELECT per line; \"!metrics\" for Prometheus)\n",
-              readers, port);
+              readers,
+              shards > 0 ? (" over " + std::to_string(shards) + " shard(s)")
+                               .c_str()
+                         : "",
+              port);
 
   // The writer lane: a background loop streaming observation batches so
-  // the endpoint demonstrates reads concurrent with writes and folds.
+  // the endpoint demonstrates reads concurrent with writes and folds
+  // (routed through the partitioner in --shards mode, with per-shard
+  // folds rotating so re-encode epochs roll independently).
   std::atomic<bool> stop{false};
   std::thread writer([&] {
     int batch = 1;
     while (!stop.load(std::memory_order_relaxed)) {
-      const Status st = db.Insert(
+      const rdf::Graph obs_batch =
           workloads::SensorGraphGenerator::GenerateObservationBatch(cfg,
-                                                                    batch));
+                                                                    batch);
+      const Status st = sharded != nullptr ? sharded->Insert(obs_batch)
+                                           : db->Insert(obs_batch);
       if (!st.ok()) {
         std::fprintf(stderr, "edge_serve: insert: %s\n",
                      st.ToString().c_str());
         break;
       }
       ++batch;
-      if (batch % 8 == 0 && !db.compaction_in_flight()) {
-        (void)db.CompactAsync();
+      if (batch % 8 == 0) {
+        if (sharded != nullptr) {
+          (void)sharded->CompactShardAsync((batch / 8) %
+                                           sharded->num_shards());
+        } else if (!db->compaction_in_flight()) {
+          (void)db->CompactAsync();
+        }
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
     }
@@ -210,7 +250,7 @@ int main(int argc, char** argv) {
     for (;;) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) return;  // listen socket closed: shutting down
-      connections.emplace_back(ServeConnection, fd, &db, &service);
+      connections.emplace_back(ServeConnection, fd, &metrics, service.get());
     }
   });
 
@@ -250,16 +290,24 @@ int main(int argc, char** argv) {
     }
     WriteAll(fd, "!metrics\n");
     bool saw_serve_series = false;
+    bool saw_dist_series = false;
     while (ReadLine(fd, &buffer, &line) && line != "# end") {
       if (line.rfind("serve_requests_total", 0) == 0) {
         saw_serve_series = true;
       }
+      if (line.rfind("dist_queries_total", 0) == 0) {
+        saw_dist_series = true;
+      }
     }
     ::close(fd);
-    const bool ok = before > 0 && after > before && saw_serve_series;
+    const bool ok = before > 0 && after > before && saw_serve_series &&
+                    (shards == 0 || saw_dist_series);
     std::printf("selftest: %ld observations, %ld after live writes, "
-                "serve_* series %s -> %s\n",
+                "serve_* series %s%s -> %s\n",
                 before, after, saw_serve_series ? "exported" : "MISSING",
+                shards > 0 ? (saw_dist_series ? ", dist_* series exported"
+                                              : ", dist_* series MISSING")
+                           : "",
                 ok ? "OK" : "FAILED");
     rc = ok ? 0 : 1;
   } else {
@@ -273,7 +321,11 @@ int main(int argc, char** argv) {
   if (acceptor.joinable()) acceptor.join();
   for (std::thread& t : connections) t.join();
   writer.join();
-  service.Shutdown();
-  (void)db.WaitForCompaction();
+  service->Shutdown();
+  if (sharded != nullptr) {
+    (void)sharded->WaitForCompaction();
+  } else {
+    (void)db->WaitForCompaction();
+  }
   return rc;
 }

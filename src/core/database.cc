@@ -222,11 +222,15 @@ Status Database::EnsureStoreLocked() {
 void Database::PublishSnapshotLocked() {
   auto gen = std::make_shared<const store::StoreGeneration>(
       store_, generation_number_.load(), write_generation_.load());
-  // Readers may pin store_ through gen_ from here on; under snapshot
-  // isolation the next write batch must fork before mutating it.
+  // Readers may pin store_ through the published state from here on;
+  // under snapshot isolation the next write batch must fork before
+  // mutating it.
   store_shared_ = true;
   util::MutexLock lk(&snap_mu_);
-  gen_ = std::move(gen);
+  auto next = std::make_shared<ReadState>(*std::atomic_load(&read_state_));
+  next->snap = std::move(gen);
+  std::atomic_store(&read_state_,
+                    std::shared_ptr<const ReadState>(std::move(next)));
 }
 
 void Database::EnsureWritableStoreLocked() {
@@ -270,13 +274,40 @@ void Database::UpdateStoreGaugesLocked() {
 }
 
 std::shared_ptr<const store::StoreGeneration> Database::snapshot() const {
-  util::MutexLock lk(&snap_mu_);
-  return gen_;
+  return std::atomic_load(&read_state_)->snap;
 }
 
 Database::ReadView Database::AcquireReadView() const {
+  const std::shared_ptr<const ReadState> state = std::atomic_load(&read_state_);
+  return {state->snap, state->options};
+}
+
+void Database::set_reasoning(bool on) {
   util::MutexLock lk(&snap_mu_);
-  return {gen_, options_};
+  auto next = std::make_shared<ReadState>(*std::atomic_load(&read_state_));
+  next->options.reasoning = on;
+  std::atomic_store(&read_state_,
+                    std::shared_ptr<const ReadState>(std::move(next)));
+}
+
+void Database::set_merge_join(bool on) {
+  util::MutexLock lk(&snap_mu_);
+  auto next = std::make_shared<ReadState>(*std::atomic_load(&read_state_));
+  next->options.merge_join = on;
+  std::atomic_store(&read_state_,
+                    std::shared_ptr<const ReadState>(std::move(next)));
+}
+
+void Database::set_optimizer(bool on) {
+  util::MutexLock lk(&snap_mu_);
+  auto next = std::make_shared<ReadState>(*std::atomic_load(&read_state_));
+  next->options.use_optimizer = on;
+  std::atomic_store(&read_state_,
+                    std::shared_ptr<const ReadState>(std::move(next)));
+}
+
+sparql::Executor::Options Database::options() const {
+  return std::atomic_load(&read_state_)->options;
 }
 
 const store::TripleStore& Database::store() const {

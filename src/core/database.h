@@ -277,8 +277,8 @@ class Database {
   /// The current generation snapshot (store + base build number), or null
   /// before any data is loaded. Readers pin it for however long they need
   /// consistent lifetime guarantees; Query does this internally.
-  std::shared_ptr<const store::StoreGeneration> snapshot() const
-      SEDGE_EXCLUDES(snap_mu_);
+  /// Lock-free: one atomic shared_ptr load (see read_state_).
+  std::shared_ptr<const store::StoreGeneration> snapshot() const;
 
   /// Bumped every time the succinct base is (re)built: LoadData and each
   /// compaction swap. Shorthand for snapshot()->number().
@@ -290,27 +290,15 @@ class Database {
 
   // -- Execution switches (defaults match the paper's system) ---------------
 
-  // The switches live under snap_mu_ (not write_mu_: the writer lock is
-  // held across checkpoint I/O, and queries must not stall behind it) and
-  // options() hands out a copy, so a toggle concurrent with a running
-  // query gives that query one coherent option set — before or after,
-  // never a torn mix.
-  void set_reasoning(bool on) SEDGE_EXCLUDES(snap_mu_) {
-    util::MutexLock lk(&snap_mu_);
-    options_.reasoning = on;
-  }
-  void set_merge_join(bool on) SEDGE_EXCLUDES(snap_mu_) {
-    util::MutexLock lk(&snap_mu_);
-    options_.merge_join = on;
-  }
-  void set_optimizer(bool on) SEDGE_EXCLUDES(snap_mu_) {
-    util::MutexLock lk(&snap_mu_);
-    options_.use_optimizer = on;
-  }
-  sparql::Executor::Options options() const SEDGE_EXCLUDES(snap_mu_) {
-    util::MutexLock lk(&snap_mu_);
-    return options_;
-  }
+  // The switches live in the RCU-published ReadState (not under write_mu_:
+  // the writer lock is held across checkpoint I/O, and queries must not
+  // stall behind it) and options() hands out a copy, so a toggle
+  // concurrent with a running query gives that query one coherent option
+  // set — before or after, never a torn mix.
+  void set_reasoning(bool on) SEDGE_EXCLUDES(snap_mu_);
+  void set_merge_join(bool on) SEDGE_EXCLUDES(snap_mu_);
+  void set_optimizer(bool on) SEDGE_EXCLUDES(snap_mu_);
+  sparql::Executor::Options options() const;
 
   // -- Concurrent reads ------------------------------------------------------
 
@@ -424,13 +412,28 @@ class Database {
   };
 
   /// One coherent read-side view: the pinned generation and the executor
-  /// options that were current at the same instant, taken under one
-  /// snap_mu_ critical section. Query/QueryCount/ExplainQuery start here.
+  /// options that were published at the same instant — one RCU ReadState,
+  /// so the pair can never be a torn mix. Query/QueryCount/ExplainQuery
+  /// start here. Lock-free: a single atomic shared_ptr load, so a herd of
+  /// reader threads admitting queries never serializes on a mutex (the
+  /// old per-query snap_mu_ critical section was the serve thread pool's
+  /// one shared read-side contention point).
   struct ReadView {
     std::shared_ptr<const store::StoreGeneration> snap;
     sparql::Executor::Options options;
   };
-  ReadView AcquireReadView() const SEDGE_EXCLUDES(snap_mu_);
+  ReadView AcquireReadView() const;
+
+  /// The RCU-published read-side state. Readers obtain it wholesale with
+  /// std::atomic_load (wait-free for them); mutators — option toggles and
+  /// PublishSnapshotLocked — copy the current state, adjust it, and
+  /// std::atomic_store the replacement while holding snap_mu_, which now
+  /// only serializes *publishers* against each other (read-modify-write
+  /// races), never readers.
+  struct ReadState {
+    std::shared_ptr<const store::StoreGeneration> snap;
+    sparql::Executor::Options options;
+  };
 
   // The *Locked helpers required write_mu_ by comment since PR 4; the
   // REQUIRES annotations make the compiler hold callers to it.
@@ -488,21 +491,26 @@ class Database {
   util::ThreadPool* BuildPoolLocked() SEDGE_REQUIRES(write_mu_);
 
   // Lock hierarchy (docs/locking.md): write_mu_ serializes the write /
-  // compaction / durability path; snap_mu_ covers only the published
-  // generation + executor options and is acquired inside write_mu_ by
-  // PublishSnapshotLocked — never the other way around.
+  // compaction / durability path; snap_mu_ serializes only *publishers*
+  // of read_state_ (PublishSnapshotLocked, the option setters) and is
+  // acquired inside write_mu_ by PublishSnapshotLocked — never the other
+  // way around. Readers never take either lock: they atomic_load
+  // read_state_.
   mutable util::Mutex write_mu_ SEDGE_ACQUIRED_BEFORE(snap_mu_);
   mutable util::Mutex snap_mu_;
 
   ontology::Ontology onto_ SEDGE_GUARDED_BY(write_mu_);
-  sparql::Executor::Options options_ SEDGE_GUARDED_BY(snap_mu_);
 
-  // Current writable store and its published snapshot. store_ is guarded
-  // by write_mu_; gen_ by snap_mu_ (readers only ever touch gen_).
+  // Current writable store (write_mu_) and the RCU-published read state.
+  // read_state_ cannot carry SEDGE_GUARDED_BY: its whole point is that
+  // readers load it without snap_mu_ — the atomic_load/atomic_store
+  // protocol above is the synchronization. The pointee is const, so a
+  // loaded state cannot be mutated after publication. Never null (starts
+  // as an empty ReadState).
   std::shared_ptr<store::TripleStore> store_ SEDGE_GUARDED_BY(write_mu_)
       SEDGE_PT_GUARDED_BY(write_mu_);
-  std::shared_ptr<const store::StoreGeneration> gen_
-      SEDGE_GUARDED_BY(snap_mu_);
+  std::shared_ptr<const ReadState> read_state_ =
+      std::make_shared<ReadState>();
 
   // Background compaction state (write_mu_ unless noted).
   std::thread worker_ SEDGE_GUARDED_BY(write_mu_);

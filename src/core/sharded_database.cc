@@ -1,0 +1,22 @@
+#include "core/sharded_database.h"
+
+namespace sedge {
+
+namespace {
+
+dist::CoordinatorOptions MakeOptions(int shards, dist::PartitionPolicy policy,
+                                     bool cloud_base) {
+  dist::CoordinatorOptions options;
+  options.partition.policy = policy;
+  options.partition.shards = shards;
+  options.partition.cloud_base = cloud_base;
+  return options;
+}
+
+}  // namespace
+
+ShardedDatabase::ShardedDatabase(int shards, dist::PartitionPolicy policy,
+                                 bool cloud_base)
+    : coordinator_(MakeOptions(shards, policy, cloud_base)) {}
+
+}  // namespace sedge

@@ -1,0 +1,71 @@
+// dist::Decomposer — splits a parsed BGP into per-shard subqueries.
+//
+// The decomposition unit is the *subject star group*: all triple patterns
+// sharing the same subject slot (variable or constant). Because both
+// partition policies colocate a subject's triples on one shard
+// (dist/partitioner.h), a whole star group evaluates shard-locally — its
+// joins, its rdf:type patterns, and the LiteMat interval routing /
+// subsumption inference they imply all run inside each shard's own
+// executor with that shard's ids. Only the group-connecting joins remain
+// for the coordinator. This is the pushdown of Ma et al.: the wider the
+// stars, the smaller the partial binding sets shipped to the join.
+//
+// FILTERs ride down with a group when every variable they mention is
+// produced by that group alone (and none is BIND-produced — BINDs always
+// evaluate at the coordinator): shards then prune rows before shipping.
+// A row-local filter commutes with the coordinator joins, so the answer
+// is unchanged. Everything else — UNION blocks, BINDs, cross-group
+// filters — stays in the residual pattern the coordinator evaluates over
+// reconciled global ids.
+
+#ifndef SEDGE_DIST_DECOMPOSER_H_
+#define SEDGE_DIST_DECOMPOSER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace sedge::dist {
+
+/// \brief One per-shard subquery: a subject star group plus the filters
+/// pushed into it.
+struct ShardSubquery {
+  /// Executable on any shard as-is: select = vars, where = the group's
+  /// triples + pushed filters. No distinct/limit — modifiers apply only
+  /// after the coordinator join.
+  sparql::Query query;
+  /// All variables the group binds, in first-seen order (the subquery's
+  /// projection; column order is identical on every shard).
+  std::vector<sparql::Variable> vars;
+  /// Triple patterns in the group.
+  size_t patterns = 0;
+  /// Filters pushed into this group.
+  size_t pushed_filters = 0;
+  /// rdf:type patterns evaluated shard-side (LiteMat interval pushdown).
+  size_t type_patterns = 0;
+};
+
+/// \brief A BGP split into shard subqueries plus the coordinator residual.
+struct Decomposition {
+  std::vector<ShardSubquery> groups;
+  /// What the coordinator still evaluates after joining the groups:
+  /// UNION blocks, BINDs, and filters that could not be pushed. Its
+  /// `triples` is always empty.
+  sparql::GroupPattern residual;
+  /// Total triple patterns decomposed.
+  size_t patterns_total = 0;
+  /// Join edges evaluated on-shard instead of at the coordinator:
+  /// sum over groups of (patterns - 1). The pushdown-ratio numerator.
+  size_t pushed_join_edges = 0;
+};
+
+/// Consumes `group` (triples, filters; unions/binds move to the residual)
+/// and produces its shard decomposition. `colocate_subjects` must be the
+/// partitioner's guarantee: when false, every pattern becomes its own
+/// group (no subject-star pushdown is sound).
+Decomposition Decompose(sparql::GroupPattern group, bool colocate_subjects);
+
+}  // namespace sedge::dist
+
+#endif  // SEDGE_DIST_DECOMPOSER_H_

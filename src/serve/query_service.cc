@@ -63,11 +63,50 @@ void QueryService::PlanCache::Store(uint64_t generation,
   plans_.emplace(text, std::move(plan));
 }
 
+// --------------------------------------------------------------- ResultCache
+
+std::shared_ptr<const QueryService::CachedResult> QueryService::ResultCache::
+    Lookup(uint64_t generation, uint64_t writes, const std::string& text) {
+  util::MutexLock lk(&mu_);
+  if (!initialized_ || generation != generation_ || writes != writes_) {
+    // A write batch (or base swap) moved the content epoch; every cached
+    // result describes superseded data. (The first fill is not an
+    // invalidation.)
+    if (initialized_ && !results_.empty()) invalidations_->Increment();
+    results_.clear();
+    generation_ = generation;
+    writes_ = writes;
+    initialized_ = true;
+    return nullptr;
+  }
+  const auto it = results_.find(text);
+  return it != results_.end() ? it->second : nullptr;
+}
+
+void QueryService::ResultCache::Store(
+    uint64_t generation, uint64_t writes, const std::string& text,
+    std::shared_ptr<const CachedResult> result) {
+  util::MutexLock lk(&mu_);
+  if (!initialized_ || generation != generation_ || writes != writes_) {
+    return;  // raced a write
+  }
+  if (results_.size() >= kMaxEntries) return;  // bounded; keep the hot set
+  results_.emplace(text, std::move(result));
+}
+
 // -------------------------------------------------------------- QueryService
 
 QueryService::QueryService(Database* db, ServeOptions options)
-    : db_(db), options_(options) {
-  obs::MetricsRegistry& reg = db_->metrics();
+    : QueryService(db, nullptr, options) {}
+
+QueryService::QueryService(ShardedDatabase* db, ServeOptions options)
+    : QueryService(nullptr, db, options) {}
+
+QueryService::QueryService(Database* db, ShardedDatabase* sharded,
+                           ServeOptions options)
+    : db_(db), sharded_(sharded), options_(options) {
+  obs::MetricsRegistry& reg = db_ != nullptr ? db_->metrics()
+                                             : sharded_->metrics();
   met_.admitted_total = reg.GetCounter("serve_requests_total");
   met_.rejected_total = reg.GetCounter("serve_rejected_total");
   met_.completed_total = reg.GetCounter("serve_completed_total");
@@ -77,16 +116,29 @@ QueryService::QueryService(Database* db, ServeOptions options)
       reg.GetCounter("serve_plan_cache_misses_total");
   met_.plan_cache_invalidations_total =
       reg.GetCounter("serve_plan_cache_invalidations_total");
+  met_.result_cache_hits_total =
+      reg.GetCounter("serve_result_cache_hits_total");
+  met_.result_cache_misses_total =
+      reg.GetCounter("serve_result_cache_misses_total");
+  met_.result_cache_invalidations_total =
+      reg.GetCounter("serve_result_cache_invalidations_total");
   met_.request_seconds = reg.GetHistogram("serve_request_seconds");
   met_.queue_wait_seconds = reg.GetHistogram("serve_queue_wait_seconds");
   met_.execute_seconds = reg.GetHistogram("serve_execute_seconds");
   met_.queue_depth = reg.GetGauge("serve_queue_depth");
   met_.readers = reg.GetGauge("serve_readers");
   cache_ = std::make_unique<PlanCache>(met_.plan_cache_invalidations_total);
+  result_cache_ =
+      std::make_unique<ResultCache>(met_.result_cache_invalidations_total);
 
   // Readers pin snapshots from arbitrary threads; the writer must stop
-  // mutating published stores.
-  db_->set_snapshot_isolation(true);
+  // mutating published stores. In distributed mode every shard gets the
+  // same treatment.
+  if (db_ != nullptr) {
+    db_->set_snapshot_isolation(true);
+  } else {
+    sharded_->set_snapshot_isolation(true);
+  }
   WarmCtypeCaches();
 
   const int readers = options_.readers > 0 ? options_.readers : 1;
@@ -194,57 +246,10 @@ void QueryService::Serve(Request req) {
       SecondsBetween(req.admitted, picked_up));
 
   Response resp;
-  const std::shared_ptr<const store::StoreGeneration> snap = db_->snapshot();
-  if (snap == nullptr) {
-    resp.status = Status::InvalidArgument("no data loaded");
+  if (db_ != nullptr) {
+    ServeLocal(req, &resp);
   } else {
-    resp.generation = snap->number();
-    resp.writes = snap->writes();
-    // One coherent copy of the execution switches for the whole request
-    // (options() locks; plan and execution must agree on the toggles).
-    const sparql::Executor::Options exec_options = db_->options();
-    std::shared_ptr<const CachedPlan> plan =
-        cache_->Lookup(snap->number(), req.text);
-    if (plan != nullptr) {
-      resp.plan_cache_hit = true;
-      met_.plan_cache_hits_total->Increment();
-    } else {
-      met_.plan_cache_misses_total->Increment();
-      Result<sparql::Query> parsed = sparql::ParseQuery(req.text);
-      if (!parsed.ok()) {
-        resp.status = parsed.status();
-      } else {
-        CachedPlan built{std::move(parsed).value(), {}};
-        // Plan against this worker's pinned snapshot: the estimator reads
-        // the same frozen store the order will be cached for.
-        const sparql::Executor planner(snap, exec_options);
-        built.order = planner.PlanOrder(built.query.where.triples);
-        plan = std::make_shared<const CachedPlan>(std::move(built));
-        cache_->Store(snap->number(), req.text, plan);
-      }
-    }
-    if (resp.status.ok()) {
-      sparql::Executor executor(snap, exec_options);
-      executor.set_plan_hint(&plan->order);
-      if (options_.decode_results) {
-        Result<sparql::QueryResult> result = executor.Execute(plan->query);
-        if (result.ok()) {
-          resp.result = std::move(result).value();
-          resp.rows = resp.result.size();
-        } else {
-          resp.status = result.status();
-        }
-      } else {
-        Result<sparql::BindingTable> table =
-            executor.ExecuteEncoded(plan->query);
-        if (table.ok()) {
-          resp.rows = table.value().rows.size();
-        } else {
-          resp.status = table.status();
-        }
-      }
-      db_->AccumulateQueryStats(executor);
-    }
+    ServeSharded(req, &resp);
   }
 
   const Clock::time_point done = Clock::now();
@@ -252,6 +257,126 @@ void QueryService::Serve(Request req) {
   met_.request_seconds->RecordSeconds(SecondsBetween(req.admitted, done));
   (resp.status.ok() ? met_.completed_total : met_.errors_total)->Increment();
   req.promise.set_value(std::move(resp));
+}
+
+void QueryService::ServeLocal(const Request& req, Response* resp) {
+  const std::shared_ptr<const store::StoreGeneration> snap = db_->snapshot();
+  if (snap == nullptr) {
+    resp->status = Status::InvalidArgument("no data loaded");
+    return;
+  }
+  resp->generation = snap->number();
+  resp->writes = snap->writes();
+
+  // Result cache first: the (generation, writes) pair of the pinned
+  // snapshot identifies its content exactly under snapshot isolation, so
+  // a hit skips parse, plan and execution outright.
+  if (std::shared_ptr<const CachedResult> cached =
+          result_cache_->Lookup(snap->number(), snap->writes(), req.text)) {
+    resp->result_cache_hit = true;
+    met_.result_cache_hits_total->Increment();
+    resp->result = cached->result;
+    resp->rows = cached->rows;
+    return;
+  }
+  met_.result_cache_misses_total->Increment();
+
+  // One coherent copy of the execution switches for the whole request
+  // (plan and execution must agree on the toggles).
+  const sparql::Executor::Options exec_options = db_->options();
+  std::shared_ptr<const CachedPlan> plan =
+      cache_->Lookup(snap->number(), req.text);
+  if (plan != nullptr) {
+    resp->plan_cache_hit = true;
+    met_.plan_cache_hits_total->Increment();
+  } else {
+    met_.plan_cache_misses_total->Increment();
+    Result<sparql::Query> parsed = sparql::ParseQuery(req.text);
+    if (!parsed.ok()) {
+      resp->status = parsed.status();
+    } else {
+      CachedPlan built{std::move(parsed).value(), {}};
+      // Plan against this worker's pinned snapshot: the estimator reads
+      // the same frozen store the order will be cached for.
+      const sparql::Executor planner(snap, exec_options);
+      built.order = planner.PlanOrder(built.query.where.triples);
+      plan = std::make_shared<const CachedPlan>(std::move(built));
+      cache_->Store(snap->number(), req.text, plan);
+    }
+  }
+  if (!resp->status.ok()) return;
+
+  sparql::Executor executor(snap, exec_options);
+  executor.set_plan_hint(&plan->order);
+  if (options_.decode_results) {
+    Result<sparql::QueryResult> result = executor.Execute(plan->query);
+    if (result.ok()) {
+      resp->result = std::move(result).value();
+      resp->rows = resp->result.size();
+    } else {
+      resp->status = result.status();
+    }
+  } else {
+    Result<sparql::BindingTable> table = executor.ExecuteEncoded(plan->query);
+    if (table.ok()) {
+      resp->rows = table.value().rows.size();
+    } else {
+      resp->status = table.status();
+    }
+  }
+  db_->AccumulateQueryStats(executor);
+  if (resp->status.ok()) {
+    auto entry = std::make_shared<CachedResult>();
+    entry->result = resp->result;
+    entry->rows = resp->rows;
+    result_cache_->Store(snap->number(), snap->writes(), req.text,
+                         std::move(entry));
+  }
+}
+
+void QueryService::ServeSharded(const Request& req, Response* resp) {
+  // The coordinator's content version plays the (generation, writes)
+  // role: it bumps on every load/write batch and — deliberately — not on
+  // compactions, which re-encode shard ids but preserve content.
+  const uint64_t version = sharded_->content_version();
+  resp->generation = version;
+  resp->writes = 0;
+
+  if (std::shared_ptr<const CachedResult> cached =
+          result_cache_->Lookup(version, 0, req.text)) {
+    resp->result_cache_hit = true;
+    met_.result_cache_hits_total->Increment();
+    resp->result = cached->result;
+    resp->rows = cached->rows;
+    return;
+  }
+  met_.result_cache_misses_total->Increment();
+
+  if (options_.decode_results) {
+    Result<sparql::QueryResult> result = sharded_->Query(req.text);
+    if (result.ok()) {
+      resp->result = std::move(result).value();
+      resp->rows = resp->result.size();
+    } else {
+      resp->status = result.status();
+    }
+  } else {
+    Result<uint64_t> rows = sharded_->QueryCount(req.text);
+    if (rows.ok()) {
+      resp->rows = rows.value();
+    } else {
+      resp->status = rows.status();
+    }
+  }
+  // Unlike the single-store path there is no pinned snapshot tying the
+  // result to `version`; only cache when no write landed while the query
+  // ran (the per-shard pins were then all taken at this version).
+  if (resp->status.ok() && sharded_->content_version() == version) {
+    auto entry = std::make_shared<CachedResult>();
+    entry->result = resp->result;
+    entry->rows = resp->rows;
+    result_cache_->Store(version, 0, req.text, std::move(entry));
+  }
 }
 
 }  // namespace sedge::serve

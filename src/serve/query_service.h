@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/sharded_database.h"
 #include "obs/metrics.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
@@ -83,11 +84,21 @@ class QueryService {
     uint64_t writes = 0;
     /// Whether the plan cache served the parsed query + join order.
     bool plan_cache_hit = false;
+    /// Whether the result cache served the whole response (no parse, no
+    /// execution).
+    bool result_cache_hit = false;
   };
 
   /// Switches `db` into snapshot isolation and starts the reader pool.
   /// `db` must outlive the service.
   explicit QueryService(Database* db, ServeOptions options = ServeOptions());
+  /// Distributed mode: serves through the sharded database's coordinator
+  /// (decompose → fan-out → join) instead of a single executor. The plan
+  /// cache idles (the coordinator plans per shard); the result cache is
+  /// keyed on the coordinator's content version. Shards are switched into
+  /// snapshot isolation. `db` must outlive the service.
+  explicit QueryService(ShardedDatabase* db,
+                        ServeOptions options = ServeOptions());
   ~QueryService();
 
   QueryService(const QueryService&) = delete;
@@ -157,6 +168,51 @@ class QueryService {
     obs::Counter* invalidations_;
   };
 
+  /// A finished response body, shared-immutable between the cache and
+  /// concurrent readers serving hits.
+  struct CachedResult {
+    sparql::QueryResult result;  // empty when the service skips decoding
+    uint64_t rows = 0;
+  };
+
+  /// Result cache: (generation epoch, query text) → finished response.
+  /// The epoch is the pair (base generation, write watermark) of the
+  /// snapshot a result was computed against — under snapshot isolation
+  /// that pair identifies the content exactly, so serving a hit is
+  /// indistinguishable from re-executing. Any write bumps the watermark
+  /// and the next lookup clears the map wholesale, the same epoch scheme
+  /// as the plan cache (which only the *base* generation invalidates).
+  /// Distributed mode keys on ShardedDatabase::content_version() with a
+  /// zero watermark — same protocol, coordinator-wide.
+  class ResultCache {
+   public:
+    explicit ResultCache(obs::Counter* invalidations)
+        : invalidations_(invalidations) {}
+
+    std::shared_ptr<const CachedResult> Lookup(uint64_t generation,
+                                               uint64_t writes,
+                                               const std::string& text)
+        SEDGE_EXCLUDES(mu_);
+    /// Inserts unless the cache has moved past the epoch (a worker that
+    /// raced a write must not poison the new epoch's cache).
+    void Store(uint64_t generation, uint64_t writes, const std::string& text,
+               std::shared_ptr<const CachedResult> result)
+        SEDGE_EXCLUDES(mu_);
+
+   private:
+    friend class ::sedge::ThreadSafetyProbe;
+
+    static constexpr size_t kMaxEntries = 1024;
+
+    util::Mutex mu_;
+    uint64_t generation_ SEDGE_GUARDED_BY(mu_) = 0;
+    uint64_t writes_ SEDGE_GUARDED_BY(mu_) = 0;
+    bool initialized_ SEDGE_GUARDED_BY(mu_) = false;
+    std::unordered_map<std::string, std::shared_ptr<const CachedResult>>
+        results_ SEDGE_GUARDED_BY(mu_);
+    obs::Counter* invalidations_;
+  };
+
   struct Request {
     std::string text;
     std::promise<Response> promise;
@@ -165,11 +221,18 @@ class QueryService {
 
   friend class ::sedge::ThreadSafetyProbe;
 
+  QueryService(Database* db, ShardedDatabase* sharded, ServeOptions options);
+
   void WorkerLoop() SEDGE_EXCLUDES(mu_);
   /// Executes one admitted request end to end and fulfills its promise.
   void Serve(Request req);
+  /// The single-store path: pin a snapshot, plan (cached), execute.
+  void ServeLocal(const Request& req, Response* resp);
+  /// The distributed path: coordinator pipeline over the shard set.
+  void ServeSharded(const Request& req, Response* resp);
 
-  Database* db_;
+  Database* db_;                 // exactly one of db_ / sharded_ is set
+  ShardedDatabase* sharded_;
   const ServeOptions options_;
 
   // mu_ is a leaf in the engine's lock hierarchy: nothing else is
@@ -182,8 +245,9 @@ class QueryService {
   std::vector<std::thread> workers_ SEDGE_GUARDED_BY(mu_);
 
   std::unique_ptr<PlanCache> cache_;
+  std::unique_ptr<ResultCache> result_cache_;
 
-  // serve_* handles resolved once from db->metrics().
+  // serve_* handles resolved once from the database's registry.
   struct Met {
     obs::Counter* admitted_total;
     obs::Counter* rejected_total;
@@ -192,6 +256,9 @@ class QueryService {
     obs::Counter* plan_cache_hits_total;
     obs::Counter* plan_cache_misses_total;
     obs::Counter* plan_cache_invalidations_total;
+    obs::Counter* result_cache_hits_total;
+    obs::Counter* result_cache_misses_total;
+    obs::Counter* result_cache_invalidations_total;
     obs::Histogram* request_seconds;     // admission → response
     obs::Histogram* queue_wait_seconds;  // admission → worker pickup
     obs::Histogram* execute_seconds;     // pickup → response

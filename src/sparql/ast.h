@@ -115,6 +115,34 @@ struct GroupPattern {
   std::vector<UnionBlock> unions;
 };
 
+// ------------------------------------------------- Decomposition helpers
+//
+// The distribution layer (src/dist/decomposer.*) splits a parsed BGP into
+// per-shard subqueries; these walkers expose the variable footprint of
+// patterns and expressions it groups by.
+
+/// Appends `v` unless already present (first-seen order preserved).
+inline void AddVariable(const Variable& v, std::vector<Variable>* out) {
+  for (const Variable& seen : *out) {
+    if (seen == v) return;
+  }
+  out->push_back(v);
+}
+
+/// Variables of one triple pattern, in slot order, deduplicated into `out`.
+inline void CollectVariables(const TriplePattern& tp,
+                             std::vector<Variable>* out) {
+  for (const TermOrVar* slot : {&tp.subject, &tp.predicate, &tp.object}) {
+    if (IsVar(*slot)) AddVariable(AsVar(*slot), out);
+  }
+}
+
+/// Variables mentioned anywhere in an expression tree, deduplicated.
+inline void CollectVariables(const Expr& expr, std::vector<Variable>* out) {
+  if (expr.kind == ExprKind::kVariable) AddVariable(expr.variable, out);
+  for (const auto& arg : expr.args) CollectVariables(*arg, out);
+}
+
 /// \brief A parsed SELECT query.
 struct Query {
   bool distinct = false;

@@ -184,8 +184,14 @@ TEST(QueryService, PlanCacheInvalidatesAcrossCompactionSwaps) {
 
   EXPECT_FALSE(service.Execute(kStarQuery).plan_cache_hit);
   EXPECT_EQ(misses(), 1u);
-  EXPECT_TRUE(service.Execute(kStarQuery).plan_cache_hit);
-  EXPECT_EQ(hits(), 1u);
+  // A repeat inside the same content epoch short-circuits at the result
+  // cache; the plan cache is not even consulted.
+  {
+    const serve::QueryService::Response repeat = service.Execute(kStarQuery);
+    EXPECT_TRUE(repeat.result_cache_hit);
+    EXPECT_FALSE(repeat.plan_cache_hit);
+  }
+  EXPECT_EQ(hits(), 0u);
 
   const auto insert_match = [&](uint64_t s) {
     rdf::Graph batch;
@@ -197,9 +203,11 @@ TEST(QueryService, PlanCacheInvalidatesAcrossCompactionSwaps) {
   };
 
   // Writes alone publish new snapshots but keep the base generation: the
-  // cached plan stays valid (ids are stable within a generation).
+  // result cache drops its epoch, the cached plan stays valid (ids are
+  // stable within a generation).
   insert_match(50);
   EXPECT_TRUE(service.Execute(kStarQuery).plan_cache_hit);
+  EXPECT_EQ(hits(), 1u);
   EXPECT_EQ(invalidations(), 0u);
 
   // A synchronous fold swaps the base generation: wholesale invalidation.
@@ -211,7 +219,7 @@ TEST(QueryService, PlanCacheInvalidatesAcrossCompactionSwaps) {
   EXPECT_FALSE(after_sync.plan_cache_hit);
   EXPECT_EQ(after_sync.generation, db->store_generation());
   EXPECT_EQ(invalidations(), 1u);
-  EXPECT_TRUE(service.Execute(kStarQuery).plan_cache_hit);
+  EXPECT_TRUE(service.Execute(kStarQuery).result_cache_hit);
 
   // An async fold's swap invalidates the same way.
   insert_match(51);
@@ -219,10 +227,55 @@ TEST(QueryService, PlanCacheInvalidatesAcrossCompactionSwaps) {
   ASSERT_TRUE(db->WaitForCompaction().ok());
   EXPECT_FALSE(service.Execute(kStarQuery).plan_cache_hit);
   EXPECT_EQ(invalidations(), 2u);
-  EXPECT_TRUE(service.Execute(kStarQuery).plan_cache_hit);
+  EXPECT_TRUE(service.Execute(kStarQuery).result_cache_hit);
 
   // Rows reflect the post-fold state: 20 seed + 2 inserted matches.
   EXPECT_EQ(service.Execute(kStarQuery).rows, 22u);
+}
+
+TEST(QueryService, ResultCacheServesRepeatsAndInvalidatesOnWrites) {
+  auto db = MakeDatabase();
+  serve::ServeOptions opts;
+  opts.readers = 1;
+  serve::QueryService service(db.get(), opts);
+
+  const auto hits = [&] {
+    return CounterValue(*db, "serve_result_cache_hits_total");
+  };
+  const auto misses = [&] {
+    return CounterValue(*db, "serve_result_cache_misses_total");
+  };
+  const auto invalidations = [&] {
+    return CounterValue(*db, "serve_result_cache_invalidations_total");
+  };
+
+  const serve::QueryService::Response first = service.Execute(kStarQuery);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.result_cache_hit);
+  EXPECT_EQ(misses(), 1u);
+
+  const serve::QueryService::Response repeat = service.Execute(kStarQuery);
+  EXPECT_TRUE(repeat.result_cache_hit);
+  EXPECT_EQ(hits(), 1u);
+  // A hit is byte-identical to re-execution: same rows, same decoded terms.
+  EXPECT_EQ(repeat.rows, first.rows);
+  EXPECT_EQ(repeat.result.rows, first.result.rows);
+
+  // Any write bumps the snapshot's write watermark: the whole epoch is
+  // stale and the next lookup drops it.
+  rdf::Graph batch;
+  batch.Add(rdf::Term::Iri(Iri("s", 90)), rdf::Term::Iri(Iri("p", 0)),
+            rdf::Term::Iri(Iri("o", 0)));
+  batch.Add(rdf::Term::Iri(Iri("s", 90)), rdf::Term::Iri(Iri("dp", 0)),
+            rdf::Term::Literal("90"));
+  ASSERT_TRUE(db->Insert(batch).ok());
+
+  const serve::QueryService::Response after_write =
+      service.Execute(kStarQuery);
+  EXPECT_FALSE(after_write.result_cache_hit);
+  EXPECT_EQ(after_write.rows, first.rows + 1);
+  EXPECT_EQ(invalidations(), 1u);
+  EXPECT_TRUE(service.Execute(kStarQuery).result_cache_hit);
 }
 
 TEST(QueryService, ConcurrentClientsSeeConsistentSnapshots) {
